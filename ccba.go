@@ -1,0 +1,365 @@
+// Package ccba is a Go reproduction of "Communication Complexity of
+// Byzantine Agreement, Revisited" (Abraham, Chan, Dolev, Nayak, Pass, Ren,
+// Shi — PODC 2019).
+//
+// It provides:
+//
+//   - the paper's primary contribution — a synchronous Byzantine Agreement
+//     protocol with polylogarithmic multicast complexity, resilience
+//     f < (1/2−ε)n against a weakly adaptive adversary, and expected O(1)
+//     rounds (Protocol Core), in both the F_mine-hybrid world and a
+//     real-crypto world (Ed25519-based VRF over a trusted PKI);
+//   - every baseline the paper reasons about: the plain and sub-sampled
+//     phase-king warm-ups (§3.1–3.2), the quadratic protocol of Appendix
+//     C.1, Dolev–Strong, a static CRS committee protocol, and a
+//     Chen–Micali-style non-bit-specific variant with optional memory
+//     erasure;
+//   - the execution model of Appendix A.1 (synchronous rounds, rushing
+//     adaptive adversaries, enforced after-the-fact-removal boundary) and a
+//     library of attack strategies, including the Theorem 1 and Theorem 3
+//     lower-bound adversaries.
+//
+// The top-level API runs one protocol instance under one adversary:
+//
+//	cfg := ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40}
+//	report, err := ccba.Run(cfg)
+//
+// Report carries the execution result, communication metrics, and the
+// outcome of the consistency/validity/termination checkers. Everything is
+// deterministic given Config.Seed.
+package ccba
+
+import (
+	"fmt"
+
+	"ccba/internal/broadcast"
+	"ccba/internal/chenmicali"
+	"ccba/internal/committee"
+	"ccba/internal/core"
+	"ccba/internal/crypto/pki"
+	"ccba/internal/dolevstrong"
+	"ccba/internal/fmine"
+	"ccba/internal/leader"
+	"ccba/internal/netsim"
+	"ccba/internal/phaseking"
+	"ccba/internal/quadratic"
+	"ccba/internal/types"
+)
+
+// Re-exported primitive types, so callers outside the module never need the
+// internal packages.
+type (
+	// Bit is a binary consensus value.
+	Bit = types.Bit
+	// NodeID identifies a participant.
+	NodeID = types.NodeID
+	// Result is a completed execution.
+	Result = netsim.Result
+	// Metrics is the communication-complexity accounting of Definitions 6–7.
+	Metrics = netsim.Metrics
+	// Adversary is a pluggable corruption strategy.
+	Adversary = netsim.Adversary
+	// Node is the sans-I/O protocol state machine interface.
+	Node = netsim.Node
+)
+
+// Re-exported bit values.
+const (
+	Zero  = types.Zero
+	One   = types.One
+	NoBit = types.NoBit
+)
+
+// Protocol selects which of the implemented protocols to run.
+type Protocol string
+
+// The implemented protocols.
+const (
+	// Core is the paper's primary contribution (Appendix C.2).
+	Core Protocol = "core"
+	// CoreBroadcast wraps Core in the §1.1 BB-from-BA reduction.
+	CoreBroadcast Protocol = "core-broadcast"
+	// Quadratic is the Appendix C.1 baseline.
+	Quadratic Protocol = "quadratic"
+	// PhaseKingPlain is the §3.1 warm-up.
+	PhaseKingPlain Protocol = "phaseking"
+	// PhaseKingSampled is the §3.2 sub-sampled warm-up.
+	PhaseKingSampled Protocol = "phaseking-sampled"
+	// ChenMicali is the non-bit-specific ablation (§3.2 strawman).
+	ChenMicali Protocol = "chenmicali"
+	// DolevStrong is the classic broadcast baseline.
+	DolevStrong Protocol = "dolevstrong"
+	// CommitteeEcho is the static CRS committee broadcast baseline.
+	CommitteeEcho Protocol = "committee"
+)
+
+// Broadcast reports whether the protocol solves the broadcast version
+// (designated sender) rather than the agreement version.
+func (p Protocol) Broadcast() bool {
+	switch p {
+	case DolevStrong, CommitteeEcho, CoreBroadcast:
+		return true
+	default:
+		return false
+	}
+}
+
+// CryptoMode selects the hybrid or real-crypto instantiation.
+type CryptoMode string
+
+// The crypto modes.
+const (
+	// Ideal runs in the F_mine-hybrid world of Figure 1 (and idealized
+	// leader election where applicable).
+	Ideal CryptoMode = "ideal"
+	// Real runs the Appendix D compiler: Ed25519 VRF eligibility and real
+	// signatures over a trusted PKI.
+	Real CryptoMode = "real"
+)
+
+// Config parameterises one execution.
+type Config struct {
+	// Protocol to run.
+	Protocol Protocol
+	// N is the node count; F the corruption budget.
+	N, F int
+	// Lambda is the expected committee size (committee-sampled protocols).
+	Lambda int
+	// Epochs is the epoch count for phase-king-style protocols (default 20).
+	Epochs int
+	// MaxIters bounds certificate-protocol iterations (default 60).
+	MaxIters int
+	// Crypto selects hybrid or real instantiation (default Ideal).
+	Crypto CryptoMode
+	// Seed makes the execution reproducible.
+	Seed [32]byte
+	// Inputs are the per-node input bits (agreement protocols). Defaults to
+	// alternating bits.
+	Inputs []Bit
+	// Sender and SenderInput configure broadcast protocols. The zero values
+	// mean sender 0 broadcasting bit 0.
+	Sender      NodeID
+	SenderInput Bit
+	// CommitteeSize configures the CommitteeEcho baseline (default 2·log₂n).
+	CommitteeSize int
+	// Erasure enables the memory-erasure model (ChenMicali only).
+	Erasure bool
+	// Adversary is the corruption strategy (nil = passive).
+	Adversary Adversary
+	// Parallel steps nodes on multiple goroutines.
+	Parallel bool
+}
+
+// Report is the outcome of Run: the raw result plus the paper's three
+// security properties evaluated over forever-honest nodes.
+type Report struct {
+	*Result
+	// Inputs used (agreement version).
+	Inputs []Bit
+	// Consistency, Validity, and Termination hold the checker outcomes
+	// (nil = property held).
+	Consistency error
+	Validity    error
+	Termination error
+}
+
+// Ok reports whether all three properties held.
+func (r *Report) Ok() bool {
+	return r.Consistency == nil && r.Validity == nil && r.Termination == nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.Crypto == "" {
+		c.Crypto = Ideal
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 60
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 40
+	}
+	if c.CommitteeSize == 0 {
+		n, size := c.N, 2
+		for n > 1 {
+			n >>= 1
+			size += 2
+		}
+		if size >= c.N {
+			size = c.N - 1
+		}
+		c.CommitteeSize = size
+	}
+	if !c.Protocol.Broadcast() && c.Inputs == nil {
+		c.Inputs = make([]Bit, c.N)
+		for i := range c.Inputs {
+			c.Inputs[i] = types.BitFromBool(i%2 == 0)
+		}
+	}
+	if c.Protocol.Broadcast() && !c.SenderInput.Valid() {
+		c.SenderInput = Zero
+	}
+}
+
+// Run executes one instance and evaluates the security properties.
+func Run(cfg Config) (*Report, error) {
+	cfg.applyDefaults()
+	nodes, seize, maxRounds, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := netsim.NewRuntime(netsim.Config{
+		N: cfg.N, F: cfg.F, MaxRounds: maxRounds,
+		Seize:    seize,
+		Parallel: cfg.Parallel,
+	}, nodes, cfg.Adversary)
+	if err != nil {
+		return nil, err
+	}
+	res := rt.Run()
+	rep := &Report{Result: res, Inputs: cfg.Inputs}
+	rep.Consistency = netsim.CheckConsistency(res)
+	rep.Termination = netsim.CheckTermination(res)
+	if cfg.Protocol.Broadcast() {
+		rep.Validity = netsim.CheckBroadcastValidity(res, cfg.Sender, cfg.SenderInput)
+	} else {
+		rep.Validity = netsim.CheckAgreementValidity(res, cfg.Inputs)
+	}
+	return rep, nil
+}
+
+// build constructs the protocol instance selected by cfg.
+func build(cfg Config) (nodes []netsim.Node, seize func(NodeID) any, maxRounds int, err error) {
+	switch cfg.Protocol {
+	case Core, CoreBroadcast:
+		suite, suiteSeize, err := coreSuite(cfg)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		ccfg := core.Config{N: cfg.N, F: cfg.F, Lambda: cfg.Lambda, MaxIters: cfg.MaxIters, Suite: suite}
+		if cfg.Protocol == Core {
+			nodes, err = core.NewNodes(ccfg, cfg.Inputs)
+			return nodes, suiteSeize, ccfg.Rounds(), err
+		}
+		nodes, err = broadcast.NewNodes(cfg.N, cfg.Sender, cfg.SenderInput,
+			func(id NodeID, input Bit) (netsim.Node, error) { return core.New(ccfg, id, input) })
+		return nodes, suiteSeize, ccfg.Rounds() + 1, err
+
+	case Quadratic:
+		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
+		qcfg := quadratic.Config{
+			N: cfg.N, F: cfg.F, MaxIters: cfg.MaxIters,
+			Oracle: leader.New(cfg.Seed, cfg.N), PKI: pub,
+		}
+		nodes, err = quadratic.NewNodes(qcfg, cfg.Inputs, secrets)
+		return nodes, func(id NodeID) any { return secrets[id] }, qcfg.Rounds(), err
+
+	case PhaseKingPlain:
+		pcfg := phaseking.Config{N: cfg.N, Epochs: cfg.Epochs, CoinSeed: cfg.Seed}
+		nodes, err = phaseking.NewNodes(pcfg, cfg.Inputs)
+		return nodes, nil, pcfg.Rounds() + 1, err
+
+	case PhaseKingSampled:
+		suite := fmine.NewIdeal(cfg.Seed, phaseking.Probabilities(cfg.N, cfg.Lambda))
+		var suiteAny fmine.Suite = suite
+		if cfg.Crypto == Real {
+			pub, secrets := pki.Setup(cfg.N, cfg.Seed)
+			suiteAny = fmine.NewReal(pub, secrets, phaseking.Probabilities(cfg.N, cfg.Lambda))
+		}
+		pcfg := phaseking.Config{
+			N: cfg.N, Epochs: cfg.Epochs, Sampled: true, Lambda: cfg.Lambda,
+			Suite: suiteAny, CoinSeed: cfg.Seed,
+		}
+		nodes, err = phaseking.NewNodes(pcfg, cfg.Inputs)
+		return nodes, func(id NodeID) any { return suiteAny.Miner(id) }, pcfg.Rounds() + 1, err
+
+	case ChenMicali:
+		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
+		var suite fmine.Suite = fmine.NewIdeal(cfg.Seed, chenmicali.Probabilities(cfg.N, cfg.Lambda))
+		if cfg.Crypto == Real {
+			suite = fmine.NewReal(pub, secrets, chenmicali.Probabilities(cfg.N, cfg.Lambda))
+		}
+		mcfg := chenmicali.Config{
+			N: cfg.N, Epochs: cfg.Epochs, Lambda: cfg.Lambda, Erasure: cfg.Erasure,
+			Suite: suite, PKI: pub,
+		}
+		var keys []*chenmicali.Keys
+		nodes, keys, err = chenmicali.NewNodes(mcfg, cfg.Inputs, secrets)
+		return nodes, func(id NodeID) any { return keys[id] }, mcfg.Rounds() + 1, err
+
+	case DolevStrong:
+		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
+		dcfg := dolevstrong.Config{N: cfg.N, F: cfg.F, Sender: cfg.Sender, PKI: pub}
+		nodes, err = dolevstrong.NewNodes(dcfg, cfg.SenderInput, secrets)
+		return nodes, func(id NodeID) any { return secrets[id] }, dcfg.Rounds(), err
+
+	case CommitteeEcho:
+		ecfg := committee.Config{N: cfg.N, CommitteeSize: cfg.CommitteeSize, Sender: cfg.Sender, CRS: cfg.Seed}
+		nodes, err = committee.NewNodes(ecfg, cfg.SenderInput)
+		return nodes, nil, ecfg.Rounds(), err
+
+	default:
+		return nil, nil, 0, fmt.Errorf("ccba: unknown protocol %q", cfg.Protocol)
+	}
+}
+
+// coreSuite builds the eligibility suite for the core protocol per the
+// crypto mode, along with the seize function handing miners to the
+// adversary.
+func coreSuite(cfg Config) (fmine.Suite, func(NodeID) any, error) {
+	probs := core.Probabilities(cfg.N, cfg.Lambda)
+	var suite fmine.Suite
+	switch cfg.Crypto {
+	case Ideal:
+		suite = fmine.NewIdeal(cfg.Seed, probs)
+	case Real:
+		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
+		suite = fmine.NewReal(pub, secrets, probs)
+	default:
+		return nil, nil, fmt.Errorf("ccba: unknown crypto mode %q", cfg.Crypto)
+	}
+	return suite, func(id NodeID) any { return suite.Miner(id) }, nil
+}
+
+// TrialStats aggregates repeated runs of one configuration with varied
+// seeds.
+type TrialStats struct {
+	Trials         int
+	Violations     int
+	MeanRounds     float64
+	MeanMulticasts float64
+	MeanMessages   float64
+	MeanMcastBytes float64
+}
+
+// RunTrials runs cfg `trials` times with derived seeds and aggregates.
+func RunTrials(cfg Config, trials int) (*TrialStats, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("ccba: trials=%d", trials)
+	}
+	out := &TrialStats{Trials: trials}
+	for t := 0; t < trials; t++ {
+		c := cfg
+		c.Seed[31] ^= byte(t)
+		c.Seed[30] ^= byte(t >> 8)
+		rep, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Ok() {
+			out.Violations++
+		}
+		out.MeanRounds += float64(rep.Rounds)
+		out.MeanMulticasts += float64(rep.Result.Metrics.HonestMulticasts)
+		out.MeanMessages += float64(rep.Result.Metrics.HonestMessages)
+		out.MeanMcastBytes += float64(rep.Result.Metrics.HonestMulticastBytes)
+	}
+	n := float64(trials)
+	out.MeanRounds /= n
+	out.MeanMulticasts /= n
+	out.MeanMessages /= n
+	out.MeanMcastBytes /= n
+	return out, nil
+}

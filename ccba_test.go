@@ -1,0 +1,157 @@
+package ccba
+
+import (
+	"testing"
+
+	"ccba/internal/netsim"
+)
+
+func TestRunAllProtocolsDefaults(t *testing.T) {
+	cases := []Config{
+		{Protocol: Core, N: 100, F: 30, Lambda: 30},
+		{Protocol: Core, N: 60, F: 15, Lambda: 24, Crypto: Real},
+		{Protocol: CoreBroadcast, N: 80, F: 20, Lambda: 24},
+		{Protocol: Quadratic, N: 25, F: 12},
+		{Protocol: PhaseKingPlain, N: 16, F: 5},
+		{Protocol: PhaseKingSampled, N: 90, F: 20, Lambda: 30},
+		{Protocol: ChenMicali, N: 90, F: 20, Lambda: 30, Erasure: true},
+		{Protocol: DolevStrong, N: 16, F: 5},
+		{Protocol: CommitteeEcho, N: 64, F: 0},
+	}
+	for _, cfg := range cases {
+		cfg := cfg
+		t.Run(string(cfg.Protocol)+"/"+string(cfg.Crypto), func(t *testing.T) {
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("properties violated: consistency=%v validity=%v termination=%v",
+					rep.Consistency, rep.Validity, rep.Termination)
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Protocol: Core, N: 80, F: 20, Lambda: 24, Seed: [32]byte{7}}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rounds != r2.Rounds || r1.Result.Metrics != r2.Result.Metrics {
+		t.Fatal("identical configs produced different executions")
+	}
+	for i := range r1.Outputs {
+		if r1.Outputs[i] != r2.Outputs[i] {
+			t.Fatalf("output %d differs", i)
+		}
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	base := Config{Protocol: Core, N: 80, F: 20, Lambda: 24, Seed: [32]byte{9}}
+	seq, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Parallel = true
+	got, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Rounds != got.Rounds || seq.Result.Metrics != got.Result.Metrics {
+		t.Fatal("parallel execution diverged from sequential")
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if _, err := Run(Config{Protocol: "nope", N: 4, F: 1}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestRunUnknownCryptoMode(t *testing.T) {
+	if _, err := Run(Config{Protocol: Core, N: 40, F: 10, Crypto: "quantum"}); err == nil {
+		t.Fatal("unknown crypto mode accepted")
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	cfg := Config{Protocol: Core, N: 80, F: 20, Lambda: 24}
+	st, err := RunTrials(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("%d violations", st.Violations)
+	}
+	if st.MeanRounds <= 0 || st.MeanMulticasts <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if _, err := RunTrials(cfg, 0); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestBroadcastSenderInput(t *testing.T) {
+	cfg := Config{Protocol: DolevStrong, N: 10, F: 3, SenderInput: One}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range rep.ForeverHonest() {
+		if rep.Outputs[id] != One {
+			t.Fatalf("node %d output %v, want sender input 1", id, rep.Outputs[id])
+		}
+	}
+	// The zero value means broadcasting bit 0.
+	rep, err = Run(Config{Protocol: DolevStrong, N: 10, F: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range rep.ForeverHonest() {
+		if rep.Outputs[id] != Zero {
+			t.Fatalf("node %d output %v, want default sender input 0", id, rep.Outputs[id])
+		}
+	}
+}
+
+func TestAdversaryPlumbing(t *testing.T) {
+	// A static silencer passed through the facade must actually corrupt.
+	cfg := Config{Protocol: Core, N: 100, F: 30, Lambda: 30, Adversary: &facadeSilencer{}}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("silencer broke safety: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+	}
+	if got := rep.NumCorrupt(); got != 30 {
+		t.Fatalf("corrupted %d nodes, want 30", got)
+	}
+}
+
+type facadeSilencer struct{ netsim.Passive }
+
+func (s *facadeSilencer) Setup(ctx *netsim.Ctx) {
+	for i := 0; i < ctx.F(); i++ {
+		if _, err := ctx.Corrupt(NodeID(i)); err != nil {
+			return
+		}
+	}
+}
+
+func TestProtocolBroadcastClassification(t *testing.T) {
+	if Core.Broadcast() || Quadratic.Broadcast() || PhaseKingPlain.Broadcast() {
+		t.Fatal("agreement protocol classified as broadcast")
+	}
+	if !DolevStrong.Broadcast() || !CommitteeEcho.Broadcast() || !CoreBroadcast.Broadcast() {
+		t.Fatal("broadcast protocol misclassified")
+	}
+}

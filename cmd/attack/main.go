@@ -1,0 +1,160 @@
+// Command attack mounts the paper's lower-bound adversaries interactively:
+//
+//	attack -kind strong -n 64 -f 20        # Theorem 1: Dolev–Reischuk A/A′
+//	attack -kind strong -protocol dolevstrong -n 24 -f 8
+//	attack -kind nosetup -n 256            # Theorem 3: Q—1—Q′ split world
+//	attack -kind flip -n 150               # §3.3 Remark: quorum flip
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccba"
+	"ccba/internal/chenmicali"
+	"ccba/internal/committee"
+	"ccba/internal/crypto/pki"
+	"ccba/internal/dolevstrong"
+	"ccba/internal/lowerbound/nosetup"
+	"ccba/internal/lowerbound/strongadaptive"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	var (
+		kind     = fs.String("kind", "strong", "attack: strong (Thm 1), nosetup (Thm 3), flip (§3.3 Remark)")
+		protocol = fs.String("protocol", "committee", "victim for -kind strong: committee or dolevstrong")
+		n        = fs.Int("n", 64, "number of nodes")
+		f        = fs.Int("f", 20, "corruption budget")
+		c        = fs.Int("committee", 6, "committee size (committee protocol)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		erasure  = fs.Bool("erasure", false, "memory-erasure model (flip attack)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var seedBytes [32]byte
+	seedBytes[0] = byte(*seed)
+	seedBytes[1] = byte(*seed >> 8)
+
+	switch *kind {
+	case "strong":
+		return strongAttack(*protocol, *n, *f, *c, seedBytes)
+	case "nosetup":
+		return nosetupAttack(*n, *c, seedBytes)
+	case "flip":
+		return flipAttack(*n, *f, *erasure, seedBytes)
+	default:
+		return fmt.Errorf("unknown attack kind %q", *kind)
+	}
+}
+
+func strongAttack(protocol string, n, f, c int, seed [32]byte) error {
+	var factory strongadaptive.Factory
+	rounds := 10
+	switch protocol {
+	case "committee":
+		factory = func(input types.Bit) ([]netsim.Node, error) {
+			cfg := committee.Config{N: n, CommitteeSize: c, Sender: 0, CRS: seed}
+			return committee.NewNodes(cfg, input)
+		}
+	case "dolevstrong":
+		factory = func(input types.Bit) ([]netsim.Node, error) {
+			pub, secrets := pki.Setup(n, seed)
+			cfg := dolevstrong.Config{N: n, F: f, Sender: 0, PKI: pub}
+			return dolevstrong.NewNodes(cfg, input, secrets)
+		}
+		rounds = f + 4
+	default:
+		return fmt.Errorf("unknown victim %q", protocol)
+	}
+	out, err := strongadaptive.Run(strongadaptive.Config{
+		N: n, F: f, Sender: 0, MaxRounds: rounds, Seed: seed, NewNodes: factory,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Theorem 1 attack — strongly adaptive Dolev–Reischuk A/A′ vs %s (n=%d, f=%d)\n", protocol, n, f)
+	fmt.Printf("  silent output β:          %v (sender broadcasts %v)\n", out.SilentOutput, out.SilentOutput.Flip())
+	fmt.Printf("  honest messages under A:  %d   [(f/4)² reference bound: %d]\n",
+		out.HonestMessages, (f/4)*(f/4))
+	fmt.Printf("  messages addressed to V:  %d\n", out.MessagesToV)
+	fmt.Printf("  validity violated by A:   %v (A is omission-only; expected false)\n", out.ValidityViolatedA)
+	fmt.Printf("  isolated node p:          %d, |S(p)| = %d, received %d messages\n",
+		out.P, out.SendersToP, out.ReceivedByP)
+	fmt.Printf("  corruptions used by A′:   %d / %d (budget exhausted: %v)\n",
+		out.CorruptionsAPrime, f, out.BudgetExhausted)
+	fmt.Printf("  p output:                 %v\n", out.POutput)
+	fmt.Printf("  CONSISTENCY VIOLATED:     %v\n", out.ConsistencyViolatedAPrime)
+	return nil
+}
+
+func nosetupAttack(n, c int, seed [32]byte) error {
+	out, err := nosetup.Run(nosetup.Config{
+		N: n, MaxRounds: 10,
+		NewNode: func(w nosetup.World, id types.NodeID) (netsim.Node, error) {
+			cfg := committee.Config{N: n, CommitteeSize: c, Sender: nosetup.Sender, CRS: seed}
+			input := types.Zero
+			if w == nosetup.WorldQPrime {
+				input = types.One
+			}
+			return committee.New(cfg, id, input)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Theorem 3 attack — split-world Q—1—Q′ without setup (n=%d per world)\n", n)
+	fmt.Printf("  Q unanimous on 0:          %v\n", out.QUnanimous0)
+	fmt.Printf("  Q′ unanimous on 1:         %v\n", out.QPrimeUnanimous1)
+	fmt.Printf("  shared node output:        %v\n", out.SharedOutput)
+	fmt.Printf("  multicast complexity C:    %d multicasts, %d bytes\n",
+		out.MulticastsPerWorld, out.MulticastBytesPerWorld)
+	fmt.Printf("  corruptions needed:        %d (≤ C: %v)\n",
+		out.SpeakersQPrime, out.SpeakersQPrime <= out.MulticastsPerWorld)
+	fmt.Printf("  CONSISTENCY VIOLATED vs:   %s\n", out.ContradictionSide)
+	return nil
+}
+
+func flipAttack(n, f int, erasure bool, seed [32]byte) error {
+	const epochs = 8
+	victims := make([]types.NodeID, 0, n/2)
+	for i := n / 2; i < n; i++ {
+		victims = append(victims, types.NodeID(i))
+	}
+	attack := &chenmicali.FlipAttack{TargetEpoch: epochs - 1, Victims: victims}
+	inputs := make([]ccba.Bit, n)
+	for i := range inputs {
+		inputs[i] = ccba.One
+	}
+	rep, err := ccba.Run(ccba.Config{
+		Protocol: ccba.ChenMicali, N: n, F: f, Lambda: 40, Epochs: epochs,
+		Erasure: erasure, Seed: seed, Inputs: inputs, Adversary: attack,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("§3.3 Remark attack — quorum flip vs bit-free eligibility (n=%d, erasure=%v)\n", n, erasure)
+	fmt.Printf("  forged ACKs injected:   %d\n", attack.Forged)
+	fmt.Printf("  forgeries blocked:      %d (by key erasure)\n", attack.SignFailures)
+	fmt.Printf("  consistency:            %v\n", errString(rep.Consistency))
+	fmt.Printf("  validity:               %v\n", errString(rep.Validity))
+	return nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return "VIOLATED — " + err.Error()
+}

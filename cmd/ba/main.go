@@ -1,0 +1,150 @@
+// Command ba runs one Byzantine Agreement (or Broadcast) instance of any of
+// the implemented protocols and prints the outcome and communication
+// metrics.
+//
+// Examples:
+//
+//	ba -protocol core -n 500 -f 150 -lambda 40
+//	ba -protocol core -crypto real -n 200 -f 60
+//	ba -protocol dolevstrong -n 32 -f 10 -sender-input 1
+//	ba -protocol chenmicali -n 150 -erasure=false -adversary flip
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccba"
+	"ccba/internal/chenmicali"
+	"ccba/internal/core"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ba:", err)
+		os.Exit(1)
+	}
+}
+
+// silencer statically corrupts the first f nodes.
+type silencer struct{ netsim.Passive }
+
+func (s *silencer) Setup(ctx *netsim.Ctx) {
+	for i := 0; i < ctx.F(); i++ {
+		if _, err := ctx.Corrupt(types.NodeID(i)); err != nil {
+			return
+		}
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ba", flag.ContinueOnError)
+	var (
+		protocol    = fs.String("protocol", "core", "protocol: core, core-broadcast, quadratic, phaseking, phaseking-sampled, chenmicali, dolevstrong, committee")
+		n           = fs.Int("n", 200, "number of nodes")
+		f           = fs.Int("f", 60, "corruption budget")
+		lambda      = fs.Int("lambda", 40, "expected committee size")
+		epochs      = fs.Int("epochs", 20, "epochs (phase-king protocols)")
+		crypto      = fs.String("crypto", "ideal", "crypto mode: ideal (F_mine hybrid) or real (Ed25519 VRF)")
+		seed        = fs.Int64("seed", 1, "execution seed")
+		adversary   = fs.String("adversary", "none", "adversary: none, silent, flip (core/chenmicali vote flipper)")
+		erasure     = fs.Bool("erasure", false, "memory-erasure model (chenmicali)")
+		senderInput = fs.Int("sender-input", 0, "sender input bit (broadcast protocols)")
+		unanimous   = fs.Int("unanimous", -1, "if 0 or 1, give every node that input bit (agreement protocols)")
+		trials      = fs.Int("trials", 1, "number of runs (aggregated when > 1)")
+		parallel    = fs.Bool("parallel", false, "step nodes on multiple goroutines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := ccba.Config{
+		Protocol: ccba.Protocol(*protocol),
+		N:        *n, F: *f, Lambda: *lambda, Epochs: *epochs,
+		Crypto:   ccba.CryptoMode(*crypto),
+		Erasure:  *erasure,
+		Parallel: *parallel,
+	}
+	cfg.Seed[0] = byte(*seed)
+	cfg.Seed[1] = byte(*seed >> 8)
+	cfg.Seed[2] = byte(*seed >> 16)
+	if *senderInput == 1 {
+		cfg.SenderInput = ccba.One
+	}
+	if *unanimous == 0 || *unanimous == 1 {
+		cfg.Inputs = make([]ccba.Bit, *n)
+		for i := range cfg.Inputs {
+			cfg.Inputs[i] = types.BitFromBool(*unanimous == 1)
+		}
+	}
+
+	switch *adversary {
+	case "none":
+	case "silent":
+		cfg.Adversary = &silencer{}
+	case "flip":
+		switch cfg.Protocol {
+		case ccba.Core:
+			cfg.Adversary = &core.VoteFlipAttack{}
+		case ccba.ChenMicali:
+			victims := make([]types.NodeID, 0, *n/2)
+			for i := *n / 2; i < *n; i++ {
+				victims = append(victims, types.NodeID(i))
+			}
+			cfg.Adversary = &chenmicali.FlipAttack{TargetEpoch: uint32(*epochs - 1), Victims: victims}
+		default:
+			return fmt.Errorf("adversary flip supports protocols core and chenmicali, not %q", *protocol)
+		}
+	default:
+		return fmt.Errorf("unknown adversary %q", *adversary)
+	}
+
+	if *trials > 1 {
+		st, err := ccba.RunTrials(cfg, *trials)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("protocol=%s n=%d f=%d crypto=%s trials=%d\n", *protocol, *n, *f, *crypto, *trials)
+		fmt.Printf("  violations:      %d\n", st.Violations)
+		fmt.Printf("  mean rounds:     %.1f\n", st.MeanRounds)
+		fmt.Printf("  mean multicasts: %.1f (%.1f KB)\n", st.MeanMulticasts, st.MeanMcastBytes/1024)
+		fmt.Printf("  mean classical:  %.0f messages\n", st.MeanMessages)
+		return nil
+	}
+
+	rep, err := ccba.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol=%s n=%d f=%d crypto=%s seed=%d\n", *protocol, *n, *f, *crypto, *seed)
+	fmt.Printf("  rounds:            %d\n", rep.Rounds)
+	fmt.Printf("  corrupted:         %d\n", rep.NumCorrupt())
+	fmt.Printf("  multicasts:        %d (%d bytes)\n",
+		rep.Result.Metrics.HonestMulticasts, rep.Result.Metrics.HonestMulticastBytes)
+	fmt.Printf("  classical msgs:    %d (%d bytes)\n",
+		rep.Result.Metrics.HonestMessages, rep.Result.Metrics.HonestMessageBytes)
+	outputs := map[ccba.Bit]int{}
+	for _, id := range rep.ForeverHonest() {
+		if rep.Decided[id] {
+			outputs[rep.Outputs[id]]++
+		}
+	}
+	fmt.Printf("  honest outputs:    %v\n", outputs)
+	fmt.Printf("  consistency:       %v\n", errString(rep.Consistency))
+	fmt.Printf("  validity:          %v\n", errString(rep.Validity))
+	fmt.Printf("  termination:       %v\n", errString(rep.Termination))
+	if !rep.Ok() {
+		return fmt.Errorf("security properties violated")
+	}
+	return nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return "VIOLATED: " + err.Error()
+}

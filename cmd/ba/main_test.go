@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run([]string{"-n", "100", "-f", "30", "-lambda", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrialsPath(t *testing.T) {
+	if err := run([]string{"-n", "80", "-f", "20", "-lambda", "24", "-trials", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSilentAdversary(t *testing.T) {
+	if err := run([]string{"-n", "100", "-f", "30", "-lambda", "30", "-adversary", "silent"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlipOnCore(t *testing.T) {
+	if err := run([]string{"-n", "100", "-f", "30", "-lambda", "30", "-adversary", "flip"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBroadcastProtocol(t *testing.T) {
+	if err := run([]string{"-protocol", "dolevstrong", "-n", "12", "-f", "4", "-sender-input", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnanimous(t *testing.T) {
+	if err := run([]string{"-n", "80", "-f", "20", "-lambda", "24", "-unanimous", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-adversary", "nonexistent"},
+		{"-protocol", "quadratic", "-adversary", "flip", "-n", "9", "-f", "4"},
+		{"-protocol", "unknown-protocol", "-n", "10", "-f", "2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command experiments regenerates the paper's evaluation: one measured
+// table per theorem/lemma-level claim (E1–E10 in DESIGN.md §3).
+//
+// Examples:
+//
+//	experiments                 # run everything at default trial counts
+//	experiments -only e2 -max-n 2048 -trials 3
+//	experiments -only e8 -trials 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccba/internal/experiments"
+	"ccba/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		only   = fs.String("only", "", "comma-separated experiment ids (e1..e11); empty = all")
+		trials = fs.Int("trials", 0, "override trial count (0 = per-experiment default)")
+		maxN   = fs.Int("max-n", 1024, "largest n for the E2 sweep")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToLower(strings.TrimSpace(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+	trialsOr := func(def int) int {
+		if *trials > 0 {
+			return *trials
+		}
+		return def
+	}
+
+	type gen struct {
+		id  string
+		run func() (*table.Table, error)
+	}
+	gens := []gen{
+		{"e1", func() (*table.Table, error) {
+			r, err := experiments.E1StrongAdaptive(trialsOr(10))
+			return tbl(r, err)
+		}},
+		{"e2", func() (*table.Table, error) {
+			r, err := experiments.E2MulticastComplexity(trialsOr(3), *maxN)
+			return tbl(r, err)
+		}},
+		{"e3", func() (*table.Table, error) {
+			r, err := experiments.E3NoSetup(trialsOr(5))
+			return tbl(r, err)
+		}},
+		{"e4", func() (*table.Table, error) {
+			r, err := experiments.E4TerminatePropagation(trialsOr(30))
+			return tbl(r, err)
+		}},
+		{"e5", func() (*table.Table, error) {
+			r, err := experiments.E5CommitteeConcentration(trialsOr(1000))
+			return tbl(r, err)
+		}},
+		{"e6", func() (*table.Table, error) {
+			r, err := experiments.E6GoodIteration(trialsOr(3000))
+			return tbl(r, err)
+		}},
+		{"e7", func() (*table.Table, error) {
+			r, err := experiments.E7SafetyTrials(trialsOr(20))
+			return tbl(r, err)
+		}},
+		{"e8", func() (*table.Table, error) {
+			r, err := experiments.E8BitSpecificAblation(trialsOr(8))
+			return tbl(r, err)
+		}},
+		{"e9", func() (*table.Table, error) {
+			r, err := experiments.E9ProtocolComparison(trialsOr(5))
+			return tbl(r, err)
+		}},
+		{"e10", func() (*table.Table, error) {
+			r, err := experiments.E10PhaseKing(trialsOr(3))
+			return tbl(r, err)
+		}},
+		{"e11", func() (*table.Table, error) {
+			r, err := experiments.E11ResilienceFrontier(trialsOr(10))
+			return tbl(r, err)
+		}},
+	}
+
+	ran := 0
+	for _, g := range gens {
+		if !selected(g.id) {
+			continue
+		}
+		t, err := g.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.id, err)
+		}
+		t.Render(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", *only)
+	}
+	return nil
+}
+
+// tbl extracts the table from any experiment result via the exported field.
+func tbl(result any, err error) (*table.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	switch r := result.(type) {
+	case *experiments.E1Result:
+		return r.Table, nil
+	case *experiments.E2Result:
+		return r.Table, nil
+	case *experiments.E3Result:
+		return r.Table, nil
+	case *experiments.E4Result:
+		return r.Table, nil
+	case *experiments.E5Result:
+		return r.Table, nil
+	case *experiments.E6Result:
+		return r.Table, nil
+	case *experiments.E7Result:
+		return r.Table, nil
+	case *experiments.E8Result:
+		return r.Table, nil
+	case *experiments.E9Result:
+		return r.Table, nil
+	case *experiments.E10Result:
+		return r.Table, nil
+	case *experiments.E11Result:
+		return r.Table, nil
+	default:
+		return nil, fmt.Errorf("unknown result type %T", result)
+	}
+}

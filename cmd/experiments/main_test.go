@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-only", "e6", "-trials", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSeveral(t *testing.T) {
+	if err := run([]string{"-only", "e3,e10", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run([]string{"-only", "e99"}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package ccba
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccba/internal/broadcast"
+	"ccba/internal/chenmicali"
+	"ccba/internal/committee"
+	"ccba/internal/core"
+	"ccba/internal/dolevstrong"
+	"ccba/internal/phaseking"
+	"ccba/internal/quadratic"
+	"ccba/internal/wire"
+)
+
+// Every protocol decoder must treat arbitrary bytes as data, never as a
+// crash: malformed input yields an error, not a panic. Messages cross trust
+// boundaries in a real deployment, so this is a load-bearing property.
+func TestDecodersNeverPanic(t *testing.T) {
+	decoders := map[string]func([]byte) (wire.Message, error){
+		"core":        core.Decode,
+		"quadratic":   quadratic.Decode,
+		"phaseking":   phaseking.Decode,
+		"chenmicali":  chenmicali.Decode,
+		"dolevstrong": dolevstrong.Decode,
+		"committee":   committee.Decode,
+		"broadcast":   broadcast.Decode,
+	}
+	for name, decode := range decoders {
+		decode := decode
+		t.Run(name, func(t *testing.T) {
+			f := func(buf []byte) bool {
+				// Must return without panicking; error vs message both fine.
+				_, _ = decode(buf)
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+				t.Fatal(err)
+			}
+			// Structured prefixes with garbage tails exercise deeper paths
+			// than uniform noise.
+			for kind := byte(0); kind < 8; kind++ {
+				for size := 0; size < 64; size += 7 {
+					buf := make([]byte, size+1)
+					buf[0] = kind
+					for i := 1; i < len(buf); i++ {
+						buf[i] = byte(i * 31)
+					}
+					_, _ = decode(buf)
+				}
+			}
+		})
+	}
+}
+
+// Decoded messages that parse successfully must re-encode to the same bytes
+// (canonical encoding), for every protocol's happy path.
+func TestDecodeEncodeCanonical(t *testing.T) {
+	samples := []wire.Message{
+		core.VoteMsg{Iter: 5, B: One, Elig: []byte{1, 2}, Leader: 9, LeaderElig: []byte{3}},
+		quadratic.VoteMsg{Iter: 5, B: Zero, Sig: []byte{4}, LeaderSig: []byte{5}},
+		phaseking.AckMsg{Epoch: 2, B: One, Elig: []byte{6}},
+		chenmicali.AckMsg{Epoch: 2, B: Zero, Elig: []byte{7}, Sig: []byte{8}},
+		committee.EchoMsg{B: One},
+		broadcast.InputMsg{B: Zero},
+	}
+	decoders := []func([]byte) (wire.Message, error){
+		core.Decode, quadratic.Decode, phaseking.Decode,
+		chenmicali.Decode, committee.Decode, broadcast.Decode,
+	}
+	for i, msg := range samples {
+		buf := wire.Marshal(msg)
+		dec, err := decoders[i](buf)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if got := wire.Marshal(dec); string(got) != string(buf) {
+			t.Fatalf("sample %d not canonical: % x vs % x", i, got, buf)
+		}
+	}
+}

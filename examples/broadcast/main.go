@@ -1,0 +1,83 @@
+// Broadcast: the §1.1 reduction — Byzantine Broadcast from Byzantine
+// Agreement with one extra round and one extra multicast — run over the
+// subquadratic core protocol, with an equivocating corrupt sender trying to
+// split the network.
+//
+//	go run ./examples/broadcast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccba"
+	"ccba/internal/broadcast"
+	"ccba/internal/netsim"
+)
+
+// equivocator corrupts the sender and sends bit 0 to the low half of the
+// network and bit 1 to the high half.
+type equivocator struct{}
+
+func (equivocator) Power() netsim.Power { return netsim.PowerStatic }
+func (equivocator) Setup(ctx *netsim.Ctx) {
+	if _, err := ctx.Corrupt(0); err != nil {
+		panic(err)
+	}
+}
+func (equivocator) Round(ctx *netsim.Ctx) {
+	if ctx.Round() != 0 {
+		return
+	}
+	for i := 1; i < ctx.N(); i++ {
+		b := ccba.Zero
+		if i >= ctx.N()/2 {
+			b = ccba.One
+		}
+		if err := ctx.Inject(0, ccba.NodeID(i), broadcast.InputMsg{B: b}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func main() {
+	// Honest sender: everyone outputs the sender's bit.
+	rep, err := ccba.Run(ccba.Config{
+		Protocol: ccba.CoreBroadcast, N: 200, F: 60, Lambda: 40,
+		SenderInput: ccba.One,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("honest sender broadcasting 1:   rounds=%d  multicasts=%d  %s\n",
+		rep.Rounds, rep.Result.Metrics.HonestMulticasts, verdict(rep))
+
+	// Equivocating sender: half the nodes hear 0, half hear 1 — the
+	// underlying BA still forces a single output.
+	rep, err = ccba.Run(ccba.Config{
+		Protocol: ccba.CoreBroadcast, N: 200, F: 60, Lambda: 40,
+		SenderInput: ccba.Zero, Adversary: equivocator{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[ccba.Bit]int{}
+	for _, id := range rep.ForeverHonest() {
+		if rep.Decided[id] {
+			counts[rep.Outputs[id]]++
+		}
+	}
+	fmt.Printf("equivocating corrupt sender:    rounds=%d  outputs=%v  %s\n",
+		rep.Rounds, counts, verdict(rep))
+	fmt.Println()
+	fmt.Println("The reduction preserves sublinear multicast complexity: the paper states")
+	fmt.Println("upper bounds for BA and lower bounds for BB precisely because this wrapper")
+	fmt.Println("costs one multicast.")
+}
+
+func verdict(rep *ccba.Report) string {
+	if rep.Ok() {
+		return "consistency ✓ validity ✓ termination ✓"
+	}
+	return fmt.Sprintf("VIOLATED: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+}

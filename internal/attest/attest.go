@@ -1,0 +1,118 @@
+// Package attest provides the quorum-certificate machinery shared by the
+// protocols in this repository.
+//
+// Both the quadratic protocol of Appendix C.1 (f+1 signed votes form a
+// certificate) and the subquadratic protocols (λ/2 mined votes form a
+// certificate) collect attestations — (node, proof) pairs over a common
+// message tag — and compare collections against a threshold. Proof
+// verification is protocol-specific (Ed25519 signatures, F_mine tickets, or
+// VRF proofs), so every operation takes a verification closure rather than
+// binding to a concrete scheme.
+package attest
+
+import (
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Attestation binds a node identity to a proof over some externally known
+// message tag.
+type Attestation struct {
+	ID    types.NodeID
+	Proof []byte
+}
+
+// VerifyFunc checks a single attestation proof for the tag the caller has in
+// scope.
+type VerifyFunc func(id types.NodeID, proof []byte) bool
+
+// VerifyAll reports whether atts carries at least threshold attestations
+// from pairwise-distinct nodes, each passing verify. Extra or invalid
+// attestations beyond the threshold do not invalidate the collection; the
+// paper's certificates only require "at least λ/2 (resp. f+1) valid votes
+// from distinct nodes".
+func VerifyAll(atts []Attestation, threshold int, verify VerifyFunc) bool {
+	if threshold <= 0 {
+		return true
+	}
+	seen := make(map[types.NodeID]struct{}, len(atts))
+	valid := 0
+	for _, a := range atts {
+		if _, dup := seen[a.ID]; dup {
+			continue
+		}
+		if !verify(a.ID, a.Proof) {
+			continue
+		}
+		seen[a.ID] = struct{}{}
+		valid++
+		if valid >= threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// Set accumulates distinct attestations for one message tag.
+// The zero value is ready to use.
+type Set struct {
+	proofs map[types.NodeID][]byte
+	order  []types.NodeID
+}
+
+// Add records an attestation, returning true if id was new.
+func (s *Set) Add(id types.NodeID, proof []byte) bool {
+	if s.proofs == nil {
+		s.proofs = make(map[types.NodeID][]byte)
+	}
+	if _, dup := s.proofs[id]; dup {
+		return false
+	}
+	s.proofs[id] = proof
+	s.order = append(s.order, id)
+	return true
+}
+
+// Contains reports whether id has attested.
+func (s *Set) Contains(id types.NodeID) bool {
+	_, ok := s.proofs[id]
+	return ok
+}
+
+// Count returns the number of distinct attesters.
+func (s *Set) Count() int { return len(s.order) }
+
+// Attestations returns the collected attestations in insertion order. The
+// returned slice is freshly allocated; proofs are shared.
+func (s *Set) Attestations() []Attestation {
+	out := make([]Attestation, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, Attestation{ID: id, Proof: s.proofs[id]})
+	}
+	return out
+}
+
+// EncodeAttestations appends a length-prefixed attestation list to dst.
+func EncodeAttestations(atts []Attestation, dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(uint32(len(atts)))
+	for _, a := range atts {
+		w.NodeID(a.ID)
+		w.Bytes(a.Proof)
+	}
+	return w.Buf
+}
+
+// DecodeAttestations reads a length-prefixed attestation list from r.
+func DecodeAttestations(r *wire.Reader) []Attestation {
+	n := r.U32()
+	r.Expect(n <= 1<<20, "attestation list too long")
+	if r.Err() != nil {
+		return nil
+	}
+	out := make([]Attestation, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		out = append(out, Attestation{ID: r.NodeID(), Proof: r.Bytes()})
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package attest
+
+import (
+	"testing"
+
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+func acceptAll(types.NodeID, []byte) bool { return true }
+func rejectAll(types.NodeID, []byte) bool { return false }
+
+func atts(ids ...types.NodeID) []Attestation {
+	out := make([]Attestation, len(ids))
+	for i, id := range ids {
+		out[i] = Attestation{ID: id, Proof: []byte{byte(id)}}
+	}
+	return out
+}
+
+func TestVerifyAllThreshold(t *testing.T) {
+	a := atts(1, 2, 3)
+	if !VerifyAll(a, 3, acceptAll) {
+		t.Fatal("3 valid attestations must meet threshold 3")
+	}
+	if VerifyAll(a, 4, acceptAll) {
+		t.Fatal("3 attestations must not meet threshold 4")
+	}
+}
+
+func TestVerifyAllDuplicatesDontCount(t *testing.T) {
+	a := atts(1, 1, 1)
+	if VerifyAll(a, 2, acceptAll) {
+		t.Fatal("duplicate attesters counted twice")
+	}
+}
+
+func TestVerifyAllInvalidIgnored(t *testing.T) {
+	a := atts(1, 2, 3)
+	onlyOdd := func(id types.NodeID, _ []byte) bool { return id%2 == 1 }
+	if !VerifyAll(a, 2, onlyOdd) {
+		t.Fatal("two valid attestations (1 and 3) should suffice")
+	}
+	if VerifyAll(a, 3, onlyOdd) {
+		t.Fatal("invalid attestation (2) must not count")
+	}
+}
+
+func TestVerifyAllZeroThreshold(t *testing.T) {
+	if !VerifyAll(nil, 0, rejectAll) {
+		t.Fatal("threshold 0 is vacuously satisfied")
+	}
+}
+
+func TestVerifyAllShortCircuits(t *testing.T) {
+	calls := 0
+	counting := func(types.NodeID, []byte) bool { calls++; return true }
+	VerifyAll(atts(1, 2, 3, 4, 5), 2, counting)
+	if calls > 2 {
+		t.Fatalf("verified %d proofs, expected to stop at 2", calls)
+	}
+}
+
+func TestSetAddAndCount(t *testing.T) {
+	var s Set
+	if !s.Add(1, []byte("p1")) {
+		t.Fatal("first Add must report new")
+	}
+	if s.Add(1, []byte("p2")) {
+		t.Fatal("duplicate Add must report existing")
+	}
+	if !s.Add(2, []byte("p")) {
+		t.Fatal("second node must be new")
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if !s.Contains(1) || s.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestSetAttestationsOrderAndFirstProofWins(t *testing.T) {
+	var s Set
+	s.Add(5, []byte("first"))
+	s.Add(3, []byte("second"))
+	s.Add(5, []byte("overwrite-attempt"))
+	got := s.Attestations()
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].ID != 5 || string(got[0].Proof) != "first" {
+		t.Fatalf("first attestation = %+v", got[0])
+	}
+	if got[1].ID != 3 {
+		t.Fatalf("second attestation = %+v", got[1])
+	}
+}
+
+func TestSetZeroValueUsable(t *testing.T) {
+	var s Set
+	if s.Count() != 0 || s.Contains(0) {
+		t.Fatal("zero-value Set not empty")
+	}
+	if got := s.Attestations(); len(got) != 0 {
+		t.Fatal("zero-value Set has attestations")
+	}
+}
+
+func TestEncodeDecodeAttestations(t *testing.T) {
+	in := atts(7, 9, 11)
+	buf := EncodeAttestations(in, nil)
+	r := wire.NewReader(buf)
+	out := DecodeAttestations(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || string(out[i].Proof) != string(in[i].Proof) {
+			t.Fatalf("attestation %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeAttestationsEmpty(t *testing.T) {
+	buf := EncodeAttestations(nil, nil)
+	r := wire.NewReader(buf)
+	out := DecodeAttestations(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatal("decoded nonempty list from empty encoding")
+	}
+}
+
+func TestDecodeAttestationsTruncated(t *testing.T) {
+	buf := EncodeAttestations(atts(1, 2), nil)
+	r := wire.NewReader(buf[:len(buf)-1])
+	_ = DecodeAttestations(r)
+	if r.Err() == nil {
+		t.Fatal("truncated attestation list decoded cleanly")
+	}
+}
+
+func TestDecodeAttestationsHugeCountRejected(t *testing.T) {
+	var w wire.Writer
+	w.U32(1 << 30)
+	r := wire.NewReader(w.Buf)
+	_ = DecodeAttestations(r)
+	if r.Err() == nil {
+		t.Fatal("absurd attestation count accepted")
+	}
+}

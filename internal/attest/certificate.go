@@ -1,0 +1,55 @@
+package attest
+
+import (
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Certificate is a threshold collection of vote attestations for one
+// (iteration, bit) pair — the object the Appendix C protocols rank leaders'
+// proposals by. The paper treats "no certificate" as an iteration-0
+// certificate of lowest rank; the zero value of Certificate (Iter 0, no
+// attestations) encodes exactly that and verifies vacuously for any bit.
+type Certificate struct {
+	Iter uint32
+	Bit  types.Bit
+	Atts []Attestation
+}
+
+// Empty reports whether this is the rank-0 "no certificate" placeholder.
+func (c Certificate) Empty() bool { return c.Iter == 0 }
+
+// Rank is the certificate's iteration; higher outranks lower.
+func (c Certificate) Rank() uint32 { return c.Iter }
+
+// Verify checks the certificate: an empty certificate is always valid (for
+// any bit); a non-empty one must carry threshold distinct valid vote
+// attestations, where verify checks one attestation against the
+// (c.Iter, c.Bit) vote tag.
+func (c Certificate) Verify(threshold int, verify VerifyFunc) bool {
+	if c.Empty() {
+		return true
+	}
+	if !c.Bit.Valid() {
+		return false
+	}
+	return VerifyAll(c.Atts, threshold, verify)
+}
+
+// Encode appends the certificate's canonical encoding to dst.
+func (c Certificate) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(c.Iter)
+	w.Bit(c.Bit)
+	w.Buf = EncodeAttestations(c.Atts, w.Buf)
+	return w.Buf
+}
+
+// DecodeCertificate reads a certificate from r.
+func DecodeCertificate(r *wire.Reader) Certificate {
+	var c Certificate
+	c.Iter = r.U32()
+	c.Bit = r.Bit()
+	c.Atts = DecodeAttestations(r)
+	return c
+}

@@ -1,0 +1,151 @@
+// Package broadcast builds Byzantine Broadcast from Byzantine Agreement via
+// the communication-preserving reduction of §1.1 of the paper:
+//
+//	"given an adaptively secure BA protocol (agreement version), one can
+//	 construct an adaptively secure Byzantine Broadcast protocol by first
+//	 having the designated sender multicast its input to everyone, and then
+//	 having everyone invoke the BA instance."
+//
+// The wrapper adds exactly one round and one multicast, so a BA protocol
+// with sublinear multicast complexity yields a BB protocol with sublinear
+// multicast complexity — which is why the paper states its upper bounds for
+// BA and its lower bounds for BB.
+package broadcast
+
+import (
+	"fmt"
+
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// KindInput is the sender's round-0 message kind.
+const KindInput wire.Kind = 1
+
+// InputMsg is the designated sender's multicast input bit.
+type InputMsg struct {
+	B types.Bit
+}
+
+// Kind implements wire.Message.
+func (m InputMsg) Kind() wire.Kind { return KindInput }
+
+// Encode implements wire.Message.
+func (m InputMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.Bit(m.B)
+	return w.Buf
+}
+
+// Decode parses a marshalled broadcast wrapper message.
+func Decode(buf []byte) (wire.Message, error) {
+	if len(buf) != 2 || wire.Kind(buf[0]) != KindInput {
+		return nil, fmt.Errorf("broadcast: %w", wire.ErrMalformed)
+	}
+	r := wire.NewReader(buf[1:])
+	m := InputMsg{B: r.Bit()}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MakeBA constructs a node's underlying BA instance once its input bit is
+// known (at the end of round 0).
+type MakeBA func(id types.NodeID, input types.Bit) (netsim.Node, error)
+
+// Node wraps a BA instance behind the one-round sender multicast.
+type Node struct {
+	id     types.NodeID
+	sender types.NodeID
+	input  types.Bit // sender's input; NoBit elsewhere
+	make   MakeBA
+
+	inner netsim.Node
+	err   error
+}
+
+// New constructs the wrapper for node id. input is used only by the sender.
+func New(id, sender types.NodeID, input types.Bit, mk MakeBA) (*Node, error) {
+	if mk == nil {
+		return nil, fmt.Errorf("broadcast: MakeBA required")
+	}
+	if id == sender && !input.Valid() {
+		return nil, fmt.Errorf("broadcast: sender input %v", input)
+	}
+	return &Node{id: id, sender: sender, input: input, make: mk}, nil
+}
+
+// NewNodes constructs all n wrappers.
+func NewNodes(n int, sender types.NodeID, input types.Bit, mk MakeBA) ([]netsim.Node, error) {
+	nodes := make([]netsim.Node, n)
+	for i := range nodes {
+		nd, err := New(types.NodeID(i), sender, input, mk)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+	}
+	return nodes, nil
+}
+
+var _ netsim.Node = (*Node)(nil)
+
+// Output implements netsim.Node.
+func (n *Node) Output() (types.Bit, bool) {
+	if n.inner == nil {
+		return types.NoBit, false
+	}
+	return n.inner.Output()
+}
+
+// Halted implements netsim.Node.
+func (n *Node) Halted() bool {
+	if n.err != nil {
+		return true
+	}
+	if n.inner == nil {
+		return false
+	}
+	return n.inner.Halted()
+}
+
+// Step implements netsim.Node. Round 0 is the sender multicast; from round 1
+// on, the inner BA runs with rounds shifted by one.
+func (n *Node) Step(round int, delivered []netsim.Delivered) []netsim.Send {
+	if n.err != nil {
+		return nil
+	}
+	if round == 0 {
+		if n.id == n.sender {
+			return []netsim.Send{netsim.Multicast(InputMsg{B: n.input})}
+		}
+		return nil
+	}
+	if round == 1 {
+		// Adopt the sender's bit (0 if silent or invalid) as BA input.
+		input := types.Zero
+		for _, d := range delivered {
+			m, ok := d.Msg.(InputMsg)
+			if ok && d.From == n.sender && m.B.Valid() {
+				input = m.B
+				break
+			}
+		}
+		n.inner, n.err = n.make(n.id, input)
+		if n.err != nil {
+			return nil
+		}
+		return n.inner.Step(0, nil)
+	}
+	// Filter out stray wrapper messages so the inner protocol sees only its
+	// own; shift rounds by one.
+	filtered := delivered[:0:0]
+	for _, d := range delivered {
+		if _, isInput := d.Msg.(InputMsg); !isInput {
+			filtered = append(filtered, d)
+		}
+	}
+	return n.inner.Step(round-1, filtered)
+}

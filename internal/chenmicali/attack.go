@@ -1,0 +1,80 @@
+package chenmicali
+
+import (
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// FlipAttack is the §3.3 Remark adversary, implemented literally:
+//
+//	"the adversary could observe whenever an honest node sends (ACK, r, b),
+//	 and immediately corrupt the node in the same round and make it send
+//	 (ACK, r, 1−b) too. [...] by corrupting all these nodes that sent the
+//	 ACKs, the adversary can construct 2λ/3 ACKs for 1−b."
+//
+// It is only *weakly* adaptive — it never removes a message — yet it breaks
+// this protocol when erasure is off, because the bit-free (ACK, r) ticket of
+// a corrupted node remains valid for the opposite bit and only the ephemeral
+// signature binds the bit. The forged quorum is delivered to the Victims
+// subset only, so the forever-honest population splits at the final tally.
+//
+// Against the erasure-enabled variant the same strategy fails at the
+// signing step; against the bit-specific protocols it cannot even be
+// expressed (there is no reusable ticket) — see phaseking.FlipAttack for the
+// closest analogue.
+type FlipAttack struct {
+	// TargetEpoch is the epoch whose ACK round is attacked (normally the
+	// final epoch, so beliefs cannot re-converge before output).
+	TargetEpoch uint32
+	// Victims receive the forged quorum.
+	Victims []types.NodeID
+
+	// Forged counts successfully injected opposite-bit ACKs.
+	Forged int
+	// SignFailures counts forgeries blocked by key erasure.
+	SignFailures int
+}
+
+// Power implements netsim.Adversary: weakly adaptive — no removal.
+func (a *FlipAttack) Power() netsim.Power { return netsim.PowerWeaklyAdaptive }
+
+// Setup implements netsim.Adversary.
+func (a *FlipAttack) Setup(*netsim.Ctx) {}
+
+// Round implements netsim.Adversary.
+func (a *FlipAttack) Round(ctx *netsim.Ctx) {
+	if ctx.Round() != int(2*a.TargetEpoch+1) {
+		return
+	}
+	for _, e := range ctx.Outgoing() {
+		ack, ok := e.Msg.(AckMsg)
+		if !ok || ack.Epoch != a.TargetEpoch || ctx.IsCorrupt(e.From) {
+			continue
+		}
+		if ctx.CorruptCount() >= ctx.F() {
+			return
+		}
+		seized, err := ctx.Corrupt(e.From)
+		if err != nil {
+			continue
+		}
+		keys, ok := seized.Keys.(*Keys)
+		if !ok {
+			continue
+		}
+		flip := ack.B.Flip()
+		forgedSig, ok := keys.Signer.Sign(ack.Epoch, flip)
+		if !ok {
+			a.SignFailures++ // memory erasure: the epoch key is gone
+			continue
+		}
+		forged := AckMsg{Epoch: ack.Epoch, B: flip, Elig: ack.Elig, Sig: forgedSig}
+		for _, v := range a.Victims {
+			if err := ctx.Inject(e.From, v, forged); err == nil {
+				a.Forged++
+			}
+		}
+	}
+}
+
+var _ netsim.Adversary = (*FlipAttack)(nil)

@@ -1,0 +1,232 @@
+package chenmicali
+
+import (
+	"testing"
+
+	"ccba/internal/crypto/pki"
+	"ccba/internal/fmine"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+func config(t *testing.T, n, epochs, lambda int, erasure bool, seedByte byte) (Config, []pki.Secret) {
+	t.Helper()
+	var seed [32]byte
+	seed[0] = seedByte
+	pub, secrets := pki.Setup(n, seed)
+	cfg := Config{
+		N: n, Epochs: epochs, Lambda: lambda, Erasure: erasure,
+		Suite: fmine.NewIdeal(seed, Probabilities(n, lambda)),
+		PKI:   pub,
+	}
+	return cfg, secrets
+}
+
+func run(t *testing.T, cfg Config, secrets []pki.Secret, inputs []types.Bit, f int, adv netsim.Adversary) *netsim.Result {
+	t.Helper()
+	nodes, keys, err := NewNodes(cfg, inputs, secrets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := netsim.NewRuntime(netsim.Config{
+		N: cfg.N, F: f, MaxRounds: cfg.Rounds() + 2,
+		Seize: func(id types.NodeID) any { return keys[id] },
+	}, nodes, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.Run()
+}
+
+func constInputs(n int, b types.Bit) []types.Bit {
+	in := make([]types.Bit, n)
+	for i := range in {
+		in[i] = b
+	}
+	return in
+}
+
+func TestHonestRunBothErasureModes(t *testing.T) {
+	for _, erasure := range []bool{false, true} {
+		cfg, secrets := config(t, 90, 12, 30, erasure, 1)
+		inputs := constInputs(90, types.One)
+		res := run(t, cfg, secrets, inputs, 0, nil)
+		if err := netsim.CheckTermination(res); err != nil {
+			t.Fatalf("erasure=%v: %v", erasure, err)
+		}
+		if err := netsim.CheckConsistency(res); err != nil {
+			t.Fatalf("erasure=%v: %v", erasure, err)
+		}
+		if err := netsim.CheckAgreementValidity(res, inputs); err != nil {
+			t.Fatalf("erasure=%v: %v", erasure, err)
+		}
+	}
+}
+
+func victims(n int) []types.NodeID {
+	// Upper half of the id space receives the forged quorum.
+	out := make([]types.NodeID, 0, n/2)
+	for i := n / 2; i < n; i++ {
+		out = append(out, types.NodeID(i))
+	}
+	return out
+}
+
+// runFlip executes the §3.3 Remark attack against the final epoch and
+// reports whether a safety property broke — both under attack and in a
+// paired no-adversary run with the same seed, so finite-λ baseline failures
+// (the exp(−Ω(ε²λ)) term in the paper's lemmas) are not mistaken for attack
+// success.
+func runFlip(t *testing.T, erasure bool, seedByte byte) (violated, baseViolated bool, attack *FlipAttack) {
+	t.Helper()
+	const n, epochs, lambda, f = 150, 8, 40, 50
+	inputs := constInputs(n, types.One)
+
+	check := func(res *netsim.Result) bool {
+		return netsim.CheckConsistency(res) != nil ||
+			netsim.CheckAgreementValidity(res, inputs) != nil
+	}
+
+	cfg, secrets := config(t, n, epochs, lambda, erasure, seedByte)
+	attack = &FlipAttack{TargetEpoch: uint32(epochs - 1), Victims: victims(n)}
+	violated = check(run(t, cfg, secrets, inputs, f, attack))
+
+	baseCfg, baseSecrets := config(t, n, epochs, lambda, erasure, seedByte)
+	baseViolated = check(run(t, baseCfg, baseSecrets, inputs, f, nil))
+	return violated, baseViolated, attack
+}
+
+// TestFlipAttackBreaksNonBitSpecificEligibility is the §3.3 Remark made
+// executable: with bit-free tickets and no erasure, a weakly adaptive
+// adversary converts the final epoch's 1-quorum into a 0-quorum for half
+// the nodes, splitting outputs.
+func TestFlipAttackBreaksNonBitSpecificEligibility(t *testing.T) {
+	broke := 0
+	const trials = 5
+	for s := byte(0); s < trials; s++ {
+		violated, _, attack := runFlip(t, false, 10+s)
+		if attack.Forged == 0 {
+			t.Fatal("attack forged nothing; test is vacuous")
+		}
+		if violated {
+			broke++
+		}
+	}
+	if broke < trials-1 {
+		t.Fatalf("attack broke only %d/%d runs; the Remark predicts near-certain success", broke, trials)
+	}
+}
+
+// TestErasureBlocksFlipAttack: Chen–Micali's fix. Same adversary, erasure
+// on — every forgery fails at the signing step.
+func TestErasureBlocksFlipAttack(t *testing.T) {
+	for s := byte(0); s < 5; s++ {
+		violated, baseViolated, attack := runFlip(t, true, 30+s)
+		if violated && !baseViolated {
+			t.Fatalf("seed %d: attack added a violation despite memory erasure", 30+s)
+		}
+		if attack.Forged != 0 {
+			t.Fatalf("seed %d: %d forgeries slipped past erasure", 30+s, attack.Forged)
+		}
+		if attack.SignFailures == 0 {
+			t.Fatalf("seed %d: attack never hit the erased key; test is vacuous", 30+s)
+		}
+	}
+}
+
+func TestEphemeralSignerErasure(t *testing.T) {
+	var seed [32]byte
+	_, secrets := pki.Setup(1, seed)
+	s := NewEphemeralSigner(secrets[0].SigSK, true)
+	if _, ok := s.Sign(3, types.One); !ok {
+		t.Fatal("first signature must succeed")
+	}
+	if _, ok := s.Sign(3, types.Zero); ok {
+		t.Fatal("second epoch-3 signature must fail under erasure")
+	}
+	if _, ok := s.Sign(4, types.Zero); !ok {
+		t.Fatal("other epochs unaffected")
+	}
+
+	noErase := NewEphemeralSigner(secrets[0].SigSK, false)
+	noErase.Sign(3, types.One)
+	if _, ok := noErase.Sign(3, types.Zero); !ok {
+		t.Fatal("without erasure re-signing must succeed — that is the vulnerability")
+	}
+}
+
+func TestTicketIsBitFree(t *testing.T) {
+	// The defining property of this ablation: one ticket validates ACKs for
+	// both bits.
+	cfg, secrets := config(t, 10, 2, 10, false, 7)
+	nodes, keys, err := NewNodes(cfg, constInputs(10, types.One), secrets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := nodes[0].(*Node)
+	ticket, ok := keys[1].Miner.Mine(AckTicketTag(0))
+	if !ok {
+		t.Skip("node 1 not eligible under this seed") // λ=n makes this unreachable
+	}
+	sig1, _ := keys[1].Signer.Sign(0, types.One)
+	sig0, _ := keys[1].Signer.Sign(0, types.Zero)
+	if !node.validAck(1, AckMsg{Epoch: 0, B: types.One, Elig: ticket, Sig: sig1}) {
+		t.Fatal("honest ACK rejected")
+	}
+	if !node.validAck(1, AckMsg{Epoch: 0, B: types.Zero, Elig: ticket, Sig: sig0}) {
+		t.Fatal("same ticket must validate the opposite bit — that is the flaw under test")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg, secrets := config(t, 10, 2, 5, false, 1)
+	bad := cfg
+	bad.Suite = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("missing suite accepted")
+	}
+	bad = cfg
+	bad.PKI = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("missing PKI accepted")
+	}
+	bad = cfg
+	bad.Epochs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	if _, _, err := New(cfg, 0, types.NoBit, secrets[0]); err == nil {
+		t.Error("invalid input accepted")
+	}
+	if _, _, err := NewNodes(cfg, make([]types.Bit, 3), secrets); err == nil {
+		t.Error("input count mismatch accepted")
+	}
+}
+
+func TestCodec(t *testing.T) {
+	p := ProposeMsg{Epoch: 4, B: types.One, Elig: []byte{1}}
+	buf := append([]byte{byte(p.Kind())}, p.Encode(nil)...)
+	dec, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.(ProposeMsg).Epoch != 4 {
+		t.Fatal("propose mismatch")
+	}
+	a := AckMsg{Epoch: 4, B: types.Zero, Elig: []byte{1}, Sig: []byte{2, 3}}
+	buf = append([]byte{byte(a.Kind())}, a.Encode(nil)...)
+	dec, err = Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dec.(AckMsg)
+	if got.Epoch != 4 || got.B != types.Zero || string(got.Sig) != "\x02\x03" {
+		t.Fatalf("ack mismatch: %+v", got)
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty decode accepted")
+	}
+	if _, err := Decode([]byte{9}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

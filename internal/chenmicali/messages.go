@@ -1,0 +1,76 @@
+package chenmicali
+
+import (
+	"fmt"
+
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Message kinds.
+const (
+	KindPropose wire.Kind = 1
+	KindAck     wire.Kind = 2
+)
+
+// ProposeMsg is an eligible leader's epoch-r proposal.
+type ProposeMsg struct {
+	Epoch uint32
+	B     types.Bit
+	Elig  []byte
+}
+
+// Kind implements wire.Message.
+func (m ProposeMsg) Kind() wire.Kind { return KindPropose }
+
+// Encode implements wire.Message.
+func (m ProposeMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Epoch)
+	w.Bit(m.B)
+	w.Bytes(m.Elig)
+	return w.Buf
+}
+
+// AckMsg is an epoch-r ACK: Elig is the bit-free (ACK, r) ticket; Sig binds
+// the bit under the sender's ephemeral epoch key.
+type AckMsg struct {
+	Epoch uint32
+	B     types.Bit
+	Elig  []byte
+	Sig   []byte
+}
+
+// Kind implements wire.Message.
+func (m AckMsg) Kind() wire.Kind { return KindAck }
+
+// Encode implements wire.Message.
+func (m AckMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Epoch)
+	w.Bit(m.B)
+	w.Bytes(m.Elig)
+	w.Bytes(m.Sig)
+	return w.Buf
+}
+
+// Decode parses a marshalled chenmicali message.
+func Decode(buf []byte) (wire.Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("chenmicali: %w", wire.ErrTruncated)
+	}
+	r := wire.NewReader(buf[1:])
+	var m wire.Message
+	switch wire.Kind(buf[0]) {
+	case KindPropose:
+		m = ProposeMsg{Epoch: r.U32(), B: r.Bit(), Elig: r.Bytes()}
+	case KindAck:
+		m = AckMsg{Epoch: r.U32(), B: r.Bit(), Elig: r.Bytes(), Sig: r.Bytes()}
+	default:
+		return nil, fmt.Errorf("chenmicali: %w: kind %d", wire.ErrMalformed, buf[0])
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

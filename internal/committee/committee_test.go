@@ -1,0 +1,222 @@
+package committee
+
+import (
+	"testing"
+
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+func config(n, c int, seedByte byte) Config {
+	var crs [32]byte
+	crs[0] = seedByte
+	return Config{N: n, CommitteeSize: c, Sender: 0, CRS: crs}
+}
+
+func run(t *testing.T, cfg Config, input types.Bit, f int, adv netsim.Adversary) *netsim.Result {
+	t.Helper()
+	nodes, err := NewNodes(cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := netsim.NewRuntime(netsim.Config{N: cfg.N, F: f, MaxRounds: cfg.Rounds()}, nodes, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.Run()
+}
+
+func TestMembersDeterministicDistinctExcludeSender(t *testing.T) {
+	cfg := config(50, 10, 1)
+	m1, m2 := cfg.Members(), cfg.Members()
+	if len(m1) != 10 {
+		t.Fatalf("committee size %d", len(m1))
+	}
+	seen := make(map[types.NodeID]bool)
+	for i, id := range m1 {
+		if id != m2[i] {
+			t.Fatal("committee selection not deterministic")
+		}
+		if id == cfg.Sender {
+			t.Fatal("sender selected into committee")
+		}
+		if seen[id] {
+			t.Fatal("duplicate committee member")
+		}
+		seen[id] = true
+	}
+}
+
+func TestMembersVaryWithCRS(t *testing.T) {
+	a := config(200, 10, 1).Members()
+	b := config(200, 10, 2).Members()
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different CRS produced identical committees")
+	}
+}
+
+func TestHonestRun(t *testing.T) {
+	for _, b := range []types.Bit{types.Zero, types.One} {
+		cfg := config(30, 7, 3)
+		res := run(t, cfg, b, 0, nil)
+		if err := netsim.CheckTermination(res); err != nil {
+			t.Fatal(err)
+		}
+		if err := netsim.CheckBroadcastValidity(res, cfg.Sender, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := netsim.CheckConsistency(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSublinearMulticasts(t *testing.T) {
+	cfg := config(500, 10, 4)
+	res := run(t, cfg, types.One, 0, nil)
+	// 1 sender multicast + ≤10 echoes, regardless of n=500.
+	if res.Metrics.HonestMulticasts > 11 {
+		t.Fatalf("multicasts = %d, want ≤ 11", res.Metrics.HonestMulticasts)
+	}
+}
+
+// crsObliviousStatic corrupts a fixed id set chosen without reference to the
+// CRS (the intro's static-security story).
+type crsObliviousStatic struct {
+	netsim.Passive
+	ids []types.NodeID
+}
+
+func (a *crsObliviousStatic) Setup(ctx *netsim.Ctx) {
+	for _, id := range a.ids {
+		if _, err := ctx.Corrupt(id); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestStaticObliviousCorruptionUsuallyHarmless(t *testing.T) {
+	// A static adversary corrupting f = n/4 CRS-oblivious nodes rarely
+	// captures a majority of the committee; count violations across CRS
+	// seeds and require a solid majority of clean runs. (With c = 9 and
+	// f/n = 1/4 the chance of ≥5 corrupt members is ≈ 1%.)
+	violations := 0
+	const trials = 20
+	for s := byte(0); s < trials; s++ {
+		cfg := config(40, 9, 100+s)
+		ids := make([]types.NodeID, 10)
+		for i := range ids {
+			ids[i] = types.NodeID(i + 1) // fixed, CRS-independent
+		}
+		res := run(t, cfg, types.One, len(ids), &crsObliviousStatic{ids: ids})
+		if netsim.CheckBroadcastValidity(res, cfg.Sender, types.One) != nil ||
+			netsim.CheckConsistency(res) != nil {
+			violations++
+		}
+	}
+	if violations > trials/4 {
+		t.Fatalf("%d/%d static runs violated safety", violations, trials)
+	}
+}
+
+// committeeKiller is the intro's adaptive attack: read the public committee,
+// corrupt every member, and echo the wrong bit.
+type committeeKiller struct {
+	cfg Config
+}
+
+func (a *committeeKiller) Power() netsim.Power { return netsim.PowerWeaklyAdaptive }
+func (a *committeeKiller) Setup(ctx *netsim.Ctx) {
+	for _, id := range a.cfg.Members() {
+		if _, err := ctx.Corrupt(id); err != nil {
+			panic(err)
+		}
+	}
+}
+func (a *committeeKiller) Round(ctx *netsim.Ctx) {
+	if ctx.Round() != 1 {
+		return
+	}
+	for _, id := range a.cfg.Members() {
+		if err := ctx.Inject(id, types.Broadcast, EchoMsg{B: types.Zero}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestAdaptiveCommitteeCorruptionBreaksIt(t *testing.T) {
+	// The intro's observation: adaptivity defeats committee sampling. The
+	// adversary corrupts exactly the committee (c ≪ f) and flips the output.
+	cfg := config(40, 9, 7)
+	res := run(t, cfg, types.One, 9, &committeeKiller{cfg: cfg})
+	if err := netsim.CheckBroadcastValidity(res, cfg.Sender, types.One); err == nil {
+		t.Fatal("adaptive committee corruption failed to break validity — it must")
+	}
+}
+
+func TestSilentNodeOutputsZero(t *testing.T) {
+	// The deterministic silent output the Theorem 1 attack keys on.
+	cfg := config(10, 3, 9)
+	n, err := New(cfg, 5, types.NoBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Step(0, nil)
+	n.Step(1, nil)
+	n.Step(2, nil)
+	out, ok := n.Output()
+	if !ok || out != types.Zero {
+		t.Fatalf("silent node output (%v, %v), want (0, true)", out, ok)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, CommitteeSize: 1, Sender: 0},
+		{N: 5, CommitteeSize: 0, Sender: 0},
+		{N: 5, CommitteeSize: 5, Sender: 0},
+		{N: 5, CommitteeSize: 2, Sender: 9},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(config(5, 2, 0), 0, types.NoBit); err == nil {
+		t.Error("invalid sender input accepted")
+	}
+}
+
+func TestCodec(t *testing.T) {
+	s := SendMsg{B: types.One}
+	buf := append([]byte{byte(s.Kind())}, s.Encode(nil)...)
+	dec, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.(SendMsg).B != types.One {
+		t.Fatal("send msg mismatched")
+	}
+	e := EchoMsg{B: types.Zero}
+	buf = append([]byte{byte(e.Kind())}, e.Encode(nil)...)
+	dec, err = Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.(EchoMsg).B != types.Zero {
+		t.Fatal("echo msg mismatched")
+	}
+	if _, err := Decode([]byte{1}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := Decode([]byte{9, 0}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

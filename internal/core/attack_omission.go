@@ -1,0 +1,73 @@
+package core
+
+import (
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// CommitSplitAttack is an omission-style adversary targeting the Terminate
+// relay of Lemma 10. It statically corrupts a set of nodes that then behave
+// honestly with one exception: their Commit messages are delivered only to
+// the Favoured subset instead of being multicast. Favoured nodes can cross
+// the ⌈λ/2⌉-commit threshold a round before everyone else, so the honest
+// halt rounds diverge — and only the conditional Terminate multicast pulls
+// the rest of the network along. This is the scheduling freedom the lemma's
+// "next round" slack exists for.
+type CommitSplitAttack struct {
+	// Corrupt is the set of nodes to seize (they keep running honestly via
+	// their state machines, with Commit delivery filtered).
+	Corrupt []types.NodeID
+	// Favoured receive the corrupted nodes' commits; everyone else does not.
+	Favoured []types.NodeID
+
+	members []seizedMember
+	// SplitCommits counts commits delivered selectively.
+	SplitCommits int
+}
+
+type seizedMember struct {
+	id   types.NodeID
+	node netsim.Node
+}
+
+// Power implements netsim.Adversary: omission within the corrupt coalition
+// only — no adaptivity, no removal.
+func (a *CommitSplitAttack) Power() netsim.Power { return netsim.PowerStatic }
+
+// Setup implements netsim.Adversary.
+func (a *CommitSplitAttack) Setup(ctx *netsim.Ctx) {
+	for _, id := range a.Corrupt {
+		seized, err := ctx.Corrupt(id)
+		if err != nil {
+			return
+		}
+		a.members = append(a.members, seizedMember{id: id, node: seized.Node})
+	}
+}
+
+// Round implements netsim.Adversary: run each corrupted node honestly, but
+// fan its Commit messages out only to the favoured subset.
+func (a *CommitSplitAttack) Round(ctx *netsim.Ctx) {
+	for _, m := range a.members {
+		if m.node.Halted() {
+			continue
+		}
+		inbox, err := ctx.Inbox(m.id)
+		if err != nil {
+			continue
+		}
+		for _, s := range m.node.Step(ctx.Round(), inbox) {
+			if _, isCommit := s.Msg.(CommitMsg); isCommit && s.To == types.Broadcast {
+				for _, v := range a.Favoured {
+					_ = ctx.Inject(m.id, v, s.Msg)
+				}
+				_ = ctx.Inject(m.id, m.id, s.Msg) // preserve self-delivery
+				a.SplitCommits++
+				continue
+			}
+			_ = ctx.Inject(m.id, s.To, s.Msg)
+		}
+	}
+}
+
+var _ netsim.Adversary = (*CommitSplitAttack)(nil)

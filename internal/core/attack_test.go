@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// haltTracker wraps a node to record its halt round.
+type haltTracker struct {
+	inner netsim.Node
+	round int
+}
+
+func (h *haltTracker) Step(round int, delivered []netsim.Delivered) []netsim.Send {
+	sends := h.inner.Step(round, delivered)
+	if h.round < 0 && h.inner.Halted() {
+		h.round = round
+	}
+	return sends
+}
+func (h *haltTracker) Output() (types.Bit, bool) { return h.inner.Output() }
+func (h *haltTracker) Halted() bool              { return h.inner.Halted() }
+
+// TestCommitSplitAttackSafeAndLive exercises the Lemma 10 Terminate relay:
+// an omission coalition delivers its commits to only half the network, so
+// halt rounds can diverge — the relay must still drag everyone across within
+// a couple of rounds, and safety must hold throughout.
+func TestCommitSplitAttackSafeAndLive(t *testing.T) {
+	const n, f, lambda = 120, 36, 40
+	for s := byte(0); s < 5; s++ {
+		cfg := idealConfig(n, f, lambda, 60+s)
+		inputs := constInputs(n, types.One)
+		inner, err := NewNodes(cfg, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trackers := make([]*haltTracker, n)
+		nodes := make([]netsim.Node, n)
+		for i, nd := range inner {
+			trackers[i] = &haltTracker{inner: nd, round: -1}
+			nodes[i] = trackers[i]
+		}
+		corrupt := make([]types.NodeID, 0, f)
+		for i := 0; i < f; i++ {
+			corrupt = append(corrupt, types.NodeID(i))
+		}
+		favoured := make([]types.NodeID, 0, n/4)
+		for i := f; i < f+n/4; i++ {
+			favoured = append(favoured, types.NodeID(i))
+		}
+		adv := &CommitSplitAttack{Corrupt: corrupt, Favoured: favoured}
+		rt, err := netsim.NewRuntime(netsim.Config{N: n, F: f, MaxRounds: cfg.Rounds()}, nodes, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rt.Run()
+		if err := netsim.CheckConsistency(res); err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		if err := netsim.CheckAgreementValidity(res, inputs); err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		if err := netsim.CheckTermination(res); err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		first, last := 1<<30, -1
+		for _, id := range res.ForeverHonest() {
+			hr := trackers[id].round
+			if hr < 0 {
+				continue
+			}
+			if hr < first {
+				first = hr
+			}
+			if hr > last {
+				last = hr
+			}
+		}
+		// Lemma 10: the relay closes the gap within about a round; allow 2.
+		if last-first > 2 {
+			t.Fatalf("seed %d: halt spread %d rounds exceeds the relay bound", s, last-first)
+		}
+	}
+}
+
+// TestVoteFlipAttackStatistics pins the measured rate of the §3.2 argument:
+// the flipper's opposite-bit coins succeed at ≈ λ/n, far below quorum.
+func TestVoteFlipAttackStatistics(t *testing.T) {
+	const n, f, lambda = 200, 60, 40
+	totalAttempts, totalMined := 0, 0
+	for s := byte(0); s < 5; s++ {
+		cfg := idealConfig(n, f, lambda, 80+s)
+		inputs := mixedInputs(n)
+		adv := &VoteFlipAttack{}
+		res := run(t, cfg, inputs, adv)
+		if err := netsim.CheckConsistency(res); err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		totalAttempts += adv.Attempts
+		totalMined += adv.Mined
+	}
+	if totalAttempts == 0 {
+		t.Fatal("flipper never corrupted anyone")
+	}
+	rate := float64(totalMined) / float64(totalAttempts)
+	expected := float64(lambda) / float64(n) // 0.2
+	if rate > 3*expected {
+		t.Fatalf("opposite-bit success rate %.3f ≫ λ/n = %.3f — tickets are not independent", rate, expected)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"ccba/internal/attest"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Message kinds.
+const (
+	KindStatus    wire.Kind = 1
+	KindPropose   wire.Kind = 2
+	KindVote      wire.Kind = 3
+	KindCommit    wire.Kind = 4
+	KindTerminate wire.Kind = 5
+)
+
+// StatusMsg is a conditionally multicast (Status, r, b) with the sender's
+// highest certificate and eligibility ticket attached.
+type StatusMsg struct {
+	Iter uint32
+	B    types.Bit
+	Cert attest.Certificate
+	Elig []byte
+}
+
+// Kind implements wire.Message.
+func (m StatusMsg) Kind() wire.Kind { return KindStatus }
+
+// Encode implements wire.Message.
+func (m StatusMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Iter)
+	w.Bit(m.B)
+	w.Buf = m.Cert.Encode(w.Buf)
+	w.Bytes(m.Elig)
+	return w.Buf
+}
+
+// ProposeMsg is an eligible leader's (Propose, r, b) with the backing
+// certificate and the leader's proposal ticket.
+type ProposeMsg struct {
+	Iter uint32
+	B    types.Bit
+	Cert attest.Certificate
+	Elig []byte
+}
+
+// Kind implements wire.Message.
+func (m ProposeMsg) Kind() wire.Kind { return KindPropose }
+
+// Encode implements wire.Message.
+func (m ProposeMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Iter)
+	w.Bit(m.B)
+	w.Buf = m.Cert.Encode(w.Buf)
+	w.Bytes(m.Elig)
+	return w.Buf
+}
+
+// VoteMsg is a conditionally multicast (Vote, r, b): Elig is the voter's
+// ticket; Leader/LeaderElig attach the justifying proposal ticket (unused in
+// iteration 1).
+type VoteMsg struct {
+	Iter       uint32
+	B          types.Bit
+	Elig       []byte
+	Leader     types.NodeID
+	LeaderElig []byte
+}
+
+// Kind implements wire.Message.
+func (m VoteMsg) Kind() wire.Kind { return KindVote }
+
+// Encode implements wire.Message.
+func (m VoteMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Iter)
+	w.Bit(m.B)
+	w.Bytes(m.Elig)
+	w.NodeID(m.Leader)
+	w.Bytes(m.LeaderElig)
+	return w.Buf
+}
+
+// CommitMsg is a conditionally multicast (Commit, r, b) with the vote
+// certificate attached.
+type CommitMsg struct {
+	Iter uint32
+	B    types.Bit
+	Cert attest.Certificate
+	Elig []byte
+}
+
+// Kind implements wire.Message.
+func (m CommitMsg) Kind() wire.Kind { return KindCommit }
+
+// Encode implements wire.Message.
+func (m CommitMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Iter)
+	w.Bit(m.B)
+	w.Buf = m.Cert.Encode(w.Buf)
+	w.Bytes(m.Elig)
+	return w.Buf
+}
+
+// TerminateMsg carries ⌈λ/2⌉ commit attestations justifying output B; Elig
+// is the sender's (Terminate, b) ticket.
+type TerminateMsg struct {
+	Iter    uint32
+	B       types.Bit
+	Commits []attest.Attestation
+	Elig    []byte
+}
+
+// Kind implements wire.Message.
+func (m TerminateMsg) Kind() wire.Kind { return KindTerminate }
+
+// Encode implements wire.Message.
+func (m TerminateMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Iter)
+	w.Bit(m.B)
+	w.Buf = attest.EncodeAttestations(m.Commits, w.Buf)
+	w.Bytes(m.Elig)
+	return w.Buf
+}
+
+// Decode parses a marshalled core-protocol message (kind tag included).
+func Decode(buf []byte) (wire.Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("core: %w", wire.ErrTruncated)
+	}
+	r := wire.NewReader(buf[1:])
+	var m wire.Message
+	switch wire.Kind(buf[0]) {
+	case KindStatus:
+		m = StatusMsg{Iter: r.U32(), B: r.Bit(), Cert: attest.DecodeCertificate(r), Elig: r.Bytes()}
+	case KindPropose:
+		m = ProposeMsg{Iter: r.U32(), B: r.Bit(), Cert: attest.DecodeCertificate(r), Elig: r.Bytes()}
+	case KindVote:
+		m = VoteMsg{Iter: r.U32(), B: r.Bit(), Elig: r.Bytes(), Leader: r.NodeID(), LeaderElig: r.Bytes()}
+	case KindCommit:
+		m = CommitMsg{Iter: r.U32(), B: r.Bit(), Cert: attest.DecodeCertificate(r), Elig: r.Bytes()}
+	case KindTerminate:
+		m = TerminateMsg{Iter: r.U32(), B: r.Bit(), Commits: attest.DecodeAttestations(r), Elig: r.Bytes()}
+	default:
+		return nil, fmt.Errorf("core: %w: kind %d", wire.ErrMalformed, buf[0])
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("core: decoding kind %d: %w", buf[0], err)
+	}
+	return m, nil
+}

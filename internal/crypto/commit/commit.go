@@ -1,0 +1,64 @@
+// Package commit implements a non-interactive commitment scheme.
+//
+// The paper (Appendix D.2) requires a commitment that is perfectly binding
+// and computationally hiding under selective opening, instantiated from
+// bilinear-group assumptions. The stdlib has no pairings, so this package
+// substitutes the standard hash commitment C = H(domain ‖ value ‖ randomness):
+// binding under collision resistance of SHA-256 and hiding in the
+// random-oracle model. The substitution is recorded in DESIGN.md §4; the
+// commitment's role in the protocol — binding a node's PKI entry to its PRF
+// secret key — is preserved exactly.
+package commit
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"io"
+)
+
+// Size is the commitment length in bytes.
+const Size = sha256.Size
+
+// RandomnessSize is the length of the hiding randomness in bytes.
+const RandomnessSize = 32
+
+const domain = "ccba/commit/v1"
+
+// Commitment is a binding, hiding commitment to a byte string.
+type Commitment [Size]byte
+
+// Randomness is the secret opening randomness.
+type Randomness [RandomnessSize]byte
+
+// NewRandomness samples opening randomness from rng.
+func NewRandomness(rng io.Reader) (Randomness, error) {
+	var r Randomness
+	if _, err := io.ReadFull(rng, r[:]); err != nil {
+		return Randomness{}, fmt.Errorf("commit: sampling randomness: %w", err)
+	}
+	return r, nil
+}
+
+// Commit commits to value under randomness r.
+func Commit(value []byte, r Randomness) Commitment {
+	h := sha256.New()
+	h.Write([]byte(domain))
+	var lenBuf [8]byte
+	for i, v := 0, len(value); i < 8; i++ {
+		lenBuf[7-i] = byte(v >> (8 * i))
+	}
+	h.Write(lenBuf[:])
+	h.Write(value)
+	h.Write(r[:])
+	var c Commitment
+	h.Sum(c[:0])
+	return c
+}
+
+// Verify reports whether (value, r) is a valid opening of c. The comparison
+// is constant-time.
+func Verify(c Commitment, value []byte, r Randomness) bool {
+	want := Commit(value, r)
+	return subtle.ConstantTimeCompare(c[:], want[:]) == 1
+}

@@ -1,0 +1,85 @@
+package commit
+
+import (
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testRandomness(t *testing.T) Randomness {
+	t.Helper()
+	r, err := NewRandomness(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewRandomness: %v", err)
+	}
+	return r
+}
+
+func TestCommitVerify(t *testing.T) {
+	r := testRandomness(t)
+	c := Commit([]byte("secret"), r)
+	if !Verify(c, []byte("secret"), r) {
+		t.Fatal("honest opening rejected")
+	}
+}
+
+func TestVerifyRejectsWrongValue(t *testing.T) {
+	r := testRandomness(t)
+	c := Commit([]byte("secret"), r)
+	if Verify(c, []byte("Secret"), r) {
+		t.Fatal("wrong value accepted")
+	}
+}
+
+func TestVerifyRejectsWrongRandomness(t *testing.T) {
+	r1, r2 := testRandomness(t), testRandomness(t)
+	c := Commit([]byte("secret"), r1)
+	if Verify(c, []byte("secret"), r2) {
+		t.Fatal("wrong randomness accepted")
+	}
+}
+
+func TestHidingDifferentRandomness(t *testing.T) {
+	// Same value, different randomness must yield different commitments,
+	// otherwise the commitment leaks equality of committed values.
+	r1, r2 := testRandomness(t), testRandomness(t)
+	if Commit([]byte("v"), r1) == Commit([]byte("v"), r2) {
+		t.Fatal("commitments collide across randomness")
+	}
+}
+
+func TestLengthExtensionSeparation(t *testing.T) {
+	// The length prefix must prevent (value, randomness) boundary confusion:
+	// commit("ab","c"||r') must differ from commit("abc", r') even when the
+	// concatenated bytes agree.
+	var r Randomness
+	copy(r[:], "cXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX")
+	var r2 Randomness
+	copy(r2[:], "XXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX")
+	if Commit([]byte("ab"), r) == Commit([]byte("abc"), r2) {
+		t.Fatal("boundary confusion between value and randomness")
+	}
+}
+
+func TestBindingProperty(t *testing.T) {
+	// Property: distinct values never verify against each other's
+	// commitments under the same randomness.
+	f := func(v1, v2 []byte) bool {
+		if string(v1) == string(v2) {
+			return true
+		}
+		var r Randomness
+		c := Commit(v1, r)
+		return !Verify(c, v2, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitDeterministic(t *testing.T) {
+	var r Randomness
+	if Commit([]byte("x"), r) != Commit([]byte("x"), r) {
+		t.Fatal("commitment not deterministic")
+	}
+}

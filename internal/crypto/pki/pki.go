@@ -1,0 +1,121 @@
+// Package pki implements the trusted-setup public-key infrastructure the
+// paper's upper bound assumes (Theorem 2: "assuming the existence of a PKI").
+//
+// Setup mirrors Appendix D.4's trusted setup: a trusted party generates, for
+// every node, a signing key pair, a VRF key pair, and a PRF key whose
+// commitment is published (the paper's "public key is a commitment of sk_i").
+// The commitment material is carried so the real-world compiler's structure
+// is visible even though the NIZK layer is substituted by the Ed25519 VRF
+// (see package vrf and DESIGN.md §4).
+//
+// Theorem 3 of the paper proves some setup assumption is *necessary* for
+// sublinear multicast BA; the no-setup lower-bound harness
+// (internal/lowerbound/nosetup) runs protocols that do not use this package.
+package pki
+
+import (
+	"fmt"
+
+	"ccba/internal/crypto/commit"
+	"ccba/internal/crypto/prf"
+	"ccba/internal/crypto/sig"
+	"ccba/internal/types"
+)
+
+// Public is the published PKI: every node's public keys and PRF-key
+// commitment. It is common knowledge, including to the adversary.
+type Public struct {
+	sigPKs   []sig.PublicKey
+	vrfPKs   []sig.PublicKey
+	prfComms []commit.Commitment
+}
+
+// Secret is one node's private setup output. The adversary obtains a node's
+// Secret upon corrupting it.
+type Secret struct {
+	ID      types.NodeID
+	SigSK   sig.PrivateKey
+	VrfSK   sig.PrivateKey
+	PRFKey  prf.Key
+	PRFOpen commit.Randomness
+}
+
+// Setup runs the trusted setup for n nodes, deterministically from seed so
+// simulated deployments are reproducible. It returns the published PKI and
+// each node's secret.
+func Setup(n int, seed [32]byte) (*Public, []Secret) {
+	if n <= 0 {
+		panic(fmt.Sprintf("pki: invalid node count %d", n))
+	}
+	master := prf.Key(seed)
+	pub := &Public{
+		sigPKs:   make([]sig.PublicKey, n),
+		vrfPKs:   make([]sig.PublicKey, n),
+		prfComms: make([]commit.Commitment, n),
+	}
+	secrets := make([]Secret, n)
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("node/%d", i)
+		sigSeed := prf.Eval(master, []byte("sig/"+label))
+		vrfSeed := prf.Eval(master, []byte("vrf/"+label))
+		prfKey := prf.Key(prf.Eval(master, []byte("prf/"+label)))
+		openSeed := prf.Eval(master, []byte("open/"+label))
+
+		_, sigSK := sig.KeyFromSeed([32]byte(sigSeed))
+		_, vrfSK := sig.KeyFromSeed([32]byte(vrfSeed))
+		open := commit.Randomness(openSeed)
+
+		secrets[i] = Secret{
+			ID:      types.NodeID(i),
+			SigSK:   sigSK,
+			VrfSK:   vrfSK,
+			PRFKey:  prfKey,
+			PRFOpen: open,
+		}
+		pub.sigPKs[i] = sigSK.Public().(sig.PublicKey)
+		pub.vrfPKs[i] = vrfSK.Public().(sig.PublicKey)
+		pub.prfComms[i] = commit.Commit(prfKey[:], open)
+	}
+	return pub, secrets
+}
+
+// N returns the number of registered nodes.
+func (p *Public) N() int { return len(p.sigPKs) }
+
+func (p *Public) valid(id types.NodeID) bool {
+	return id >= 0 && int(id) < len(p.sigPKs)
+}
+
+// SigKey returns node id's signing public key, or nil if id is unknown.
+func (p *Public) SigKey(id types.NodeID) sig.PublicKey {
+	if !p.valid(id) {
+		return nil
+	}
+	return p.sigPKs[id]
+}
+
+// VRFKey returns node id's VRF public key, or nil if id is unknown.
+func (p *Public) VRFKey(id types.NodeID) sig.PublicKey {
+	if !p.valid(id) {
+		return nil
+	}
+	return p.vrfPKs[id]
+}
+
+// PRFCommitment returns the published commitment to node id's PRF key.
+func (p *Public) PRFCommitment(id types.NodeID) (commit.Commitment, bool) {
+	if !p.valid(id) {
+		return commit.Commitment{}, false
+	}
+	return p.prfComms[id], true
+}
+
+// VerifySecret checks that a node secret is consistent with the published
+// PKI. It is used by tests and by the adversary when it corrupts a node.
+func (p *Public) VerifySecret(s Secret) bool {
+	if !p.valid(s.ID) {
+		return false
+	}
+	c := p.prfComms[s.ID]
+	return commit.Verify(c, s.PRFKey[:], s.PRFOpen)
+}

@@ -1,0 +1,111 @@
+package pki
+
+import (
+	"testing"
+
+	"ccba/internal/crypto/commit"
+	"ccba/internal/crypto/sig"
+	"ccba/internal/crypto/vrf"
+	"ccba/internal/types"
+)
+
+func TestSetupDeterministic(t *testing.T) {
+	var seed [32]byte
+	seed[0] = 1
+	pub1, sec1 := Setup(4, seed)
+	pub2, sec2 := Setup(4, seed)
+	for i := 0; i < 4; i++ {
+		if string(pub1.SigKey(types.NodeID(i))) != string(pub2.SigKey(types.NodeID(i))) {
+			t.Fatal("sig keys differ across identical setups")
+		}
+		if sec1[i].PRFKey != sec2[i].PRFKey {
+			t.Fatal("PRF keys differ across identical setups")
+		}
+	}
+}
+
+func TestSetupSeedsDiffer(t *testing.T) {
+	var s1, s2 [32]byte
+	s2[0] = 1
+	pub1, _ := Setup(2, s1)
+	pub2, _ := Setup(2, s2)
+	if string(pub1.SigKey(0)) == string(pub2.SigKey(0)) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestKeysDistinctAcrossNodes(t *testing.T) {
+	var seed [32]byte
+	pub, sec := Setup(8, seed)
+	seen := make(map[string]bool)
+	for i := 0; i < 8; i++ {
+		k := string(pub.SigKey(types.NodeID(i)))
+		if seen[k] {
+			t.Fatal("duplicate signing key")
+		}
+		seen[k] = true
+		if string(pub.SigKey(types.NodeID(i))) == string(pub.VRFKey(types.NodeID(i))) {
+			t.Fatal("signing and VRF keys must be independent")
+		}
+		if sec[i].ID != types.NodeID(i) {
+			t.Fatalf("secret %d has ID %d", i, sec[i].ID)
+		}
+	}
+}
+
+func TestSecretsMatchPublic(t *testing.T) {
+	var seed [32]byte
+	pub, sec := Setup(4, seed)
+	for i := 0; i < 4; i++ {
+		id := types.NodeID(i)
+		// Signing key pair matches.
+		s := sig.Sign(sec[i].SigSK, []byte("m"))
+		if !sig.Verify(pub.SigKey(id), []byte("m"), s) {
+			t.Fatalf("node %d signing keys inconsistent", i)
+		}
+		// VRF key pair matches.
+		_, proof := vrf.Eval(sec[i].VrfSK, []byte("m"))
+		if _, ok := vrf.Verify(pub.VRFKey(id), []byte("m"), proof); !ok {
+			t.Fatalf("node %d VRF keys inconsistent", i)
+		}
+		// Published commitment opens to the node's PRF key.
+		if !pub.VerifySecret(sec[i]) {
+			t.Fatalf("node %d commitment does not open", i)
+		}
+	}
+}
+
+func TestCommitmentBindsPRFKey(t *testing.T) {
+	var seed [32]byte
+	pub, sec := Setup(2, seed)
+	forged := sec[0]
+	forged.PRFKey[0] ^= 1
+	if pub.VerifySecret(forged) {
+		t.Fatal("commitment accepted a forged PRF key")
+	}
+}
+
+func TestUnknownNodeLookups(t *testing.T) {
+	var seed [32]byte
+	pub, _ := Setup(2, seed)
+	if pub.SigKey(-1) != nil || pub.SigKey(2) != nil {
+		t.Fatal("out-of-range SigKey must be nil")
+	}
+	if pub.VRFKey(99) != nil {
+		t.Fatal("out-of-range VRFKey must be nil")
+	}
+	if _, ok := pub.PRFCommitment(5); ok {
+		t.Fatal("out-of-range commitment lookup must fail")
+	}
+	if c, ok := pub.PRFCommitment(0); !ok || c == (commit.Commitment{}) {
+		t.Fatal("in-range commitment lookup must succeed")
+	}
+}
+
+func TestN(t *testing.T) {
+	var seed [32]byte
+	pub, _ := Setup(7, seed)
+	if pub.N() != 7 {
+		t.Fatalf("N() = %d", pub.N())
+	}
+}

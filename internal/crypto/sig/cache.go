@@ -1,0 +1,47 @@
+package sig
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// Cache memoises signature verifications. In a real deployment each of the
+// n nodes verifies a multicast signature once; simulating all n nodes in one
+// process would repeat the identical Ed25519 verification n times. Sharing a
+// Cache across the simulated nodes preserves behaviour exactly (verification
+// is deterministic) while removing the redundancy. It is safe for concurrent
+// use; the zero value is not ready — use NewCache.
+type Cache struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte]bool
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[[sha256.Size]byte]bool)}
+}
+
+// Verify is a memoised sig.Verify.
+func (c *Cache) Verify(pk PublicKey, msg, sigBytes []byte) bool {
+	h := sha256.New()
+	h.Write(pk)
+	var sep [1]byte
+	h.Write(sep[:])
+	h.Write(msg)
+	h.Write(sep[:])
+	h.Write(sigBytes)
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+
+	c.mu.Lock()
+	v, hit := c.m[key]
+	c.mu.Unlock()
+	if hit {
+		return v
+	}
+	v = Verify(pk, msg, sigBytes)
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+	return v
+}

@@ -1,0 +1,154 @@
+// Package sig wraps Ed25519 signing for the protocols that require digital
+// signatures: the quadratic BA of Appendix C.1 ("all messages are signed")
+// and the Dolev–Strong baseline, whose signature chains are defined here as
+// well.
+//
+// Key generation is deterministic from a seed so that whole simulated
+// deployments are reproducible; the trusted-setup story (who generates keys
+// and publishes them) lives in package pki.
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// ProofSize is the signature length in bytes.
+const ProofSize = ed25519.SignatureSize
+
+// PublicKey is an Ed25519 public key.
+type PublicKey = ed25519.PublicKey
+
+// PrivateKey is an Ed25519 private key.
+type PrivateKey = ed25519.PrivateKey
+
+// KeyFromSeed deterministically derives a signing key pair from a 32-byte
+// seed.
+func KeyFromSeed(seed [32]byte) (PublicKey, PrivateKey) {
+	sk := ed25519.NewKeyFromSeed(seed[:])
+	return sk.Public().(ed25519.PublicKey), sk
+}
+
+// Sign signs msg under sk.
+func Sign(sk PrivateKey, msg []byte) []byte {
+	return ed25519.Sign(sk, msg)
+}
+
+// Verify reports whether sigBytes is a valid signature on msg under pk.
+func Verify(pk PublicKey, msg, sigBytes []byte) bool {
+	if len(pk) != ed25519.PublicKeySize || len(sigBytes) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(pk, msg, sigBytes)
+}
+
+// Chain is a Dolev–Strong signature chain: a value together with an ordered
+// list of signatures, where signature i is over the value and the first i
+// signatures. A valid round-r chain carries r distinct signers, the first of
+// which is the designated sender.
+type Chain struct {
+	Bit     types.Bit
+	Signers []types.NodeID
+	Sigs    [][]byte
+}
+
+// chainDigest returns the message signed by the (k+1)-th signer: the bit and
+// the first k links of the chain.
+func chainDigest(bit types.Bit, signers []types.NodeID, sigs [][]byte, k int) []byte {
+	h := sha256.New()
+	h.Write([]byte("ccba/sig/chain/v1"))
+	h.Write([]byte{byte(bit)})
+	var w wire.Writer
+	for i := 0; i < k; i++ {
+		w.NodeID(signers[i])
+		w.Bytes(sigs[i])
+	}
+	h.Write(w.Buf)
+	return h.Sum(nil)
+}
+
+// Extend appends id's signature to the chain, returning a new chain. The
+// receiver is not modified.
+func (c Chain) Extend(id types.NodeID, sk PrivateKey) Chain {
+	digest := chainDigest(c.Bit, c.Signers, c.Sigs, len(c.Signers))
+	signers := make([]types.NodeID, len(c.Signers), len(c.Signers)+1)
+	copy(signers, c.Signers)
+	sigs := make([][]byte, len(c.Sigs), len(c.Sigs)+1)
+	copy(sigs, c.Sigs)
+	return Chain{
+		Bit:     c.Bit,
+		Signers: append(signers, id),
+		Sigs:    append(sigs, Sign(sk, digest)),
+	}
+}
+
+// VerifyChain checks that the chain is well formed: the bit is concrete, it
+// carries at least one signer, the first signer is sender, signers are
+// pairwise distinct, and every signature verifies under keyOf.
+func (c Chain) VerifyChain(sender types.NodeID, keyOf func(types.NodeID) PublicKey) bool {
+	if !c.Bit.Valid() || len(c.Signers) == 0 || len(c.Signers) != len(c.Sigs) {
+		return false
+	}
+	if c.Signers[0] != sender {
+		return false
+	}
+	seen := make(map[types.NodeID]struct{}, len(c.Signers))
+	for i, id := range c.Signers {
+		if _, dup := seen[id]; dup {
+			return false
+		}
+		seen[id] = struct{}{}
+		pk := keyOf(id)
+		if pk == nil {
+			return false
+		}
+		digest := chainDigest(c.Bit, c.Signers, c.Sigs, i)
+		if !Verify(pk, digest, c.Sigs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether id already signed the chain.
+func (c Chain) Contains(id types.NodeID) bool {
+	for _, s := range c.Signers {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode appends the chain's canonical encoding to dst.
+func (c Chain) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.Bit(c.Bit)
+	w.U32(uint32(len(c.Signers)))
+	for i, id := range c.Signers {
+		w.NodeID(id)
+		w.Bytes(c.Sigs[i])
+	}
+	return w.Buf
+}
+
+// DecodeChain reads a chain from r.
+func DecodeChain(r *wire.Reader) Chain {
+	var c Chain
+	c.Bit = r.Bit()
+	n := r.U32()
+	r.Expect(n <= 1<<16, "chain too long")
+	if r.Err() != nil {
+		return c
+	}
+	c.Signers = make([]types.NodeID, 0, n)
+	c.Sigs = make([][]byte, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		c.Signers = append(c.Signers, r.NodeID())
+		c.Sigs = append(c.Sigs, r.Bytes())
+	}
+	return c
+}

@@ -1,0 +1,177 @@
+package sig
+
+import (
+	"testing"
+
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+func keyFor(b byte) (PublicKey, PrivateKey) {
+	var seed [32]byte
+	seed[0] = b
+	return KeyFromSeed(seed)
+}
+
+func TestSignVerify(t *testing.T) {
+	pk, sk := keyFor(1)
+	msg := []byte("vote")
+	s := Sign(sk, msg)
+	if !Verify(pk, msg, s) {
+		t.Fatal("honest signature rejected")
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	pk, sk := keyFor(1)
+	s := Sign(sk, []byte("vote 0"))
+	if Verify(pk, []byte("vote 1"), s) {
+		t.Fatal("tampered message accepted")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	_, sk := keyFor(1)
+	pk2, _ := keyFor(2)
+	s := Sign(sk, []byte("m"))
+	if Verify(pk2, []byte("m"), s) {
+		t.Fatal("signature accepted under wrong key")
+	}
+}
+
+func TestVerifyRejectsGarbage(t *testing.T) {
+	pk, _ := keyFor(1)
+	if Verify(pk, []byte("m"), []byte("not a signature")) {
+		t.Fatal("garbage accepted")
+	}
+	if Verify(nil, []byte("m"), make([]byte, ProofSize)) {
+		t.Fatal("nil key accepted")
+	}
+}
+
+func TestKeyFromSeedDeterministic(t *testing.T) {
+	pk1, _ := keyFor(7)
+	pk2, _ := keyFor(7)
+	if string(pk1) != string(pk2) {
+		t.Fatal("keygen not deterministic")
+	}
+}
+
+func chainKeys(t *testing.T, n int) ([]PublicKey, []PrivateKey, func(types.NodeID) PublicKey) {
+	t.Helper()
+	pks := make([]PublicKey, n)
+	sks := make([]PrivateKey, n)
+	for i := range pks {
+		pks[i], sks[i] = keyFor(byte(i + 1))
+	}
+	keyOf := func(id types.NodeID) PublicKey {
+		if int(id) < 0 || int(id) >= n {
+			return nil
+		}
+		return pks[id]
+	}
+	return pks, sks, keyOf
+}
+
+func TestChainBuildAndVerify(t *testing.T) {
+	_, sks, keyOf := chainKeys(t, 4)
+	c := Chain{Bit: types.One}
+	for i := 0; i < 4; i++ {
+		c = c.Extend(types.NodeID(i), sks[i])
+	}
+	if !c.VerifyChain(0, keyOf) {
+		t.Fatal("valid chain rejected")
+	}
+	if len(c.Signers) != 4 {
+		t.Fatalf("chain length %d, want 4", len(c.Signers))
+	}
+}
+
+func TestChainRejectsWrongSender(t *testing.T) {
+	_, sks, keyOf := chainKeys(t, 2)
+	c := Chain{Bit: types.Zero}.Extend(1, sks[1])
+	if c.VerifyChain(0, keyOf) {
+		t.Fatal("chain with wrong first signer accepted")
+	}
+}
+
+func TestChainRejectsDuplicateSigner(t *testing.T) {
+	_, sks, keyOf := chainKeys(t, 2)
+	c := Chain{Bit: types.Zero}.Extend(0, sks[0]).Extend(0, sks[0])
+	if c.VerifyChain(0, keyOf) {
+		t.Fatal("chain with duplicate signer accepted")
+	}
+}
+
+func TestChainRejectsBitTampering(t *testing.T) {
+	_, sks, keyOf := chainKeys(t, 2)
+	c := Chain{Bit: types.Zero}.Extend(0, sks[0]).Extend(1, sks[1])
+	c.Bit = types.One
+	if c.VerifyChain(0, keyOf) {
+		t.Fatal("bit-flipped chain accepted")
+	}
+}
+
+func TestChainRejectsReorderedLinks(t *testing.T) {
+	_, sks, keyOf := chainKeys(t, 3)
+	c := Chain{Bit: types.Zero}.Extend(0, sks[0]).Extend(1, sks[1]).Extend(2, sks[2])
+	c.Signers[1], c.Signers[2] = c.Signers[2], c.Signers[1]
+	c.Sigs[1], c.Sigs[2] = c.Sigs[2], c.Sigs[1]
+	if c.VerifyChain(0, keyOf) {
+		t.Fatal("reordered chain accepted")
+	}
+}
+
+func TestChainExtendDoesNotMutateReceiver(t *testing.T) {
+	_, sks, _ := chainKeys(t, 3)
+	base := Chain{Bit: types.Zero}.Extend(0, sks[0])
+	c1 := base.Extend(1, sks[1])
+	c2 := base.Extend(2, sks[2])
+	if len(base.Signers) != 1 {
+		t.Fatal("Extend mutated the receiver")
+	}
+	if c1.Signers[1] != 1 || c2.Signers[1] != 2 {
+		t.Fatal("branched chains interfere")
+	}
+}
+
+func TestChainContains(t *testing.T) {
+	_, sks, _ := chainKeys(t, 2)
+	c := Chain{Bit: types.Zero}.Extend(0, sks[0])
+	if !c.Contains(0) || c.Contains(1) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestChainEncodeDecode(t *testing.T) {
+	_, sks, keyOf := chainKeys(t, 3)
+	c := Chain{Bit: types.One}.Extend(0, sks[0]).Extend(1, sks[1]).Extend(2, sks[2])
+	buf := c.Encode(nil)
+	r := wire.NewReader(buf)
+	dec := DecodeChain(r)
+	if err := r.Finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !dec.VerifyChain(0, keyOf) {
+		t.Fatal("decoded chain rejected")
+	}
+}
+
+func TestDecodeChainTruncated(t *testing.T) {
+	_, sks, _ := chainKeys(t, 1)
+	c := Chain{Bit: types.One}.Extend(0, sks[0])
+	buf := c.Encode(nil)
+	r := wire.NewReader(buf[:len(buf)-3])
+	_ = DecodeChain(r)
+	if r.Err() == nil {
+		t.Fatal("truncated chain decoded without error")
+	}
+}
+
+func TestEmptyChainInvalid(t *testing.T) {
+	_, _, keyOf := chainKeys(t, 1)
+	c := Chain{Bit: types.Zero}
+	if c.VerifyChain(0, keyOf) {
+		t.Fatal("empty chain accepted")
+	}
+}

@@ -1,0 +1,184 @@
+// Package dolevstrong implements the classic Dolev–Strong authenticated
+// Byzantine Broadcast protocol [13 in the paper]: f+1 rounds, signature
+// chains, tolerating any f < n corruptions under a PKI.
+//
+// It serves two roles in this reproduction:
+//
+//   - the canonical example of a "natural Ω(n²)-communication protocol
+//     secure against a strongly adaptive adversary" (§1): every honest node
+//     relays each extracted bit to everyone, so isolating a victim requires
+//     corrupting more senders than the budget allows — the Theorem 1 harness
+//     uses it as the survives-the-attack contrast;
+//   - a baseline for the communication-complexity comparison (E9).
+//
+// Protocol: in round 0 the designated sender signs its bit and multicasts
+// the 1-link chain. A node that, in round i, receives a valid chain with at
+// least i signatures for a bit it has not yet extracted, extracts the bit
+// and (if i ≤ f) appends its own signature and multicasts the extended
+// chain. After round f+1, a node outputs the unique extracted bit, or the
+// default 0 if it extracted zero or two bits.
+package dolevstrong
+
+import (
+	"fmt"
+
+	"ccba/internal/crypto/pki"
+	"ccba/internal/crypto/sig"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Config parameterises one node.
+type Config struct {
+	// N is the number of nodes; F the corruption bound (any F < N).
+	N, F int
+	// Sender is the designated sender.
+	Sender types.NodeID
+	// PKI is the trusted-setup key registry.
+	PKI *pki.Public
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N <= 0 || c.F < 0 || c.F >= c.N {
+		return fmt.Errorf("dolevstrong: need 0 ≤ f < n, got n=%d f=%d", c.N, c.F)
+	}
+	if int(c.Sender) < 0 || int(c.Sender) >= c.N {
+		return fmt.Errorf("dolevstrong: sender %d out of range", c.Sender)
+	}
+	if c.PKI == nil {
+		return fmt.Errorf("dolevstrong: PKI required")
+	}
+	return nil
+}
+
+// Rounds is the total number of synchronous rounds: the sender's round plus
+// f+1 relay rounds.
+func (c Config) Rounds() int { return c.F + 2 }
+
+// KindChain is the single message kind: a signature chain.
+const KindChain wire.Kind = 1
+
+// ChainMsg wraps a signature chain for transport.
+type ChainMsg struct {
+	Chain sig.Chain
+}
+
+// Kind implements wire.Message.
+func (m ChainMsg) Kind() wire.Kind { return KindChain }
+
+// Encode implements wire.Message.
+func (m ChainMsg) Encode(dst []byte) []byte { return m.Chain.Encode(dst) }
+
+// Decode parses a marshalled Dolev–Strong message.
+func Decode(buf []byte) (wire.Message, error) {
+	if len(buf) == 0 || wire.Kind(buf[0]) != KindChain {
+		return nil, fmt.Errorf("dolevstrong: %w", wire.ErrMalformed)
+	}
+	r := wire.NewReader(buf[1:])
+	c := sig.DecodeChain(r)
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("dolevstrong: %w", err)
+	}
+	return ChainMsg{Chain: c}, nil
+}
+
+// Node is one participant's state machine.
+type Node struct {
+	cfg   Config
+	id    types.NodeID
+	input types.Bit // meaningful only for the sender
+	sk    sig.PrivateKey
+
+	extracted [2]bool
+	out       types.Bit
+	decided   bool
+	halted    bool
+}
+
+// New constructs node id. input is used only when id is the designated
+// sender.
+func New(cfg Config, id types.NodeID, input types.Bit, sk sig.PrivateKey) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id == cfg.Sender && !input.Valid() {
+		return nil, fmt.Errorf("dolevstrong: sender input %v", input)
+	}
+	return &Node{cfg: cfg, id: id, input: input, sk: sk}, nil
+}
+
+// NewNodes constructs all n state machines.
+func NewNodes(cfg Config, senderInput types.Bit, secrets []pki.Secret) ([]netsim.Node, error) {
+	if len(secrets) != cfg.N {
+		return nil, fmt.Errorf("dolevstrong: %d secrets for n=%d", len(secrets), cfg.N)
+	}
+	nodes := make([]netsim.Node, cfg.N)
+	for i := range nodes {
+		n, err := New(cfg, types.NodeID(i), senderInput, secrets[i].SigSK)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+	return nodes, nil
+}
+
+var _ netsim.Node = (*Node)(nil)
+
+// Output implements netsim.Node.
+func (n *Node) Output() (types.Bit, bool) { return n.out, n.decided }
+
+// Halted implements netsim.Node.
+func (n *Node) Halted() bool { return n.halted }
+
+// Step implements netsim.Node.
+func (n *Node) Step(round int, delivered []netsim.Delivered) []netsim.Send {
+	if n.halted {
+		return nil
+	}
+	var sends []netsim.Send
+
+	if round == 0 {
+		if n.id == n.cfg.Sender {
+			n.extracted[n.input] = true
+			chain := sig.Chain{Bit: n.input}.Extend(n.id, n.sk)
+			sends = append(sends, netsim.Multicast(ChainMsg{Chain: chain}))
+		}
+		return sends
+	}
+
+	keyOf := n.cfg.PKI.SigKey
+	for _, d := range delivered {
+		m, ok := d.Msg.(ChainMsg)
+		if !ok {
+			continue
+		}
+		c := m.Chain
+		if !c.Bit.Valid() || n.extracted[c.Bit] {
+			continue
+		}
+		// A chain accepted in round i must carry at least i signatures,
+		// starting with the designated sender's.
+		if len(c.Signers) < round || !c.VerifyChain(n.cfg.Sender, keyOf) {
+			continue
+		}
+		n.extracted[c.Bit] = true
+		if round <= n.cfg.F && !c.Contains(n.id) {
+			sends = append(sends, netsim.Multicast(ChainMsg{Chain: c.Extend(n.id, n.sk)}))
+		}
+	}
+
+	if round >= n.cfg.F+1 {
+		// Output the unique extracted bit; 0 on silence or equivocation.
+		if n.extracted[0] != n.extracted[1] {
+			n.out = types.BitFromBool(n.extracted[1])
+		} else {
+			n.out = types.Zero
+		}
+		n.decided = true
+		n.halted = true
+	}
+	return sends
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccba/internal/crypto/pki"
+	"ccba/internal/leader"
+	"ccba/internal/netsim"
+	"ccba/internal/quadratic"
+	"ccba/internal/stats"
+	"ccba/internal/table"
+	"ccba/internal/types"
+)
+
+// E2Row is one protocol × n setting of the multicast-complexity experiment.
+type E2Row struct {
+	Protocol      string
+	N, F, Lambda  int
+	Trials        int
+	Multicasts    float64 // mean honest multicasts (Definition 7)
+	BytesPerMcast float64 // mean multicast size
+	Messages      float64 // mean classical messages (Definition 6)
+	Rounds        float64
+	Violations    int
+}
+
+// E2Result is the Theorem 2 reproduction: the core protocol's multicast
+// complexity is governed by λ (≈ O(λ²) over the whole run) and flat in n,
+// while the quadratic baseline's classical complexity grows as n² — the
+// crossover the paper's headline result promises.
+type E2Result struct {
+	Rows  []E2Row
+	Table *table.Table
+}
+
+// E2MulticastComplexity runs the experiment. Core sizes are swept up to
+// maxN; the quadratic baseline up to min(maxN, 256) (it is, after all,
+// quadratic).
+func E2MulticastComplexity(trials, maxN int) (*E2Result, error) {
+	res := &E2Result{Table: table.New(
+		"E2 (Theorem 2 / Lemma 15) — multicast complexity: subquadratic BA vs quadratic baseline",
+		"protocol", "n", "f", "λ", "multicasts", "B/mcast", "classical msgs", "rounds", "violations",
+	)}
+	res.Table.Note = "Core multicasts stay ≈O(λ²) as n grows 64→" + fmt.Sprint(maxN) +
+		"; the quadratic baseline's classical messages grow ≈n² — who wins flips at the crossover."
+
+	const lambda = 40
+	for _, n := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
+		if n > maxN {
+			break
+		}
+		f := (3 * n) / 10
+		var mcasts, bpm, msgs, rounds []float64
+		viol := 0
+		for trial := 0; trial < trials; trial++ {
+			cfg := coreSetup(n, f, lambda, seedFor("e2-core", trial*10000+n))
+			inputs := mixedInputs(n)
+			r, err := runCore(cfg, inputs, nil)
+			if err != nil {
+				return nil, err
+			}
+			if checkResult(r, inputs).any() {
+				viol++
+			}
+			mcasts = append(mcasts, float64(r.Metrics.HonestMulticasts))
+			if r.Metrics.HonestMulticasts > 0 {
+				bpm = append(bpm, float64(r.Metrics.HonestMulticastBytes)/float64(r.Metrics.HonestMulticasts))
+			}
+			msgs = append(msgs, float64(r.Metrics.HonestMessages))
+			rounds = append(rounds, float64(r.Rounds))
+		}
+		row := E2Row{
+			Protocol: "core (subquadratic)", N: n, F: f, Lambda: lambda, Trials: trials,
+			Multicasts:    stats.Summarize(mcasts).Mean,
+			BytesPerMcast: stats.Summarize(bpm).Mean,
+			Messages:      stats.Summarize(msgs).Mean,
+			Rounds:        stats.Summarize(rounds).Mean,
+			Violations:    viol,
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.Protocol, row.N, row.F, row.Lambda, row.Multicasts,
+			row.BytesPerMcast, row.Messages, row.Rounds, row.Violations)
+	}
+
+	for _, n := range []int{64, 128, 256} {
+		if n > maxN {
+			break
+		}
+		f := (n - 1) / 2
+		var mcasts, bpm, msgs, rounds []float64
+		viol := 0
+		for trial := 0; trial < trials; trial++ {
+			seed := seedFor("e2-quad", trial*10000+n)
+			pub, secrets := pki.Setup(n, seed)
+			cfg := quadratic.Config{
+				N: n, F: f, MaxIters: 40,
+				Oracle: leader.New(seed, n), PKI: pub,
+			}
+			inputs := mixedInputs(n)
+			nodes, err := quadratic.NewNodes(cfg, inputs, secrets)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := netsim.NewRuntime(netsim.Config{
+				N: n, F: f, MaxRounds: cfg.Rounds(),
+				Seize: func(id types.NodeID) any { return secrets[id] },
+			}, nodes, nil)
+			if err != nil {
+				return nil, err
+			}
+			r := rt.Run()
+			if checkResult(r, inputs).any() {
+				viol++
+			}
+			mcasts = append(mcasts, float64(r.Metrics.HonestMulticasts))
+			if r.Metrics.HonestMulticasts > 0 {
+				bpm = append(bpm, float64(r.Metrics.HonestMulticastBytes)/float64(r.Metrics.HonestMulticasts))
+			}
+			msgs = append(msgs, float64(r.Metrics.HonestMessages))
+			rounds = append(rounds, float64(r.Rounds))
+		}
+		row := E2Row{
+			Protocol: "quadratic (baseline)", N: n, F: f, Lambda: 0, Trials: trials,
+			Multicasts:    stats.Summarize(mcasts).Mean,
+			BytesPerMcast: stats.Summarize(bpm).Mean,
+			Messages:      stats.Summarize(msgs).Mean,
+			Rounds:        stats.Summarize(rounds).Mean,
+			Violations:    viol,
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.Protocol, row.N, row.F, "-", row.Multicasts,
+			row.BytesPerMcast, row.Messages, row.Rounds, row.Violations)
+	}
+	return res, nil
+}

@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ccba/internal/core"
+	"ccba/internal/fmine"
+	"ccba/internal/netsim"
+	"ccba/internal/stats"
+	"ccba/internal/table"
+	"ccba/internal/types"
+)
+
+// haltRecorder wraps a node and records the round in which it halted.
+type haltRecorder struct {
+	inner     netsim.Node
+	haltRound int
+}
+
+func newHaltRecorder(inner netsim.Node) *haltRecorder {
+	return &haltRecorder{inner: inner, haltRound: -1}
+}
+
+// Step implements netsim.Node.
+func (h *haltRecorder) Step(round int, delivered []netsim.Delivered) []netsim.Send {
+	sends := h.inner.Step(round, delivered)
+	if h.haltRound < 0 && h.inner.Halted() {
+		h.haltRound = round
+	}
+	return sends
+}
+
+// Output implements netsim.Node.
+func (h *haltRecorder) Output() (types.Bit, bool) { return h.inner.Output() }
+
+// Halted implements netsim.Node.
+func (h *haltRecorder) Halted() bool { return h.inner.Halted() }
+
+// E4Result is the Lemma 10 reproduction: once a batch of honest nodes
+// terminates (multicasting eligible Terminate messages), every other honest
+// node terminates within the next round.
+type E4Result struct {
+	Trials       int
+	SpreadCounts map[int]int // halt-round spread → frequency
+	PSpreadLE1   float64
+	Table        *table.Table
+}
+
+// E4TerminatePropagation measures the halt-round spread of the core
+// protocol across trials.
+func E4TerminatePropagation(trials int) (*E4Result, error) {
+	const n, f, lambda = 200, 60, 40
+	res := &E4Result{Trials: trials, SpreadCounts: map[int]int{}}
+	for trial := 0; trial < trials; trial++ {
+		cfg := coreSetup(n, f, lambda, seedFor("e4", trial))
+		inputs := mixedInputs(n)
+		inner, err := core.NewNodes(cfg, inputs)
+		if err != nil {
+			return nil, err
+		}
+		nodes := make([]netsim.Node, len(inner))
+		recs := make([]*haltRecorder, len(inner))
+		for i, nd := range inner {
+			recs[i] = newHaltRecorder(nd)
+			nodes[i] = recs[i]
+		}
+		rt, err := netsim.NewRuntime(netsim.Config{N: n, F: f, MaxRounds: cfg.Rounds()}, nodes, nil)
+		if err != nil {
+			return nil, err
+		}
+		r := rt.Run()
+		first, last := math.MaxInt, -1
+		for _, id := range r.ForeverHonest() {
+			hr := recs[id].haltRound
+			if hr < 0 {
+				continue
+			}
+			if hr < first {
+				first = hr
+			}
+			if hr > last {
+				last = hr
+			}
+		}
+		if last >= 0 {
+			res.SpreadCounts[last-first]++
+		}
+	}
+	le1 := 0
+	for spread, cnt := range res.SpreadCounts {
+		if spread <= 1 {
+			le1 += cnt
+		}
+	}
+	res.PSpreadLE1 = stats.Rate(le1, trials)
+
+	res.Table = table.New(
+		"E4 (Lemma 10) — terminate propagation: halt-round spread across forever-honest nodes",
+		"spread (rounds)", "frequency", "share",
+	)
+	res.Table.Note = "Lemma 10: once εn/2 honest nodes terminate, all terminate next round whp ⇒ spread ≤ 1 dominates."
+	for spread := 0; spread <= 8; spread++ {
+		if cnt, ok := res.SpreadCounts[spread]; ok {
+			res.Table.Add(spread, cnt, pct(stats.Rate(cnt, trials)))
+		}
+	}
+	return res, nil
+}
+
+// E5Row is one λ setting of the committee-concentration experiment.
+type E5Row struct {
+	Lambda          int
+	Threshold       int
+	PCorruptQuorum  float64 // empirical Pr[corrupt-eligible ≥ ⌈λ/2⌉]
+	ChernoffCorrupt float64 // analytic bound from Lemma 11(i)
+	PHonestShort    float64 // empirical Pr[honest-eligible < ⌈λ/2⌉]
+	ChernoffHonest  float64 // analytic bound from Lemma 11(ii)
+}
+
+// E5Result is the Lemma 11 reproduction.
+type E5Result struct {
+	N, F   int
+	Trials int
+	Rows   []E5Row
+	Table  *table.Table
+}
+
+// E5CommitteeConcentration samples eligibility directly from F_mine and
+// compares the two bad-event frequencies of Lemma 11 with their Chernoff
+// bounds.
+func E5CommitteeConcentration(trials int) (*E5Result, error) {
+	const n = 2000
+	const eps = 0.1
+	f := int((0.5 - eps) * n)
+	res := &E5Result{N: n, F: f, Trials: trials}
+	res.Table = table.New(
+		fmt.Sprintf("E5 (Lemma 11) — committee concentration (n=%d, f=%d, %d trials)", n, f, trials),
+		"λ", "⌈λ/2⌉", "P[corrupt ≥ ⌈λ/2⌉]", "Chernoff bound", "P[honest < ⌈λ/2⌉]", "Chernoff bound",
+	)
+	res.Table.Note = "Both bad events must sit under their exp(−Ω(ε²λ)) bounds and vanish as λ grows."
+
+	for _, lambda := range []int{20, 40, 80, 160} {
+		ideal := fmine.NewIdeal(seedFor("e5", lambda), func(fmine.Tag) float64 {
+			return fmine.CommitteeProb(n, lambda)
+		})
+		threshold := (lambda + 1) / 2
+		corruptBad, honestBad := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			tag := fmine.Tag{Domain: "e5", Type: 1, Iter: uint32(trial), Bit: types.Zero}
+			corruptElig, honestElig := 0, 0
+			for id := 0; id < n; id++ {
+				_, ok := ideal.Miner(types.NodeID(id)).Mine(tag)
+				if !ok {
+					continue
+				}
+				if id < f {
+					corruptElig++
+				} else {
+					honestElig++
+				}
+			}
+			if corruptElig >= threshold {
+				corruptBad++
+			}
+			if honestElig < threshold {
+				honestBad++
+			}
+		}
+		muCorrupt := float64(f) * float64(lambda) / n
+		muHonest := float64(n-f) * float64(lambda) / n
+		row := E5Row{
+			Lambda:          lambda,
+			Threshold:       threshold,
+			PCorruptQuorum:  stats.Rate(corruptBad, trials),
+			ChernoffCorrupt: stats.ChernoffUpper(muCorrupt, float64(threshold)),
+			PHonestShort:    stats.Rate(honestBad, trials),
+			ChernoffHonest:  stats.ChernoffLower(muHonest, float64(threshold)),
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.Lambda, row.Threshold, fmt.Sprintf("%.4f", row.PCorruptQuorum),
+			fmt.Sprintf("%.4f", row.ChernoffCorrupt), fmt.Sprintf("%.4f", row.PHonestShort),
+			fmt.Sprintf("%.4f", row.ChernoffHonest))
+	}
+	return res, nil
+}
+
+// E6Row is one n setting of the good-iteration experiment.
+type E6Row struct {
+	N           int
+	PUnique     float64 // Pr[exactly one of 2n propose coins succeeds]
+	PGood       float64 // …and its owner is so-far-honest
+	PaperUnique float64 // > 1/e
+	PaperGood   float64 // > 1/(2e)
+}
+
+// E6Result is the Lemma 12 reproduction.
+type E6Result struct {
+	Trials int
+	Rows   []E6Row
+	Table  *table.Table
+}
+
+// E6GoodIteration samples the 2n propose coins of Lemma 12 and measures the
+// unique-leader and good-iteration frequencies.
+func E6GoodIteration(trials int) (*E6Result, error) {
+	res := &E6Result{Trials: trials}
+	res.Table = table.New(
+		fmt.Sprintf("E6 (Lemma 12) — good iterations: unique so-far-honest leader (%d trials)", trials),
+		"n", "P[unique proposer]", "paper: >1/e", "P[good iteration]", "paper: >1/(2e)",
+	)
+	invE := 1 / math.E
+	for _, n := range []int{64, 256, 1024} {
+		f := (n - 1) / 2
+		ideal := fmine.NewIdeal(seedFor("e6", n), func(fmine.Tag) float64 {
+			return fmine.LeaderProb(n)
+		})
+		unique, good := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			successes := 0
+			honestOwner := false
+			// Lemma 12's process: 2n attempts per iteration — every node may
+			// try to propose 0 and 1. Nodes 0..f−1 are corrupt.
+			for id := 0; id < n; id++ {
+				for _, b := range []types.Bit{types.Zero, types.One} {
+					tag := fmine.Tag{Domain: "e6", Type: 1, Iter: uint32(trial), Bit: b}
+					if _, ok := ideal.Miner(types.NodeID(id)).Mine(tag); ok {
+						successes++
+						honestOwner = id >= f
+					}
+				}
+			}
+			if successes == 1 {
+				unique++
+				if honestOwner {
+					good++
+				}
+			}
+		}
+		row := E6Row{
+			N:           n,
+			PUnique:     stats.Rate(unique, trials),
+			PGood:       stats.Rate(good, trials),
+			PaperUnique: invE,
+			PaperGood:   invE / 2,
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.N, fmt.Sprintf("%.3f", row.PUnique), fmt.Sprintf("%.3f", row.PaperUnique),
+			fmt.Sprintf("%.3f", row.PGood), fmt.Sprintf("%.3f", row.PaperGood))
+	}
+	return res, nil
+}
+
+// E7Row is one adversary setting of the safety experiment.
+type E7Row struct {
+	Adversary  string
+	Inputs     string
+	Trials     int
+	Violations int
+	MeanRounds float64
+	Corrupted  float64
+}
+
+// E7Result is the Lemma 13/14 reproduction: zero violations of consistency,
+// validity, or termination across adversaries and seeds.
+type E7Result struct {
+	Rows            []E7Row
+	TotalViolations int
+	Table           *table.Table
+}
+
+// silentStatic corrupts the first f nodes; they stay silent.
+type silentStatic struct {
+	netsim.Passive
+}
+
+func (a *silentStatic) Setup(ctx *netsim.Ctx) {
+	for i := 0; i < ctx.F(); i++ {
+		if _, err := ctx.Corrupt(types.NodeID(i)); err != nil {
+			return
+		}
+	}
+}
+
+// E7SafetyTrials runs the core protocol against the proof-relevant
+// adversaries and counts violations.
+func E7SafetyTrials(trials int) (*E7Result, error) {
+	const n, f, lambda = 150, 45, 40
+	res := &E7Result{}
+	res.Table = table.New(
+		fmt.Sprintf("E7 (Lemmas 13–14) — consistency & validity of the core protocol (n=%d, f=%d, λ=%d)", n, f, lambda),
+		"adversary", "inputs", "trials", "violations", "mean rounds", "mean corrupted",
+	)
+	type setting struct {
+		name   string
+		adv    func() netsim.Adversary
+		inputs func() []types.Bit
+		label  string
+	}
+	settings := []setting{
+		{"passive", func() netsim.Adversary { return nil }, func() []types.Bit { return mixedInputs(n) }, "mixed"},
+		{"passive", func() netsim.Adversary { return nil }, func() []types.Bit { return constInputs(n, types.One) }, "unanimous-1"},
+		{"silent-static (f)", func() netsim.Adversary { return &silentStatic{} }, func() []types.Bit { return mixedInputs(n) }, "mixed"},
+		{"adaptive vote-flipper", func() netsim.Adversary { return &core.VoteFlipAttack{} }, func() []types.Bit { return mixedInputs(n) }, "mixed"},
+		{"adaptive vote-flipper", func() netsim.Adversary { return &core.VoteFlipAttack{} }, func() []types.Bit { return constInputs(n, types.Zero) }, "unanimous-0"},
+	}
+	for si, st := range settings {
+		viol := 0
+		var rounds, corrupted []float64
+		for trial := 0; trial < trials; trial++ {
+			cfg := coreSetup(n, f, lambda, seedFor("e7", si*10000+trial))
+			inputs := st.inputs()
+			r, err := runCore(cfg, inputs, st.adv())
+			if err != nil {
+				return nil, err
+			}
+			if checkResult(r, inputs).any() {
+				viol++
+			}
+			rounds = append(rounds, float64(r.Rounds))
+			corrupted = append(corrupted, float64(r.NumCorrupt()))
+		}
+		row := E7Row{
+			Adversary: st.name, Inputs: st.label, Trials: trials,
+			Violations: viol,
+			MeanRounds: stats.Summarize(rounds).Mean,
+			Corrupted:  stats.Summarize(corrupted).Mean,
+		}
+		res.Rows = append(res.Rows, row)
+		res.TotalViolations += viol
+		res.Table.Add(row.Adversary, row.Inputs, row.Trials, row.Violations, row.MeanRounds, row.Corrupted)
+	}
+	res.Table.Note = "Expected: zero violations in every row (the paper's exp(−Ω(ε²λ)) failure terms are ≪ 1/trials at these parameters)."
+	return res, nil
+}

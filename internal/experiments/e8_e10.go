@@ -1,0 +1,446 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccba/internal/chenmicali"
+	"ccba/internal/core"
+	"ccba/internal/crypto/pki"
+	"ccba/internal/dolevstrong"
+	"ccba/internal/fmine"
+	"ccba/internal/leader"
+	"ccba/internal/netsim"
+	"ccba/internal/phaseking"
+	"ccba/internal/quadratic"
+	"ccba/internal/stats"
+	"ccba/internal/table"
+	"ccba/internal/types"
+)
+
+// E8Row is one eligibility design of the ablation.
+type E8Row struct {
+	Design        string
+	Trials        int
+	AttackBroke   int // violations under the flip attack
+	BaselineBroke int // violations in paired no-adversary runs
+	ForgedMean    float64
+}
+
+// E8Result is the §3.3 Remark made executable: the same quorum-flip attack
+// against three eligibility designs.
+type E8Result struct {
+	Rows  []E8Row
+	Table *table.Table
+}
+
+// E8BitSpecificAblation runs the ablation.
+func E8BitSpecificAblation(trials int) (*E8Result, error) {
+	const n, epochs, lambda, f = 150, 8, 40, 50
+	res := &E8Result{}
+	res.Table = table.New(
+		fmt.Sprintf("E8 (§3.3 Remark) — is bit-specific eligibility necessary? (n=%d, λ=%d, f=%d)", n, lambda, f),
+		"eligibility design", "trials", "attack violations", "baseline violations", "mean forged msgs",
+	)
+	res.Table.Note = "Same weakly adaptive quorum-flip adversary in every row; only the eligibility design changes."
+
+	victims := make([]types.NodeID, 0, n/2)
+	for i := n / 2; i < n; i++ {
+		victims = append(victims, types.NodeID(i))
+	}
+	inputs := constInputs(n, types.One)
+
+	// Design 1 & 2: Chen–Micali-style bit-free tickets, erasure off/on.
+	for _, erasure := range []bool{false, true} {
+		name := "bit-free tickets, no erasure (Chen–Micali strawman)"
+		if erasure {
+			name = "bit-free tickets + memory erasure (Chen–Micali fix)"
+		}
+		broke, baseBroke := 0, 0
+		var forged []float64
+		for trial := 0; trial < trials; trial++ {
+			seed := seedFor("e8-cm", trial*10+boolInt(erasure))
+			mkCfg := func() (chenmicali.Config, []pki.Secret) {
+				pub, secrets := pki.Setup(n, seed)
+				return chenmicali.Config{
+					N: n, Epochs: epochs, Lambda: lambda, Erasure: erasure,
+					Suite: fmine.NewIdeal(seed, chenmicali.Probabilities(n, lambda)),
+					PKI:   pub,
+				}, secrets
+			}
+			runOne := func(adv netsim.Adversary) (bool, error) {
+				cfg, secrets := mkCfg()
+				nodes, keys, err := chenmicali.NewNodes(cfg, inputs, secrets)
+				if err != nil {
+					return false, err
+				}
+				rt, err := netsim.NewRuntime(netsim.Config{
+					N: n, F: f, MaxRounds: cfg.Rounds() + 2,
+					Seize: func(id types.NodeID) any { return keys[id] },
+				}, nodes, adv)
+				if err != nil {
+					return false, err
+				}
+				r := rt.Run()
+				return checkResult(r, inputs).any(), nil
+			}
+			attack := &chenmicali.FlipAttack{TargetEpoch: uint32(epochs - 1), Victims: victims}
+			v, err := runOne(attack)
+			if err != nil {
+				return nil, err
+			}
+			if v {
+				broke++
+			}
+			bv, err := runOne(nil)
+			if err != nil {
+				return nil, err
+			}
+			if bv {
+				baseBroke++
+			}
+			forged = append(forged, float64(attack.Forged))
+		}
+		row := E8Row{Design: name, Trials: trials, AttackBroke: broke, BaselineBroke: baseBroke,
+			ForgedMean: stats.Summarize(forged).Mean}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.Design, row.Trials, row.AttackBroke, row.BaselineBroke, row.ForgedMean)
+	}
+
+	// Design 3: the paper's fix — bit-specific tickets (sub-sampled
+	// phase-king), no erasure, same attack shape.
+	{
+		broke, baseBroke := 0, 0
+		var mined []float64
+		for trial := 0; trial < trials; trial++ {
+			seed := seedFor("e8-pk", trial)
+			mkNodes := func() ([]netsim.Node, fmine.Suite, error) {
+				suite := fmine.NewIdeal(seed, phaseking.Probabilities(n, lambda))
+				cfg := phaseking.Config{
+					N: n, Epochs: epochs, Sampled: true, Lambda: lambda,
+					Suite: suite, CoinSeed: seed,
+				}
+				nodes, err := phaseking.NewNodes(cfg, inputs)
+				return nodes, suite, err
+			}
+			runOne := func(adv netsim.Adversary) (bool, error) {
+				nodes, suite, err := mkNodes()
+				if err != nil {
+					return false, err
+				}
+				rt, err := netsim.NewRuntime(netsim.Config{
+					N: n, F: f, MaxRounds: 2*epochs + 3,
+					Seize: func(id types.NodeID) any { return suite.Miner(id) },
+				}, nodes, adv)
+				if err != nil {
+					return false, err
+				}
+				r := rt.Run()
+				return checkResult(r, inputs).any(), nil
+			}
+			attack := &phaseking.FlipAttack{TargetEpoch: uint32(epochs - 1), Victims: victims}
+			v, err := runOne(attack)
+			if err != nil {
+				return nil, err
+			}
+			if v {
+				broke++
+			}
+			bv, err := runOne(nil)
+			if err != nil {
+				return nil, err
+			}
+			if bv {
+				baseBroke++
+			}
+			mined = append(mined, float64(attack.Mined))
+		}
+		row := E8Row{Design: "bit-specific tickets, no erasure (this paper)", Trials: trials,
+			AttackBroke: broke, BaselineBroke: baseBroke, ForgedMean: stats.Summarize(mined).Mean}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.Design, row.Trials, row.AttackBroke, row.BaselineBroke, row.ForgedMean)
+	}
+	return res, nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// E9Row is one protocol of the comparison table.
+type E9Row struct {
+	Protocol   string
+	Model      string
+	N, F       int
+	Rounds     float64
+	Multicasts float64
+	McastKB    float64
+	Messages   float64
+	Violations int
+}
+
+// E9Result is the measured counterpart of the paper's introduction-level
+// comparison of BA protocols.
+type E9Result struct {
+	Rows  []E9Row
+	Table *table.Table
+}
+
+// E9ProtocolComparison measures every implemented protocol on comparable
+// workloads.
+func E9ProtocolComparison(trials int) (*E9Result, error) {
+	res := &E9Result{}
+	res.Table = table.New(
+		"E9 — measured protocol comparison (the paper's §1 related-work table, reproduced)",
+		"protocol", "assumptions", "n", "f", "rounds", "multicasts", "KB mcast", "classical msgs", "violations",
+	)
+
+	type runner func(trial int) (*netsim.Result, []types.Bit, error)
+	type setting struct {
+		name, model string
+		n, f        int
+		run         runner
+	}
+
+	settings := []setting{
+		{
+			name: "dolev-strong BB", model: "PKI, strongly adaptive f<n", n: 48, f: 16,
+			run: func(trial int) (*netsim.Result, []types.Bit, error) {
+				seed := seedFor("e9-ds", trial)
+				pub, secrets := pki.Setup(48, seed)
+				cfg := dolevstrong.Config{N: 48, F: 16, Sender: 0, PKI: pub}
+				nodes, err := dolevstrong.NewNodes(cfg, types.One, secrets)
+				if err != nil {
+					return nil, nil, err
+				}
+				rt, err := netsim.NewRuntime(netsim.Config{N: 48, F: 16, MaxRounds: cfg.Rounds()}, nodes, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				return rt.Run(), nil, nil
+			},
+		},
+		{
+			name: "phase-king (plain §3.1)", model: "auth. channels, f<n/3", n: 48, f: 15,
+			run: func(trial int) (*netsim.Result, []types.Bit, error) {
+				cfg := phaseking.Config{N: 48, Epochs: 20, CoinSeed: seedFor("e9-pk", trial)}
+				inputs := mixedInputs(48)
+				nodes, err := phaseking.NewNodes(cfg, inputs)
+				if err != nil {
+					return nil, nil, err
+				}
+				rt, err := netsim.NewRuntime(netsim.Config{N: 48, F: 15, MaxRounds: cfg.Rounds() + 1}, nodes, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				return rt.Run(), inputs, nil
+			},
+		},
+		{
+			name: "phase-king (sampled §3.2)", model: "PKI+VRF, weakly adaptive f<(1/3−ε)n", n: 200, f: 40,
+			run: func(trial int) (*netsim.Result, []types.Bit, error) {
+				seed := seedFor("e9-pks", trial)
+				cfg := phaseking.Config{
+					N: 200, Epochs: 20, Sampled: true, Lambda: 40,
+					Suite:    fmine.NewIdeal(seed, phaseking.Probabilities(200, 40)),
+					CoinSeed: seed,
+				}
+				inputs := mixedInputs(200)
+				nodes, err := phaseking.NewNodes(cfg, inputs)
+				if err != nil {
+					return nil, nil, err
+				}
+				rt, err := netsim.NewRuntime(netsim.Config{N: 200, F: 40, MaxRounds: cfg.Rounds() + 1}, nodes, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				return rt.Run(), inputs, nil
+			},
+		},
+		{
+			name: "chen-micali style (erasure)", model: "PKI+VRF+memory-erasure, f<(1/3−ε)n", n: 200, f: 40,
+			run: func(trial int) (*netsim.Result, []types.Bit, error) {
+				seed := seedFor("e9-cm", trial)
+				pub, secrets := pki.Setup(200, seed)
+				cfg := chenmicali.Config{
+					N: 200, Epochs: 20, Lambda: 40, Erasure: true,
+					Suite: fmine.NewIdeal(seed, chenmicali.Probabilities(200, 40)),
+					PKI:   pub,
+				}
+				inputs := mixedInputs(200)
+				nodes, _, err := chenmicali.NewNodes(cfg, inputs, secrets)
+				if err != nil {
+					return nil, nil, err
+				}
+				rt, err := netsim.NewRuntime(netsim.Config{N: 200, F: 40, MaxRounds: cfg.Rounds() + 1}, nodes, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				return rt.Run(), inputs, nil
+			},
+		},
+		{
+			name: "quadratic BA (App C.1)", model: "PKI+leader oracle, f<n/2", n: 49, f: 24,
+			run: func(trial int) (*netsim.Result, []types.Bit, error) {
+				seed := seedFor("e9-quad", trial)
+				pub, secrets := pki.Setup(49, seed)
+				cfg := quadratic.Config{N: 49, F: 24, MaxIters: 40, Oracle: leader.New(seed, 49), PKI: pub}
+				inputs := mixedInputs(49)
+				nodes, err := quadratic.NewNodes(cfg, inputs, secrets)
+				if err != nil {
+					return nil, nil, err
+				}
+				rt, err := netsim.NewRuntime(netsim.Config{N: 49, F: 24, MaxRounds: cfg.Rounds()}, nodes, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				return rt.Run(), inputs, nil
+			},
+		},
+		{
+			name: "core subquadratic (hybrid)", model: "F_mine, weakly adaptive f<(1/2−ε)n", n: 200, f: 60,
+			run: func(trial int) (*netsim.Result, []types.Bit, error) {
+				cfg := coreSetup(200, 60, 40, seedFor("e9-core", trial))
+				inputs := mixedInputs(200)
+				r, err := runCore(cfg, inputs, nil)
+				return r, inputs, err
+			},
+		},
+		{
+			name: "core subquadratic (real VRF)", model: "PKI+VRF, weakly adaptive f<(1/2−ε)n", n: 200, f: 60,
+			run: func(trial int) (*netsim.Result, []types.Bit, error) {
+				seed := seedFor("e9-core-real", trial)
+				pub, secrets := pki.Setup(200, seed)
+				cfg := core.Config{
+					N: 200, F: 60, Lambda: 40, MaxIters: 60,
+					Suite: fmine.NewReal(pub, secrets, core.Probabilities(200, 40)),
+				}
+				inputs := mixedInputs(200)
+				r, err := runCore(cfg, inputs, nil)
+				return r, inputs, err
+			},
+		},
+	}
+
+	for _, st := range settings {
+		var rounds, mcasts, mkb, msgs []float64
+		viol := 0
+		for trial := 0; trial < trials; trial++ {
+			r, inputs, err := st.run(trial)
+			if err != nil {
+				return nil, err
+			}
+			if inputs != nil {
+				if checkResult(r, inputs).any() {
+					viol++
+				}
+			} else if netsim.CheckConsistency(r) != nil || netsim.CheckTermination(r) != nil {
+				viol++
+			}
+			rounds = append(rounds, float64(r.Rounds))
+			mcasts = append(mcasts, float64(r.Metrics.HonestMulticasts))
+			mkb = append(mkb, float64(r.Metrics.HonestMulticastBytes)/1024)
+			msgs = append(msgs, float64(r.Metrics.HonestMessages))
+		}
+		row := E9Row{
+			Protocol: st.name, Model: st.model, N: st.n, F: st.f,
+			Rounds:     stats.Summarize(rounds).Mean,
+			Multicasts: stats.Summarize(mcasts).Mean,
+			McastKB:    stats.Summarize(mkb).Mean,
+			Messages:   stats.Summarize(msgs).Mean,
+			Violations: viol,
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.Protocol, row.Model, row.N, row.F, row.Rounds, row.Multicasts,
+			row.McastKB, row.Messages, row.Violations)
+	}
+	return res, nil
+}
+
+// E10Row is one n setting of the phase-king comparison.
+type E10Row struct {
+	N                 int
+	PlainMulticasts   float64
+	PlainPerNode      float64
+	SampledMulticasts float64
+	SampledPerNode    float64
+	Violations        int
+}
+
+// E10Result is the §3.1/§3.2 warm-up reproduction: linear vs committee
+// multicast complexity.
+type E10Result struct {
+	Rows  []E10Row
+	Table *table.Table
+}
+
+// E10PhaseKing measures the plain and sub-sampled phase-king protocols
+// across n.
+func E10PhaseKing(trials int) (*E10Result, error) {
+	const epochs, lambda = 12, 24
+	res := &E10Result{}
+	res.Table = table.New(
+		"E10 (§3.1 vs §3.2) — phase-king multicast complexity: everyone speaks vs committees",
+		"n", "plain multicasts", "plain/node", "sampled multicasts", "sampled/node", "violations",
+	)
+	res.Table.Note = "Plain grows linearly in n (≈ R·n ACKs); the sampled variant tracks R·(λ + 1/2), flat in n."
+
+	for _, n := range []int{32, 64, 128, 256} {
+		var plainM, sampledM []float64
+		viol := 0
+		for trial := 0; trial < trials; trial++ {
+			seed := seedFor("e10", trial*1000+n)
+			inputs := mixedInputs(n)
+
+			plainCfg := phaseking.Config{N: n, Epochs: epochs, CoinSeed: seed}
+			nodes, err := phaseking.NewNodes(plainCfg, inputs)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := netsim.NewRuntime(netsim.Config{N: n, F: 0, MaxRounds: plainCfg.Rounds() + 1}, nodes, nil)
+			if err != nil {
+				return nil, err
+			}
+			r := rt.Run()
+			if checkResult(r, inputs).any() {
+				viol++
+			}
+			plainM = append(plainM, float64(r.Metrics.HonestMulticasts))
+
+			sampledCfg := phaseking.Config{
+				N: n, Epochs: epochs, Sampled: true, Lambda: lambda,
+				Suite:    fmine.NewIdeal(seed, phaseking.Probabilities(n, lambda)),
+				CoinSeed: seed,
+			}
+			nodes, err = phaseking.NewNodes(sampledCfg, inputs)
+			if err != nil {
+				return nil, err
+			}
+			rt, err = netsim.NewRuntime(netsim.Config{N: n, F: 0, MaxRounds: sampledCfg.Rounds() + 1}, nodes, nil)
+			if err != nil {
+				return nil, err
+			}
+			r = rt.Run()
+			if checkResult(r, inputs).any() {
+				viol++
+			}
+			sampledM = append(sampledM, float64(r.Metrics.HonestMulticasts))
+		}
+		pm := stats.Summarize(plainM).Mean
+		sm := stats.Summarize(sampledM).Mean
+		row := E10Row{
+			N:                 n,
+			PlainMulticasts:   pm,
+			PlainPerNode:      pm / float64(n),
+			SampledMulticasts: sm,
+			SampledPerNode:    sm / float64(n),
+			Violations:        viol,
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.N, row.PlainMulticasts, row.PlainPerNode, row.SampledMulticasts,
+			fmt.Sprintf("%.3f", row.SampledPerNode), row.Violations)
+	}
+	return res, nil
+}

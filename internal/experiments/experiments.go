@@ -1,0 +1,104 @@
+// Package experiments regenerates every table-equivalent in the paper's
+// evaluation — one generator per experiment in DESIGN.md §3 (E1–E10), each
+// mapping a theorem, lemma, or remark to a measured table. The generators
+// return structured results for programmatic assertions plus a rendered
+// text table; cmd/experiments prints them and bench_test.go wraps them as
+// benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"ccba/internal/core"
+	"ccba/internal/fmine"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// seedFor derives a distinct 32-byte seed for (experiment, trial).
+func seedFor(experiment string, trial int) [32]byte {
+	var seed [32]byte
+	copy(seed[:], experiment)
+	seed[24] = byte(trial)
+	seed[25] = byte(trial >> 8)
+	return seed
+}
+
+// constInputs returns n copies of b.
+func constInputs(n int, b types.Bit) []types.Bit {
+	in := make([]types.Bit, n)
+	for i := range in {
+		in[i] = b
+	}
+	return in
+}
+
+// mixedInputs returns alternating inputs.
+func mixedInputs(n int) []types.Bit {
+	in := make([]types.Bit, n)
+	for i := range in {
+		in[i] = types.BitFromBool(i%2 == 0)
+	}
+	return in
+}
+
+// coreSetup builds a core-protocol configuration in the hybrid world.
+func coreSetup(n, f, lambda int, seed [32]byte) core.Config {
+	return core.Config{
+		N: n, F: f, Lambda: lambda, MaxIters: 60,
+		Suite: fmine.NewIdeal(seed, core.Probabilities(n, lambda)),
+	}
+}
+
+// runCore executes one core-protocol instance and returns the result.
+func runCore(cfg core.Config, inputs []types.Bit, adv netsim.Adversary) (*netsim.Result, error) {
+	nodes, err := core.NewNodes(cfg, inputs)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := netsim.NewRuntime(netsim.Config{
+		N: cfg.N, F: cfg.F, MaxRounds: cfg.Rounds(),
+		Seize: func(id types.NodeID) any { return cfg.Suite.Miner(id) },
+	}, nodes, adv)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Run(), nil
+}
+
+// violations counts which properties failed on a result.
+type violations struct {
+	consistency bool
+	validity    bool
+	termination bool
+}
+
+func (v violations) any() bool { return v.consistency || v.validity || v.termination }
+
+func (v violations) String() string {
+	if !v.any() {
+		return "none"
+	}
+	s := ""
+	if v.consistency {
+		s += "C"
+	}
+	if v.validity {
+		s += "V"
+	}
+	if v.termination {
+		s += "T"
+	}
+	return s
+}
+
+func checkResult(res *netsim.Result, inputs []types.Bit) violations {
+	return violations{
+		consistency: netsim.CheckConsistency(res) != nil,
+		validity:    netsim.CheckAgreementValidity(res, inputs) != nil,
+		termination: netsim.CheckTermination(res) != nil,
+	}
+}
+
+// pct formats a proportion as a percentage string.
+func pct(rate float64) string { return fmt.Sprintf("%.1f%%", 100*rate) }

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment generators are exercised with small trial counts: the goal
+// here is that every generator runs end to end, produces well-formed tables,
+// and that the qualitative shape each one exists to demonstrate holds even
+// at low statistical power. cmd/experiments and the benchmarks run them at
+// full size.
+
+func TestE1Shape(t *testing.T) {
+	res, err := E1StrongAdaptive(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		cheap := strings.Contains(row.Protocol, "committee")
+		if cheap && row.ViolationRate < 0.5 {
+			t.Errorf("%s n=%d: violation rate %.2f below the theorem's 1/2−ε floor", row.Protocol, row.N, row.ViolationRate)
+		}
+		if !cheap && row.ViolationRate != 0 {
+			t.Errorf("%s: quadratic protocol violated (%.2f)", row.Protocol, row.ViolationRate)
+		}
+		if !cheap && row.BudgetExhaust == 0 {
+			t.Errorf("%s: quadratic protocol never exhausted the budget", row.Protocol)
+		}
+	}
+	if !strings.Contains(res.Table.String(), "E1") {
+		t.Error("table missing title")
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	res, err := E2MulticastComplexity(1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coreRows, quadRows []E2Row
+	for _, r := range res.Rows {
+		if strings.HasPrefix(r.Protocol, "core") {
+			coreRows = append(coreRows, r)
+		} else {
+			quadRows = append(quadRows, r)
+		}
+		if r.Violations != 0 {
+			t.Errorf("%s n=%d: %d violations", r.Protocol, r.N, r.Violations)
+		}
+	}
+	if len(coreRows) < 3 || len(quadRows) < 3 {
+		t.Fatalf("rows: core=%d quad=%d", len(coreRows), len(quadRows))
+	}
+	// Core multicasts must be ~flat in n; quadratic classical messages must
+	// grow superlinearly.
+	first, last := coreRows[0], coreRows[len(coreRows)-1]
+	if last.Multicasts > 4*first.Multicasts {
+		t.Errorf("core multicasts grew with n: %v → %v", first.Multicasts, last.Multicasts)
+	}
+	qf, ql := quadRows[0], quadRows[len(quadRows)-1]
+	ratio := ql.Messages / qf.Messages
+	nRatio := float64(ql.N) / float64(qf.N)
+	if ratio < nRatio*nRatio/2 {
+		t.Errorf("quadratic messages grew only %.1f× over %v× nodes", ratio, nRatio)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	res, err := E3NoSetup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.ViolationRate != 1 {
+			t.Errorf("n=%d: violation rate %.2f, want 1 (the contradiction is deterministic)", r.N, r.ViolationRate)
+		}
+		if r.Corruptions > r.MulticastC {
+			t.Errorf("n=%d: corruptions %v exceed multicast complexity %v", r.N, r.Corruptions, r.MulticastC)
+		}
+		if r.Corruptions >= float64(r.N)/2 {
+			t.Errorf("n=%d: corruptions %v not sublinear", r.N, r.Corruptions)
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	res, err := E4TerminatePropagation(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PSpreadLE1 < 0.5 {
+		t.Errorf("P[spread ≤ 1] = %.2f; Lemma 10 predicts next-round propagation dominates", res.PSpreadLE1)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	res, err := E5CommitteeConcentration(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Lemma 11's actual claim: each bad event sits under its Chernoff bound.
+	// (At ε = 0.1 the bounds themselves are weak — ε²λ is small — which is
+	// exactly the finite-size story EXPERIMENTS.md discusses.)
+	for _, r := range res.Rows {
+		slack := 3.0 / float64(res.Trials) // Wilson-ish slack for rare events
+		if r.PCorruptQuorum > r.ChernoffCorrupt+slack {
+			t.Errorf("λ=%d: P[corrupt quorum] %.4f exceeds Chernoff bound %.4f", r.Lambda, r.PCorruptQuorum, r.ChernoffCorrupt)
+		}
+		if r.PHonestShort > r.ChernoffHonest+slack {
+			t.Errorf("λ=%d: P[honest short] %.4f exceeds Chernoff bound %.4f", r.Lambda, r.PHonestShort, r.ChernoffHonest)
+		}
+	}
+	// And they decay as λ grows.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.PCorruptQuorum > first.PCorruptQuorum+0.02 || last.PHonestShort > first.PHonestShort+0.02 {
+		t.Errorf("bad events did not decay with λ: corrupt %.3f→%.3f honest %.3f→%.3f",
+			first.PCorruptQuorum, last.PCorruptQuorum, first.PHonestShort, last.PHonestShort)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	res, err := E6GoodIteration(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		// 400 trials: allow ~4σ slack below the asymptotic bound.
+		if r.PGood < 0.12 {
+			t.Errorf("n=%d: good-iteration rate %.3f far below 1/(2e)≈0.184", r.N, r.PGood)
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	res, err := E7SafetyTrials(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalViolations != 0 {
+		t.Fatalf("%d safety violations", res.TotalViolations)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	res, err := E8BitSpecificAblation(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	noErasure, erasure, bitSpecific := res.Rows[0], res.Rows[1], res.Rows[2]
+	if noErasure.AttackBroke <= noErasure.BaselineBroke {
+		t.Errorf("strawman: attack (%d) did not beat baseline (%d)", noErasure.AttackBroke, noErasure.BaselineBroke)
+	}
+	if erasure.AttackBroke > erasure.BaselineBroke {
+		t.Errorf("erasure: attack (%d) beat baseline (%d) — erasure failed", erasure.AttackBroke, erasure.BaselineBroke)
+	}
+	if bitSpecific.AttackBroke > bitSpecific.BaselineBroke {
+		t.Errorf("bit-specific: attack (%d) beat baseline (%d) — the key insight failed", bitSpecific.AttackBroke, bitSpecific.BaselineBroke)
+	}
+	if noErasure.ForgedMean == 0 {
+		t.Error("strawman attack forged nothing; ablation vacuous")
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	res, err := E9ProtocolComparison(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Violations != 0 {
+			t.Errorf("%s: %d violations", r.Protocol, r.Violations)
+		}
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	res, err := E11ResilienceFrontier(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// Safety must hold at every point of the frontier, including
+		// f = 0.45n; liveness may thin but never at the cost of agreement.
+		if r.SafetyViolations != 0 {
+			t.Errorf("f/n=%.2f λ=%d: %d safety violations", r.FracCorrupt, r.Lambda, r.SafetyViolations)
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	res, err := E10PhaseKing(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	// Plain grows ~linearly with n; sampled stays flat.
+	if last.PlainMulticasts < 4*first.PlainMulticasts {
+		t.Errorf("plain multicasts not linear: %v → %v", first.PlainMulticasts, last.PlainMulticasts)
+	}
+	if last.SampledMulticasts > 3*first.SampledMulticasts {
+		t.Errorf("sampled multicasts grew with n: %v → %v", first.SampledMulticasts, last.SampledMulticasts)
+	}
+}

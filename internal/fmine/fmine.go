@@ -1,0 +1,236 @@
+// Package fmine implements the paper's eligibility election: the F_mine
+// ideal functionality of Figure 1 and its real-world instantiation via a VRF
+// (the Appendix D compiler).
+//
+// A node "mines" a ticket for a tag (message type, iteration, bit); the
+// functionality flips a memoised Bernoulli coin with a tag-dependent success
+// probability, and anyone can later verify a successful attempt. The tag
+// includes the *bit* being endorsed — the paper's key "vote-specific
+// eligibility" insight (§3.2): seeing a node's ticket for bit b reveals
+// nothing about its eligibility for 1−b, so adaptively corrupting committee
+// members after they speak buys the adversary nothing.
+//
+// Two implementations sit behind one Suite interface:
+//
+//   - Ideal: F_mine exactly as Figure 1. Coins are derived lazily from a
+//     hidden PRF key (equivalent to memoised fresh coins), Verify answers
+//     only for attempts that were actually mined, and tickets are secret
+//     until mined.
+//   - Real: the VRF compiler. Mining evaluates the node's VRF on the tag and
+//     succeeds iff the output clears the difficulty; the proof is publicly
+//     verifiable against the PKI.
+package fmine
+
+import (
+	"fmt"
+	"sync"
+
+	"ccba/internal/crypto/prf"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// CommitteeProb is the per-node success probability for committee messages:
+// λ/n, so that each committee is λ-sized in expectation (§3.2).
+func CommitteeProb(n, lambda int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p := float64(lambda) / float64(n)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// LeaderProb is the success probability for a proposal: 1/(2n), so that on
+// average one node is elected leader every two iterations (§3.2).
+func LeaderProb(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 1 / (2 * float64(n))
+}
+
+// Tag identifies a mining target. Domain separates protocols, Type is the
+// protocol-local message type, Iter the epoch/iteration, and Bit the bit
+// being endorsed (NoBit for messages that are not bit-specific — used only
+// by the Chen–Micali-style ablation, which is exactly the design the paper's
+// §3.3 Remark proves insecure).
+type Tag struct {
+	Domain string
+	Type   uint8
+	Iter   uint32
+	Bit    types.Bit
+}
+
+// Encode returns the canonical byte encoding of the tag.
+func (t Tag) Encode() []byte {
+	w := wire.Writer{Buf: make([]byte, 0, len(t.Domain)+8)}
+	w.Bytes([]byte(t.Domain))
+	w.U8(t.Type)
+	w.U32(t.Iter)
+	w.Bit(t.Bit)
+	return w.Buf
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (t Tag) String() string {
+	return fmt.Sprintf("%s/T%d/r%d/b%s", t.Domain, t.Type, t.Iter, t.Bit)
+}
+
+// ProbFunc maps a tag to its mining success probability — the paper's
+// P : {0,1}* → [0,1] from Figure 1. Protocols install, e.g., λ/n for
+// committee messages and 1/(2n) for proposals.
+type ProbFunc func(Tag) float64
+
+// Miner is one node's private mining capability. The adversary obtains a
+// node's Miner only by corrupting it.
+type Miner interface {
+	// Mine attempts to mine a ticket for tag. It returns the ticket proof
+	// and whether the attempt succeeded. Repeating an attempt returns the
+	// memoised result (Figure 1: coins are stored).
+	Mine(tag Tag) (proof []byte, ok bool)
+	// ID returns the identity this miner mines for.
+	ID() types.NodeID
+}
+
+// Verifier checks mined tickets; it is public knowledge.
+type Verifier interface {
+	// Verify reports whether node id holds a valid ticket for tag.
+	Verify(tag Tag, id types.NodeID, proof []byte) bool
+}
+
+// Suite bundles the per-node miners and the shared verifier for one
+// execution.
+type Suite interface {
+	Miner(id types.NodeID) Miner
+	Verifier() Verifier
+	// ProofSize returns the ticket proof length in bytes, for
+	// communication-complexity accounting.
+	ProofSize() int
+}
+
+// ---------------------------------------------------------------------------
+// Ideal functionality (Figure 1)
+
+// IdealProofSize is the ticket size in the hybrid world: the 32-byte coin
+// value ρ. (The real world replaces it with a 64-byte VRF proof.)
+const IdealProofSize = prf.OutputSize
+
+// Ideal is the F_mine ideal functionality. It is safe for concurrent use.
+type Ideal struct {
+	prob ProbFunc
+
+	mu     sync.Mutex
+	hidden prf.Key // trusted party's coin source; never exposed
+	mined  map[string]map[types.NodeID]bool
+	coins  map[string]prf.Output // memoised coin values (Figure 1's Coin[m,i])
+}
+
+// NewIdeal constructs the functionality with a seeded coin source.
+func NewIdeal(seed [32]byte, prob ProbFunc) *Ideal {
+	return &Ideal{
+		prob:   prob,
+		hidden: prf.DeriveKey(prf.Key(seed), "fmine/ideal"),
+		mined:  make(map[string]map[types.NodeID]bool),
+		coins:  make(map[string]prf.Output),
+	}
+}
+
+// coin computes the memoised Bernoulli coin for (tag, id). Deriving it from
+// a hidden PRF key is equivalent to flipping and storing a fresh coin on
+// first use, and keeps executions reproducible. The stored value is exactly
+// Figure 1's Coin[m, i] table; storing it also keeps large simulations from
+// recomputing the same HMAC once per simulated receiver.
+func (f *Ideal) coin(tagBytes []byte, id types.NodeID) (prf.Output, bool) {
+	msg := make([]byte, 0, len(tagBytes)+4)
+	w := wire.Writer{Buf: msg}
+	w.NodeID(id)
+	w.Buf = append(w.Buf, tagBytes...)
+	key := string(w.Buf)
+
+	f.mu.Lock()
+	out, hit := f.coins[key]
+	f.mu.Unlock()
+	if hit {
+		return out, true
+	}
+	out = prf.Eval(f.hidden, w.Buf)
+	f.mu.Lock()
+	f.coins[key] = out
+	f.mu.Unlock()
+	return out, true
+}
+
+// mine records and returns the coin for (tag, id).
+func (f *Ideal) mine(tag Tag, id types.NodeID) ([]byte, bool) {
+	tagBytes := tag.Encode()
+	p := f.prob(tag)
+	out, _ := f.coin(tagBytes, id)
+	ok := out.Below(p)
+
+	f.mu.Lock()
+	key := string(tagBytes)
+	byNode := f.mined[key]
+	if byNode == nil {
+		byNode = make(map[types.NodeID]bool)
+		f.mined[key] = byNode
+	}
+	byNode[id] = true
+	f.mu.Unlock()
+
+	if !ok {
+		return nil, false
+	}
+	proof := make([]byte, IdealProofSize)
+	copy(proof, out[:])
+	return proof, true
+}
+
+// verify implements Figure 1's verify(m, i): it answers only if mine(m) has
+// been called by node i, preserving ticket secrecy for honest nodes.
+func (f *Ideal) verify(tag Tag, id types.NodeID, proof []byte) bool {
+	tagBytes := tag.Encode()
+	f.mu.Lock()
+	mined := f.mined[string(tagBytes)][id]
+	f.mu.Unlock()
+	if !mined {
+		return false
+	}
+	out, _ := f.coin(tagBytes, id)
+	if !out.Below(f.prob(tag)) {
+		return false
+	}
+	// The hybrid-world ticket is the coin value itself; reject forgeries
+	// that present a successful node with the wrong ticket bytes.
+	if len(proof) != IdealProofSize || string(proof) != string(out[:]) {
+		return false
+	}
+	return true
+}
+
+type idealMiner struct {
+	f  *Ideal
+	id types.NodeID
+}
+
+func (m idealMiner) Mine(tag Tag) ([]byte, bool) { return m.f.mine(tag, m.id) }
+func (m idealMiner) ID() types.NodeID            { return m.id }
+
+type idealVerifier struct{ f *Ideal }
+
+func (v idealVerifier) Verify(tag Tag, id types.NodeID, proof []byte) bool {
+	return v.f.verify(tag, id, proof)
+}
+
+// Miner returns node id's mining capability.
+func (f *Ideal) Miner(id types.NodeID) Miner { return idealMiner{f: f, id: id} }
+
+// Verifier returns the public verification interface.
+func (f *Ideal) Verifier() Verifier { return idealVerifier{f: f} }
+
+// ProofSize implements Suite.
+func (f *Ideal) ProofSize() int { return IdealProofSize }
+
+var _ Suite = (*Ideal)(nil)

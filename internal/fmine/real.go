@@ -1,0 +1,106 @@
+package fmine
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"ccba/internal/crypto/pki"
+	"ccba/internal/crypto/sig"
+	"ccba/internal/crypto/vrf"
+	"ccba/internal/types"
+)
+
+// Real is the real-world instantiation of eligibility election: the
+// Appendix D compiler with the NIZK layer substituted by a VRF (DESIGN.md
+// §4). A mining attempt evaluates the node's VRF on the tag; it succeeds iff
+// the pseudorandom output clears the tag's difficulty, and the VRF proof is
+// the publicly verifiable ticket.
+type Real struct {
+	pub  *pki.Public
+	sks  []sig.PrivateKey
+	prob ProbFunc
+
+	// Verification is deterministic, so the simulator memoises results:
+	// in a real deployment each of the n nodes verifies a multicast once;
+	// simulating all n nodes in one process would repeat the identical
+	// Ed25519 verification n times. The cache preserves behaviour exactly.
+	mu    sync.Mutex
+	cache map[cacheKey]bool
+}
+
+type cacheKey struct {
+	tag   string
+	id    types.NodeID
+	proof [sha256.Size]byte
+}
+
+// NewReal constructs the real-world suite from a trusted PKI setup. The
+// secrets slice must contain each node's setup output, indexed by node ID.
+func NewReal(pub *pki.Public, secrets []pki.Secret, prob ProbFunc) *Real {
+	sks := make([]sig.PrivateKey, len(secrets))
+	for i, s := range secrets {
+		sks[i] = s.VrfSK
+	}
+	return &Real{
+		pub:   pub,
+		sks:   sks,
+		prob:  prob,
+		cache: make(map[cacheKey]bool),
+	}
+}
+
+type realMiner struct {
+	r  *Real
+	id types.NodeID
+	sk sig.PrivateKey
+}
+
+func (m realMiner) Mine(tag Tag) ([]byte, bool) {
+	out, proof := vrf.Eval(m.sk, tag.Encode())
+	if !out.Below(m.r.prob(tag)) {
+		return nil, false
+	}
+	return proof, true
+}
+
+func (m realMiner) ID() types.NodeID { return m.id }
+
+type realVerifier struct{ r *Real }
+
+func (v realVerifier) Verify(tag Tag, id types.NodeID, proof []byte) bool {
+	pk := v.r.pub.VRFKey(id)
+	if pk == nil {
+		return false
+	}
+	tagBytes := tag.Encode()
+	key := cacheKey{tag: string(tagBytes), id: id, proof: sha256.Sum256(proof)}
+
+	v.r.mu.Lock()
+	cached, hit := v.r.cache[key]
+	v.r.mu.Unlock()
+	if hit {
+		return cached
+	}
+
+	out, ok := vrf.Verify(pk, tagBytes, proof)
+	valid := ok && out.Below(v.r.prob(tag))
+
+	v.r.mu.Lock()
+	v.r.cache[key] = valid
+	v.r.mu.Unlock()
+	return valid
+}
+
+// Miner returns node id's mining capability (its VRF secret key bound to the
+// difficulty schedule).
+func (r *Real) Miner(id types.NodeID) Miner {
+	return realMiner{r: r, id: id, sk: r.sks[id]}
+}
+
+// Verifier returns the public verification interface.
+func (r *Real) Verifier() Verifier { return realVerifier{r: r} }
+
+// ProofSize implements Suite.
+func (r *Real) ProofSize() int { return vrf.ProofSize }
+
+var _ Suite = (*Real)(nil)

@@ -1,0 +1,242 @@
+// Package nosetup implements the Theorem 3 lower-bound harness: the
+// hypothetical experiment of §4 / Appendix B showing that without setup
+// assumptions (plain authenticated channels; a CRS or random oracle does not
+// help), no multicast-based Byzantine Broadcast with sublinear multicast
+// complexity C tolerates C adaptive corruptions.
+//
+// The experiment wires 2n−1 honest protocol instances into the topology
+//
+//	(input: 0)  Q —— 1 —— Q′  (input: 1)
+//
+// where node 0 (the paper's "node 1") is shared between two complete
+// executions: Q holds instances 1..n−1 with designated sender 1 receiving
+// input 0; Q′ holds instances 1′..(n−1)′ with sender 1′ receiving input 1.
+// Multicasts by a Q-instance reach all of Q and the shared node; likewise
+// for Q′; the shared node's multicasts reach both sides, and it cannot tell
+// whether a message from identity i originated in Q or Q′ — without a PKI,
+// identity is only channel-deep, and the channel says "i" either way.
+//
+// Interpreting the run with Q′ real and Q simulated by the adversary (or
+// vice versa): validity forces Q to output 0 and Q′ to output 1; the
+// adversary needs one corruption per *speaking* simulated instance — at
+// most the protocol's multicast complexity. The shared node must agree with
+// both sides by consistency, which is impossible: whichever side it
+// contradicts witnesses the violation.
+package nosetup
+
+import (
+	"fmt"
+
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// World identifies one of the two executions.
+type World uint8
+
+// The two worlds of the experiment.
+const (
+	WorldQ World = iota + 1
+	WorldQPrime
+)
+
+// String implements fmt.Stringer.
+func (w World) String() string {
+	switch w {
+	case WorldQ:
+		return "Q"
+	case WorldQPrime:
+		return "Q'"
+	default:
+		return fmt.Sprintf("World(%d)", uint8(w))
+	}
+}
+
+// Factory constructs the protocol instance for node id living in world w.
+// The protocol must be multicast-based (Theorem 3 is about the multicast
+// model) and must not rely on a PKI; per the theorem it may use a CRS —
+// pass the same CRS to both worlds. The designated sender is node 1 and
+// must receive input 0 in WorldQ and 1 in WorldQPrime.
+type Factory func(w World, id types.NodeID) (netsim.Node, error)
+
+// Config parameterises the experiment.
+type Config struct {
+	// N is the per-world node count (the experiment runs 2N−1 instances).
+	N int
+	// MaxRounds bounds the execution.
+	MaxRounds int
+	// NewNode builds one instance.
+	NewNode Factory
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 3 {
+		return fmt.Errorf("nosetup: need n ≥ 3, got %d", c.N)
+	}
+	if c.MaxRounds <= 0 {
+		return fmt.Errorf("nosetup: MaxRounds required")
+	}
+	if c.NewNode == nil {
+		return fmt.Errorf("nosetup: NewNode required")
+	}
+	return nil
+}
+
+// Sender is the designated sender's identity in each world.
+const Sender types.NodeID = 1
+
+// Outcome reports one run of the hypothetical experiment.
+type Outcome struct {
+	// SharedOutput is the shared node's output (NoBit if undecided).
+	SharedOutput types.Bit
+	// QUnanimous0 and QPrimeUnanimous1 report that validity held inside
+	// each interpretation, the premise of the contradiction.
+	QUnanimous0      bool
+	QPrimeUnanimous1 bool
+	// ContradictionSide is the world whose honest-1 interpretation
+	// witnesses the consistency violation (the side the shared node
+	// disagrees with).
+	ContradictionSide World
+	// Violated reports the lower bound's conclusion: assuming both
+	// unanimity premises, the shared node necessarily disagrees with one
+	// side.
+	Violated bool
+	// SpeakersQPrime is the number of distinct Q′ instances that ever
+	// multicast — the corruptions the adversary needs in the honest-1
+	// interpretation.
+	SpeakersQPrime int
+	// MulticastsPerWorld and MulticastBytesPerWorld measure the protocol's
+	// multicast complexity C within one world (Q′).
+	MulticastsPerWorld     int
+	MulticastBytesPerWorld int
+	// Rounds executed.
+	Rounds int
+}
+
+// instance is one of the 2n−1 state machines.
+type instance struct {
+	world World // shared node carries WorldQ by convention but routes to both
+	id    types.NodeID
+	node  netsim.Node
+	inbox []netsim.Delivered
+}
+
+// Run executes the hypothetical experiment.
+func Run(cfg Config) (*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shared, err := cfg.NewNode(WorldQ, 0)
+	if err != nil {
+		return nil, fmt.Errorf("nosetup: building shared node: %w", err)
+	}
+	all := []*instance{{world: 0, id: 0, node: shared}}
+	byWorld := map[World][]*instance{}
+	for _, w := range []World{WorldQ, WorldQPrime} {
+		for id := 1; id < cfg.N; id++ {
+			nd, err := cfg.NewNode(w, types.NodeID(id))
+			if err != nil {
+				return nil, fmt.Errorf("nosetup: building %s/%d: %w", w, id, err)
+			}
+			inst := &instance{world: w, id: types.NodeID(id), node: nd}
+			all = append(all, inst)
+			byWorld[w] = append(byWorld[w], inst)
+		}
+	}
+	sharedInst := all[0]
+
+	out := &Outcome{}
+	speakers := make(map[types.NodeID]bool)
+
+	deliver := func(to *instance, from types.NodeID, msg wire.Message) {
+		to.inbox = append(to.inbox, netsim.Delivered{From: from, Msg: msg})
+	}
+
+	round := 0
+	for ; round < cfg.MaxRounds; round++ {
+		type emitted struct {
+			src *instance
+			msg wire.Message
+		}
+		var sends []emitted
+		for _, inst := range all {
+			if inst.node.Halted() {
+				continue
+			}
+			inbox := inst.inbox
+			inst.inbox = nil
+			for _, s := range inst.node.Step(round, inbox) {
+				if s.To != types.Broadcast {
+					return nil, fmt.Errorf("nosetup: node %s/%d sent a unicast; Theorem 3 addresses multicast protocols", inst.world, inst.id)
+				}
+				sends = append(sends, emitted{src: inst, msg: s.Msg})
+			}
+		}
+		for _, e := range sends {
+			switch {
+			case e.src == sharedInst:
+				// The shared node's multicast reaches both worlds.
+				for _, inst := range all {
+					deliver(inst, 0, e.msg)
+				}
+			default:
+				// A world multicast reaches its own world and the shared
+				// node, labelled only with the channel identity.
+				for _, inst := range byWorld[e.src.world] {
+					deliver(inst, e.src.id, e.msg)
+				}
+				deliver(sharedInst, e.src.id, e.msg)
+				if e.src.world == WorldQPrime {
+					speakers[e.src.id] = true
+					out.MulticastsPerWorld++
+					out.MulticastBytesPerWorld += wire.Size(e.msg)
+				}
+			}
+		}
+		allHalted := true
+		for _, inst := range all {
+			if !inst.node.Halted() {
+				allHalted = false
+				break
+			}
+		}
+		if allHalted {
+			round++
+			break
+		}
+	}
+	out.Rounds = round
+	out.SpeakersQPrime = len(speakers)
+
+	unanimous := func(w World, want types.Bit) bool {
+		for _, inst := range byWorld[w] {
+			got, ok := inst.node.Output()
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	out.QUnanimous0 = unanimous(WorldQ, types.Zero)
+	out.QPrimeUnanimous1 = unanimous(WorldQPrime, types.One)
+
+	sharedOut, decided := shared.Output()
+	if !decided {
+		sharedOut = types.NoBit
+	}
+	out.SharedOutput = sharedOut
+
+	if out.QUnanimous0 && out.QPrimeUnanimous1 && decided {
+		out.Violated = true
+		if sharedOut == types.Zero {
+			// Shared node sides with Q; in the interpretation where Q′ is
+			// real and honest, consistency between node 0 and Q′ breaks.
+			out.ContradictionSide = WorldQPrime
+		} else {
+			out.ContradictionSide = WorldQ
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package nosetup
+
+import (
+	"strings"
+	"testing"
+
+	"ccba/internal/committee"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// echoFactory builds the no-PKI committee echo protocol: sender 1, a
+// CRS-selected committee, majority-echo decision. The same CRS is used in
+// both worlds, matching the theorem's "even assuming a CRS".
+func echoFactory(n, c int, seedByte byte) Factory {
+	return func(w World, id types.NodeID) (netsim.Node, error) {
+		var crs [32]byte
+		crs[0] = seedByte
+		cfg := committee.Config{N: n, CommitteeSize: c, Sender: Sender, CRS: crs}
+		input := types.Zero
+		if w == WorldQPrime {
+			input = types.One
+		}
+		return committee.New(cfg, id, input)
+	}
+}
+
+func TestHypotheticalExperimentContradiction(t *testing.T) {
+	for s := byte(0); s < 8; s++ {
+		cfg := Config{N: 40, MaxRounds: 10, NewNode: echoFactory(40, 6, s)}
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.QUnanimous0 {
+			t.Fatalf("seed %d: Q did not unanimously output 0 (validity premise failed)", s)
+		}
+		if !out.QPrimeUnanimous1 {
+			t.Fatalf("seed %d: Q′ did not unanimously output 1", s)
+		}
+		if !out.Violated {
+			t.Fatalf("seed %d: no contradiction — shared output %v", s, out.SharedOutput)
+		}
+		if out.ContradictionSide != WorldQ && out.ContradictionSide != WorldQPrime {
+			t.Fatalf("seed %d: bad contradiction side", s)
+		}
+		// The shared node sided with one world and violates consistency
+		// against the other.
+		want := types.Zero
+		if out.ContradictionSide == WorldQ {
+			want = types.One
+		}
+		if out.SharedOutput != want {
+			t.Fatalf("seed %d: contradiction side %s inconsistent with shared output %v",
+				s, out.ContradictionSide, out.SharedOutput)
+		}
+	}
+}
+
+func TestCorruptionBudgetWithinMulticastComplexity(t *testing.T) {
+	// Theorem 3's quantitative core: the adversary needs one corruption per
+	// speaking simulated instance, i.e. SpeakersQPrime ≤ multicast count C.
+	cfg := Config{N: 60, MaxRounds: 10, NewNode: echoFactory(60, 8, 3)}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SpeakersQPrime > out.MulticastsPerWorld {
+		t.Fatalf("speakers %d exceed multicasts %d", out.SpeakersQPrime, out.MulticastsPerWorld)
+	}
+	// Sublinear: far fewer speakers than nodes.
+	if out.SpeakersQPrime >= cfg.N/2 {
+		t.Fatalf("speakers %d not sublinear in n=%d", out.SpeakersQPrime, cfg.N)
+	}
+	// For the echo protocol specifically: sender + committee.
+	if out.SpeakersQPrime > 9 {
+		t.Fatalf("speakers %d, want ≤ 1+8", out.SpeakersQPrime)
+	}
+}
+
+func TestSharedNodeSeesMergedIdentities(t *testing.T) {
+	// White-box check of the routing rule: the shared node receives both
+	// worlds' sender messages under the same channel identity.
+	var got []netsim.Delivered
+	probe := &probeNode{capture: &got}
+	cfg := Config{
+		N: 4, MaxRounds: 4,
+		NewNode: func(w World, id types.NodeID) (netsim.Node, error) {
+			if id == 0 {
+				return probe, nil
+			}
+			return echoFactory(4, 2, 1)(w, id)
+		},
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	fromSender := 0
+	for _, d := range got {
+		if d.From == Sender {
+			fromSender++
+		}
+	}
+	if fromSender != 2 {
+		t.Fatalf("shared node saw %d sender messages, want 2 (one per world, same identity)", fromSender)
+	}
+}
+
+// probeNode records everything delivered to it and never speaks.
+type probeNode struct {
+	capture *[]netsim.Delivered
+	done    bool
+}
+
+func (p *probeNode) Step(round int, delivered []netsim.Delivered) []netsim.Send {
+	*p.capture = append(*p.capture, delivered...)
+	if round >= 3 {
+		p.done = true
+	}
+	return nil
+}
+func (p *probeNode) Output() (types.Bit, bool) { return types.Zero, p.done }
+func (p *probeNode) Halted() bool              { return p.done }
+
+func TestUnicastRejected(t *testing.T) {
+	cfg := Config{
+		N: 4, MaxRounds: 4,
+		NewNode: func(World, types.NodeID) (netsim.Node, error) {
+			return unicaster{}, nil
+		},
+	}
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "unicast") {
+		t.Fatalf("unicast protocol accepted: %v", err)
+	}
+}
+
+type unicaster struct{}
+
+func (unicaster) Step(int, []netsim.Delivered) []netsim.Send {
+	return []netsim.Send{netsim.Unicast(2, fakeMsg{})}
+}
+func (unicaster) Output() (types.Bit, bool) { return types.Zero, false }
+func (unicaster) Halted() bool              { return false }
+
+type fakeMsg struct{}
+
+func (fakeMsg) Kind() wire.Kind          { return 1 }
+func (fakeMsg) Encode(dst []byte) []byte { return dst }
+
+func TestConfigValidation(t *testing.T) {
+	ok := echoFactory(4, 2, 0)
+	bad := []Config{
+		{N: 2, MaxRounds: 5, NewNode: ok},
+		{N: 4, MaxRounds: 0, NewNode: ok},
+		{N: 4, MaxRounds: 5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package strongadaptive
+
+import (
+	"errors"
+	"sort"
+
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// vMember is a corrupt member of V whose honest state machine the adversary
+// keeps stepping with filtered I/O ("behaves like an honest node, except
+// that it ignores the first f/2 messages sent to it and does not send
+// messages to other nodes in V").
+type vMember struct {
+	id      types.NodeID
+	node    netsim.Node
+	ignored int
+}
+
+// stepMember advances a V member one round, applying the ignore-first-k rule
+// and routing its sends around V.
+func (m *vMember) step(ctx *netsim.Ctx, ignoreBudget int, inV map[types.NodeID]bool, skip types.NodeID) {
+	if m.node.Halted() {
+		return
+	}
+	inbox, err := ctx.Inbox(m.id)
+	if err != nil {
+		return
+	}
+	// Ignore the first ignoreBudget messages cumulatively.
+	for len(inbox) > 0 && m.ignored < ignoreBudget {
+		inbox = inbox[1:]
+		m.ignored++
+	}
+	sends := m.node.Step(ctx.Round(), inbox)
+	for _, s := range sends {
+		switch {
+		case s.To == types.Broadcast:
+			// Fan out to everyone outside V (and to itself, preserving the
+			// runtime's self-delivery semantics).
+			for u := 0; u < ctx.N(); u++ {
+				uid := types.NodeID(u)
+				if uid == skip || (inV[uid] && uid != m.id) {
+					continue
+				}
+				_ = ctx.Inject(m.id, uid, s.Msg)
+			}
+		case inV[s.To] && s.To != m.id:
+			// No messages to other members of V.
+		case s.To == skip:
+			// A′ only: nothing to p either (p ∈ V).
+		default:
+			_ = ctx.Inject(m.id, s.To, s.Msg)
+		}
+	}
+}
+
+// adversaryA is the paper's adversary A: static, omission-style.
+type adversaryA struct {
+	v           []types.NodeID
+	inV         map[types.NodeID]bool
+	ignore      int
+	members     []*vMember
+	messagesToV int
+}
+
+func newAdversaryA(v []types.NodeID, ignore int) *adversaryA {
+	inV := make(map[types.NodeID]bool, len(v))
+	for _, id := range v {
+		inV[id] = true
+	}
+	return &adversaryA{v: v, inV: inV, ignore: ignore}
+}
+
+// Power implements netsim.Adversary: A never removes anything.
+func (a *adversaryA) Power() netsim.Power { return netsim.PowerStatic }
+
+// Setup implements netsim.Adversary.
+func (a *adversaryA) Setup(ctx *netsim.Ctx) {
+	for _, id := range a.v {
+		seized, err := ctx.Corrupt(id)
+		if err != nil {
+			panic("strongadaptive: corrupting V: " + err.Error())
+		}
+		a.members = append(a.members, &vMember{id: id, node: seized.Node})
+	}
+}
+
+// Round implements netsim.Adversary.
+func (a *adversaryA) Round(ctx *netsim.Ctx) {
+	// Count messages honest nodes address to V (all entry-time envelopes
+	// originate from so-far-honest nodes).
+	for _, e := range ctx.Outgoing() {
+		if a.inV[e.From] {
+			continue
+		}
+		if e.To == types.Broadcast {
+			a.messagesToV += len(a.v)
+		} else if a.inV[e.To] {
+			a.messagesToV++
+		}
+	}
+	for _, m := range a.members {
+		m.step(ctx, a.ignore, a.inV, types.NodeID(-2))
+	}
+}
+
+var _ netsim.Adversary = (*adversaryA)(nil)
+
+// contMember is a member of S(p) corrupted by A′: it continues to run its
+// honest state machine, except that nothing it sends reaches p.
+type contMember struct {
+	id          types.NodeID
+	node        netsim.Node
+	corruptedAt int
+}
+
+// adversaryAPrime is the paper's adversary A′: strongly adaptive, isolating
+// p via after-the-fact removal.
+type adversaryAPrime struct {
+	v      []types.NodeID // V ∖ {p}
+	inV    map[types.NodeID]bool
+	p      types.NodeID
+	ignore int
+
+	members []*vMember
+	cont    map[types.NodeID]*contMember
+
+	sendersToP      map[types.NodeID]bool
+	receivedByP     int
+	budgetExhausted bool
+}
+
+func newAdversaryAPrime(v []types.NodeID, p types.NodeID, ignore int) *adversaryAPrime {
+	inV := make(map[types.NodeID]bool, len(v))
+	rest := make([]types.NodeID, 0, len(v)-1)
+	for _, id := range v {
+		inV[id] = true
+		if id != p {
+			rest = append(rest, id)
+		}
+	}
+	return &adversaryAPrime{
+		v:          rest,
+		inV:        inV,
+		p:          p,
+		ignore:     ignore,
+		cont:       make(map[types.NodeID]*contMember),
+		sendersToP: make(map[types.NodeID]bool),
+	}
+}
+
+// Power implements netsim.Adversary: A′ is the strongly adaptive adversary
+// whose necessity Theorem 1 establishes.
+func (a *adversaryAPrime) Power() netsim.Power { return netsim.PowerStronglyAdaptive }
+
+// Setup implements netsim.Adversary.
+func (a *adversaryAPrime) Setup(ctx *netsim.Ctx) {
+	for _, id := range a.v {
+		seized, err := ctx.Corrupt(id)
+		if err != nil {
+			panic("strongadaptive: corrupting V∖{p}: " + err.Error())
+		}
+		a.members = append(a.members, &vMember{id: id, node: seized.Node})
+	}
+}
+
+// Round implements netsim.Adversary.
+func (a *adversaryAPrime) Round(ctx *netsim.Ctx) {
+	round := ctx.Round()
+
+	// 1. After-the-fact removal: any honest envelope headed for p costs its
+	// sender a corruption and loses exactly the copy addressed to p.
+	for _, e := range ctx.Outgoing() {
+		toP := e.To == a.p || e.To == types.Broadcast
+		if !toP || e.From == a.p || a.inV[e.From] {
+			continue
+		}
+		a.sendersToP[e.From] = true
+		if !ctx.IsCorrupt(e.From) {
+			seized, err := ctx.Corrupt(e.From)
+			if err != nil {
+				if errors.Is(err, netsim.ErrBudget) {
+					// Out of corruptions: the message reaches p. This is how
+					// Ω(f²) protocols defeat the attack.
+					a.budgetExhausted = true
+					a.receivedByP++
+					continue
+				}
+				continue
+			}
+			a.cont[e.From] = &contMember{id: e.From, node: seized.Node, corruptedAt: round}
+		}
+		if err := ctx.RemoveFor(e, a.p); err != nil {
+			a.receivedByP++
+		}
+	}
+
+	// 2. V ∖ {p} behave as under A.
+	for _, m := range a.members {
+		m.step(ctx, a.ignore, a.inV, a.p)
+	}
+
+	// 3. Members of S(p) continue honestly, minus anything addressed to p.
+	// Iterate in ID order for determinism.
+	ids := make([]types.NodeID, 0, len(a.cont))
+	for id := range a.cont {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cm := a.cont[id]
+		if cm.corruptedAt >= round || cm.node.Halted() {
+			continue // stepped by the runtime this round already
+		}
+		inbox, err := ctx.Inbox(cm.id)
+		if err != nil {
+			continue
+		}
+		sends := cm.node.Step(round, inbox)
+		for _, s := range sends {
+			if s.To == types.Broadcast {
+				for u := 0; u < ctx.N(); u++ {
+					if types.NodeID(u) == a.p {
+						continue
+					}
+					_ = ctx.Inject(cm.id, types.NodeID(u), s.Msg)
+				}
+				continue
+			}
+			if s.To != a.p {
+				_ = ctx.Inject(cm.id, s.To, s.Msg)
+			}
+		}
+	}
+}
+
+var _ netsim.Adversary = (*adversaryAPrime)(nil)

@@ -1,0 +1,164 @@
+package strongadaptive
+
+import (
+	"testing"
+
+	"ccba/internal/committee"
+	"ccba/internal/crypto/pki"
+	"ccba/internal/dolevstrong"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+func committeeFactory(n, c int, seedByte byte) Factory {
+	return func(input types.Bit) ([]netsim.Node, error) {
+		var crs [32]byte
+		crs[0] = seedByte
+		cfg := committee.Config{N: n, CommitteeSize: c, Sender: 0, CRS: crs}
+		return committee.NewNodes(cfg, input)
+	}
+}
+
+func dolevStrongFactory(n, f int, seedByte byte) Factory {
+	return func(input types.Bit) ([]netsim.Node, error) {
+		var seed [32]byte
+		seed[0] = seedByte
+		pub, secrets := pki.Setup(n, seed)
+		cfg := dolevstrong.Config{N: n, F: f, Sender: 0, PKI: pub}
+		return dolevstrong.NewNodes(cfg, input, secrets)
+	}
+}
+
+func TestProbeSilentOutput(t *testing.T) {
+	cfg := Config{
+		N: 40, F: 16, Sender: 0, MaxRounds: 10,
+		NewNodes: committeeFactory(40, 5, 1),
+	}
+	beta, err := cfg.ProbeSilentOutput(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta != types.Zero {
+		t.Fatalf("committee silent output = %v, want 0", beta)
+	}
+}
+
+// TestAttackBreaksCheapProtocol: the committee protocol's receivers hear at
+// most 1 + c ≤ f/2 senders, so A′ fully isolates p and consistency breaks —
+// Theorem 4's prediction for protocols below the message bound.
+func TestAttackBreaksCheapProtocol(t *testing.T) {
+	broke := 0
+	const trials = 6
+	for s := byte(0); s < trials; s++ {
+		cfg := Config{
+			N: 60, F: 20, Sender: 0, MaxRounds: 10,
+			Seed:     [32]byte{s},
+			NewNodes: committeeFactory(60, 6, s),
+		}
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ValidityViolatedA {
+			t.Fatalf("seed %d: adversary A (omission-only) broke validity; the protocol is too weak even for the baseline", s)
+		}
+		if out.SendersToP > cfg.F/2 {
+			t.Fatalf("seed %d: |S(p)| = %d exceeds f/2 — not the cheap-protocol regime", s, out.SendersToP)
+		}
+		if out.ConsistencyViolatedAPrime {
+			broke++
+			if out.ReceivedByP != 0 {
+				t.Fatalf("seed %d: p received %d messages yet attack claimed success", s, out.ReceivedByP)
+			}
+		}
+	}
+	// The theorem guarantees ≥ 1/2 − ε success; this deterministic protocol
+	// should break every time.
+	if broke < trials {
+		t.Fatalf("attack broke only %d/%d runs against a sub-(εf/2)² protocol", broke, trials)
+	}
+}
+
+// TestAttackFailsAgainstDolevStrong: every node hears from ~n−1 senders, so
+// the corruption budget is exhausted long before p is isolated.
+func TestAttackFailsAgainstDolevStrong(t *testing.T) {
+	const n = 24
+	const f = 8
+	cfg := Config{
+		N: n, F: f, Sender: 0, MaxRounds: f + 4,
+		Seed:     [32]byte{9},
+		NewNodes: dolevStrongFactory(n, f, 9),
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ConsistencyViolatedAPrime {
+		t.Fatal("A′ broke Dolev–Strong — it must not (quadratic communication defeats the attack)")
+	}
+	if !out.BudgetExhausted {
+		t.Fatal("budget never exhausted against Dolev–Strong; the attack was not seriously resisted")
+	}
+	if out.ReceivedByP == 0 {
+		t.Fatal("p received nothing despite exhausted budget")
+	}
+}
+
+// TestMessageAccountingShape: the committee protocol sends far fewer
+// messages to V than the (εf/2)² bound, Dolev–Strong far more — the exact
+// separation Theorem 4 draws.
+func TestMessageAccountingShape(t *testing.T) {
+	cheap := Config{
+		N: 60, F: 20, Sender: 0, MaxRounds: 10,
+		NewNodes: committeeFactory(60, 6, 2),
+	}
+	outCheap, err := Run(cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly := Config{
+		N: 24, F: 8, Sender: 0, MaxRounds: 14,
+		NewNodes: dolevStrongFactory(24, 8, 2),
+	}
+	outCostly, err := Run(costly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalise by V size: per-member load.
+	cheapLoad := outCheap.MessagesToV / (cheap.F / 2)
+	costlyLoad := outCostly.MessagesToV / (costly.F / 2)
+	if cheapLoad > cheap.F/2 {
+		t.Fatalf("cheap protocol per-member load %d exceeds f/2 = %d", cheapLoad, cheap.F/2)
+	}
+	if costlyLoad <= costly.F/2 {
+		t.Fatalf("Dolev–Strong per-member load %d does not exceed f/2 = %d", costlyLoad, costly.F/2)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	okFactory := committeeFactory(10, 2, 0)
+	bad := []Config{
+		{N: 10, F: 1, Sender: 0, MaxRounds: 5, NewNodes: okFactory},  // f too small
+		{N: 10, F: 10, Sender: 0, MaxRounds: 5, NewNodes: okFactory}, // f ≥ n
+		{N: 10, F: 4, Sender: 0, MaxRounds: 0, NewNodes: okFactory},  // no rounds
+		{N: 10, F: 4, Sender: 0, MaxRounds: 5},                       // no factory
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPickVExcludesSender(t *testing.T) {
+	cfg := Config{N: 10, F: 6, Sender: 9, MaxRounds: 5, NewNodes: committeeFactory(10, 2, 0)}
+	v := cfg.pickV()
+	if len(v) != 3 {
+		t.Fatalf("|V| = %d, want f/2 = 3", len(v))
+	}
+	for _, id := range v {
+		if id == cfg.Sender {
+			t.Fatal("sender placed in V")
+		}
+	}
+}

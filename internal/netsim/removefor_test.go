@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"ccba/internal/types"
+)
+
+// removeForAdversary corrupts `target` when it first speaks and erases its
+// multicast for recipient `victim` only.
+type removeForAdversary struct {
+	power  Power
+	target types.NodeID
+	victim types.NodeID
+	err    error
+	tried  bool
+}
+
+func (a *removeForAdversary) Power() Power { return a.power }
+func (a *removeForAdversary) Setup(*Ctx)   {}
+func (a *removeForAdversary) Round(ctx *Ctx) {
+	if a.tried {
+		return
+	}
+	for _, e := range ctx.Outgoing() {
+		if e.From != a.target {
+			continue
+		}
+		a.tried = true
+		if _, err := ctx.Corrupt(e.From); err != nil {
+			a.err = err
+			return
+		}
+		a.err = ctx.RemoveFor(e, a.victim)
+		return
+	}
+}
+
+func TestRemoveForIsolatesSingleRecipient(t *testing.T) {
+	// 3 nodes echo their input; node 1 votes 1, others 0. Erasing node 1's
+	// multicast for node 0 only: node 0 misses the 1-vote, node 2 sees it.
+	input := func(i int) types.Bit { return types.BitFromBool(i == 1) }
+	nodes := echoNodes(3, 1, input)
+	adv := &removeForAdversary{power: PowerStronglyAdaptive, target: 1, victim: 0}
+	rt, err := NewRuntime(Config{N: 3, F: 1, MaxRounds: 5}, nodes, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run()
+	if adv.err != nil {
+		t.Fatalf("removal failed: %v", adv.err)
+	}
+	// Node 0 tallies {0,0} → outputs 0; node 2 tallies {0,0,1}... echoNode
+	// outputs 1 iff ones ≥ zeros, so node 2 (two 0s, one 1) outputs 0 too;
+	// distinguish via tallies instead: check deliveries through outputs of a
+	// 2-node slice is brittle — assert the direct effect instead.
+	n0 := nodes[0].(*echoNode)
+	n2 := nodes[2].(*echoNode)
+	if n0.tallies[1] != 0 {
+		t.Fatalf("node 0 received %d one-votes despite RemoveFor", n0.tallies[1])
+	}
+	if n2.tallies[1] != 1 {
+		t.Fatalf("node 2 received %d one-votes, want 1 (removal must be victim-specific)", n2.tallies[1])
+	}
+	_ = res
+}
+
+func TestRemoveForRequiresStrongPower(t *testing.T) {
+	nodes := echoNodes(3, 1, allZero)
+	adv := &removeForAdversary{power: PowerWeaklyAdaptive, target: 1, victim: 0}
+	rt, _ := NewRuntime(Config{N: 3, F: 1, MaxRounds: 5}, nodes, adv)
+	rt.Run()
+	if !errors.Is(adv.err, ErrPower) {
+		t.Fatalf("weakly adaptive RemoveFor must fail with ErrPower, got %v", adv.err)
+	}
+}
+
+func TestRemoveForRequiresCorruptSender(t *testing.T) {
+	nodes := echoNodes(3, 1, allZero)
+	var gotErr error
+	adv := &funcAdversary{
+		power: PowerStronglyAdaptive,
+		round: func(ctx *Ctx) {
+			if gotErr == nil && len(ctx.Outgoing()) > 0 {
+				gotErr = ctx.RemoveFor(ctx.Outgoing()[0], 2)
+			}
+		},
+	}
+	rt, _ := NewRuntime(Config{N: 3, F: 1, MaxRounds: 5}, nodes, adv)
+	rt.Run()
+	if !errors.Is(gotErr, ErrNotCorrupt) {
+		t.Fatalf("RemoveFor on honest sender must fail, got %v", gotErr)
+	}
+}
+
+func TestRemoveForDoubleRemovalRejected(t *testing.T) {
+	nodes := echoNodes(3, 1, allZero)
+	var first, second error
+	adv := &funcAdversary{
+		power: PowerStronglyAdaptive,
+		round: func(ctx *Ctx) {
+			for _, e := range ctx.Outgoing() {
+				if e.From == 1 && first == nil {
+					if _, err := ctx.Corrupt(1); err != nil {
+						first = err
+						return
+					}
+					first = ctx.RemoveFor(e, 0)
+					second = ctx.RemoveFor(e, 0)
+					return
+				}
+			}
+		},
+	}
+	rt, _ := NewRuntime(Config{N: 3, F: 1, MaxRounds: 5}, nodes, adv)
+	rt.Run()
+	if first != nil {
+		t.Fatalf("first RemoveFor failed: %v", first)
+	}
+	if !errors.Is(second, ErrRemoved) {
+		t.Fatalf("second RemoveFor should report ErrRemoved, got %v", second)
+	}
+}
+
+func TestRemovedForAfterFullRemove(t *testing.T) {
+	e := &Envelope{From: 1, To: types.Broadcast}
+	if e.RemovedFor(0) {
+		t.Fatal("fresh envelope reported removed")
+	}
+	e.removed = true
+	if !e.RemovedFor(0) || !e.RemovedFor(5) {
+		t.Fatal("full removal must cover every recipient")
+	}
+}

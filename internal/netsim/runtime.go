@@ -1,0 +1,261 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Config parameterises one execution.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// F is the adversary's corruption budget.
+	F int
+	// MaxRounds bounds the execution; exceeding it is reported as a
+	// termination failure, matching the paper's T_end-termination property.
+	MaxRounds int
+	// Seize returns the secret key material handed to the adversary when it
+	// corrupts a node. May be nil.
+	Seize func(id types.NodeID) any
+	// Parallel steps honest nodes on multiple goroutines within each round.
+	// Protocol state machines are independent, so this is safe; it trades
+	// determinism of memory-allocation patterns, not of results.
+	Parallel bool
+}
+
+// Runtime executes one protocol instance under one adversary.
+type Runtime struct {
+	cfg       Config
+	nodes     []Node
+	status    []types.Status
+	corruptAt []int // round at which the node was corrupted, -1 if honest
+	adv       Adversary
+	metrics   Metrics
+
+	inboxes [][]Delivered // delivered at the beginning of the current round
+}
+
+// NewRuntime builds a runtime over n constructed nodes.
+func NewRuntime(cfg Config, nodes []Node, adv Adversary) (*Runtime, error) {
+	if cfg.N != len(nodes) {
+		return nil, fmt.Errorf("netsim: config N=%d but %d nodes supplied", cfg.N, len(nodes))
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("netsim: need at least one node, got %d", cfg.N)
+	}
+	if cfg.F < 0 || cfg.F >= cfg.N {
+		return nil, fmt.Errorf("netsim: corruption budget f=%d out of range for n=%d", cfg.F, cfg.N)
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 10_000
+	}
+	if adv == nil {
+		adv = Passive{}
+	}
+	rt := &Runtime{
+		cfg:       cfg,
+		nodes:     nodes,
+		status:    make([]types.Status, cfg.N),
+		corruptAt: make([]int, cfg.N),
+		adv:       adv,
+		inboxes:   make([][]Delivered, cfg.N),
+	}
+	for i := range rt.status {
+		rt.status[i] = types.Honest
+		rt.corruptAt[i] = -1
+	}
+	return rt, nil
+}
+
+// Result summarises an execution.
+type Result struct {
+	// Outputs[i] is node i's output (NoBit if it never decided); Decided[i]
+	// records whether it decided. Only forever-honest entries are meaningful
+	// for the security properties.
+	Outputs []types.Bit
+	Decided []bool
+	Halted  []bool
+	// Corrupt[i] reports whether node i was eventually corrupt.
+	Corrupt []bool
+	// Rounds is the number of rounds executed.
+	Rounds  int
+	Metrics Metrics
+}
+
+// ForeverHonest returns the IDs of nodes that were never corrupted.
+func (r *Result) ForeverHonest() []types.NodeID {
+	out := make([]types.NodeID, 0, len(r.Corrupt))
+	for i, c := range r.Corrupt {
+		if !c {
+			out = append(out, types.NodeID(i))
+		}
+	}
+	return out
+}
+
+// NumCorrupt returns the number of eventually-corrupt nodes.
+func (r *Result) NumCorrupt() int {
+	n := 0
+	for _, c := range r.Corrupt {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes rounds until every forever-honest node halts or MaxRounds is
+// reached, and returns the result.
+func (rt *Runtime) Run() *Result {
+	setupCtx := rt.newCtx(-1, nil)
+	rt.adv.Setup(setupCtx)
+
+	round := 0
+	for ; round < rt.cfg.MaxRounds; round++ {
+		if rt.stepRound(round) {
+			round++
+			break
+		}
+	}
+	return rt.collect(round)
+}
+
+// stepRound executes one round; it returns true when all so-far-honest
+// nodes have halted.
+func (rt *Runtime) stepRound(round int) (done bool) {
+	n := rt.cfg.N
+
+	// 1. So-far-honest, non-halted nodes produce their sends for this round.
+	sends := make([][]Send, n)
+	if rt.cfg.Parallel {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			if rt.status[i] != types.Honest || rt.nodes[i].Halted() {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sends[i] = rt.nodes[i].Step(round, rt.inboxes[i])
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			if rt.status[i] != types.Honest || rt.nodes[i].Halted() {
+				continue
+			}
+			sends[i] = rt.nodes[i].Step(round, rt.inboxes[i])
+		}
+	}
+
+	// 2. Wrap sends into envelopes the adversary can observe.
+	envs := make([]*Envelope, 0, n)
+	for i := 0; i < n; i++ {
+		for _, s := range sends[i] {
+			envs = append(envs, &Envelope{
+				From:       types.NodeID(i),
+				To:         s.To,
+				Msg:        s.Msg,
+				size:       wire.Size(s.Msg),
+				honestSend: true,
+			})
+		}
+	}
+
+	// 3. Adversary window: observe, corrupt, remove (power permitting),
+	// inject. Inboxes of already-corrupt nodes are visible to it.
+	ctx := rt.newCtx(round, envs)
+	rt.adv.Round(ctx)
+	envs = ctx.envelopes()
+
+	// 4. Account communication complexity for messages sent by nodes that
+	// were so-far-honest at send time (Definitions 6 and 7). A message
+	// erased by after-the-fact removal was still *sent* by an honest node
+	// and is counted.
+	for _, e := range envs {
+		if !e.honestSend {
+			continue
+		}
+		if e.To == types.Broadcast {
+			rt.metrics.HonestMulticasts++
+			rt.metrics.HonestMulticastBytes += e.size
+			rt.metrics.HonestMessages += n
+			rt.metrics.HonestMessageBytes += n * e.size
+		} else {
+			rt.metrics.HonestMessages++
+			rt.metrics.HonestMessageBytes += e.size
+		}
+	}
+
+	// 5. Deliver: multicasts reach every node (including the sender, so
+	// quorum counting treats one's own vote uniformly); unicasts reach their
+	// destination. Removed envelopes vanish.
+	next := make([][]Delivered, n)
+	for _, e := range envs {
+		if e.removed {
+			continue
+		}
+		d := Delivered{From: e.From, Msg: e.Msg}
+		if e.To == types.Broadcast {
+			for j := 0; j < n; j++ {
+				if !e.RemovedFor(types.NodeID(j)) {
+					next[j] = append(next[j], d)
+				}
+			}
+		} else if int(e.To) >= 0 && int(e.To) < n {
+			if !e.RemovedFor(e.To) {
+				next[e.To] = append(next[e.To], d)
+			}
+		}
+	}
+	rt.inboxes = next
+
+	// 6. Done when every so-far-honest node has halted.
+	done = true
+	for i := 0; i < n; i++ {
+		if rt.status[i] == types.Honest && !rt.nodes[i].Halted() {
+			done = false
+			break
+		}
+	}
+	return done
+}
+
+func (rt *Runtime) collect(rounds int) *Result {
+	n := rt.cfg.N
+	res := &Result{
+		Outputs: make([]types.Bit, n),
+		Decided: make([]bool, n),
+		Halted:  make([]bool, n),
+		Corrupt: make([]bool, n),
+		Rounds:  rounds,
+		Metrics: rt.metrics,
+	}
+	for i := 0; i < n; i++ {
+		bit, ok := rt.nodes[i].Output()
+		if !ok {
+			bit = types.NoBit
+		}
+		res.Outputs[i] = bit
+		res.Decided[i] = ok
+		res.Halted[i] = rt.nodes[i].Halted()
+		res.Corrupt[i] = rt.status[i] == types.Corrupt
+	}
+	return res
+}
+
+// Metrics accounts communication complexity.
+type Metrics struct {
+	// HonestMulticasts and HonestMulticastBytes measure Definition 7
+	// (multicast complexity): sends by so-far-honest nodes to everyone.
+	HonestMulticasts     int
+	HonestMulticastBytes int
+	// HonestMessages and HonestMessageBytes measure Definition 6 (classical
+	// complexity): a multicast counts as n pairwise messages.
+	HonestMessages     int
+	HonestMessageBytes int
+}

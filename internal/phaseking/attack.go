@@ -1,0 +1,70 @@
+package phaseking
+
+import (
+	"ccba/internal/fmine"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// FlipAttack is the §3.3 Remark adversary pointed at the *bit-specific*
+// protocol: it corrupts epoch-r ACKers of bit b and tries to produce ACKs
+// for 1−b from them. Unlike in package chenmicali, a corrupted node's
+// (ACK, r, b) ticket is useless for 1−b — the adversary must mine the
+// independent (ACK, r, 1−b) coin, which succeeds with probability λ/n per
+// corruption. The attack therefore gathers ≈ (#corruptions)·λ/n ≪ 2λ/3
+// forged ACKs and fails; Mined/Attempts record the measured rate.
+type FlipAttack struct {
+	// TargetEpoch is the epoch whose ACK round is attacked.
+	TargetEpoch uint32
+	// Victims receive whatever forged ACKs the adversary manages to mine.
+	Victims []types.NodeID
+
+	// Attempts counts corrupted ACKers; Mined counts successful
+	// opposite-bit tickets among them.
+	Attempts int
+	Mined    int
+}
+
+// Power implements netsim.Adversary.
+func (a *FlipAttack) Power() netsim.Power { return netsim.PowerWeaklyAdaptive }
+
+// Setup implements netsim.Adversary.
+func (a *FlipAttack) Setup(*netsim.Ctx) {}
+
+// Round implements netsim.Adversary.
+func (a *FlipAttack) Round(ctx *netsim.Ctx) {
+	if ctx.Round() != int(2*a.TargetEpoch+1) {
+		return
+	}
+	for _, e := range ctx.Outgoing() {
+		ack, ok := e.Msg.(AckMsg)
+		if !ok || ack.Epoch != a.TargetEpoch || ctx.IsCorrupt(e.From) {
+			continue
+		}
+		if ctx.CorruptCount() >= ctx.F() {
+			return
+		}
+		seized, err := ctx.Corrupt(e.From)
+		if err != nil {
+			continue
+		}
+		miner, ok := seized.Keys.(fmine.Miner)
+		if !ok {
+			continue
+		}
+		a.Attempts++
+		flip := ack.B.Flip()
+		tag := fmine.Tag{Domain: Domain, Type: TagAck, Iter: ack.Epoch, Bit: flip}
+		proof, mined := miner.Mine(tag)
+		if !mined {
+			continue // the independent coin came up tails — the usual case
+		}
+		a.Mined++
+		forged := AckMsg{Epoch: ack.Epoch, B: flip, Elig: proof}
+		for _, v := range a.Victims {
+			_ = ctx.Inject(e.From, v, forged)
+		}
+	}
+}
+
+var _ netsim.Adversary = (*FlipAttack)(nil)

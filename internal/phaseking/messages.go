@@ -1,0 +1,96 @@
+package phaseking
+
+import (
+	"fmt"
+
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Message kinds.
+const (
+	KindPropose wire.Kind = 1
+	KindAck     wire.Kind = 2
+)
+
+// ProposeMsg is the epoch leader's proposal (propose, r, b). Elig carries
+// the leader-eligibility proof in sampled mode and is empty in plain mode.
+type ProposeMsg struct {
+	Epoch uint32
+	B     types.Bit
+	Elig  []byte
+}
+
+// Kind implements wire.Message.
+func (m ProposeMsg) Kind() wire.Kind { return KindPropose }
+
+// Encode implements wire.Message.
+func (m ProposeMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Epoch)
+	w.Bit(m.B)
+	w.Bytes(m.Elig)
+	return w.Buf
+}
+
+// AckMsg is a node's epoch-r ACK for bit B (ACK, r, b*). Elig carries the
+// committee-eligibility proof in sampled mode.
+type AckMsg struct {
+	Epoch uint32
+	B     types.Bit
+	Elig  []byte
+}
+
+// Kind implements wire.Message.
+func (m AckMsg) Kind() wire.Kind { return KindAck }
+
+// Encode implements wire.Message.
+func (m AckMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Epoch)
+	w.Bit(m.B)
+	w.Bytes(m.Elig)
+	return w.Buf
+}
+
+// Decode parses a marshalled phase-king message (kind tag included).
+func Decode(buf []byte) (wire.Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("phaseking: %w", wire.ErrTruncated)
+	}
+	r := wire.NewReader(buf[1:])
+	switch wire.Kind(buf[0]) {
+	case KindPropose:
+		m := ProposeMsg{Epoch: r.U32(), B: r.Bit(), Elig: r.Bytes()}
+		if err := r.Finish(); err != nil {
+			return nil, fmt.Errorf("phaseking: decoding propose: %w", err)
+		}
+		return m, nil
+	case KindAck:
+		m := AckMsg{Epoch: r.U32(), B: r.Bit(), Elig: r.Bytes()}
+		if err := r.Finish(); err != nil {
+			return nil, fmt.Errorf("phaseking: decoding ack: %w", err)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("phaseking: %w: kind %d", wire.ErrMalformed, buf[0])
+	}
+}
+
+// NewNodes constructs all n state machines for one execution with the given
+// inputs, as a convenience for harnesses.
+func NewNodes(cfg Config, inputs []types.Bit) ([]netsim.Node, error) {
+	if len(inputs) != cfg.N {
+		return nil, fmt.Errorf("phaseking: %d inputs for n=%d", len(inputs), cfg.N)
+	}
+	nodes := make([]netsim.Node, cfg.N)
+	for i := range nodes {
+		n, err := New(cfg, types.NodeID(i), inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+	return nodes, nil
+}

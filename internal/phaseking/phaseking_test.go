@@ -1,0 +1,309 @@
+package phaseking
+
+import (
+	"errors"
+	"testing"
+
+	"ccba/internal/fmine"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+func plainConfig(n, epochs int) Config {
+	var seed [32]byte
+	seed[0] = 9
+	return Config{N: n, Epochs: epochs, CoinSeed: seed}
+}
+
+func sampledConfig(n, epochs, lambda int, seedByte byte) Config {
+	var seed [32]byte
+	seed[0] = seedByte
+	suite := fmine.NewIdeal(seed, Probabilities(n, lambda))
+	return Config{N: n, Epochs: epochs, Sampled: true, Lambda: lambda, Suite: suite, CoinSeed: seed}
+}
+
+func run(t *testing.T, cfg Config, inputs []types.Bit, f int, adv netsim.Adversary) *netsim.Result {
+	t.Helper()
+	nodes, err := NewNodes(cfg, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := netsim.NewRuntime(netsim.Config{N: cfg.N, F: f, MaxRounds: cfg.Rounds() + 2}, nodes, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.Run()
+}
+
+func constInputs(n int, b types.Bit) []types.Bit {
+	in := make([]types.Bit, n)
+	for i := range in {
+		in[i] = b
+	}
+	return in
+}
+
+func mixedInputs(n int) []types.Bit {
+	in := make([]types.Bit, n)
+	for i := range in {
+		in[i] = types.BitFromBool(i%2 == 0)
+	}
+	return in
+}
+
+func checkAll(t *testing.T, res *netsim.Result, inputs []types.Bit) {
+	t.Helper()
+	if err := netsim.CheckTermination(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := netsim.CheckConsistency(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := netsim.CheckAgreementValidity(res, inputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlainUnanimousValidity(t *testing.T) {
+	for _, b := range []types.Bit{types.Zero, types.One} {
+		cfg := plainConfig(7, 12)
+		inputs := constInputs(7, b)
+		res := run(t, cfg, inputs, 0, nil)
+		checkAll(t, res, inputs)
+		for _, id := range res.ForeverHonest() {
+			if res.Outputs[id] != b {
+				t.Fatalf("unanimous input %v but node %d output %v", b, id, res.Outputs[id])
+			}
+		}
+	}
+}
+
+func TestPlainMixedInputsAgree(t *testing.T) {
+	cfg := plainConfig(7, 20)
+	inputs := mixedInputs(7)
+	res := run(t, cfg, inputs, 0, nil)
+	checkAll(t, res, inputs)
+}
+
+func TestPlainManySeedsMixedInputs(t *testing.T) {
+	for s := byte(0); s < 10; s++ {
+		cfg := plainConfig(10, 20)
+		cfg.CoinSeed[1] = s
+		inputs := mixedInputs(10)
+		res := run(t, cfg, inputs, 0, nil)
+		checkAll(t, res, inputs)
+	}
+}
+
+// silentAdversary statically corrupts the first f nodes; they never speak.
+type silentAdversary struct {
+	netsim.Passive
+	f int
+}
+
+func (a *silentAdversary) Setup(ctx *netsim.Ctx) {
+	for i := 0; i < a.f; i++ {
+		if _, err := ctx.Corrupt(types.NodeID(i)); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestPlainToleratesSilentThird(t *testing.T) {
+	// n=10, f=3 < n/3: silent corrupt nodes must not break agreement.
+	cfg := plainConfig(10, 24)
+	inputs := mixedInputs(10)
+	res := run(t, cfg, inputs, 3, &silentAdversary{f: 3})
+	checkAll(t, res, inputs)
+}
+
+func TestPlainToleratesSilentThirdUnanimous(t *testing.T) {
+	cfg := plainConfig(9, 16)
+	inputs := constInputs(9, types.One)
+	res := run(t, cfg, inputs, 2, &silentAdversary{f: 2})
+	checkAll(t, res, inputs)
+	for _, id := range res.ForeverHonest() {
+		if res.Outputs[id] != types.One {
+			t.Fatalf("node %d output %v", id, res.Outputs[id])
+		}
+	}
+}
+
+func TestSampledUnanimousValidity(t *testing.T) {
+	// n=60, λ=24: committee-sampled mode with unanimous input.
+	for _, b := range []types.Bit{types.Zero, types.One} {
+		cfg := sampledConfig(60, 16, 24, 3)
+		inputs := constInputs(60, b)
+		res := run(t, cfg, inputs, 0, nil)
+		checkAll(t, res, inputs)
+		for _, id := range res.ForeverHonest() {
+			if res.Outputs[id] != b {
+				t.Fatalf("output %v != input %v", res.Outputs[id], b)
+			}
+		}
+	}
+}
+
+func TestSampledMixedInputsAgree(t *testing.T) {
+	for s := byte(0); s < 5; s++ {
+		cfg := sampledConfig(60, 30, 24, 10+s)
+		inputs := mixedInputs(60)
+		res := run(t, cfg, inputs, 0, nil)
+		checkAll(t, res, inputs)
+	}
+}
+
+func TestSampledToleratesSilentCorruptions(t *testing.T) {
+	// f = n/6 silent corruptions, well under the (1/3−ε)n bound.
+	cfg := sampledConfig(60, 30, 24, 77)
+	inputs := mixedInputs(60)
+	res := run(t, cfg, inputs, 10, &silentAdversary{f: 10})
+	checkAll(t, res, inputs)
+}
+
+func TestSampledMulticastComplexitySublinear(t *testing.T) {
+	// The point of §3.2: per epoch, only ~λ (committee) + ~1/2 (leader)
+	// nodes multicast, independent of n. With n=200, λ=20 and 10 epochs,
+	// expected multicasts ≈ 10·(λ+0.5) ≈ 205 — far below the plain
+	// protocol's n per ACK round (200·10 = 2000 ACKs alone).
+	cfg := sampledConfig(200, 10, 20, 5)
+	inputs := constInputs(200, types.One)
+	res := run(t, cfg, inputs, 0, nil)
+	plain := plainConfig(200, 10)
+	resPlain := run(t, plain, inputs, 0, nil)
+	if res.Metrics.HonestMulticasts >= resPlain.Metrics.HonestMulticasts/3 {
+		t.Fatalf("sampled multicasts %d not ≪ plain %d",
+			res.Metrics.HonestMulticasts, resPlain.Metrics.HonestMulticasts)
+	}
+}
+
+func TestRoundsAccounting(t *testing.T) {
+	cfg := plainConfig(4, 5)
+	if cfg.Rounds() != 11 {
+		t.Fatalf("Rounds() = %d", cfg.Rounds())
+	}
+	inputs := constInputs(4, types.Zero)
+	res := run(t, cfg, inputs, 0, nil)
+	if res.Rounds != cfg.Rounds() {
+		t.Fatalf("executed %d rounds, want %d", res.Rounds, cfg.Rounds())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{N: 0, Epochs: 1}, 0, types.Zero); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := New(Config{N: 3, Epochs: 0}, 0, types.Zero); err == nil {
+		t.Fatal("epochs=0 accepted")
+	}
+	if _, err := New(Config{N: 3, Epochs: 1, Sampled: true}, 0, types.Zero); err == nil {
+		t.Fatal("sampled without suite accepted")
+	}
+	if _, err := New(plainConfig(3, 1), 0, types.NoBit); err == nil {
+		t.Fatal("invalid input accepted")
+	}
+	if _, err := NewNodes(plainConfig(3, 1), make([]types.Bit, 2)); err == nil {
+		t.Fatal("input-count mismatch accepted")
+	}
+}
+
+func TestAmpleThresholds(t *testing.T) {
+	if got := plainConfig(9, 1).ampleThreshold(); got != 6 {
+		t.Fatalf("plain threshold for n=9: %d, want 6", got)
+	}
+	if got := plainConfig(10, 1).ampleThreshold(); got != 7 {
+		t.Fatalf("plain threshold for n=10: %d, want ⌈20/3⌉=7", got)
+	}
+	cfg := Config{N: 100, Epochs: 1, Sampled: true, Lambda: 30, Suite: fmine.NewIdeal([32]byte{}, Probabilities(100, 30))}
+	if got := cfg.ampleThreshold(); got != 20 {
+		t.Fatalf("sampled threshold for λ=30: %d, want 20", got)
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	p := ProposeMsg{Epoch: 7, B: types.One, Elig: []byte{1, 2, 3}}
+	buf := append([]byte{byte(p.Kind())}, p.Encode(nil)...)
+	dec, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.(ProposeMsg); got.Epoch != 7 || got.B != types.One || string(got.Elig) != "\x01\x02\x03" {
+		t.Fatalf("decoded %+v", got)
+	}
+
+	a := AckMsg{Epoch: 3, B: types.Zero}
+	buf = append([]byte{byte(a.Kind())}, a.Encode(nil)...)
+	dec, err = Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.(AckMsg); got.Epoch != 3 || got.B != types.Zero {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty buffer decoded")
+	}
+	if _, err := Decode([]byte{99, 0}); err == nil {
+		t.Fatal("unknown kind decoded")
+	}
+	p := ProposeMsg{Epoch: 7, B: types.One}
+	buf := append([]byte{byte(p.Kind())}, p.Encode(nil)...)
+	if _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated message decoded")
+	}
+	if _, err := Decode(append(buf, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// equivocatingLeader corrupts the epoch-0 leader (node 0 in plain mode)
+// during setup and makes it propose both bits.
+type equivocatingLeader struct {
+	netsim.Passive
+}
+
+func (a *equivocatingLeader) Power() netsim.Power { return netsim.PowerWeaklyAdaptive }
+
+func (a *equivocatingLeader) Setup(ctx *netsim.Ctx) {
+	if _, err := ctx.Corrupt(0); err != nil {
+		panic(err)
+	}
+}
+
+func (a *equivocatingLeader) Round(ctx *netsim.Ctx) {
+	if ctx.Round()%2 != 0 {
+		return
+	}
+	epoch := uint32(ctx.Round() / 2)
+	if int(epoch)%ctx.N() != 0 {
+		return
+	}
+	for _, b := range []types.Bit{types.Zero, types.One} {
+		if err := ctx.Inject(0, types.Broadcast, ProposeMsg{Epoch: epoch, B: b}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestPlainSurvivesEquivocatingLeader(t *testing.T) {
+	cfg := plainConfig(10, 24)
+	inputs := mixedInputs(10)
+	res := run(t, cfg, inputs, 1, &equivocatingLeader{})
+	checkAll(t, res, inputs)
+}
+
+func TestCheckersDetectDisagreementShape(t *testing.T) {
+	// Sanity: the test helpers would catch a violation. Construct a fake
+	// result with a forever-honest split and ensure checkAll would fail.
+	res := &netsim.Result{
+		Outputs: []types.Bit{types.Zero, types.One},
+		Decided: []bool{true, true},
+		Corrupt: []bool{false, false},
+	}
+	if err := netsim.CheckConsistency(res); !errors.Is(err, netsim.ErrConsistency) {
+		t.Fatal("consistency checker failed to flag disagreement")
+	}
+}

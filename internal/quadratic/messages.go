@@ -1,0 +1,153 @@
+package quadratic
+
+import (
+	"fmt"
+
+	"ccba/internal/attest"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Message kinds.
+const (
+	KindStatus    wire.Kind = 1
+	KindPropose   wire.Kind = 2
+	KindVote      wire.Kind = 3
+	KindCommit    wire.Kind = 4
+	KindTerminate wire.Kind = 5
+)
+
+// StatusMsg reports the sender's highest certified bit and certificate
+// (Status, r, b, C).
+type StatusMsg struct {
+	Iter uint32
+	B    types.Bit
+	Cert attest.Certificate
+}
+
+// Kind implements wire.Message.
+func (m StatusMsg) Kind() wire.Kind { return KindStatus }
+
+// Encode implements wire.Message.
+func (m StatusMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Iter)
+	w.Bit(m.B)
+	w.Buf = m.Cert.Encode(w.Buf)
+	return w.Buf
+}
+
+// ProposeMsg is the iteration leader's proposal (Propose, r, b) with the
+// backing certificate attached. Sig is the leader's signature over
+// ProposeTag(Iter, B); it is what voters attach as justification.
+type ProposeMsg struct {
+	Iter uint32
+	B    types.Bit
+	Cert attest.Certificate
+	Sig  []byte
+}
+
+// Kind implements wire.Message.
+func (m ProposeMsg) Kind() wire.Kind { return KindPropose }
+
+// Encode implements wire.Message.
+func (m ProposeMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Iter)
+	w.Bit(m.B)
+	w.Buf = m.Cert.Encode(w.Buf)
+	w.Bytes(m.Sig)
+	return w.Buf
+}
+
+// VoteMsg is a signed iteration-r vote (Vote, r, b). LeaderSig is the
+// iteration leader's signature over ProposeTag(Iter, B) — "the leader's
+// proposal attached" (§C.1); it justifies the vote and is empty for
+// iteration 1, where nodes vote their inputs.
+type VoteMsg struct {
+	Iter      uint32
+	B         types.Bit
+	Sig       []byte
+	LeaderSig []byte
+}
+
+// Kind implements wire.Message.
+func (m VoteMsg) Kind() wire.Kind { return KindVote }
+
+// Encode implements wire.Message.
+func (m VoteMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Iter)
+	w.Bit(m.B)
+	w.Bytes(m.Sig)
+	w.Bytes(m.LeaderSig)
+	return w.Buf
+}
+
+// CommitMsg is a signed iteration-r commit (Commit, r, b) with the vote
+// certificate attached.
+type CommitMsg struct {
+	Iter uint32
+	B    types.Bit
+	Cert attest.Certificate
+	Sig  []byte
+}
+
+// Kind implements wire.Message.
+func (m CommitMsg) Kind() wire.Kind { return KindCommit }
+
+// Encode implements wire.Message.
+func (m CommitMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Iter)
+	w.Bit(m.B)
+	w.Buf = m.Cert.Encode(w.Buf)
+	w.Bytes(m.Sig)
+	return w.Buf
+}
+
+// TerminateMsg carries f+1 commit attestations justifying output B.
+type TerminateMsg struct {
+	Iter    uint32
+	B       types.Bit
+	Commits []attest.Attestation
+}
+
+// Kind implements wire.Message.
+func (m TerminateMsg) Kind() wire.Kind { return KindTerminate }
+
+// Encode implements wire.Message.
+func (m TerminateMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Iter)
+	w.Bit(m.B)
+	w.Buf = attest.EncodeAttestations(m.Commits, w.Buf)
+	return w.Buf
+}
+
+// Decode parses a marshalled quadratic-protocol message (kind tag included).
+func Decode(buf []byte) (wire.Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("quadratic: %w", wire.ErrTruncated)
+	}
+	r := wire.NewReader(buf[1:])
+	var m wire.Message
+	switch wire.Kind(buf[0]) {
+	case KindStatus:
+		m = StatusMsg{Iter: r.U32(), B: r.Bit(), Cert: attest.DecodeCertificate(r)}
+	case KindPropose:
+		m = ProposeMsg{Iter: r.U32(), B: r.Bit(), Cert: attest.DecodeCertificate(r), Sig: r.Bytes()}
+	case KindVote:
+		m = VoteMsg{Iter: r.U32(), B: r.Bit(), Sig: r.Bytes(), LeaderSig: r.Bytes()}
+	case KindCommit:
+		m = CommitMsg{Iter: r.U32(), B: r.Bit(), Cert: attest.DecodeCertificate(r), Sig: r.Bytes()}
+	case KindTerminate:
+		m = TerminateMsg{Iter: r.U32(), B: r.Bit(), Commits: attest.DecodeAttestations(r)}
+	default:
+		return nil, fmt.Errorf("quadratic: %w: kind %d", wire.ErrMalformed, buf[0])
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("quadratic: decoding kind %d: %w", buf[0], err)
+	}
+	return m, nil
+}

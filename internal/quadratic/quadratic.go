@@ -1,0 +1,466 @@
+// Package quadratic implements the warm-up synchronous Byzantine Agreement
+// protocol of Appendix C.1 (Abraham et al. [1]): f < n/2 resilience,
+// expected O(1) rounds, quadratic communication.
+//
+// The protocol proceeds in iterations of four synchronous rounds — Status,
+// Propose, Vote, Commit — plus an any-time Terminate step. An iteration-r
+// certificate for bit b is a collection of f+1 signed iteration-r Vote
+// messages for b from distinct nodes; leaders propose the bit backed by the
+// highest certificate they have seen, and nodes vote for a proposal unless
+// they have observed a strictly higher certificate for the opposite bit.
+// A node that gathers f+1 votes for b (and no conflicting vote) commits;
+// f+1 commits justify termination, and the Terminate message carries those
+// commits so one honest terminator pulls everyone else along one round
+// later.
+//
+// Iteration 1 skips Status and Propose: every node votes its input bit.
+//
+// Leader election uses the idealized oracle of package leader, as in the
+// paper's exposition. Votes and commits carry real Ed25519 signatures
+// because they are relayed inside certificates and Terminate messages;
+// Status and Propose messages are never relayed, so the simulator's
+// authenticated channels subsume their signatures.
+package quadratic
+
+import (
+	"fmt"
+
+	"ccba/internal/attest"
+	"ccba/internal/crypto/pki"
+	"ccba/internal/crypto/sig"
+	"ccba/internal/fmine"
+	"ccba/internal/leader"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// Domain separates this protocol's signing tags.
+const Domain = "quadratic"
+
+// Signing tag types.
+const (
+	TagVote    uint8 = 1
+	TagCommit  uint8 = 2
+	TagPropose uint8 = 3
+)
+
+// VoteTag is the canonical signing payload of an iteration-r vote for b.
+func VoteTag(iter uint32, b types.Bit) []byte {
+	return fmine.Tag{Domain: Domain, Type: TagVote, Iter: iter, Bit: b}.Encode()
+}
+
+// CommitTag is the canonical signing payload of an iteration-r commit for b.
+func CommitTag(iter uint32, b types.Bit) []byte {
+	return fmine.Tag{Domain: Domain, Type: TagCommit, Iter: iter, Bit: b}.Encode()
+}
+
+// ProposeTag is the canonical signing payload of an iteration-r proposal for
+// b. The leader's signature over this tag is what a Vote message attaches as
+// its justification ("with the leader's proposal attached", §C.1): a vote
+// for b counts only if the iteration's leader provably proposed b, so a
+// corrupt non-leader cannot block commits by voting the opposite bit.
+func ProposeTag(iter uint32, b types.Bit) []byte {
+	return fmine.Tag{Domain: Domain, Type: TagPropose, Iter: iter, Bit: b}.Encode()
+}
+
+// Config parameterises one node.
+type Config struct {
+	// N is the number of nodes; F the corruption bound, F < N/2.
+	N, F int
+	// MaxIters bounds the number of iterations before giving up.
+	MaxIters int
+	// Oracle elects each iteration's leader.
+	Oracle *leader.Oracle
+	// PKI is the trusted-setup key registry.
+	PKI *pki.Public
+	// Cache memoises signature verification across the simulated nodes
+	// (optional; NewNodes installs a shared one). See sig.Cache.
+	Cache *sig.Cache
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N <= 0 || c.F < 0 || 2*c.F >= c.N {
+		return fmt.Errorf("quadratic: need f < n/2, got n=%d f=%d", c.N, c.F)
+	}
+	if c.MaxIters <= 0 {
+		return fmt.Errorf("quadratic: maxIters=%d", c.MaxIters)
+	}
+	if c.Oracle == nil || c.PKI == nil {
+		return fmt.Errorf("quadratic: oracle and PKI are required")
+	}
+	return nil
+}
+
+// verify checks a signature through the shared cache when present.
+func (c Config) verify(pk sig.PublicKey, msg, sigBytes []byte) bool {
+	if c.Cache != nil {
+		return c.Cache.Verify(pk, msg, sigBytes)
+	}
+	return sig.Verify(pk, msg, sigBytes)
+}
+
+// Threshold is the certificate size: f+1 distinct votes.
+func (c Config) Threshold() int { return c.F + 1 }
+
+// Rounds returns a safe round bound for MaxIters iterations plus the
+// terminate relay.
+func (c Config) Rounds() int { return 4*c.MaxIters + 2 }
+
+// Phase identifies the role of a round within its iteration.
+type Phase uint8
+
+// Iteration phases, in round order.
+const (
+	PhaseStatus Phase = iota + 1
+	PhasePropose
+	PhaseVote
+	PhaseCommit
+)
+
+// PhaseOf maps a global round number to (iteration, phase). Iteration 1
+// occupies rounds 0–1 (Vote, Commit); iteration r ≥ 2 occupies four rounds
+// starting at 2 + 4(r−2).
+func PhaseOf(round int) (uint32, Phase) {
+	if round < 2 {
+		return 1, PhaseVote + Phase(round)
+	}
+	q, rem := (round-2)/4, (round-2)%4
+	return uint32(q + 2), PhaseStatus + Phase(rem)
+}
+
+// Node is one participant's state machine.
+type Node struct {
+	cfg   Config
+	id    types.NodeID
+	input types.Bit
+	sk    sig.PrivateKey
+
+	// bestCert[b] is the highest-ranked certificate known for bit b; the
+	// zero value is the paper's iteration-0 placeholder.
+	bestCert [2]attest.Certificate
+	// votes and commits accumulate distinct signers per (iteration, bit).
+	votes   map[uint32]*[2]attest.Set
+	commits map[uint32]*[2]attest.Set
+	// proposals[b] is the best proposal certificate rank seen for bit b in
+	// the current vote phase's iteration; proposalSeen marks arrival and
+	// propSig holds the leader's signature attached to votes for b.
+	propIter     uint32
+	proposals    [2]attest.Certificate
+	proposalSeen [2]bool
+	propSig      [2][]byte
+
+	// terminate holds the justification to multicast before halting.
+	terminate *TerminateMsg
+
+	out     types.Bit
+	decided bool
+	halted  bool
+}
+
+// New constructs node id with the given input and signing key.
+func New(cfg Config, id types.NodeID, input types.Bit, sk sig.PrivateKey) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !input.Valid() {
+		return nil, fmt.Errorf("quadratic: invalid input %v", input)
+	}
+	return &Node{
+		cfg:     cfg,
+		id:      id,
+		input:   input,
+		sk:      sk,
+		votes:   make(map[uint32]*[2]attest.Set),
+		commits: make(map[uint32]*[2]attest.Set),
+	}, nil
+}
+
+// NewNodes constructs all n state machines from a PKI setup.
+func NewNodes(cfg Config, inputs []types.Bit, secrets []pki.Secret) ([]netsim.Node, error) {
+	if len(inputs) != cfg.N || len(secrets) != cfg.N {
+		return nil, fmt.Errorf("quadratic: need %d inputs and secrets, got %d/%d",
+			cfg.N, len(inputs), len(secrets))
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = sig.NewCache()
+	}
+	nodes := make([]netsim.Node, cfg.N)
+	for i := range nodes {
+		n, err := New(cfg, types.NodeID(i), inputs[i], secrets[i].SigSK)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+	return nodes, nil
+}
+
+var _ netsim.Node = (*Node)(nil)
+
+// Output implements netsim.Node.
+func (n *Node) Output() (types.Bit, bool) { return n.out, n.decided }
+
+// Halted implements netsim.Node.
+func (n *Node) Halted() bool { return n.halted }
+
+// Step implements netsim.Node.
+func (n *Node) Step(round int, delivered []netsim.Delivered) []netsim.Send {
+	if n.halted {
+		return nil
+	}
+	n.ingest(delivered)
+
+	// Terminate step (⋆): executable at any time, before iteration phases.
+	if n.terminate != nil {
+		msg := *n.terminate
+		n.out = msg.B
+		n.decided = true
+		n.halted = true
+		return []netsim.Send{netsim.Multicast(msg)}
+	}
+
+	iter, phase := PhaseOf(round)
+	if int(iter) > n.cfg.MaxIters {
+		return nil // out of iterations; keep listening for Terminate
+	}
+	switch phase {
+	case PhaseStatus:
+		return n.statusRound(iter)
+	case PhasePropose:
+		return n.proposeRound(iter)
+	case PhaseVote:
+		return n.voteRound(iter)
+	case PhaseCommit:
+		return n.commitRound(iter)
+	default:
+		return nil
+	}
+}
+
+// verifyVoteAtt returns a VerifyFunc for vote attestations of (iter, b).
+func (n *Node) verifyVoteAtt(iter uint32, b types.Bit) attest.VerifyFunc {
+	tag := VoteTag(iter, b)
+	return func(id types.NodeID, proof []byte) bool {
+		return n.cfg.verify(n.cfg.PKI.SigKey(id), tag, proof)
+	}
+}
+
+// verifyCommitAtt returns a VerifyFunc for commit attestations of (iter, b).
+func (n *Node) verifyCommitAtt(iter uint32, b types.Bit) attest.VerifyFunc {
+	tag := CommitTag(iter, b)
+	return func(id types.NodeID, proof []byte) bool {
+		return n.cfg.verify(n.cfg.PKI.SigKey(id), tag, proof)
+	}
+}
+
+// absorbCert checks a received certificate for bit b and, if valid and
+// higher-ranked, absorbs it into bestCert. Certificates that do not outrank
+// the best known one for the same bit are accepted without re-verification —
+// the node already holds a genuine certificate of at least that rank for b,
+// so decisions gated on the attached copy's rank remain justified.
+func (n *Node) absorbCert(c attest.Certificate, b types.Bit) bool {
+	if c.Empty() {
+		return true
+	}
+	if c.Bit != b || !b.Valid() {
+		return false
+	}
+	if c.Rank() <= n.bestCert[b].Rank() {
+		return true
+	}
+	if !c.Verify(n.cfg.Threshold(), n.verifyVoteAtt(c.Iter, c.Bit)) {
+		return false
+	}
+	n.bestCert[b] = c
+	return true
+}
+
+func (n *Node) voteSet(iter uint32) *[2]attest.Set {
+	s := n.votes[iter]
+	if s == nil {
+		s = &[2]attest.Set{}
+		n.votes[iter] = s
+	}
+	return s
+}
+
+func (n *Node) commitSet(iter uint32) *[2]attest.Set {
+	s := n.commits[iter]
+	if s == nil {
+		s = &[2]attest.Set{}
+		n.commits[iter] = s
+	}
+	return s
+}
+
+// ingest processes all messages delivered at the start of a round.
+func (n *Node) ingest(delivered []netsim.Delivered) {
+	for _, d := range delivered {
+		switch m := d.Msg.(type) {
+		case StatusMsg:
+			if m.B.Valid() {
+				n.absorbCert(m.Cert, m.B)
+			}
+		case ProposeMsg:
+			n.ingestPropose(d.From, m)
+		case VoteMsg:
+			n.ingestVote(d.From, m)
+		case CommitMsg:
+			n.ingestCommit(d.From, m)
+		case TerminateMsg:
+			n.ingestTerminate(m)
+		}
+	}
+}
+
+func (n *Node) ingestPropose(from types.NodeID, m ProposeMsg) {
+	leader := n.cfg.Oracle.Leader(m.Iter)
+	if !m.B.Valid() || leader != from {
+		return
+	}
+	if !n.cfg.verify(n.cfg.PKI.SigKey(leader), ProposeTag(m.Iter, m.B), m.Sig) {
+		return
+	}
+	if !n.absorbCert(m.Cert, m.B) {
+		return
+	}
+	if n.propIter != m.Iter {
+		n.propIter = m.Iter
+		n.proposals = [2]attest.Certificate{}
+		n.proposalSeen = [2]bool{}
+		n.propSig = [2][]byte{}
+	}
+	if !n.proposalSeen[m.B] || m.Cert.Rank() > n.proposals[m.B].Rank() {
+		n.proposals[m.B] = m.Cert
+		n.proposalSeen[m.B] = true
+		n.propSig[m.B] = m.Sig
+	}
+}
+
+func (n *Node) ingestVote(from types.NodeID, m VoteMsg) {
+	if !m.B.Valid() || m.Iter == 0 {
+		return
+	}
+	if !n.cfg.verify(n.cfg.PKI.SigKey(from), VoteTag(m.Iter, m.B), m.Sig) {
+		return
+	}
+	// Votes after iteration 1 count only with the leader's proposal for the
+	// same bit attached (footnote 11): otherwise any corrupt node could
+	// forever block the commit rule by voting 1−b.
+	if m.Iter > 1 {
+		leaderPK := n.cfg.PKI.SigKey(n.cfg.Oracle.Leader(m.Iter))
+		if !n.cfg.verify(leaderPK, ProposeTag(m.Iter, m.B), m.LeaderSig) {
+			return
+		}
+	}
+	set := n.voteSet(m.Iter)
+	set[m.B].Add(from, m.Sig)
+	// f+1 votes for the same (iter, bit) form a certificate (Appendix C.1).
+	if set[m.B].Count() >= n.cfg.Threshold() && m.Iter > n.bestCert[m.B].Rank() {
+		n.bestCert[m.B] = attest.Certificate{Iter: m.Iter, Bit: m.B, Atts: set[m.B].Attestations()}
+	}
+}
+
+func (n *Node) ingestCommit(from types.NodeID, m CommitMsg) {
+	if !m.B.Valid() || m.Iter == 0 {
+		return
+	}
+	if !n.cfg.verify(n.cfg.PKI.SigKey(from), CommitTag(m.Iter, m.B), m.Sig) {
+		return
+	}
+	// The attached vote certificate propagates the committed bit's rank.
+	if m.Cert.Iter == m.Iter && m.Cert.Bit == m.B {
+		n.absorbCert(m.Cert, m.B)
+	}
+	set := n.commitSet(m.Iter)
+	set[m.B].Add(from, m.Sig)
+	if set[m.B].Count() >= n.cfg.Threshold() && n.terminate == nil {
+		n.terminate = &TerminateMsg{Iter: m.Iter, B: m.B, Commits: set[m.B].Attestations()}
+	}
+}
+
+func (n *Node) ingestTerminate(m TerminateMsg) {
+	if n.terminate != nil || !m.B.Valid() || m.Iter == 0 {
+		return
+	}
+	if !attest.VerifyAll(m.Commits, n.cfg.Threshold(), n.verifyCommitAtt(m.Iter, m.B)) {
+		return
+	}
+	n.terminate = &m
+}
+
+// bestBit returns the bit backed by the highest certificate, falling back to
+// the node's input when no certificate exists.
+func (n *Node) bestBit() (types.Bit, attest.Certificate) {
+	r0, r1 := n.bestCert[0].Rank(), n.bestCert[1].Rank()
+	switch {
+	case r0 == 0 && r1 == 0:
+		return n.input, attest.Certificate{}
+	case r1 > r0:
+		return types.One, n.bestCert[1]
+	default:
+		return types.Zero, n.bestCert[0]
+	}
+}
+
+func (n *Node) statusRound(iter uint32) []netsim.Send {
+	b, cert := n.bestBit()
+	return []netsim.Send{netsim.Multicast(StatusMsg{Iter: iter, B: b, Cert: cert})}
+}
+
+func (n *Node) proposeRound(iter uint32) []netsim.Send {
+	if n.cfg.Oracle.Leader(iter) != n.id {
+		return nil
+	}
+	b, cert := n.bestBit()
+	return []netsim.Send{netsim.Multicast(ProposeMsg{
+		Iter: iter, B: b, Cert: cert,
+		Sig: sig.Sign(n.sk, ProposeTag(iter, b)),
+	})}
+}
+
+func (n *Node) voteRound(iter uint32) []netsim.Send {
+	var b types.Bit
+	switch {
+	case iter == 1:
+		// The very first iteration: vote the input bit.
+		b = n.input
+	case n.propIter != iter:
+		return nil // no proposal arrived for this iteration
+	case n.proposalSeen[0] && n.proposalSeen[1]:
+		return nil // equivocating leader; abstain
+	case n.proposalSeen[0]:
+		b = types.Zero
+	case n.proposalSeen[1]:
+		b = types.One
+	default:
+		return nil
+	}
+	var leaderSig []byte
+	if iter > 1 {
+		// Vote only if no strictly higher certificate for the opposite bit
+		// has been observed (ties defer to the leader).
+		if n.bestCert[b.Flip()].Rank() > n.proposals[b].Rank() {
+			return nil
+		}
+		leaderSig = n.propSig[b]
+	}
+	return []netsim.Send{netsim.Multicast(VoteMsg{
+		Iter: iter, B: b, Sig: sig.Sign(n.sk, VoteTag(iter, b)), LeaderSig: leaderSig,
+	})}
+}
+
+func (n *Node) commitRound(iter uint32) []netsim.Send {
+	set := n.voteSet(iter)
+	for _, b := range []types.Bit{types.Zero, types.One} {
+		if set[b].Count() >= n.cfg.Threshold() && set[b.Flip()].Count() == 0 {
+			cert := attest.Certificate{Iter: iter, Bit: b, Atts: set[b].Attestations()}
+			return []netsim.Send{netsim.Multicast(CommitMsg{
+				Iter: iter, B: b, Cert: cert,
+				Sig: sig.Sign(n.sk, CommitTag(iter, b)),
+			})}
+		}
+	}
+	return nil
+}

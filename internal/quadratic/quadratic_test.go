@@ -1,0 +1,329 @@
+package quadratic
+
+import (
+	"testing"
+
+	"ccba/internal/attest"
+	"ccba/internal/crypto/pki"
+	"ccba/internal/crypto/sig"
+	"ccba/internal/leader"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+func setup(t *testing.T, n, f int, seedByte byte) (Config, []pki.Secret) {
+	t.Helper()
+	var seed [32]byte
+	seed[0] = seedByte
+	pub, secrets := pki.Setup(n, seed)
+	cfg := Config{
+		N: n, F: f, MaxIters: 30,
+		Oracle: leader.New(seed, n),
+		PKI:    pub,
+	}
+	return cfg, secrets
+}
+
+func run(t *testing.T, cfg Config, secrets []pki.Secret, inputs []types.Bit, adv netsim.Adversary) *netsim.Result {
+	t.Helper()
+	nodes, err := NewNodes(cfg, inputs, secrets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := netsim.NewRuntime(netsim.Config{
+		N: cfg.N, F: cfg.F, MaxRounds: cfg.Rounds(),
+		Seize: func(id types.NodeID) any { return secrets[id] },
+	}, nodes, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.Run()
+}
+
+func constInputs(n int, b types.Bit) []types.Bit {
+	in := make([]types.Bit, n)
+	for i := range in {
+		in[i] = b
+	}
+	return in
+}
+
+func mixedInputs(n int) []types.Bit {
+	in := make([]types.Bit, n)
+	for i := range in {
+		in[i] = types.BitFromBool(i%2 == 1)
+	}
+	return in
+}
+
+func checkAll(t *testing.T, res *netsim.Result, inputs []types.Bit) {
+	t.Helper()
+	if err := netsim.CheckTermination(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := netsim.CheckConsistency(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := netsim.CheckAgreementValidity(res, inputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseOf(t *testing.T) {
+	cases := []struct {
+		round int
+		iter  uint32
+		phase Phase
+	}{
+		{0, 1, PhaseVote},
+		{1, 1, PhaseCommit},
+		{2, 2, PhaseStatus},
+		{3, 2, PhasePropose},
+		{4, 2, PhaseVote},
+		{5, 2, PhaseCommit},
+		{6, 3, PhaseStatus},
+		{9, 3, PhaseCommit},
+		{10, 4, PhaseStatus},
+	}
+	for _, tc := range cases {
+		iter, ph := PhaseOf(tc.round)
+		if iter != tc.iter || ph != tc.phase {
+			t.Errorf("PhaseOf(%d) = (%d, %d), want (%d, %d)", tc.round, iter, ph, tc.iter, tc.phase)
+		}
+	}
+}
+
+func TestUnanimousValidity(t *testing.T) {
+	for _, b := range []types.Bit{types.Zero, types.One} {
+		cfg, secrets := setup(t, 7, 3, 1)
+		inputs := constInputs(7, b)
+		res := run(t, cfg, secrets, inputs, nil)
+		checkAll(t, res, inputs)
+		for _, id := range res.ForeverHonest() {
+			if res.Outputs[id] != b {
+				t.Fatalf("input %v output %v", b, res.Outputs[id])
+			}
+		}
+		// Unanimous honest input decides in iteration 1: vote, commit,
+		// terminate, relay — four rounds.
+		if res.Rounds > 5 {
+			t.Fatalf("unanimous case took %d rounds", res.Rounds)
+		}
+	}
+}
+
+func TestMixedInputsAgree(t *testing.T) {
+	for s := byte(0); s < 8; s++ {
+		cfg, secrets := setup(t, 9, 4, s)
+		inputs := mixedInputs(9)
+		res := run(t, cfg, secrets, inputs, nil)
+		checkAll(t, res, inputs)
+	}
+}
+
+// silent statically corrupts nodes that never speak.
+type silent struct {
+	netsim.Passive
+	ids []types.NodeID
+}
+
+func (a *silent) Setup(ctx *netsim.Ctx) {
+	for _, id := range a.ids {
+		if _, err := ctx.Corrupt(id); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestToleratesSilentMinority(t *testing.T) {
+	// f = 4 < n/2 = 4.5 silent corruptions.
+	cfg, secrets := setup(t, 9, 4, 3)
+	inputs := mixedInputs(9)
+	res := run(t, cfg, secrets, inputs, &silent{ids: []types.NodeID{0, 2, 4, 6}})
+	checkAll(t, res, inputs)
+}
+
+func TestToleratesSilentMinorityUnanimous(t *testing.T) {
+	cfg, secrets := setup(t, 11, 5, 4)
+	inputs := constInputs(11, types.One)
+	res := run(t, cfg, secrets, inputs, &silent{ids: []types.NodeID{1, 3, 5, 7, 9}})
+	checkAll(t, res, inputs)
+	for _, id := range res.ForeverHonest() {
+		if res.Outputs[id] != types.One {
+			t.Fatalf("output %v", res.Outputs[id])
+		}
+	}
+}
+
+// equivocator corrupts node `target` up front; whenever target is the
+// iteration leader it proposes both bits; it also votes both bits every
+// iteration. This is the classic safety attack a correct implementation
+// must absorb.
+type equivocator struct {
+	target  types.NodeID
+	secrets []pki.Secret
+	oracle  *leader.Oracle
+}
+
+func (a *equivocator) Power() netsim.Power { return netsim.PowerWeaklyAdaptive }
+func (a *equivocator) Setup(ctx *netsim.Ctx) {
+	if _, err := ctx.Corrupt(a.target); err != nil {
+		panic(err)
+	}
+}
+
+func (a *equivocator) Round(ctx *netsim.Ctx) {
+	iter, phase := PhaseOf(ctx.Round())
+	sk := a.secrets[a.target].SigSK
+	switch phase {
+	case PhasePropose:
+		if a.oracle.Leader(iter) == a.target {
+			for _, b := range []types.Bit{types.Zero, types.One} {
+				_ = ctx.Inject(a.target, types.Broadcast, ProposeMsg{
+					Iter: iter, B: b, Sig: sig.Sign(sk, ProposeTag(iter, b)),
+				})
+			}
+		}
+	case PhaseVote:
+		// Vote both bits, forging whatever justification is available: when
+		// the corrupt node leads, it signs proposals for both bits itself.
+		for _, b := range []types.Bit{types.Zero, types.One} {
+			var leaderSig []byte
+			if a.oracle.Leader(iter) == a.target {
+				leaderSig = sig.Sign(sk, ProposeTag(iter, b))
+			}
+			_ = ctx.Inject(a.target, types.Broadcast, VoteMsg{
+				Iter: iter, B: b, Sig: sig.Sign(sk, VoteTag(iter, b)), LeaderSig: leaderSig,
+			})
+		}
+	}
+}
+
+func TestSurvivesEquivocator(t *testing.T) {
+	for s := byte(0); s < 5; s++ {
+		cfg, secrets := setup(t, 7, 3, 20+s)
+		inputs := mixedInputs(7)
+		adv := &equivocator{target: 2, secrets: secrets, oracle: cfg.Oracle}
+		res := run(t, cfg, secrets, inputs, adv)
+		checkAll(t, res, inputs)
+	}
+}
+
+func TestExpectedConstantIterations(t *testing.T) {
+	// Over several seeds, the mean round count should be small (expected
+	// two iterations ≈ 8 rounds); assert a generous bound.
+	total := 0
+	const trials = 12
+	for s := byte(0); s < trials; s++ {
+		cfg, secrets := setup(t, 9, 4, 40+s)
+		inputs := mixedInputs(9)
+		res := run(t, cfg, secrets, inputs, nil)
+		checkAll(t, res, inputs)
+		total += res.Rounds
+	}
+	mean := float64(total) / trials
+	if mean > 16 {
+		t.Fatalf("mean rounds %.1f exceeds expected-constant bound", mean)
+	}
+}
+
+func TestQuadraticCommunicationShape(t *testing.T) {
+	// Every node multicasts ~1 message per round → classical complexity
+	// ≈ n² per round. Check the per-round classical message count is Θ(n²).
+	cfg, secrets := setup(t, 9, 4, 7)
+	inputs := constInputs(9, types.Zero)
+	res := run(t, cfg, secrets, inputs, nil)
+	perRound := float64(res.Metrics.HonestMessages) / float64(res.Rounds)
+	if perRound < float64(cfg.N*cfg.N)/4 {
+		t.Fatalf("per-round classical messages %.0f too low for a quadratic protocol", perRound)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	var seed [32]byte
+	pub, _ := pki.Setup(4, seed)
+	orc := leader.New(seed, 4)
+	bad := []Config{
+		{N: 4, F: 2, MaxIters: 5, Oracle: orc, PKI: pub},  // f ≥ n/2
+		{N: 4, F: 1, MaxIters: 0, Oracle: orc, PKI: pub},  // no iterations
+		{N: 4, F: 1, MaxIters: 5, PKI: pub},               // no oracle
+		{N: 4, F: 1, MaxIters: 5, Oracle: orc},            // no PKI
+		{N: 0, F: 0, MaxIters: 5, Oracle: orc, PKI: pub},  // no nodes
+		{N: 4, F: -1, MaxIters: 5, Oracle: orc, PKI: pub}, // negative f
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{N: 4, F: 1, MaxIters: 5, Oracle: orc, PKI: pub}, 0, types.NoBit, nil); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
+func TestCertificateForgeryRejected(t *testing.T) {
+	// A certificate with forged signatures must not be absorbed.
+	var seed [32]byte
+	pub, secrets := pki.Setup(4, seed)
+	cfg := Config{N: 4, F: 1, MaxIters: 5, Oracle: leader.New(seed, 4), PKI: pub}
+	n, err := New(cfg, 0, types.Zero, secrets[0].SigSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := attest.Certificate{Iter: 3, Bit: types.One, Atts: []attest.Attestation{
+		{ID: 1, Proof: make([]byte, sig.ProofSize)},
+		{ID: 2, Proof: make([]byte, sig.ProofSize)},
+	}}
+	if n.absorbCert(forged, types.One) {
+		t.Fatal("forged certificate absorbed")
+	}
+	if n.bestCert[1].Rank() != 0 {
+		t.Fatal("forged certificate raised best rank")
+	}
+	// A genuine certificate is absorbed.
+	genuine := attest.Certificate{Iter: 3, Bit: types.One, Atts: []attest.Attestation{
+		{ID: 1, Proof: sig.Sign(secrets[1].SigSK, VoteTag(3, types.One))},
+		{ID: 2, Proof: sig.Sign(secrets[2].SigSK, VoteTag(3, types.One))},
+	}}
+	if !n.absorbCert(genuine, types.One) {
+		t.Fatal("genuine certificate rejected")
+	}
+	if n.bestCert[1].Rank() != 3 {
+		t.Fatalf("best rank = %d, want 3", n.bestCert[1].Rank())
+	}
+}
+
+func TestMessageCodecRoundTrips(t *testing.T) {
+	cert := attest.Certificate{Iter: 2, Bit: types.One, Atts: []attest.Attestation{{ID: 3, Proof: []byte{9}}}}
+	msgs := []interface {
+		Kind() wire.Kind
+		Encode([]byte) []byte
+	}{
+		StatusMsg{Iter: 2, B: types.One, Cert: cert},
+		ProposeMsg{Iter: 2, B: types.Zero, Cert: cert},
+		VoteMsg{Iter: 2, B: types.One, Sig: []byte{1, 2}},
+		CommitMsg{Iter: 2, B: types.Zero, Cert: cert, Sig: []byte{3}},
+		TerminateMsg{Iter: 2, B: types.One, Commits: cert.Atts},
+	}
+	for _, m := range msgs {
+		buf := append([]byte{byte(m.Kind())}, m.Encode(nil)...)
+		dec, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode kind %d: %v", m.Kind(), err)
+		}
+		re := append([]byte{byte(dec.Kind())}, dec.Encode(nil)...)
+		if string(re) != string(buf) {
+			t.Fatalf("kind %d did not round-trip", m.Kind())
+		}
+	}
+	if _, err := Decode([]byte{byte(KindVote)}); err == nil {
+		t.Fatal("truncated vote decoded")
+	}
+	if _, err := Decode([]byte{77}); err == nil {
+		t.Fatal("unknown kind decoded")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty buffer decoded")
+	}
+}

@@ -1,0 +1,109 @@
+// Package stats provides the small statistical toolkit the experiment
+// harnesses use: summaries, binomial confidence intervals, and the Chernoff
+// bounds the paper's lemmas are stated in, so measured failure rates can be
+// printed next to the analytic guarantees they must sit under.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N                   int
+	Mean, Std, Min, Max float64
+	Median              float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f ±%.2f min=%.0f med=%.1f max=%.0f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// ChernoffUpper bounds Pr[X ≥ t] for X a sum of independent Bernoullis with
+// mean mu and t > mu, via the multiplicative bound
+// Pr[X ≥ (1+δ)μ] ≤ exp(−δ²μ/(2+δ)). Returns 1 when t ≤ mu.
+func ChernoffUpper(mu, t float64) float64 {
+	if mu <= 0 {
+		return 0
+	}
+	if t <= mu {
+		return 1
+	}
+	delta := t/mu - 1
+	return math.Exp(-delta * delta * mu / (2 + delta))
+}
+
+// ChernoffLower bounds Pr[X ≤ t] for X a sum of independent Bernoullis with
+// mean mu and t < mu, via Pr[X ≤ (1−δ)μ] ≤ exp(−δ²μ/2). Returns 1 when
+// t ≥ mu.
+func ChernoffLower(mu, t float64) float64 {
+	if mu <= 0 {
+		return 1
+	}
+	if t >= mu {
+		return 1
+	}
+	delta := 1 - t/mu
+	return math.Exp(-delta * delta * mu / 2)
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial proportion
+// at confidence level z standard deviations (z = 1.96 for 95%).
+func WilsonInterval(successes, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = math.Max(0, center-half)
+	hi = math.Min(1, center+half)
+	return lo, hi
+}
+
+// Rate is a convenience for success proportions.
+func Rate(successes, trials int) float64 {
+	if trials == 0 {
+		return 0
+	}
+	return float64(successes) / float64(trials)
+}

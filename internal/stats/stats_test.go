@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Median != 2.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1, 2}).String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestChernoffUpper(t *testing.T) {
+	if got := ChernoffUpper(10, 5); got != 1 {
+		t.Fatalf("t ≤ mu must return 1, got %v", got)
+	}
+	if got := ChernoffUpper(0, 5); got != 0 {
+		t.Fatalf("mu=0 must return 0, got %v", got)
+	}
+	// δ=1, μ=10: exp(−10/3).
+	want := math.Exp(-10.0 / 3)
+	if got := ChernoffUpper(10, 20); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ChernoffUpper(10,20) = %v, want %v", got, want)
+	}
+}
+
+func TestChernoffLower(t *testing.T) {
+	if got := ChernoffLower(10, 15); got != 1 {
+		t.Fatalf("t ≥ mu must return 1, got %v", got)
+	}
+	if got := ChernoffLower(0, 1); got != 1 {
+		t.Fatalf("mu=0 must return 1, got %v", got)
+	}
+	// δ=0.5, μ=10: exp(−0.25·10/2) = exp(−1.25).
+	want := math.Exp(-1.25)
+	if got := ChernoffLower(10, 5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ChernoffLower(10,5) = %v, want %v", got, want)
+	}
+}
+
+func TestChernoffBoundsAreProbabilities(t *testing.T) {
+	f := func(mu, tt float64) bool {
+		mu = math.Abs(mu)
+		tt = math.Abs(tt)
+		u := ChernoffUpper(mu, tt)
+		l := ChernoffLower(mu, tt)
+		return u >= 0 && u <= 1 && l >= 0 && l <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("[%v, %v] does not bracket 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval too wide: [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("zero trials: [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 100, 1.96)
+	if lo != 0 || hi > 0.06 {
+		t.Fatalf("zero successes: [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(100, 100, 1.96)
+	if hi < 0.999 || lo < 0.94 {
+		t.Fatalf("all successes: [%v, %v]", lo, hi)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if Rate(3, 4) != 0.75 || Rate(0, 0) != 0 {
+		t.Fatal("Rate wrong")
+	}
+}

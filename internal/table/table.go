@@ -1,0 +1,105 @@
+// Package table renders plain-text tables for the experiment harnesses.
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled column/row table.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and columns.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; cells are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var sep strings.Builder
+	for i := range t.Columns {
+		sep.WriteString(strings.Repeat("-", widths[i]+2))
+		if i < len(t.Columns)-1 {
+			sep.WriteString("+")
+		}
+	}
+	line := sep.String()
+	fmt.Fprintln(w, line)
+	writeRow := func(cells []string) {
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			pad := widths[i] - len([]rune(cell))
+			fmt.Fprintf(w, " %s%s ", cell, strings.Repeat(" ", pad))
+			if i < len(t.Columns)-1 {
+				fmt.Fprint(w, "|")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Columns)
+	fmt.Fprintln(w, line)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	fmt.Fprintln(w, line)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tb := New("Title", "a", "bb", "ccc")
+	tb.Add(1, "x", 2.5)
+	tb.Add("long-cell", "y", 0.125)
+	out := tb.String()
+	for _, want := range []string{"Title", "a", "bb", "ccc", "long-cell", "2.5", "0.125"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFloatTrimming(t *testing.T) {
+	tb := New("t", "v")
+	tb.Add(3.0)
+	tb.Add(3.1400)
+	tb.Add(0.0)
+	out := tb.String()
+	if strings.Contains(out, "3.0000") || strings.Contains(out, "3.1400") {
+		t.Fatalf("floats not trimmed:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("3.14 missing:\n%s", out)
+	}
+}
+
+func TestNote(t *testing.T) {
+	tb := New("t", "v")
+	tb.Note = "footnote here"
+	tb.Add(1)
+	if !strings.Contains(tb.String(), "footnote here") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	tb := New("t", "col", "col2")
+	tb.Add("aaaaaaaaaa", "b")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header separator lines must all be the same width.
+	var seps []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "-") {
+			seps = append(seps, l)
+		}
+	}
+	if len(seps) < 3 {
+		t.Fatalf("expected 3 separator lines, got %d:\n%s", len(seps), out)
+	}
+	for _, s := range seps[1:] {
+		if len(s) != len(seps[0]) {
+			t.Fatalf("separator widths differ:\n%s", out)
+		}
+	}
+}
+
+func TestShortRowPadded(t *testing.T) {
+	tb := New("t", "a", "b", "c")
+	tb.Add(1) // fewer cells than columns
+	out := tb.String()
+	if !strings.Contains(out, "1") {
+		t.Fatalf("row missing:\n%s", out)
+	}
+}

@@ -1,0 +1,103 @@
+// Package types defines the identifiers and primitive values shared by every
+// protocol and substrate in this repository: node identities, binary
+// consensus values, and the corruption bookkeeping used by the execution
+// model of Abraham et al. (PODC 2019), Appendix A.1.
+package types
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// NodeID identifies a protocol participant. Nodes are numbered 0..n-1 as in
+// the paper's execution model.
+type NodeID int32
+
+// Broadcast is the destination pseudo-identity used for multicast sends.
+const Broadcast NodeID = -1
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string {
+	if id == Broadcast {
+		return "*"
+	}
+	return strconv.Itoa(int(id))
+}
+
+// Bit is a binary consensus value. The broadcast and agreement problems in
+// the paper are defined over bits; NoBit represents the absence of a value
+// (written ⊥ in the paper).
+type Bit uint8
+
+const (
+	// Zero is the bit 0.
+	Zero Bit = 0
+	// One is the bit 1.
+	One Bit = 1
+	// NoBit is the absence of a bit (⊥). It is never a valid protocol input.
+	NoBit Bit = 0xff
+)
+
+// Valid reports whether b is a concrete bit (0 or 1).
+func (b Bit) Valid() bool { return b == Zero || b == One }
+
+// Flip returns the opposite bit. Flipping NoBit yields NoBit.
+func (b Bit) Flip() Bit {
+	switch b {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return NoBit
+	}
+}
+
+// String implements fmt.Stringer.
+func (b Bit) String() string {
+	switch b {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case NoBit:
+		return "⊥"
+	default:
+		return fmt.Sprintf("Bit(%d)", uint8(b))
+	}
+}
+
+// BitFromBool converts a boolean into a bit (true ↦ 1).
+func BitFromBool(v bool) Bit {
+	if v {
+		return One
+	}
+	return Zero
+}
+
+// Status is the corruption status of a node at a point in an execution.
+//
+// The paper distinguishes so-far-honest nodes (honest at the current round),
+// forever-honest nodes (honest at the end of the execution), and
+// eventually-corrupt nodes. Status tracks the current state; forever-honest
+// is a property of the final state.
+type Status uint8
+
+const (
+	// Honest marks a node that has not been corrupted (so-far-honest).
+	Honest Status = iota + 1
+	// Corrupt marks a node under adversarial control.
+	Corrupt
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Honest:
+		return "honest"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}

@@ -1,0 +1,68 @@
+package types
+
+import "testing"
+
+func TestBitValid(t *testing.T) {
+	cases := []struct {
+		bit  Bit
+		want bool
+	}{
+		{Zero, true},
+		{One, true},
+		{NoBit, false},
+		{Bit(2), false},
+		{Bit(200), false},
+	}
+	for _, tc := range cases {
+		if got := tc.bit.Valid(); got != tc.want {
+			t.Errorf("Bit(%d).Valid() = %v, want %v", uint8(tc.bit), got, tc.want)
+		}
+	}
+}
+
+func TestBitFlip(t *testing.T) {
+	if Zero.Flip() != One {
+		t.Errorf("Zero.Flip() = %v, want One", Zero.Flip())
+	}
+	if One.Flip() != Zero {
+		t.Errorf("One.Flip() = %v, want Zero", One.Flip())
+	}
+	if NoBit.Flip() != NoBit {
+		t.Errorf("NoBit.Flip() = %v, want NoBit", NoBit.Flip())
+	}
+}
+
+func TestBitFlipInvolution(t *testing.T) {
+	for _, b := range []Bit{Zero, One} {
+		if b.Flip().Flip() != b {
+			t.Errorf("double flip of %v changed value", b)
+		}
+	}
+}
+
+func TestBitFromBool(t *testing.T) {
+	if BitFromBool(true) != One || BitFromBool(false) != Zero {
+		t.Error("BitFromBool mapping wrong")
+	}
+}
+
+func TestBitString(t *testing.T) {
+	if Zero.String() != "0" || One.String() != "1" || NoBit.String() != "⊥" {
+		t.Errorf("unexpected Bit strings: %s %s %s", Zero, One, NoBit)
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if Broadcast.String() != "*" {
+		t.Errorf("Broadcast.String() = %q", Broadcast.String())
+	}
+	if NodeID(17).String() != "17" {
+		t.Errorf("NodeID(17).String() = %q", NodeID(17).String())
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Honest.String() != "honest" || Corrupt.String() != "corrupt" {
+		t.Error("unexpected Status strings")
+	}
+}

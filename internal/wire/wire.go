@@ -1,0 +1,180 @@
+// Package wire provides the compact binary codec used by every protocol
+// message in this repository.
+//
+// Communication-complexity accounting (Definitions 6 and 7 in the paper)
+// needs exact byte sizes for every message honest nodes send, so all
+// protocol messages implement Message and are measured by their canonical
+// encoding. The codec is deliberately simple: fixed-width integers in
+// big-endian order and length-prefixed byte strings, written through Writer
+// and read back through Reader with sticky error handling.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ccba/internal/types"
+)
+
+// Kind tags a protocol message type inside its protocol's namespace. Kinds
+// are protocol-local: two protocols may reuse the same kind values because
+// envelopes never cross protocol boundaries.
+type Kind uint8
+
+// Message is a protocol message with a canonical binary encoding.
+type Message interface {
+	// Kind returns the protocol-local message type tag.
+	Kind() Kind
+	// Encode appends the canonical encoding of the message (excluding the
+	// kind tag) to dst and returns the extended slice.
+	Encode(dst []byte) []byte
+}
+
+// Size returns the encoded size of m in bytes, including its kind tag.
+func Size(m Message) int {
+	return 1 + len(m.Encode(nil))
+}
+
+// Marshal encodes m with a leading kind tag.
+func Marshal(m Message) []byte {
+	buf := make([]byte, 1, 64)
+	buf[0] = byte(m.Kind())
+	return m.Encode(buf)
+}
+
+// ErrTruncated is returned when a Reader runs out of bytes.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrMalformed is returned for structurally invalid encodings.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// Writer appends primitive values to a byte slice.
+type Writer struct {
+	Buf []byte
+}
+
+// U8 appends a byte.
+func (w *Writer) U8(v uint8) { w.Buf = append(w.Buf, v) }
+
+// U32 appends a big-endian 32-bit integer.
+func (w *Writer) U32(v uint32) { w.Buf = binary.BigEndian.AppendUint32(w.Buf, v) }
+
+// U64 appends a big-endian 64-bit integer.
+func (w *Writer) U64(v uint64) { w.Buf = binary.BigEndian.AppendUint64(w.Buf, v) }
+
+// Bit appends a consensus bit.
+func (w *Writer) Bit(b types.Bit) { w.U8(uint8(b)) }
+
+// NodeID appends a node identity.
+func (w *Writer) NodeID(id types.NodeID) { w.U32(uint32(id)) }
+
+// Bytes appends a length-prefixed byte string (max 2^32-1 bytes).
+func (w *Writer) Bytes(b []byte) {
+	w.U32(uint32(len(b)))
+	w.Buf = append(w.Buf, b...)
+}
+
+// Reader consumes primitive values from a byte slice. The first decoding
+// error sticks: all subsequent reads return zero values, and Err reports the
+// failure. This lets message decoders read every field unconditionally and
+// check the error once, per the "handle errors once" guideline.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf; callers
+// must not mutate it while decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = ErrTruncated
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+// U8 reads a byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a big-endian 32-bit integer.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian 64-bit integer.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Bit reads a consensus bit and validates it is 0, 1, or ⊥.
+func (r *Reader) Bit() types.Bit {
+	b := types.Bit(r.U8())
+	if r.err == nil && !b.Valid() && b != types.NoBit {
+		r.err = fmt.Errorf("%w: bit value %d", ErrMalformed, uint8(b))
+	}
+	return b
+}
+
+// NodeID reads a node identity.
+func (r *Reader) NodeID() types.NodeID { return types.NodeID(r.U32()) }
+
+// Bytes reads a length-prefixed byte string. The returned slice aliases the
+// underlying buffer.
+func (r *Reader) Bytes() []byte {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(len(r.buf)) {
+		r.err = ErrTruncated
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// Expect fails the reader with ErrMalformed unless cond holds.
+func (r *Reader) Expect(cond bool, what string) {
+	if r.err == nil && !cond {
+		r.err = fmt.Errorf("%w: %s", ErrMalformed, what)
+	}
+}
+
+// Finish returns ErrMalformed if any bytes remain unread, or the sticky
+// error if one occurred.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf))
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ccba/internal/types"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var w Writer
+	w.U8(7)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.Bit(types.One)
+	w.NodeID(types.NodeID(42))
+	w.Bytes([]byte("hello"))
+	w.Bytes(nil)
+
+	r := NewReader(w.Buf)
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %x", got)
+	}
+	if got := r.Bit(); got != types.One {
+		t.Errorf("Bit = %v", got)
+	}
+	if got := r.NodeID(); got != 42 {
+		t.Errorf("NodeID = %v", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("empty Bytes = %q", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", r.Err())
+	}
+	// Sticky: subsequent reads return zero values without panicking.
+	if r.U64() != 0 || r.U8() != 0 || r.Bytes() != nil {
+		t.Error("reads after error should return zero values")
+	}
+}
+
+func TestReaderBytesTruncatedLength(t *testing.T) {
+	var w Writer
+	w.U32(1000) // claims 1000 bytes, provides none
+	r := NewReader(w.Buf)
+	if got := r.Bytes(); got != nil {
+		t.Errorf("Bytes on truncated input = %v", got)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", r.Err())
+	}
+}
+
+func TestReaderInvalidBit(t *testing.T) {
+	r := NewReader([]byte{3})
+	_ = r.Bit()
+	if !errors.Is(r.Err(), ErrMalformed) {
+		t.Fatalf("want ErrMalformed for bit=3, got %v", r.Err())
+	}
+}
+
+func TestReaderNoBitAllowed(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if got := r.Bit(); got != types.NoBit {
+		t.Fatalf("Bit = %v, want NoBit", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("NoBit should decode cleanly: %v", r.Err())
+	}
+}
+
+func TestFinishTrailingBytes(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	_ = r.U8()
+	if err := r.Finish(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed for trailing bytes, got %v", err)
+	}
+}
+
+func TestExpect(t *testing.T) {
+	r := NewReader(nil)
+	r.Expect(true, "fine")
+	if r.Err() != nil {
+		t.Fatal("Expect(true) must not set error")
+	}
+	r.Expect(false, "boom")
+	if !errors.Is(r.Err(), ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", r.Err())
+	}
+}
+
+// quickMsg is a minimal message for Size/Marshal tests.
+type quickMsg struct {
+	payload []byte
+}
+
+func (m quickMsg) Kind() Kind { return Kind(9) }
+func (m quickMsg) Encode(dst []byte) []byte {
+	w := Writer{Buf: dst}
+	w.Bytes(m.payload)
+	return w.Buf
+}
+
+func TestSizeMatchesMarshal(t *testing.T) {
+	f := func(payload []byte) bool {
+		m := quickMsg{payload: payload}
+		return Size(m) == len(Marshal(m))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalLeadsWithKind(t *testing.T) {
+	m := quickMsg{payload: []byte{1}}
+	buf := Marshal(m)
+	if buf[0] != 9 {
+		t.Fatalf("kind tag = %d, want 9", buf[0])
+	}
+}
+
+// Property: any (u8,u32,u64,bytes) tuple round-trips.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a uint8, b uint32, c uint64, d []byte) bool {
+		var w Writer
+		w.U8(a)
+		w.U32(b)
+		w.U64(c)
+		w.Bytes(d)
+		r := NewReader(w.Buf)
+		ra, rb, rc, rd := r.U8(), r.U32(), r.U64(), r.Bytes()
+		return r.Finish() == nil && ra == a && rb == b && rc == c && bytes.Equal(rd, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
