@@ -1,0 +1,175 @@
+// Command bench runs the end-to-end protocol benchmarks and emits a
+// machine-readable JSON report (ns/op, B/op, allocs/op per benchmark), so
+// the performance trajectory of the simulator can be tracked across PRs:
+//
+//	go run ./cmd/bench -out BENCH_PR1.json
+//	go run ./cmd/bench -benchtime 5 -only CoreIdealN1000
+//
+// The benchmark set mirrors the protocol benchmarks in bench_test.go; each
+// case runs complete executions with per-iteration seed variation, exactly
+// like `go test -bench`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ccba"
+)
+
+// benchCase is one tracked benchmark configuration.
+type benchCase struct {
+	Name string
+	Cfg  ccba.Config
+}
+
+// cases mirrors the protocol benchmarks of bench_test.go. Keep the two
+// lists in sync: this one feeds the tracked JSON artifacts.
+var cases = []benchCase{
+	{"CoreIdealN200", ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40}},
+	{"CoreIdealN1000", ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40}},
+	{"CoreRealN200", ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40, Crypto: ccba.Real}},
+	{"QuadraticN101", ccba.Config{Protocol: ccba.Quadratic, N: 101, F: 50}},
+	{"DolevStrongN48", ccba.Config{Protocol: ccba.DolevStrong, N: 48, F: 16, SenderInput: ccba.One}},
+	{"PhaseKingSampledN400", ccba.Config{Protocol: ccba.PhaseKingSampled, N: 400, F: 80, Lambda: 30, Epochs: 12}},
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Date      string   `json:"date"`
+	Notes     []string `json:"notes,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "", "write the JSON report to this file (default stdout)")
+		benchtime = fs.Int("benchtime", 0, "fixed iteration count per benchmark (default: testing's ~1s auto-scaling)")
+		only      = fs.String("only", "", "comma-separated benchmark name substrings to run")
+		notes     = fs.String("notes", "", "semicolon-separated annotations recorded in the report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+	if *notes != "" {
+		rep.Notes = strings.Split(*notes, ";")
+	}
+
+	for _, c := range cases {
+		if *only != "" && !matches(c.Name, *only) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", c.Name)
+		r := measure(c.Cfg, *benchtime)
+		rep.Results = append(rep.Results, Result{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+func matches(name, only string) bool {
+	for _, s := range strings.Split(only, ",") {
+		if s != "" && strings.Contains(strings.ToLower(name), strings.ToLower(s)) {
+			return true
+		}
+	}
+	return false
+}
+
+// measure runs complete protocol executions under the testing harness,
+// varying the seed per iteration exactly like bench_test.go so results stay
+// comparable with `go test -bench`.
+func measure(cfg ccba.Config, iters int) testing.BenchmarkResult {
+	body := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Seed[29] = byte(i)
+			c.Seed[28] = byte(i >> 8)
+			rep, err := ccba.Run(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.Ok() {
+				b.Fatalf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+			}
+		}
+	}
+	if iters > 0 {
+		// Fixed iteration count (testing.Benchmark has no iteration knob):
+		// time the loop directly and report through the same result type.
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			c := cfg
+			c.Seed[29] = byte(i)
+			c.Seed[28] = byte(i >> 8)
+			rep, err := ccba.Run(c)
+			if err != nil || !rep.Ok() {
+				fmt.Fprintf(os.Stderr, "bench: run failed: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return testing.BenchmarkResult{
+			N:         iters,
+			T:         elapsed,
+			MemAllocs: after.Mallocs - before.Mallocs,
+			MemBytes:  after.TotalAlloc - before.TotalAlloc,
+		}
+	}
+	return testing.Benchmark(body)
+}

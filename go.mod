@@ -1,0 +1,3 @@
+module ccba
+
+go 1.24

@@ -35,6 +35,30 @@ func VerifyAll(atts []Attestation, threshold int, verify VerifyFunc) bool {
 	if threshold <= 0 {
 		return true
 	}
+	// Certificates carry at most a few dozen attestations, so duplicate
+	// detection by linear scan over the already-accepted prefix beats a map
+	// allocation; fall back to a map only for adversarially long lists.
+	if len(atts) <= 128 {
+		var seen [128]types.NodeID
+		valid := 0
+	scan:
+		for _, a := range atts {
+			for _, id := range seen[:valid] {
+				if id == a.ID {
+					continue scan
+				}
+			}
+			if !verify(a.ID, a.Proof) {
+				continue
+			}
+			seen[valid] = a.ID
+			valid++
+			if valid >= threshold {
+				return true
+			}
+		}
+		return false
+	}
 	seen := make(map[types.NodeID]struct{}, len(atts))
 	valid := 0
 	for _, a := range atts {
@@ -53,43 +77,54 @@ func VerifyAll(atts []Attestation, threshold int, verify VerifyFunc) bool {
 	return false
 }
 
-// Set accumulates distinct attestations for one message tag.
-// The zero value is ready to use.
+// Set accumulates distinct attestations for one message tag. The zero value
+// is ready to use. Sets hold one attestation per committee member (a few
+// dozen), so membership is a linear scan over a flat slice — cheaper and
+// allocation-lighter than a map at these sizes.
 type Set struct {
-	proofs map[types.NodeID][]byte
-	order  []types.NodeID
+	atts []Attestation
 }
 
-// Add records an attestation, returning true if id was new.
+// Add records an attestation, returning true if id was new. The first proof
+// recorded for an id wins.
 func (s *Set) Add(id types.NodeID, proof []byte) bool {
-	if s.proofs == nil {
-		s.proofs = make(map[types.NodeID][]byte)
+	for i := range s.atts {
+		if s.atts[i].ID == id {
+			return false
+		}
 	}
-	if _, dup := s.proofs[id]; dup {
-		return false
-	}
-	s.proofs[id] = proof
-	s.order = append(s.order, id)
+	s.atts = append(s.atts, Attestation{ID: id, Proof: proof})
 	return true
 }
 
 // Contains reports whether id has attested.
 func (s *Set) Contains(id types.NodeID) bool {
-	_, ok := s.proofs[id]
-	return ok
+	for i := range s.atts {
+		if s.atts[i].ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Count returns the number of distinct attesters.
-func (s *Set) Count() int { return len(s.order) }
+func (s *Set) Count() int { return len(s.atts) }
 
 // Attestations returns the collected attestations in insertion order. The
-// returned slice is freshly allocated; proofs are shared.
+// returned slice is freshly allocated (the set keeps growing after
+// certificates are cut from it); proofs are shared.
 func (s *Set) Attestations() []Attestation {
-	out := make([]Attestation, 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, Attestation{ID: id, Proof: s.proofs[id]})
+	return append([]Attestation(nil), s.atts...)
+}
+
+// AttestationsSize returns the exact encoded length of a length-prefixed
+// attestation list, mirroring EncodeAttestations.
+func AttestationsSize(atts []Attestation) int {
+	n := 4
+	for _, a := range atts {
+		n += 4 + wire.BytesSize(a.Proof)
 	}
-	return out
+	return n
 }
 
 // EncodeAttestations appends a length-prefixed attestation list to dst.

@@ -36,6 +36,10 @@ func (c Certificate) Verify(threshold int, verify VerifyFunc) bool {
 	return VerifyAll(c.Atts, threshold, verify)
 }
 
+// Size returns the exact encoded length of the certificate, mirroring
+// Encode.
+func (c Certificate) Size() int { return 4 + 1 + AttestationsSize(c.Atts) }
+
 // Encode appends the certificate's canonical encoding to dst.
 func (c Certificate) Encode(dst []byte) []byte {
 	w := wire.Writer{Buf: dst}

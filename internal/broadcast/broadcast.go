@@ -38,6 +38,9 @@ func (m InputMsg) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size implements wire.Message.
+func (m InputMsg) Size() int { return 1 }
+
 // Decode parses a marshalled broadcast wrapper message.
 func Decode(buf []byte) (wire.Message, error) {
 	if len(buf) != 2 || wire.Kind(buf[0]) != KindInput {

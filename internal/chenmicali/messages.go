@@ -32,6 +32,9 @@ func (m ProposeMsg) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size implements wire.Message.
+func (m ProposeMsg) Size() int { return 4 + 1 + wire.BytesSize(m.Elig) }
+
 // AckMsg is an epoch-r ACK: Elig is the bit-free (ACK, r) ticket; Sig binds
 // the bit under the sender's ephemeral epoch key.
 type AckMsg struct {
@@ -53,6 +56,9 @@ func (m AckMsg) Encode(dst []byte) []byte {
 	w.Bytes(m.Sig)
 	return w.Buf
 }
+
+// Size implements wire.Message.
+func (m AckMsg) Size() int { return 4 + 1 + wire.BytesSize(m.Elig) + wire.BytesSize(m.Sig) }
 
 // Decode parses a marshalled chenmicali message.
 func Decode(buf []byte) (wire.Message, error) {

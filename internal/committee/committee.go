@@ -102,6 +102,9 @@ func (m SendMsg) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size implements wire.Message.
+func (m SendMsg) Size() int { return 1 }
+
 // EchoMsg is a committee member's echo.
 type EchoMsg struct {
 	B types.Bit
@@ -116,6 +119,9 @@ func (m EchoMsg) Encode(dst []byte) []byte {
 	w.Bit(m.B)
 	return w.Buf
 }
+
+// Size implements wire.Message.
+func (m EchoMsg) Size() int { return 1 }
 
 // Decode parses a marshalled committee-protocol message.
 func Decode(buf []byte) (wire.Message, error) {

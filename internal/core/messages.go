@@ -39,6 +39,9 @@ func (m StatusMsg) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size implements wire.Message.
+func (m StatusMsg) Size() int { return 4 + 1 + m.Cert.Size() + wire.BytesSize(m.Elig) }
+
 // ProposeMsg is an eligible leader's (Propose, r, b) with the backing
 // certificate and the leader's proposal ticket.
 type ProposeMsg struct {
@@ -60,6 +63,9 @@ func (m ProposeMsg) Encode(dst []byte) []byte {
 	w.Bytes(m.Elig)
 	return w.Buf
 }
+
+// Size implements wire.Message.
+func (m ProposeMsg) Size() int { return 4 + 1 + m.Cert.Size() + wire.BytesSize(m.Elig) }
 
 // VoteMsg is a conditionally multicast (Vote, r, b): Elig is the voter's
 // ticket; Leader/LeaderElig attach the justifying proposal ticket (unused in
@@ -86,6 +92,11 @@ func (m VoteMsg) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size implements wire.Message.
+func (m VoteMsg) Size() int {
+	return 4 + 1 + wire.BytesSize(m.Elig) + 4 + wire.BytesSize(m.LeaderElig)
+}
+
 // CommitMsg is a conditionally multicast (Commit, r, b) with the vote
 // certificate attached.
 type CommitMsg struct {
@@ -108,6 +119,9 @@ func (m CommitMsg) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size implements wire.Message.
+func (m CommitMsg) Size() int { return 4 + 1 + m.Cert.Size() + wire.BytesSize(m.Elig) }
+
 // TerminateMsg carries ⌈λ/2⌉ commit attestations justifying output B; Elig
 // is the sender's (Terminate, b) ticket.
 type TerminateMsg struct {
@@ -128,6 +142,11 @@ func (m TerminateMsg) Encode(dst []byte) []byte {
 	w.Buf = attest.EncodeAttestations(m.Commits, w.Buf)
 	w.Bytes(m.Elig)
 	return w.Buf
+}
+
+// Size implements wire.Message.
+func (m TerminateMsg) Size() int {
+	return 4 + 1 + attest.AttestationsSize(m.Commits) + wire.BytesSize(m.Elig)
 }
 
 // Decode parses a marshalled core-protocol message (kind tag included).

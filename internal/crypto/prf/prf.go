@@ -12,6 +12,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"io"
 	"math"
 )
@@ -51,6 +52,30 @@ func Eval(k Key, msg []byte) Output {
 	mac.Write(msg)
 	var out Output
 	mac.Sum(out[:0])
+	return out
+}
+
+// State is a reusable evaluation state for one key. Constructing an HMAC
+// hashes the key into both pads; profiles of large simulations show that
+// setup dominating Eval, so hot paths keep one State per key and Reset it
+// between evaluations. Not safe for concurrent use — callers serialise
+// access (the fmine functionality already holds a lock on its hot path).
+type State struct {
+	mac hash.Hash
+}
+
+// NewState returns a reusable evaluator for k.
+func NewState(k Key) *State {
+	return &State{mac: hmac.New(sha256.New, k[:])}
+}
+
+// Eval computes PRF_k(msg), reusing the keyed HMAC state. The result is
+// identical to the package-level Eval.
+func (s *State) Eval(msg []byte) Output {
+	s.mac.Reset()
+	s.mac.Write(msg)
+	var out Output
+	s.mac.Sum(out[:0])
 	return out
 }
 

@@ -5,20 +5,36 @@ import (
 	"sync"
 )
 
+// cacheShards is the number of independently locked shards. Verification
+// results are keyed by a SHA-256 digest, so the low byte of the digest
+// spreads entries uniformly; 64 shards keeps lock hold times negligible for
+// parallel executions without measurable overhead for serial ones.
+const cacheShards = 64
+
 // Cache memoises signature verifications. In a real deployment each of the
 // n nodes verifies a multicast signature once; simulating all n nodes in one
 // process would repeat the identical Ed25519 verification n times. Sharing a
 // Cache across the simulated nodes preserves behaviour exactly (verification
 // is deterministic) while removing the redundancy. It is safe for concurrent
-// use; the zero value is not ready — use NewCache.
+// use — the key space is sharded across independent mutexes so parallel
+// round execution does not serialise on one lock. The zero value is not
+// ready — use NewCache.
 type Cache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
 	mu sync.Mutex
 	m  map[[sha256.Size]byte]bool
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[[sha256.Size]byte]bool)}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[[sha256.Size]byte]bool)
+	}
+	return c
 }
 
 // Verify is a memoised sig.Verify.
@@ -33,15 +49,16 @@ func (c *Cache) Verify(pk PublicKey, msg, sigBytes []byte) bool {
 	var key [sha256.Size]byte
 	h.Sum(key[:0])
 
-	c.mu.Lock()
-	v, hit := c.m[key]
-	c.mu.Unlock()
+	s := &c.shards[key[0]%cacheShards]
+	s.mu.Lock()
+	v, hit := s.m[key]
+	s.mu.Unlock()
 	if hit {
 		return v
 	}
 	v = Verify(pk, msg, sigBytes)
-	c.mu.Lock()
-	c.m[key] = v
-	c.mu.Unlock()
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
 	return v
 }

@@ -135,6 +135,15 @@ func (c Chain) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size returns the exact encoded length of the chain, mirroring Encode.
+func (c Chain) Size() int {
+	n := 1 + 4
+	for _, s := range c.Sigs {
+		n += 4 + wire.BytesSize(s)
+	}
+	return n
+}
+
 // DecodeChain reads a chain from r.
 func DecodeChain(r *wire.Reader) Chain {
 	var c Chain

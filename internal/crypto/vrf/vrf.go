@@ -28,6 +28,7 @@ import (
 
 	"ccba/internal/crypto/prf"
 	"ccba/internal/crypto/sig"
+	"ccba/internal/wire"
 )
 
 // ProofSize is the VRF proof length in bytes.
@@ -41,23 +42,33 @@ const (
 	domainOut = "ccba/vrf/out"
 )
 
+// domainInput builds the domain-separated signing payload in a pooled
+// scratch buffer; callers release it after the signature operation (neither
+// signing nor verification retains the message).
+func domainInput(msg []byte) (*[]byte, []byte) {
+	b := wire.GetScratch()
+	input := append(append((*b)[:0], domainIn...), msg...)
+	return b, input
+}
+
 // Eval evaluates the VRF on msg under sk, returning the pseudorandom output
 // and the proof that authenticates it.
 func Eval(sk sig.PrivateKey, msg []byte) (prf.Output, []byte) {
-	input := make([]byte, 0, len(domainIn)+len(msg))
-	input = append(input, domainIn...)
-	input = append(input, msg...)
+	b, input := domainInput(msg)
 	proof := sig.Sign(sk, input)
+	*b = input[:0]
+	wire.PutScratch(b)
 	return outputFromProof(proof), proof
 }
 
 // Verify checks proof against pk and msg and, if valid, returns the VRF
 // output it certifies.
 func Verify(pk sig.PublicKey, msg, proof []byte) (prf.Output, bool) {
-	input := make([]byte, 0, len(domainIn)+len(msg))
-	input = append(input, domainIn...)
-	input = append(input, msg...)
-	if !sig.Verify(pk, input, proof) {
+	b, input := domainInput(msg)
+	ok := sig.Verify(pk, input, proof)
+	*b = input[:0]
+	wire.PutScratch(b)
+	if !ok {
 		return prf.Output{}, false
 	}
 	return outputFromProof(proof), true

@@ -71,6 +71,9 @@ func (m ChainMsg) Kind() wire.Kind { return KindChain }
 // Encode implements wire.Message.
 func (m ChainMsg) Encode(dst []byte) []byte { return m.Chain.Encode(dst) }
 
+// Size implements wire.Message.
+func (m ChainMsg) Size() int { return m.Chain.Size() }
+
 // Decode parses a marshalled Dolev–Strong message.
 func Decode(buf []byte) (wire.Message, error) {
 	if len(buf) == 0 || wire.Kind(buf[0]) != KindChain {

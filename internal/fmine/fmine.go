@@ -66,12 +66,33 @@ type Tag struct {
 
 // Encode returns the canonical byte encoding of the tag.
 func (t Tag) Encode() []byte {
-	w := wire.Writer{Buf: make([]byte, 0, len(t.Domain)+8)}
-	w.Bytes([]byte(t.Domain))
+	return t.AppendEncode(make([]byte, 0, len(t.Domain)+10))
+}
+
+// AppendEncode appends the canonical byte encoding of the tag to dst, so hot
+// paths can reuse a scratch buffer instead of allocating per evaluation.
+func (t Tag) AppendEncode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(uint32(len(t.Domain)))
+	w.Buf = append(w.Buf, t.Domain...)
 	w.U8(t.Type)
 	w.U32(t.Iter)
 	w.Bit(t.Bit)
 	return w.Buf
+}
+
+// tagKey is the comparable form of a Tag, used as a map key on the hot
+// mine/verify paths: key construction is allocation-free, unlike encoding
+// the tag to bytes and interning it as a string.
+type tagKey struct {
+	domain string
+	typ    uint8
+	iter   uint32
+	bit    types.Bit
+}
+
+func (t Tag) key() tagKey {
+	return tagKey{domain: t.Domain, typ: t.Type, iter: t.Iter, bit: t.Bit}
 }
 
 // String implements fmt.Stringer for diagnostics.
@@ -119,92 +140,106 @@ type Suite interface {
 const IdealProofSize = prf.OutputSize
 
 // Ideal is the F_mine ideal functionality. It is safe for concurrent use.
+//
+// The coin table is keyed by the comparable (tag, id) pair rather than an
+// encoded byte string: a simulation verifies every delivered ticket once per
+// simulated receiver, so the verify path must be a single allocation-free
+// map lookup. The PRF evaluator and encoding scratch are reused across
+// evaluations (heap profiles of large runs were dominated by per-call
+// HMAC construction and tag encoding).
 type Ideal struct {
 	prob ProbFunc
 
-	mu     sync.Mutex
-	hidden prf.Key // trusted party's coin source; never exposed
-	mined  map[string]map[types.NodeID]bool
-	coins  map[string]prf.Output // memoised coin values (Figure 1's Coin[m,i])
+	mu    sync.RWMutex
+	coins map[coinKey]coinEntry
+
+	// evalMu guards the PRF state and scratch buffer separately from the
+	// coin table, so a cache miss's HMAC evaluation never runs inside the
+	// table's write lock: parallel mining only serialises on the short
+	// evaluation itself, and distinct nodes mine distinct keys anyway.
+	evalMu  sync.Mutex
+	hidden  *prf.State // trusted party's coin source; never exposed
+	scratch []byte     // coin-input encoding buffer
+}
+
+// coinKey identifies one Coin[m, i] cell of Figure 1.
+type coinKey struct {
+	tag tagKey
+	id  types.NodeID
+}
+
+// coinEntry is a memoised coin with the mined(m, i) flag of Figure 1.
+type coinEntry struct {
+	out   prf.Output
+	mined bool
 }
 
 // NewIdeal constructs the functionality with a seeded coin source.
 func NewIdeal(seed [32]byte, prob ProbFunc) *Ideal {
 	return &Ideal{
 		prob:   prob,
-		hidden: prf.DeriveKey(prf.Key(seed), "fmine/ideal"),
-		mined:  make(map[string]map[types.NodeID]bool),
-		coins:  make(map[string]prf.Output),
+		hidden: prf.NewState(prf.DeriveKey(prf.Key(seed), "fmine/ideal")),
+		coins:  make(map[coinKey]coinEntry),
 	}
 }
 
-// coin computes the memoised Bernoulli coin for (tag, id). Deriving it from
-// a hidden PRF key is equivalent to flipping and storing a fresh coin on
-// first use, and keeps executions reproducible. The stored value is exactly
-// Figure 1's Coin[m, i] table; storing it also keeps large simulations from
-// recomputing the same HMAC once per simulated receiver.
-func (f *Ideal) coin(tagBytes []byte, id types.NodeID) (prf.Output, bool) {
-	msg := make([]byte, 0, len(tagBytes)+4)
-	w := wire.Writer{Buf: msg}
+// evalCoin computes the Bernoulli coin for (tag, id). Deriving it from a
+// hidden PRF key is equivalent to flipping and storing a fresh coin on first
+// use, and keeps executions reproducible. The coin input is the canonical
+// NodeID ‖ tag encoding, so coin values are bit-identical to earlier
+// revisions for the same seed.
+func (f *Ideal) evalCoin(tag Tag, id types.NodeID) prf.Output {
+	f.evalMu.Lock()
+	w := wire.Writer{Buf: f.scratch[:0]}
 	w.NodeID(id)
-	w.Buf = append(w.Buf, tagBytes...)
-	key := string(w.Buf)
-
-	f.mu.Lock()
-	out, hit := f.coins[key]
-	f.mu.Unlock()
-	if hit {
-		return out, true
-	}
-	out = prf.Eval(f.hidden, w.Buf)
-	f.mu.Lock()
-	f.coins[key] = out
-	f.mu.Unlock()
-	return out, true
+	f.scratch = tag.AppendEncode(w.Buf)
+	out := f.hidden.Eval(f.scratch)
+	f.evalMu.Unlock()
+	return out
 }
 
 // mine records and returns the coin for (tag, id).
 func (f *Ideal) mine(tag Tag, id types.NodeID) ([]byte, bool) {
-	tagBytes := tag.Encode()
-	p := f.prob(tag)
-	out, _ := f.coin(tagBytes, id)
-	ok := out.Below(p)
+	key := coinKey{tag: tag.key(), id: id}
 
-	f.mu.Lock()
-	key := string(tagBytes)
-	byNode := f.mined[key]
-	if byNode == nil {
-		byNode = make(map[types.NodeID]bool)
-		f.mined[key] = byNode
+	f.mu.RLock()
+	e, hit := f.coins[key]
+	f.mu.RUnlock()
+	if !hit {
+		// Concurrent misses on the same key would both evaluate, but the
+		// PRF is deterministic, so the duplicate store is identical.
+		e.out = f.evalCoin(tag, id)
 	}
-	byNode[id] = true
-	f.mu.Unlock()
+	if !e.mined {
+		e.mined = true // Figure 1: coins are stored, attempts are remembered
+		f.mu.Lock()
+		f.coins[key] = e
+		f.mu.Unlock()
+	}
 
-	if !ok {
+	if !e.out.Below(f.prob(tag)) {
 		return nil, false
 	}
 	proof := make([]byte, IdealProofSize)
-	copy(proof, out[:])
+	copy(proof, e.out[:])
 	return proof, true
 }
 
 // verify implements Figure 1's verify(m, i): it answers only if mine(m) has
 // been called by node i, preserving ticket secrecy for honest nodes.
 func (f *Ideal) verify(tag Tag, id types.NodeID, proof []byte) bool {
-	tagBytes := tag.Encode()
-	f.mu.Lock()
-	mined := f.mined[string(tagBytes)][id]
-	f.mu.Unlock()
-	if !mined {
+	f.mu.RLock()
+	e, hit := f.coins[coinKey{tag: tag.key(), id: id}]
+	f.mu.RUnlock()
+	if !hit || !e.mined {
 		return false
 	}
-	out, _ := f.coin(tagBytes, id)
-	if !out.Below(f.prob(tag)) {
+	if !e.out.Below(f.prob(tag)) {
 		return false
 	}
 	// The hybrid-world ticket is the coin value itself; reject forgeries
 	// that present a successful node with the wrong ticket bytes.
-	if len(proof) != IdealProofSize || string(proof) != string(out[:]) {
+	if len(proof) != IdealProofSize || string(proof) != string(e.out[:]) {
 		return false
 	}
 	return true

@@ -148,6 +148,7 @@ type fakeMsg struct{}
 
 func (fakeMsg) Kind() wire.Kind          { return 1 }
 func (fakeMsg) Encode(dst []byte) []byte { return dst }
+func (fakeMsg) Size() int                { return 0 }
 
 func TestConfigValidation(t *testing.T) {
 	ok := echoFactory(4, 2, 0)

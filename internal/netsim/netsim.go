@@ -150,7 +150,9 @@ var (
 )
 
 // Envelope is an in-flight message during the adversary's window: sent this
-// round, not yet delivered.
+// round, not yet delivered. Envelopes are allocated from a round-scoped slab
+// the Runtime reuses, so they are valid only within the round they belong
+// to; adversaries must not retain them across rounds.
 type Envelope struct {
 	From types.NodeID
 	To   types.NodeID // types.Broadcast for a multicast

@@ -15,6 +15,7 @@ type pingMsg struct {
 }
 
 func (m pingMsg) Kind() wire.Kind { return 1 }
+func (m pingMsg) Size() int       { return 5 }
 func (m pingMsg) Encode(dst []byte) []byte {
 	w := wire.Writer{Buf: dst}
 	w.U32(m.Round)

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"ccba/internal/types"
@@ -20,13 +21,20 @@ type Config struct {
 	// Seize returns the secret key material handed to the adversary when it
 	// corrupts a node. May be nil.
 	Seize func(id types.NodeID) any
-	// Parallel steps honest nodes on multiple goroutines within each round.
-	// Protocol state machines are independent, so this is safe; it trades
-	// determinism of memory-allocation patterns, not of results.
+	// Parallel steps honest nodes on a persistent worker pool within each
+	// round. Protocol state machines are independent, so this is safe; it
+	// trades determinism of memory-allocation patterns, not of results.
 	Parallel bool
 }
 
 // Runtime executes one protocol instance under one adversary.
+//
+// The round engine is allocation-free in steady state: envelopes live in a
+// round-scoped slab, the multicast fan-out is a single per-round list shared
+// by every recipient's inbox, and all per-round buffers are reused across
+// rounds. Consequently envelopes and inbox slices are only valid during the
+// round they belong to — adversaries and nodes must not retain them across
+// rounds (no strategy in this repository does).
 type Runtime struct {
 	cfg       Config
 	nodes     []Node
@@ -35,8 +43,29 @@ type Runtime struct {
 	adv       Adversary
 	metrics   Metrics
 
-	inboxes [][]Delivered // delivered at the beginning of the current round
+	inboxes [][]Delivered // per-node view of the current round's deliveries
+
+	// Round-scoped buffers, reused across rounds.
+	sends   [][]Send      // per-node sends produced this round
+	envSlab []Envelope    // backing storage for this round's envelopes
+	envs    []*Envelope   // the adversary-visible envelope list
+	shared  []Delivered   // multicast deliveries common to every inbox
+	extras  []extraList   // per-recipient deliveries interleaved into shared
+	merged  [][]Delivered // per-node merge buffers, only for nodes with extras
+
+	pool     *workerPool
+	curRound int // round currently being stepped, read by pool workers
 }
+
+// extraEntry is a delivery that applies to a single recipient: a unicast, or
+// a multicast erased for some recipients. at is the number of shared
+// deliveries preceding it, so merging reproduces exact envelope order.
+type extraEntry struct {
+	at int
+	d  Delivered
+}
+
+type extraList []extraEntry
 
 // NewRuntime builds a runtime over n constructed nodes.
 func NewRuntime(cfg Config, nodes []Node, adv Adversary) (*Runtime, error) {
@@ -62,6 +91,9 @@ func NewRuntime(cfg Config, nodes []Node, adv Adversary) (*Runtime, error) {
 		corruptAt: make([]int, cfg.N),
 		adv:       adv,
 		inboxes:   make([][]Delivered, cfg.N),
+		sends:     make([][]Send, cfg.N),
+		extras:    make([]extraList, cfg.N),
+		merged:    make([][]Delivered, cfg.N),
 	}
 	for i := range rt.status {
 		rt.status[i] = types.Honest
@@ -113,6 +145,11 @@ func (rt *Runtime) Run() *Result {
 	setupCtx := rt.newCtx(-1, nil)
 	rt.adv.Setup(setupCtx)
 
+	if rt.cfg.Parallel {
+		rt.pool = newWorkerPool(runtime.GOMAXPROCS(0), rt.stepOne)
+		defer rt.pool.close()
+	}
+
 	round := 0
 	for ; round < rt.cfg.MaxRounds; round++ {
 		if rt.stepRound(round) {
@@ -123,40 +160,51 @@ func (rt *Runtime) Run() *Result {
 	return rt.collect(round)
 }
 
+// stepOne advances node i in the current round; it is the worker-pool task
+// body.
+func (rt *Runtime) stepOne(i int) {
+	rt.sends[i] = rt.nodes[i].Step(rt.curRound, rt.inboxes[i])
+}
+
 // stepRound executes one round; it returns true when all so-far-honest
 // nodes have halted.
 func (rt *Runtime) stepRound(round int) (done bool) {
 	n := rt.cfg.N
 
 	// 1. So-far-honest, non-halted nodes produce their sends for this round.
-	sends := make([][]Send, n)
-	if rt.cfg.Parallel {
-		var wg sync.WaitGroup
+	clear(rt.sends)
+	rt.curRound = round
+	if rt.pool != nil {
 		for i := 0; i < n; i++ {
 			if rt.status[i] != types.Honest || rt.nodes[i].Halted() {
 				continue
 			}
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				sends[i] = rt.nodes[i].Step(round, rt.inboxes[i])
-			}(i)
+			rt.pool.do(i)
 		}
-		wg.Wait()
+		rt.pool.wait()
 	} else {
 		for i := 0; i < n; i++ {
 			if rt.status[i] != types.Honest || rt.nodes[i].Halted() {
 				continue
 			}
-			sends[i] = rt.nodes[i].Step(round, rt.inboxes[i])
+			rt.stepOne(i)
 		}
 	}
 
-	// 2. Wrap sends into envelopes the adversary can observe.
-	envs := make([]*Envelope, 0, n)
+	// 2. Wrap sends into envelopes the adversary can observe. Envelopes are
+	// allocated from a slab sized to this round's sends; individual heap
+	// envelopes exist only for adversarial injections.
+	total := 0
 	for i := 0; i < n; i++ {
-		for _, s := range sends[i] {
-			envs = append(envs, &Envelope{
+		total += len(rt.sends[i])
+	}
+	slab := rt.envSlab[:0]
+	if cap(slab) < total {
+		slab = make([]Envelope, 0, total+total/2)
+	}
+	for i := 0; i < n; i++ {
+		for _, s := range rt.sends[i] {
+			slab = append(slab, Envelope{
 				From:       types.NodeID(i),
 				To:         s.To,
 				Msg:        s.Msg,
@@ -165,12 +213,18 @@ func (rt *Runtime) stepRound(round int) (done bool) {
 			})
 		}
 	}
+	rt.envSlab = slab
+	envs := rt.envs[:0]
+	for i := range slab {
+		envs = append(envs, &slab[i])
+	}
 
 	// 3. Adversary window: observe, corrupt, remove (power permitting),
 	// inject. Inboxes of already-corrupt nodes are visible to it.
 	ctx := rt.newCtx(round, envs)
 	rt.adv.Round(ctx)
 	envs = ctx.envelopes()
+	rt.envs = envs
 
 	// 4. Account communication complexity for messages sent by nodes that
 	// were so-far-honest at send time (Definitions 6 and 7). A message
@@ -194,25 +248,56 @@ func (rt *Runtime) stepRound(round int) (done bool) {
 	// 5. Deliver: multicasts reach every node (including the sender, so
 	// quorum counting treats one's own vote uniformly); unicasts reach their
 	// destination. Removed envelopes vanish.
-	next := make([][]Delivered, n)
+	//
+	// A multicast with no per-recipient removals is appended once to the
+	// shared list every inbox aliases, instead of copied into each of the n
+	// inboxes. Unicasts — and the rare multicast a strongly adaptive
+	// adversary erased for specific recipients — become per-recipient
+	// extras, tagged with their position so the merge below reproduces the
+	// exact delivery order of the envelope list.
+	shared := rt.shared[:0]
+	for i := range rt.extras {
+		rt.extras[i] = rt.extras[i][:0]
+	}
 	for _, e := range envs {
 		if e.removed {
 			continue
 		}
 		d := Delivered{From: e.From, Msg: e.Msg}
 		if e.To == types.Broadcast {
+			if len(e.removedFor) == 0 {
+				shared = append(shared, d)
+				continue
+			}
 			for j := 0; j < n; j++ {
 				if !e.RemovedFor(types.NodeID(j)) {
-					next[j] = append(next[j], d)
+					rt.extras[j] = append(rt.extras[j], extraEntry{at: len(shared), d: d})
 				}
 			}
 		} else if int(e.To) >= 0 && int(e.To) < n {
 			if !e.RemovedFor(e.To) {
-				next[e.To] = append(next[e.To], d)
+				rt.extras[e.To] = append(rt.extras[e.To], extraEntry{at: len(shared), d: d})
 			}
 		}
 	}
-	rt.inboxes = next
+	rt.shared = shared
+	for j := 0; j < n; j++ {
+		ex := rt.extras[j]
+		if len(ex) == 0 {
+			rt.inboxes[j] = shared
+			continue
+		}
+		buf := rt.merged[j][:0]
+		si := 0
+		for _, en := range ex {
+			buf = append(buf, shared[si:en.at]...)
+			si = en.at
+			buf = append(buf, en.d)
+		}
+		buf = append(buf, shared[si:]...)
+		rt.merged[j] = buf
+		rt.inboxes[j] = buf
+	}
 
 	// 6. Done when every so-far-honest node has halted.
 	done = true
@@ -259,3 +344,41 @@ type Metrics struct {
 	HonestMessages     int
 	HonestMessageBytes int
 }
+
+// workerPool is a persistent pool of stepping goroutines. The previous
+// engine spawned one goroutine per node per round — at n = 1000 that is a
+// thousand goroutine launches per round dominating parallel runs; the pool
+// starts GOMAXPROCS workers once per execution and feeds them node indices.
+type workerPool struct {
+	tasks chan int
+	wg    sync.WaitGroup
+	run   func(i int)
+}
+
+func newWorkerPool(workers int, run func(i int)) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &workerPool{tasks: make(chan int, 4*workers), run: run}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range p.tasks {
+				p.run(i)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// do schedules node i; pair every batch of do calls with one wait.
+func (p *workerPool) do(i int) {
+	p.wg.Add(1)
+	p.tasks <- i
+}
+
+// wait blocks until all scheduled tasks have finished.
+func (p *workerPool) wait() { p.wg.Wait() }
+
+// close shuts the workers down; the pool must be idle.
+func (p *workerPool) close() { close(p.tasks) }

@@ -34,6 +34,9 @@ func (m ProposeMsg) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size implements wire.Message.
+func (m ProposeMsg) Size() int { return 4 + 1 + wire.BytesSize(m.Elig) }
+
 // AckMsg is a node's epoch-r ACK for bit B (ACK, r, b*). Elig carries the
 // committee-eligibility proof in sampled mode.
 type AckMsg struct {
@@ -53,6 +56,9 @@ func (m AckMsg) Encode(dst []byte) []byte {
 	w.Bytes(m.Elig)
 	return w.Buf
 }
+
+// Size implements wire.Message.
+func (m AckMsg) Size() int { return 4 + 1 + wire.BytesSize(m.Elig) }
 
 // Decode parses a marshalled phase-king message (kind tag included).
 func Decode(buf []byte) (wire.Message, error) {

@@ -37,6 +37,9 @@ func (m StatusMsg) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size implements wire.Message.
+func (m StatusMsg) Size() int { return 4 + 1 + m.Cert.Size() }
+
 // ProposeMsg is the iteration leader's proposal (Propose, r, b) with the
 // backing certificate attached. Sig is the leader's signature over
 // ProposeTag(Iter, B); it is what voters attach as justification.
@@ -59,6 +62,9 @@ func (m ProposeMsg) Encode(dst []byte) []byte {
 	w.Bytes(m.Sig)
 	return w.Buf
 }
+
+// Size implements wire.Message.
+func (m ProposeMsg) Size() int { return 4 + 1 + m.Cert.Size() + wire.BytesSize(m.Sig) }
 
 // VoteMsg is a signed iteration-r vote (Vote, r, b). LeaderSig is the
 // iteration leader's signature over ProposeTag(Iter, B) — "the leader's
@@ -84,6 +90,9 @@ func (m VoteMsg) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size implements wire.Message.
+func (m VoteMsg) Size() int { return 4 + 1 + wire.BytesSize(m.Sig) + wire.BytesSize(m.LeaderSig) }
+
 // CommitMsg is a signed iteration-r commit (Commit, r, b) with the vote
 // certificate attached.
 type CommitMsg struct {
@@ -106,6 +115,9 @@ func (m CommitMsg) Encode(dst []byte) []byte {
 	return w.Buf
 }
 
+// Size implements wire.Message.
+func (m CommitMsg) Size() int { return 4 + 1 + m.Cert.Size() + wire.BytesSize(m.Sig) }
+
 // TerminateMsg carries f+1 commit attestations justifying output B.
 type TerminateMsg struct {
 	Iter    uint32
@@ -124,6 +136,9 @@ func (m TerminateMsg) Encode(dst []byte) []byte {
 	w.Buf = attest.EncodeAttestations(m.Commits, w.Buf)
 	return w.Buf
 }
+
+// Size implements wire.Message.
+func (m TerminateMsg) Size() int { return 4 + 1 + attest.AttestationsSize(m.Commits) }
 
 // Decode parses a marshalled quadratic-protocol message (kind tag included).
 func Decode(buf []byte) (wire.Message, error) {

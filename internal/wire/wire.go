@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"ccba/internal/types"
 )
@@ -29,18 +30,44 @@ type Message interface {
 	// Encode appends the canonical encoding of the message (excluding the
 	// kind tag) to dst and returns the extended slice.
 	Encode(dst []byte) []byte
+	// Size returns the exact length of the canonical encoding (excluding
+	// the kind tag), without encoding. Every implementation must satisfy
+	// Size() == len(Encode(nil)); complexity accounting relies on it.
+	Size() int
 }
 
 // Size returns the encoded size of m in bytes, including its kind tag.
 func Size(m Message) int {
-	return 1 + len(m.Encode(nil))
+	return 1 + m.Size()
 }
 
 // Marshal encodes m with a leading kind tag.
 func Marshal(m Message) []byte {
-	buf := make([]byte, 1, 64)
+	buf := make([]byte, 1, 1+m.Size())
 	buf[0] = byte(m.Kind())
 	return m.Encode(buf)
+}
+
+// BytesSize returns the encoded size of a length-prefixed byte string, the
+// building block most Size implementations sum over.
+func BytesSize(b []byte) int { return 4 + len(b) }
+
+// scratch pools encoding buffers so encode-heavy paths (VRF signing
+// payloads, eligibility-tag encodings) stop paying one allocation per
+// operation. Buffers returned by GetScratch start empty with nonzero
+// capacity.
+var scratch = sync.Pool{
+	New: func() any { b := make([]byte, 0, 256); return &b },
+}
+
+// GetScratch borrows a reusable buffer. Callers must not retain the slice
+// (or anything aliasing it) after PutScratch.
+func GetScratch() *[]byte { return scratch.Get().(*[]byte) }
+
+// PutScratch returns a buffer borrowed with GetScratch to the pool.
+func PutScratch(b *[]byte) {
+	*b = (*b)[:0]
+	scratch.Put(b)
 }
 
 // ErrTruncated is returned when a Reader runs out of bytes.

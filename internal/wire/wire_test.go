@@ -114,6 +114,7 @@ type quickMsg struct {
 }
 
 func (m quickMsg) Kind() Kind { return Kind(9) }
+func (m quickMsg) Size() int  { return BytesSize(m.payload) }
 func (m quickMsg) Encode(dst []byte) []byte {
 	w := Writer{Buf: dst}
 	w.Bytes(m.payload)

@@ -1,0 +1,70 @@
+package ccba
+
+import (
+	"testing"
+
+	"ccba/internal/attest"
+	"ccba/internal/broadcast"
+	"ccba/internal/chenmicali"
+	"ccba/internal/committee"
+	"ccba/internal/core"
+	"ccba/internal/crypto/sig"
+	"ccba/internal/dolevstrong"
+	"ccba/internal/phaseking"
+	"ccba/internal/quadratic"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Communication-complexity accounting uses Message.Size instead of encoding
+// every honest send into a throwaway buffer, so Size must agree exactly with
+// the canonical encoding for every message type in the repository, across
+// empty, short, and certificate-bearing shapes.
+func TestMessageSizesMatchEncoding(t *testing.T) {
+	cert := attest.Certificate{Iter: 3, Bit: types.One, Atts: []attest.Attestation{
+		{ID: 1, Proof: []byte{1, 2, 3}},
+		{ID: 9, Proof: make([]byte, 64)},
+	}}
+	empty := attest.Certificate{}
+	atts := cert.Atts
+
+	msgs := []wire.Message{
+		core.StatusMsg{Iter: 2, B: types.Zero, Cert: cert, Elig: []byte{4}},
+		core.StatusMsg{Iter: 2, B: types.One, Cert: empty},
+		core.ProposeMsg{Iter: 2, B: types.One, Cert: cert, Elig: make([]byte, 32)},
+		core.VoteMsg{Iter: 2, B: types.Zero, Elig: []byte{5, 6}, Leader: 7, LeaderElig: []byte{8}},
+		core.VoteMsg{Iter: 1, B: types.One},
+		core.CommitMsg{Iter: 2, B: types.One, Cert: cert, Elig: []byte{9}},
+		core.TerminateMsg{Iter: 2, B: types.Zero, Commits: atts, Elig: []byte{1}},
+		core.TerminateMsg{Iter: 2, B: types.Zero},
+
+		quadratic.StatusMsg{Iter: 4, B: types.One, Cert: cert},
+		quadratic.ProposeMsg{Iter: 4, B: types.Zero, Cert: empty, Sig: make([]byte, 64)},
+		quadratic.VoteMsg{Iter: 4, B: types.One, Sig: []byte{1}, LeaderSig: []byte{2, 3}},
+		quadratic.CommitMsg{Iter: 4, B: types.Zero, Cert: cert, Sig: []byte{4}},
+		quadratic.TerminateMsg{Iter: 4, B: types.One, Commits: atts},
+
+		phaseking.ProposeMsg{Epoch: 1, B: types.Zero, Elig: []byte{1, 2}},
+		phaseking.AckMsg{Epoch: 1, B: types.One},
+
+		chenmicali.ProposeMsg{Epoch: 2, B: types.One, Elig: []byte{3}},
+		chenmicali.AckMsg{Epoch: 2, B: types.Zero, Elig: []byte{4}, Sig: make([]byte, 64)},
+
+		dolevstrong.ChainMsg{Chain: sig.Chain{Bit: types.One, Signers: []types.NodeID{1, 2},
+			Sigs: [][]byte{make([]byte, 64), {7}}}},
+		dolevstrong.ChainMsg{},
+
+		committee.SendMsg{B: types.One},
+		committee.EchoMsg{B: types.Zero},
+		broadcast.InputMsg{B: types.One},
+	}
+
+	for i, m := range msgs {
+		if got, want := m.Size(), len(m.Encode(nil)); got != want {
+			t.Errorf("msg %d (%T): Size() = %d, encoded length = %d", i, m, got, want)
+		}
+		if got, want := wire.Size(m), len(wire.Marshal(m)); got != want {
+			t.Errorf("msg %d (%T): wire.Size = %d, marshalled length = %d", i, m, got, want)
+		}
+	}
+}
