@@ -25,7 +25,7 @@ import (
 
 func BenchmarkE1StrongAdaptiveLowerBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E1StrongAdaptive(3)
+		res, err := experiments.E1StrongAdaptive(experiments.Opts{Trials: 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -36,7 +36,7 @@ func BenchmarkE1StrongAdaptiveLowerBound(b *testing.B) {
 
 func BenchmarkE2MulticastComplexity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E2MulticastComplexity(1, 512)
+		res, err := experiments.E2MulticastComplexity(experiments.Opts{Trials: 1}, 512)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func BenchmarkE2MulticastComplexity(b *testing.B) {
 
 func BenchmarkE3NoSetupAttack(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E3NoSetup(2)
+		res, err := experiments.E3NoSetup(experiments.Opts{Trials: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +65,7 @@ func BenchmarkE3NoSetupAttack(b *testing.B) {
 
 func BenchmarkE4TerminatePropagation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E4TerminatePropagation(5)
+		res, err := experiments.E4TerminatePropagation(experiments.Opts{Trials: 5})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +75,7 @@ func BenchmarkE4TerminatePropagation(b *testing.B) {
 
 func BenchmarkE5CommitteeConcentration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E5CommitteeConcentration(200)
+		res, err := experiments.E5CommitteeConcentration(experiments.Opts{Trials: 200})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +85,7 @@ func BenchmarkE5CommitteeConcentration(b *testing.B) {
 
 func BenchmarkE6GoodIteration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E6GoodIteration(500)
+		res, err := experiments.E6GoodIteration(experiments.Opts{Trials: 500})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +95,7 @@ func BenchmarkE6GoodIteration(b *testing.B) {
 
 func BenchmarkE7SafetyTrials(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E7SafetyTrials(2)
+		res, err := experiments.E7SafetyTrials(experiments.Opts{Trials: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +105,7 @@ func BenchmarkE7SafetyTrials(b *testing.B) {
 
 func BenchmarkE8BitSpecificAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E8BitSpecificAblation(2)
+		res, err := experiments.E8BitSpecificAblation(experiments.Opts{Trials: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +116,7 @@ func BenchmarkE8BitSpecificAblation(b *testing.B) {
 
 func BenchmarkE9ProtocolComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E9ProtocolComparison(1)
+		res, err := experiments.E9ProtocolComparison(experiments.Opts{Trials: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +130,7 @@ func BenchmarkE9ProtocolComparison(b *testing.B) {
 
 func BenchmarkE10PhaseKing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E10PhaseKing(1)
+		res, err := experiments.E10PhaseKing(experiments.Opts{Trials: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +141,7 @@ func BenchmarkE10PhaseKing(b *testing.B) {
 
 func BenchmarkE11ResilienceFrontier(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E11ResilienceFrontier(2)
+		res, err := experiments.E11ResilienceFrontier(experiments.Opts{Trials: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -246,3 +246,29 @@ func BenchmarkPKISetup(b *testing.B) {
 		pki.Setup(100, seed)
 	}
 }
+
+// --- Trial-sweep benchmarks -------------------------------------------------
+//
+// The harness multiplies PR 1's per-run speedups by core count; these two
+// benchmarks measure the same 16-trial sweep serially and on a full worker
+// pool, so BENCH_PR2.json records the parallel speedup on the host that ran
+// it.
+
+func benchTrialSweep(b *testing.B, workers int) {
+	b.Helper()
+	cfg := Config{Protocol: Core, N: 200, F: 60, Lambda: 40}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed[27] = byte(i)
+		st, err := RunTrialsOpts(cfg, TrialOpts{Trials: 16, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Violations != 0 {
+			b.Fatalf("%d violations", st.Violations)
+		}
+	}
+}
+
+func BenchmarkTrialSweepCoreN200Serial(b *testing.B) { benchTrialSweep(b, 1) }
+
+func BenchmarkTrialSweepCoreN200Parallel(b *testing.B) { benchTrialSweep(b, 0) }

@@ -39,10 +39,12 @@ import (
 	"ccba/internal/crypto/pki"
 	"ccba/internal/dolevstrong"
 	"ccba/internal/fmine"
+	"ccba/internal/harness"
 	"ccba/internal/leader"
 	"ccba/internal/netsim"
 	"ccba/internal/phaseking"
 	"ccba/internal/quadratic"
+	"ccba/internal/stats"
 	"ccba/internal/types"
 )
 
@@ -168,6 +170,27 @@ func (r *Report) Ok() bool {
 	return r.Consistency == nil && r.Validity == nil && r.Termination == nil
 }
 
+// validate rejects configurations the simulator cannot execute meaningfully.
+// It runs on the raw Config, before defaults are applied.
+func (c *Config) validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("ccba: config N=%d; need at least one node", c.N)
+	}
+	if c.F < 0 {
+		return fmt.Errorf("ccba: config F=%d; the corruption budget cannot be negative", c.F)
+	}
+	if c.F >= c.N {
+		return fmt.Errorf("ccba: config F=%d with N=%d; need F < N so at least one node stays honest", c.F, c.N)
+	}
+	if c.Inputs != nil && !c.Protocol.Broadcast() && len(c.Inputs) != c.N {
+		return fmt.Errorf("ccba: config has %d inputs for N=%d nodes", len(c.Inputs), c.N)
+	}
+	if c.Protocol == CommitteeEcho && c.N < 2 {
+		return fmt.Errorf("ccba: committee echo needs N ≥ 2 (a sender plus at least one echoer), got N=%d", c.N)
+	}
+	return nil
+}
+
 func (c *Config) applyDefaults() {
 	if c.Crypto == "" {
 		c.Crypto = Ideal
@@ -188,7 +211,13 @@ func (c *Config) applyDefaults() {
 			size += 2
 		}
 		if size >= c.N {
+			// 2·log₂n exceeds n at small n; cap below n but never below one
+			// member (N=1 used to compute an empty committee here before
+			// validate started rejecting single-node committee echo).
 			size = c.N - 1
+			if size < 1 {
+				size = 1
+			}
 		}
 		c.CommitteeSize = size
 	}
@@ -205,6 +234,9 @@ func (c *Config) applyDefaults() {
 
 // Run executes one instance and evaluates the security properties.
 func Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg.applyDefaults()
 	nodes, seize, maxRounds, err := build(cfg)
 	if err != nil {
@@ -323,43 +355,119 @@ func coreSuite(cfg Config) (fmine.Suite, func(NodeID) any, error) {
 	return suite, func(id NodeID) any { return suite.Miner(id) }, nil
 }
 
-// TrialStats aggregates repeated runs of one configuration with varied
-// seeds.
+// TrialStats aggregates repeated runs of one configuration with derived
+// seeds: per-metric summaries across trials plus the violation rate with its
+// 95% Wilson score interval.
 type TrialStats struct {
-	Trials         int
-	Violations     int
-	MeanRounds     float64
-	MeanMulticasts float64
-	MeanMessages   float64
-	MeanMcastBytes float64
+	Trials     int `json:"trials"`
+	Violations int `json:"violations"`
+	// ViolationRate is Violations/Trials; [ViolationLo, ViolationHi] is its
+	// 95% Wilson score interval.
+	ViolationRate float64 `json:"violation_rate"`
+	ViolationLo   float64 `json:"violation_wilson95_lo"`
+	ViolationHi   float64 `json:"violation_wilson95_hi"`
+	// Cross-trial summaries of the execution metrics.
+	Rounds     stats.Summary `json:"rounds"`
+	Multicasts stats.Summary `json:"multicasts"`
+	Messages   stats.Summary `json:"messages"`
+	McastBytes stats.Summary `json:"mcast_bytes"`
+	// Headline means, equal to the corresponding Summary.Mean fields; kept
+	// off the JSON schema, which already carries them inside each summary.
+	MeanRounds     float64 `json:"-"`
+	MeanMulticasts float64 `json:"-"`
+	MeanMessages   float64 `json:"-"`
+	MeanMcastBytes float64 `json:"-"`
 }
 
-// RunTrials runs cfg `trials` times with derived seeds and aggregates.
+// TrialOpts configures RunTrialsOpts.
+type TrialOpts struct {
+	// Trials is the number of independent runs (must be positive).
+	Trials int
+	// Workers sizes the trial worker pool; 0 or less means GOMAXPROCS.
+	// Aggregates are identical for every worker count.
+	Workers int
+	// Name keys the seed derivation (default "ccba.RunTrials"); distinct
+	// names yield statistically independent sweeps over the same Config.
+	Name string
+	// NewAdversary builds a fresh adversary for each trial. Adversaries are
+	// frequently stateful (corruption counters, attack phases), so one
+	// instance must never be shared across trials; Config.Adversary is
+	// rejected by the trial runners for exactly that reason.
+	NewAdversary func(trial int) Adversary
+	// OnReport, when non-nil, receives every trial's report in trial order
+	// once all trials have finished.
+	OnReport func(trial int, rep *Report)
+}
+
+// RunTrials runs cfg opts.Trials times with hash-derived seeds and
+// aggregates. Trials are fully isolated: each gets a seed derived by hashing
+// (cfg.Seed, name, protocol, trial) — no XOR tweaks that collide across base
+// seeds — its own deep copy of cfg.Inputs, and a fresh adversary from
+// opts.NewAdversary.
 func RunTrials(cfg Config, trials int) (*TrialStats, error) {
-	if trials <= 0 {
-		return nil, fmt.Errorf("ccba: trials=%d", trials)
+	return RunTrialsOpts(cfg, TrialOpts{Trials: trials})
+}
+
+// RunTrialsOpts is RunTrials with explicit worker, adversary-factory, and
+// observer options.
+func RunTrialsOpts(cfg Config, opts TrialOpts) (*TrialStats, error) {
+	if cfg.Adversary != nil {
+		return nil, fmt.Errorf("ccba: Config.Adversary would be shared (and carry state) across trials; set TrialOpts.NewAdversary instead")
 	}
-	out := &TrialStats{Trials: trials}
-	for t := 0; t < trials; t++ {
+	if opts.Trials <= 0 {
+		return nil, fmt.Errorf("ccba: trials=%d", opts.Trials)
+	}
+	name := opts.Name
+	if name == "" {
+		name = "ccba.RunTrials"
+	}
+	reports, err := harness.Run(harness.Options{
+		Name:     name,
+		Scenario: string(cfg.Protocol),
+		Trials:   opts.Trials,
+		Workers:  opts.Workers,
+		Base:     cfg.Seed,
+	}, func(tr harness.Trial) (*Report, error) {
 		c := cfg
-		c.Seed[31] ^= byte(t)
-		c.Seed[30] ^= byte(t >> 8)
-		rep, err := Run(c)
-		if err != nil {
-			return nil, err
+		c.Seed = tr.Seed
+		if cfg.Inputs != nil {
+			c.Inputs = append([]Bit(nil), cfg.Inputs...)
+		}
+		if opts.NewAdversary != nil {
+			c.Adversary = opts.NewAdversary(tr.Index)
+		}
+		return Run(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &TrialStats{Trials: opts.Trials}
+	rounds := make([]float64, 0, opts.Trials)
+	mcasts := make([]float64, 0, opts.Trials)
+	msgs := make([]float64, 0, opts.Trials)
+	mbytes := make([]float64, 0, opts.Trials)
+	for t, rep := range reports {
+		if opts.OnReport != nil {
+			opts.OnReport(t, rep)
 		}
 		if !rep.Ok() {
 			out.Violations++
 		}
-		out.MeanRounds += float64(rep.Rounds)
-		out.MeanMulticasts += float64(rep.Result.Metrics.HonestMulticasts)
-		out.MeanMessages += float64(rep.Result.Metrics.HonestMessages)
-		out.MeanMcastBytes += float64(rep.Result.Metrics.HonestMulticastBytes)
+		rounds = append(rounds, float64(rep.Rounds))
+		mcasts = append(mcasts, float64(rep.Result.Metrics.HonestMulticasts))
+		msgs = append(msgs, float64(rep.Result.Metrics.HonestMessages))
+		mbytes = append(mbytes, float64(rep.Result.Metrics.HonestMulticastBytes))
 	}
-	n := float64(trials)
-	out.MeanRounds /= n
-	out.MeanMulticasts /= n
-	out.MeanMessages /= n
-	out.MeanMcastBytes /= n
+	out.Rounds = stats.Summarize(rounds)
+	out.Multicasts = stats.Summarize(mcasts)
+	out.Messages = stats.Summarize(msgs)
+	out.McastBytes = stats.Summarize(mbytes)
+	out.MeanRounds = out.Rounds.Mean
+	out.MeanMulticasts = out.Multicasts.Mean
+	out.MeanMessages = out.Messages.Mean
+	out.MeanMcastBytes = out.McastBytes.Mean
+	out.ViolationRate = stats.Rate(out.Violations, opts.Trials)
+	out.ViolationLo, out.ViolationHi = stats.WilsonInterval(out.Violations, opts.Trials, 1.96)
 	return out, nil
 }

@@ -1,6 +1,7 @@
 // Command ba runs one Byzantine Agreement (or Broadcast) instance of any of
 // the implemented protocols and prints the outcome and communication
-// metrics.
+// metrics. With -trials it fans independent runs out across harness workers
+// and prints (or emits as JSON) the aggregate.
 //
 // Examples:
 //
@@ -8,11 +9,14 @@
 //	ba -protocol core -crypto real -n 200 -f 60
 //	ba -protocol dolevstrong -n 32 -f 10 -sender-input 1
 //	ba -protocol chenmicali -n 150 -erasure=false -adversary flip
+//	ba -protocol core -n 200 -f 60 -trials 100 -workers 8 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ccba"
@@ -23,7 +27,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ba:", err)
 		os.Exit(1)
 	}
@@ -40,7 +44,7 @@ func (s *silencer) Setup(ctx *netsim.Ctx) {
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ba", flag.ContinueOnError)
 	var (
 		protocol    = fs.String("protocol", "core", "protocol: core, core-broadcast, quadratic, phaseking, phaseking-sampled, chenmicali, dolevstrong, committee")
@@ -55,7 +59,9 @@ func run(args []string) error {
 		senderInput = fs.Int("sender-input", 0, "sender input bit (broadcast protocols)")
 		unanimous   = fs.Int("unanimous", -1, "if 0 or 1, give every node that input bit (agreement protocols)")
 		trials      = fs.Int("trials", 1, "number of runs (aggregated when > 1)")
+		workers     = fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS); aggregates are identical for every value")
 		parallel    = fs.Bool("parallel", false, "step nodes on multiple goroutines")
+		asJSON      = fs.Bool("json", false, "emit the outcome as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,20 +87,25 @@ func run(args []string) error {
 		}
 	}
 
+	// Adversaries are stateful, so the CLI builds a factory and lets the
+	// trial engine construct one fresh instance per trial.
+	var newAdversary func(trial int) ccba.Adversary
 	switch *adversary {
 	case "none":
 	case "silent":
-		cfg.Adversary = &silencer{}
+		newAdversary = func(int) ccba.Adversary { return &silencer{} }
 	case "flip":
 		switch cfg.Protocol {
 		case ccba.Core:
-			cfg.Adversary = &core.VoteFlipAttack{}
+			newAdversary = func(int) ccba.Adversary { return &core.VoteFlipAttack{} }
 		case ccba.ChenMicali:
-			victims := make([]types.NodeID, 0, *n/2)
-			for i := *n / 2; i < *n; i++ {
-				victims = append(victims, types.NodeID(i))
+			newAdversary = func(int) ccba.Adversary {
+				victims := make([]types.NodeID, 0, *n/2)
+				for i := *n / 2; i < *n; i++ {
+					victims = append(victims, types.NodeID(i))
+				}
+				return &chenmicali.FlipAttack{TargetEpoch: uint32(*epochs - 1), Victims: victims}
 			}
-			cfg.Adversary = &chenmicali.FlipAttack{TargetEpoch: uint32(*epochs - 1), Victims: victims}
 		default:
 			return fmt.Errorf("adversary flip supports protocols core and chenmicali, not %q", *protocol)
 		}
@@ -103,43 +114,113 @@ func run(args []string) error {
 	}
 
 	if *trials > 1 {
-		st, err := ccba.RunTrials(cfg, *trials)
+		st, err := ccba.RunTrialsOpts(cfg, ccba.TrialOpts{
+			Trials:       *trials,
+			Workers:      *workers,
+			NewAdversary: newAdversary,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("protocol=%s n=%d f=%d crypto=%s trials=%d\n", *protocol, *n, *f, *crypto, *trials)
-		fmt.Printf("  violations:      %d\n", st.Violations)
-		fmt.Printf("  mean rounds:     %.1f\n", st.MeanRounds)
-		fmt.Printf("  mean multicasts: %.1f (%.1f KB)\n", st.MeanMulticasts, st.MeanMcastBytes/1024)
-		fmt.Printf("  mean classical:  %.0f messages\n", st.MeanMessages)
+		if *asJSON {
+			if err := writeJSON(out, st); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(out, "protocol=%s n=%d f=%d crypto=%s trials=%d workers=%d\n", *protocol, *n, *f, *crypto, *trials, *workers)
+			fmt.Fprintf(out, "  violations:      %d (rate %.3f, 95%% CI [%.3f, %.3f])\n",
+				st.Violations, st.ViolationRate, st.ViolationLo, st.ViolationHi)
+			fmt.Fprintf(out, "  rounds:          %v\n", st.Rounds)
+			fmt.Fprintf(out, "  multicasts:      %v (%.1f KB mean)\n", st.Multicasts, st.MeanMcastBytes/1024)
+			fmt.Fprintf(out, "  classical msgs:  %v\n", st.Messages)
+		}
+		// Same exit-code contract as a single run: violations fail the command.
+		if st.Violations > 0 {
+			return fmt.Errorf("security properties violated in %d/%d trials", st.Violations, *trials)
+		}
 		return nil
 	}
 
+	if newAdversary != nil {
+		cfg.Adversary = newAdversary(0)
+	}
 	rep, err := ccba.Run(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol=%s n=%d f=%d crypto=%s seed=%d\n", *protocol, *n, *f, *crypto, *seed)
-	fmt.Printf("  rounds:            %d\n", rep.Rounds)
-	fmt.Printf("  corrupted:         %d\n", rep.NumCorrupt())
-	fmt.Printf("  multicasts:        %d (%d bytes)\n",
-		rep.Result.Metrics.HonestMulticasts, rep.Result.Metrics.HonestMulticastBytes)
-	fmt.Printf("  classical msgs:    %d (%d bytes)\n",
-		rep.Result.Metrics.HonestMessages, rep.Result.Metrics.HonestMessageBytes)
 	outputs := map[ccba.Bit]int{}
 	for _, id := range rep.ForeverHonest() {
 		if rep.Decided[id] {
 			outputs[rep.Outputs[id]]++
 		}
 	}
-	fmt.Printf("  honest outputs:    %v\n", outputs)
-	fmt.Printf("  consistency:       %v\n", errString(rep.Consistency))
-	fmt.Printf("  validity:          %v\n", errString(rep.Validity))
-	fmt.Printf("  termination:       %v\n", errString(rep.Termination))
+	if *asJSON {
+		doc := singleRunJSON{
+			Protocol:   *protocol,
+			N:          *n,
+			F:          *f,
+			Crypto:     *crypto,
+			Seed:       *seed,
+			Rounds:     rep.Rounds,
+			Corrupted:  rep.NumCorrupt(),
+			Metrics:    rep.Result.Metrics,
+			Ok:         rep.Ok(),
+			Violations: map[string]string{},
+		}
+		for name, err := range map[string]error{
+			"consistency": rep.Consistency, "validity": rep.Validity, "termination": rep.Termination,
+		} {
+			if err != nil {
+				doc.Violations[name] = err.Error()
+			}
+		}
+		if err := writeJSON(out, doc); err != nil {
+			return err
+		}
+		if !rep.Ok() {
+			return fmt.Errorf("security properties violated")
+		}
+		return nil
+	}
+	fmt.Fprintf(out, "protocol=%s n=%d f=%d crypto=%s seed=%d\n", *protocol, *n, *f, *crypto, *seed)
+	fmt.Fprintf(out, "  rounds:            %d\n", rep.Rounds)
+	fmt.Fprintf(out, "  corrupted:         %d\n", rep.NumCorrupt())
+	fmt.Fprintf(out, "  multicasts:        %d (%d bytes)\n",
+		rep.Result.Metrics.HonestMulticasts, rep.Result.Metrics.HonestMulticastBytes)
+	fmt.Fprintf(out, "  classical msgs:    %d (%d bytes)\n",
+		rep.Result.Metrics.HonestMessages, rep.Result.Metrics.HonestMessageBytes)
+	fmt.Fprintf(out, "  honest outputs:    %v\n", outputs)
+	fmt.Fprintf(out, "  consistency:       %v\n", errString(rep.Consistency))
+	fmt.Fprintf(out, "  validity:          %v\n", errString(rep.Validity))
+	fmt.Fprintf(out, "  termination:       %v\n", errString(rep.Termination))
 	if !rep.Ok() {
 		return fmt.Errorf("security properties violated")
 	}
 	return nil
+}
+
+// singleRunJSON is the -json document for a single execution.
+type singleRunJSON struct {
+	Protocol   string            `json:"protocol"`
+	N          int               `json:"n"`
+	F          int               `json:"f"`
+	Crypto     string            `json:"crypto"`
+	Seed       int64             `json:"seed"`
+	Rounds     int               `json:"rounds"`
+	Corrupted  int               `json:"corrupted"`
+	Metrics    ccba.Metrics      `json:"metrics"`
+	Ok         bool              `json:"ok"`
+	Violations map[string]string `json:"violations"`
+}
+
+func writeJSON(w io.Writer, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
 }
 
 func errString(err error) string {

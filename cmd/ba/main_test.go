@@ -1,39 +1,101 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunDefaults(t *testing.T) {
-	if err := run([]string{"-n", "100", "-f", "30", "-lambda", "30"}); err != nil {
+	if err := run([]string{"-n", "100", "-f", "30", "-lambda", "30"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTrialsPath(t *testing.T) {
-	if err := run([]string{"-n", "80", "-f", "20", "-lambda", "24", "-trials", "2"}); err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "80", "-f", "20", "-lambda", "24", "-trials", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "violations") {
+		t.Fatalf("missing aggregate output:\n%s", buf.String())
+	}
+}
+
+func TestRunTrialsWithAdversaryFactory(t *testing.T) {
+	// -trials with a stateful adversary exercises the per-trial factory; the
+	// old code reused one instance across every trial.
+	if err := run([]string{"-n", "100", "-f", "30", "-lambda", "30", "-adversary", "flip", "-trials", "3", "-workers", "2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunTrialsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "80", "-f", "20", "-lambda", "24", "-trials", "2", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trials -json output unparseable: %v\n%s", err, buf.String())
+	}
+	if _, ok := doc["violation_rate"]; !ok {
+		t.Fatalf("missing violation_rate:\n%s", buf.String())
+	}
+}
+
+// TestRunTrialsJSONDeterministicAcrossWorkers checks the CLI surface of the
+// serial-vs-parallel contract.
+func TestRunTrialsJSONDeterministicAcrossWorkers(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	args := []string{"-n", "80", "-f", "20", "-lambda", "24", "-trials", "4", "-json"}
+	if err := run(append(args, "-workers", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-workers", "8"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("-workers=1 and -workers=8 JSON differ:\n%s\n---\n%s", serial.String(), parallel.String())
+	}
+}
+
+func TestRunSingleJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "80", "-f", "20", "-lambda", "24", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("single-run -json output unparseable: %v\n%s", err, buf.String())
+	}
+	if ok, _ := doc["ok"].(bool); !ok {
+		t.Fatalf("run not ok:\n%s", buf.String())
+	}
+}
+
 func TestRunSilentAdversary(t *testing.T) {
-	if err := run([]string{"-n", "100", "-f", "30", "-lambda", "30", "-adversary", "silent"}); err != nil {
+	if err := run([]string{"-n", "100", "-f", "30", "-lambda", "30", "-adversary", "silent"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFlipOnCore(t *testing.T) {
-	if err := run([]string{"-n", "100", "-f", "30", "-lambda", "30", "-adversary", "flip"}); err != nil {
+	if err := run([]string{"-n", "100", "-f", "30", "-lambda", "30", "-adversary", "flip"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBroadcastProtocol(t *testing.T) {
-	if err := run([]string{"-protocol", "dolevstrong", "-n", "12", "-f", "4", "-sender-input", "1"}); err != nil {
+	if err := run([]string{"-protocol", "dolevstrong", "-n", "12", "-f", "4", "-sender-input", "1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnanimous(t *testing.T) {
-	if err := run([]string{"-n", "80", "-f", "20", "-lambda", "24", "-unanimous", "1"}); err != nil {
+	if err := run([]string{"-n", "80", "-f", "20", "-lambda", "24", "-unanimous", "1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -43,9 +105,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-adversary", "nonexistent"},
 		{"-protocol", "quadratic", "-adversary", "flip", "-n", "9", "-f", "4"},
 		{"-protocol", "unknown-protocol", "-n", "10", "-f", "2"},
+		{"-n", "10", "-f", "10"},
+		{"-n", "0", "-f", "0"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

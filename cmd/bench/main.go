@@ -40,6 +40,23 @@ var cases = []benchCase{
 	{"PhaseKingSampledN400", ccba.Config{Protocol: ccba.PhaseKingSampled, N: 400, F: 80, Lambda: 30, Epochs: 12}},
 }
 
+// sweepCase is one tracked trial-sweep configuration: the same 16-trial
+// sweep measured serially and on the full worker pool records the harness's
+// parallel speedup on whatever host ran the benchmark.
+type sweepCase struct {
+	Name    string
+	Cfg     ccba.Config
+	Trials  int
+	Workers int // 0 = GOMAXPROCS
+}
+
+var sweepCases = []sweepCase{
+	{"TrialSweepCoreN200T16W1", ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40}, 16, 1},
+	{"TrialSweepCoreN200T16Wmax", ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40}, 16, 0},
+	{"TrialSweepPhaseKingSampledN400T16W1", ccba.Config{Protocol: ccba.PhaseKingSampled, N: 400, F: 80, Lambda: 30, Epochs: 12}, 16, 1},
+	{"TrialSweepPhaseKingSampledN400T16Wmax", ccba.Config{Protocol: ccba.PhaseKingSampled, N: 400, F: 80, Lambda: 30, Epochs: 12}, 16, 0},
+}
+
 // Result is one benchmark measurement.
 type Result struct {
 	Name        string  `json:"name"`
@@ -95,7 +112,22 @@ func run(args []string) error {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", c.Name)
-		r := measure(c.Cfg, *benchtime)
+		r := measure(singleRunBody(c.Cfg), *benchtime)
+		rep.Results = append(rep.Results, Result{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	for _, c := range sweepCases {
+		if *only != "" && !matches(c.Name, *only) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", c.Name)
+		r := measure(sweepBody(c), *benchtime)
 		rep.Results = append(rep.Results, Result{
 			Name:        c.Name,
 			Iterations:  r.N,
@@ -126,38 +158,52 @@ func matches(name, only string) bool {
 	return false
 }
 
-// measure runs complete protocol executions under the testing harness,
-// varying the seed per iteration exactly like bench_test.go so results stay
-// comparable with `go test -bench`.
-func measure(cfg ccba.Config, iters int) testing.BenchmarkResult {
-	body := func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			c := cfg
-			c.Seed[29] = byte(i)
-			c.Seed[28] = byte(i >> 8)
-			rep, err := ccba.Run(c)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if !rep.Ok() {
-				b.Fatalf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
-			}
+// singleRunBody measures complete protocol executions, varying the seed per
+// iteration exactly like bench_test.go so results stay comparable with
+// `go test -bench`.
+func singleRunBody(cfg ccba.Config) func(i int) error {
+	return func(i int) error {
+		c := cfg
+		c.Seed[29] = byte(i)
+		c.Seed[28] = byte(i >> 8)
+		rep, err := ccba.Run(c)
+		if err != nil {
+			return err
 		}
+		if !rep.Ok() {
+			return fmt.Errorf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+		}
+		return nil
 	}
+}
+
+// sweepBody measures one harness trial sweep per iteration.
+func sweepBody(c sweepCase) func(i int) error {
+	return func(i int) error {
+		cfg := c.Cfg
+		cfg.Seed[27] = byte(i)
+		st, err := ccba.RunTrialsOpts(cfg, ccba.TrialOpts{Trials: c.Trials, Workers: c.Workers})
+		if err != nil {
+			return err
+		}
+		if st.Violations != 0 {
+			return fmt.Errorf("%d violations", st.Violations)
+		}
+		return nil
+	}
+}
+
+// measure runs iteration under the testing harness (or a fixed iteration
+// count when benchtime is set; testing.Benchmark has no iteration knob, so
+// that path times the loop directly and reports through the same type).
+func measure(iteration func(i int) error, iters int) testing.BenchmarkResult {
 	if iters > 0 {
-		// Fixed iteration count (testing.Benchmark has no iteration knob):
-		// time the loop directly and report through the same result type.
 		runtime.GC()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			c := cfg
-			c.Seed[29] = byte(i)
-			c.Seed[28] = byte(i >> 8)
-			rep, err := ccba.Run(c)
-			if err != nil || !rep.Ok() {
+			if err := iteration(i); err != nil {
 				fmt.Fprintf(os.Stderr, "bench: run failed: %v\n", err)
 				os.Exit(1)
 			}
@@ -171,5 +217,12 @@ func measure(cfg ccba.Config, iters int) testing.BenchmarkResult {
 			MemBytes:  after.TotalAlloc - before.TotalAlloc,
 		}
 	}
-	return testing.Benchmark(body)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := iteration(i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

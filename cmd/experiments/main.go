@@ -1,39 +1,53 @@
 // Command experiments regenerates the paper's evaluation: one measured
-// table per theorem/lemma-level claim (E1–E10 in DESIGN.md §3).
+// table per theorem/lemma-level claim (E1–E11 in DESIGN.md §3), with trials
+// fanned out across harness workers.
 //
 // Examples:
 //
-//	experiments                 # run everything at default trial counts
+//	experiments                           # run everything at default trial counts
 //	experiments -only e2 -max-n 2048 -trials 3
-//	experiments -only e8 -trials 10
+//	experiments -only e8 -trials 10 -workers 8
+//	experiments -only e7,e11 -json        # machine-readable sweep aggregates
+//	experiments -csv > sweeps.csv
+//
+// Output is identical for every -workers value: trials are reassembled in
+// trial order before aggregation, so parallel sweeps are bit-identical to
+// the serial schedule.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"ccba/internal/experiments"
-	"ccba/internal/table"
+	"ccba/internal/harness"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only   = fs.String("only", "", "comma-separated experiment ids (e1..e11); empty = all")
-		trials = fs.Int("trials", 0, "override trial count (0 = per-experiment default)")
-		maxN   = fs.Int("max-n", 1024, "largest n for the E2 sweep")
+		only    = fs.String("only", "", "comma-separated experiment ids (e1..e11); empty = all")
+		trials  = fs.Int("trials", 0, "override trial count (0 = per-experiment default)")
+		workers = fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS)")
+		maxN    = fs.Int("max-n", 1024, "largest n for the E2 sweep")
+		asJSON  = fs.Bool("json", false, "emit machine-readable sweep aggregates as JSON instead of tables")
+		asCSV   = fs.Bool("csv", false, "emit sweep aggregates as CSV instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON && *asCSV {
+		return fmt.Errorf("-json and -csv are mutually exclusive")
 	}
 
 	want := map[string]bool{}
@@ -43,111 +57,63 @@ func run(args []string) error {
 		}
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
-	trialsOr := func(def int) int {
+	opts := func(def int) experiments.Opts {
+		t := def
 		if *trials > 0 {
-			return *trials
+			t = *trials
 		}
-		return def
+		return experiments.Opts{Trials: t, Workers: *workers}
 	}
 
 	type gen struct {
 		id  string
-		run func() (*table.Table, error)
+		run func() (*experiments.Artifacts, error)
+	}
+	art := func(r interface{ Out() *experiments.Artifacts }, err error) (*experiments.Artifacts, error) {
+		if err != nil {
+			return nil, err
+		}
+		return r.Out(), nil
 	}
 	gens := []gen{
-		{"e1", func() (*table.Table, error) {
-			r, err := experiments.E1StrongAdaptive(trialsOr(10))
-			return tbl(r, err)
-		}},
-		{"e2", func() (*table.Table, error) {
-			r, err := experiments.E2MulticastComplexity(trialsOr(3), *maxN)
-			return tbl(r, err)
-		}},
-		{"e3", func() (*table.Table, error) {
-			r, err := experiments.E3NoSetup(trialsOr(5))
-			return tbl(r, err)
-		}},
-		{"e4", func() (*table.Table, error) {
-			r, err := experiments.E4TerminatePropagation(trialsOr(30))
-			return tbl(r, err)
-		}},
-		{"e5", func() (*table.Table, error) {
-			r, err := experiments.E5CommitteeConcentration(trialsOr(1000))
-			return tbl(r, err)
-		}},
-		{"e6", func() (*table.Table, error) {
-			r, err := experiments.E6GoodIteration(trialsOr(3000))
-			return tbl(r, err)
-		}},
-		{"e7", func() (*table.Table, error) {
-			r, err := experiments.E7SafetyTrials(trialsOr(20))
-			return tbl(r, err)
-		}},
-		{"e8", func() (*table.Table, error) {
-			r, err := experiments.E8BitSpecificAblation(trialsOr(8))
-			return tbl(r, err)
-		}},
-		{"e9", func() (*table.Table, error) {
-			r, err := experiments.E9ProtocolComparison(trialsOr(5))
-			return tbl(r, err)
-		}},
-		{"e10", func() (*table.Table, error) {
-			r, err := experiments.E10PhaseKing(trialsOr(3))
-			return tbl(r, err)
-		}},
-		{"e11", func() (*table.Table, error) {
-			r, err := experiments.E11ResilienceFrontier(trialsOr(10))
-			return tbl(r, err)
-		}},
+		{"e1", func() (*experiments.Artifacts, error) { return art(experiments.E1StrongAdaptive(opts(10))) }},
+		{"e2", func() (*experiments.Artifacts, error) { return art(experiments.E2MulticastComplexity(opts(3), *maxN)) }},
+		{"e3", func() (*experiments.Artifacts, error) { return art(experiments.E3NoSetup(opts(5))) }},
+		{"e4", func() (*experiments.Artifacts, error) { return art(experiments.E4TerminatePropagation(opts(30))) }},
+		{"e5", func() (*experiments.Artifacts, error) { return art(experiments.E5CommitteeConcentration(opts(1000))) }},
+		{"e6", func() (*experiments.Artifacts, error) { return art(experiments.E6GoodIteration(opts(3000))) }},
+		{"e7", func() (*experiments.Artifacts, error) { return art(experiments.E7SafetyTrials(opts(20))) }},
+		{"e8", func() (*experiments.Artifacts, error) { return art(experiments.E8BitSpecificAblation(opts(8))) }},
+		{"e9", func() (*experiments.Artifacts, error) { return art(experiments.E9ProtocolComparison(opts(5))) }},
+		{"e10", func() (*experiments.Artifacts, error) { return art(experiments.E10PhaseKing(opts(3))) }},
+		{"e11", func() (*experiments.Artifacts, error) { return art(experiments.E11ResilienceFrontier(opts(10))) }},
 	}
 
+	var sweeps []*harness.Sweep
 	ran := 0
 	for _, g := range gens {
 		if !selected(g.id) {
 			continue
 		}
-		t, err := g.run()
+		a, err := g.run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", g.id, err)
 		}
-		t.Render(os.Stdout)
 		ran++
+		if *asJSON || *asCSV {
+			sweeps = append(sweeps, a.Sweep)
+			continue
+		}
+		a.Table.Render(out)
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiment matched %q", *only)
 	}
+	if *asJSON {
+		return harness.WriteJSON(out, sweeps)
+	}
+	if *asCSV {
+		return harness.WriteCSV(out, sweeps)
+	}
 	return nil
-}
-
-// tbl extracts the table from any experiment result via the exported field.
-func tbl(result any, err error) (*table.Table, error) {
-	if err != nil {
-		return nil, err
-	}
-	switch r := result.(type) {
-	case *experiments.E1Result:
-		return r.Table, nil
-	case *experiments.E2Result:
-		return r.Table, nil
-	case *experiments.E3Result:
-		return r.Table, nil
-	case *experiments.E4Result:
-		return r.Table, nil
-	case *experiments.E5Result:
-		return r.Table, nil
-	case *experiments.E6Result:
-		return r.Table, nil
-	case *experiments.E7Result:
-		return r.Table, nil
-	case *experiments.E8Result:
-		return r.Table, nil
-	case *experiments.E9Result:
-		return r.Table, nil
-	case *experiments.E10Result:
-		return r.Table, nil
-	case *experiments.E11Result:
-		return r.Table, nil
-	default:
-		return nil, fmt.Errorf("unknown result type %T", result)
-	}
 }

@@ -1,21 +1,75 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run([]string{"-only", "e6", "-trials", "100"}); err != nil {
+	if err := run([]string{"-only", "e6", "-trials", "100"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSeveral(t *testing.T) {
-	if err := run([]string{"-only", "e3,e10", "-trials", "1"}); err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "e3,e10", "-trials", "1"}, &buf); err != nil {
 		t.Fatal(err)
+	}
+	for _, want := range []string{"E3", "E10"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %s table:\n%s", want, buf.String())
+		}
 	}
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if err := run([]string{"-only", "e99"}); err == nil {
+	if err := run([]string{"-only", "e99"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestRunRejectsJSONPlusCSV(t *testing.T) {
+	if err := run([]string{"-only", "e10", "-json", "-csv"}, io.Discard); err == nil {
+		t.Fatal("-json -csv accepted together")
+	}
+}
+
+// TestJSONDeterministicAcrossWorkers is the end-to-end satellite check: the
+// same sweep at -workers=1 and -workers=8 must emit byte-identical JSON.
+func TestJSONDeterministicAcrossWorkers(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-only", "e10,e7", "-trials", "2", "-workers", "1", "-json"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-only", "e10,e7", "-trials", "2", "-workers", "8", "-json"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("-workers=1 and -workers=8 JSON differ:\n%s\n---\n%s", serial.String(), parallel.String())
+	}
+	var doc []map[string]any
+	if err := json.Unmarshal(serial.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc) != 2 {
+		t.Fatalf("expected 2 sweeps, got %d", len(doc))
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "e10", "-trials", "1", "-workers", "4", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("csv too short:\n%s", buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "experiment,scenario,kind,name") {
+		t.Fatalf("bad header: %s", lines[0])
 	}
 }

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"ccba/internal/harness"
 	"ccba/internal/netsim"
-	"ccba/internal/stats"
 	"ccba/internal/table"
 	"ccba/internal/types"
 )
@@ -24,9 +24,9 @@ type E11Row struct {
 // degrades as ε → 0 unless λ grows — the concrete trade the paper's
 // exp(−Ω(ε²λ)) terms encode.
 type E11Result struct {
-	N     int
-	Rows  []E11Row
-	Table *table.Table
+	N    int
+	Rows []E11Row
+	Artifacts
 }
 
 // e11Silencer statically corrupts the first f nodes (silent corruption is
@@ -44,7 +44,7 @@ func (a *e11Silencer) Setup(ctx *netsim.Ctx) {
 }
 
 // E11ResilienceFrontier sweeps f/n toward 1/2 at two committee sizes.
-func E11ResilienceFrontier(trials int) (*E11Result, error) {
+func E11ResilienceFrontier(o Opts) (*E11Result, error) {
 	const n = 200
 	res := &E11Result{N: n}
 	res.Table = table.New(
@@ -52,39 +52,43 @@ func E11ResilienceFrontier(trials int) (*E11Result, error) {
 		"f/n", "ε", "λ", "⌈λ/2⌉", "safety violations", "termination rate", "mean rounds",
 	)
 	res.Table.Note = "Safety must never break (Lemma 13); liveness thins as ε→0 at fixed λ and is restored by larger λ — the ε²λ trade, measured."
+	res.Sweep = harness.NewSweep("e11")
 
 	for _, frac := range []float64{0.30, 0.40, 0.45} {
 		for _, lambda := range []int{40, 80} {
 			f := int(frac * n)
-			violations, terminated := 0, 0
-			var rounds []float64
-			for trial := 0; trial < trials; trial++ {
-				cfg := coreSetup(n, f, lambda, seedFor("e11", trial*1000+f*10+lambda))
+			scenario := fmt.Sprintf("f/n=%.2f/lambda=%d", frac, lambda)
+			agg, err := harness.Collect(o.options("e11", scenario), func(tr harness.Trial) (*harness.Obs, error) {
+				cfg := coreSetup(n, f, lambda, tr.Seed)
 				inputs := mixedInputs(n)
 				r, err := runCore(cfg, inputs, &e11Silencer{})
 				if err != nil {
 					return nil, err
 				}
 				v := checkResult(r, inputs)
-				if v.consistency || v.validity {
-					violations++
-				}
+				obs := harness.NewObs().
+					Event("safety_violation", v.consistency || v.validity).
+					Event("terminated", !v.termination)
 				if !v.termination {
-					terminated++
-					rounds = append(rounds, float64(r.Rounds))
+					obs.Value("rounds", float64(r.Rounds))
 				}
+				return obs, nil
+			})
+			if err != nil {
+				return nil, err
 			}
+			res.Sweep.Add(agg)
 			row := E11Row{
 				FracCorrupt:      frac,
 				Lambda:           lambda,
-				Trials:           trials,
-				SafetyViolations: violations,
-				TerminationRate:  stats.Rate(terminated, trials),
-				MeanRounds:       stats.Summarize(rounds).Mean,
+				Trials:           o.Trials,
+				SafetyViolations: agg.Count("safety_violation"),
+				TerminationRate:  agg.Rate("terminated"),
+				MeanRounds:       agg.Mean("rounds"),
 			}
 			res.Rows = append(res.Rows, row)
 			res.Table.Add(fmt.Sprintf("%.2f", frac), fmt.Sprintf("%.2f", 0.5-frac), lambda,
-				(lambda+1)/2, violations, pct(row.TerminationRate), row.MeanRounds)
+				(lambda+1)/2, row.SafetyViolations, pct(row.TerminationRate), row.MeanRounds)
 		}
 	}
 	return res, nil

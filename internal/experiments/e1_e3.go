@@ -1,13 +1,15 @@
 package experiments
 
 import (
+	"fmt"
+
 	"ccba/internal/committee"
 	"ccba/internal/crypto/pki"
 	"ccba/internal/dolevstrong"
+	"ccba/internal/harness"
 	"ccba/internal/lowerbound/nosetup"
 	"ccba/internal/lowerbound/strongadaptive"
 	"ccba/internal/netsim"
-	"ccba/internal/stats"
 	"ccba/internal/table"
 	"ccba/internal/types"
 )
@@ -28,42 +30,42 @@ type E1Row struct {
 // E1Result is the Theorem 1/4 reproduction: sub-(εf/2)² protocols fall to
 // the strongly adaptive Dolev–Reischuk attack; Ω(f²) protocols survive.
 type E1Result struct {
-	Rows  []E1Row
-	Table *table.Table
+	Rows []E1Row
+	Artifacts
 }
 
 // E1StrongAdaptive runs the Theorem 1 experiment.
-func E1StrongAdaptive(trials int) (*E1Result, error) {
+func E1StrongAdaptive(o Opts) (*E1Result, error) {
 	type setting struct {
 		name    string
 		n, f    int
-		factory func(trial int) strongadaptive.Factory
+		factory func(seed [32]byte) strongadaptive.Factory
 		rounds  int
 	}
 	settings := []setting{
 		{
 			name: "committee-echo (sub-bound)", n: 64, f: 20, rounds: 8,
-			factory: func(trial int) strongadaptive.Factory {
+			factory: func(seed [32]byte) strongadaptive.Factory {
 				return func(input types.Bit) ([]netsim.Node, error) {
-					cfg := committee.Config{N: 64, CommitteeSize: 6, Sender: 0, CRS: seedFor("e1-committee", trial)}
+					cfg := committee.Config{N: 64, CommitteeSize: 6, Sender: 0, CRS: seed}
 					return committee.NewNodes(cfg, input)
 				}
 			},
 		},
 		{
 			name: "committee-echo (sub-bound)", n: 128, f: 40, rounds: 8,
-			factory: func(trial int) strongadaptive.Factory {
+			factory: func(seed [32]byte) strongadaptive.Factory {
 				return func(input types.Bit) ([]netsim.Node, error) {
-					cfg := committee.Config{N: 128, CommitteeSize: 8, Sender: 0, CRS: seedFor("e1-committee-large", trial)}
+					cfg := committee.Config{N: 128, CommitteeSize: 8, Sender: 0, CRS: seed}
 					return committee.NewNodes(cfg, input)
 				}
 			},
 		},
 		{
 			name: "dolev-strong (Ω(n²))", n: 24, f: 8, rounds: 12,
-			factory: func(trial int) strongadaptive.Factory {
+			factory: func(seed [32]byte) strongadaptive.Factory {
 				return func(input types.Bit) ([]netsim.Node, error) {
-					pub, secrets := pki.Setup(24, seedFor("e1-ds", trial))
+					pub, secrets := pki.Setup(24, seed)
 					cfg := dolevstrong.Config{N: 24, F: 8, Sender: 0, PKI: pub}
 					return dolevstrong.NewNodes(cfg, input, secrets)
 				}
@@ -71,44 +73,47 @@ func E1StrongAdaptive(trials int) (*E1Result, error) {
 		},
 	}
 
-	res := &E1Result{Table: table.New(
+	res := &E1Result{}
+	res.Table = table.New(
 		"E1 (Theorem 1/4) — strongly adaptive Ω(f²) lower bound: the Dolev–Reischuk attack A/A′",
 		"protocol", "n", "f", "msgs (A)", "(f/4)² bound", "msgs→V", "|S(p)|", "A′ violation", "budget out",
-	)}
+	)
 	res.Table.Note = "Violation = consistency break under after-the-fact removal; protocols under the message bound must fail w.p. ≥ 1/2−ε, quadratic ones survive."
+	res.Sweep = harness.NewSweep("e1")
 
 	for _, st := range settings {
-		var msgs, toV, senders []float64
-		broke, exhausted := 0, 0
-		for trial := 0; trial < trials; trial++ {
+		scenario := fmt.Sprintf("%s/n=%d", st.name, st.n)
+		agg, err := harness.Collect(o.options("e1", scenario), func(tr harness.Trial) (*harness.Obs, error) {
 			cfg := strongadaptive.Config{
 				N: st.n, F: st.f, Sender: 0, MaxRounds: st.rounds,
-				Seed:     seedFor("e1-pick", trial),
-				NewNodes: st.factory(trial),
+				Seed:     harness.SeedFrom(tr.Seed, "e1", "pick", 0),
+				NewNodes: st.factory(harness.SeedFrom(tr.Seed, "e1", "nodes", 0)),
 			}
 			out, err := strongadaptive.Run(cfg)
 			if err != nil {
 				return nil, err
 			}
-			msgs = append(msgs, float64(out.HonestMessages))
-			toV = append(toV, float64(out.MessagesToV))
-			senders = append(senders, float64(out.SendersToP))
-			if out.ConsistencyViolatedAPrime {
-				broke++
-			}
-			if out.BudgetExhausted {
-				exhausted++
-			}
+			return harness.NewObs().
+				Value("honest_messages", float64(out.HonestMessages)).
+				Value("messages_to_v", float64(out.MessagesToV)).
+				Value("senders_to_p", float64(out.SendersToP)).
+				Event("violation", out.ConsistencyViolatedAPrime).
+				Event("budget_exhausted", out.BudgetExhausted), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		res.Sweep.Add(agg)
+
 		bound := float64(st.f) / 4 * float64(st.f) / 4 // (εf/2)² at ε = 1/2
 		row := E1Row{
-			Protocol: st.name, N: st.n, F: st.f, Trials: trials,
-			HonestMessages: stats.Summarize(msgs).Mean,
+			Protocol: st.name, N: st.n, F: st.f, Trials: o.Trials,
+			HonestMessages: agg.Mean("honest_messages"),
 			TheoremBound:   bound,
-			MessagesToV:    stats.Summarize(toV).Mean,
-			SendersToP:     stats.Summarize(senders).Mean,
-			ViolationRate:  stats.Rate(broke, trials),
-			BudgetExhaust:  stats.Rate(exhausted, trials),
+			MessagesToV:    agg.Mean("messages_to_v"),
+			SendersToP:     agg.Mean("senders_to_p"),
+			ViolationRate:  agg.Rate("violation"),
+			BudgetExhaust:  agg.Rate("budget_exhausted"),
 		}
 		res.Rows = append(res.Rows, row)
 		res.Table.Add(row.Protocol, row.N, row.F, row.HonestMessages, row.TheoremBound,
@@ -130,24 +135,23 @@ type E3Row struct {
 // E3Result is the Theorem 3 reproduction: without setup, C corruptions
 // defeat any C-multicast protocol via the split-world simulation.
 type E3Result struct {
-	Rows  []E3Row
-	Table *table.Table
+	Rows []E3Row
+	Artifacts
 }
 
 // E3NoSetup runs the Theorem 3 experiment over the no-PKI echo protocol.
-func E3NoSetup(trials int) (*E3Result, error) {
-	res := &E3Result{Table: table.New(
+func E3NoSetup(o Opts) (*E3Result, error) {
+	res := &E3Result{}
+	res.Table = table.New(
 		"E3 (Theorem 3) — no setup ⇒ no sublinear multicast BB: the Q—1—Q′ experiment",
 		"n", "C (multicasts)", "C (bytes)", "corruptions used", "≤ C?", "violation",
-	)}
+	)
 	res.Table.Note = "Corruptions = distinct Q′ speakers the simulating adversary must corrupt; violation = shared node inconsistent with one honest world."
+	res.Sweep = harness.NewSweep("e3")
 
 	for _, n := range []int{64, 256, 1024} {
-		var mc, mb, corr []float64
-		broke := 0
-		within := true
-		for trial := 0; trial < trials; trial++ {
-			crs := seedFor("e3", trial*1000+n)
+		agg, err := harness.Collect(o.options("e3", fmt.Sprintf("n=%d", n)), func(tr harness.Trial) (*harness.Obs, error) {
+			crs := tr.Seed
 			cfg := nosetup.Config{
 				N: n, MaxRounds: 8,
 				NewNode: func(w nosetup.World, id types.NodeID) (netsim.Node, error) {
@@ -163,26 +167,28 @@ func E3NoSetup(trials int) (*E3Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			mc = append(mc, float64(out.MulticastsPerWorld))
-			mb = append(mb, float64(out.MulticastBytesPerWorld))
-			corr = append(corr, float64(out.SpeakersQPrime))
-			if out.Violated {
-				broke++
-			}
-			if out.SpeakersQPrime > out.MulticastsPerWorld {
-				within = false
-			}
+			return harness.NewObs().
+				Value("multicasts", float64(out.MulticastsPerWorld)).
+				Value("mcast_bytes", float64(out.MulticastBytesPerWorld)).
+				Value("corruptions", float64(out.SpeakersQPrime)).
+				Event("violation", out.Violated).
+				Event("over_budget", out.SpeakersQPrime > out.MulticastsPerWorld), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		res.Sweep.Add(agg)
+
 		row := E3Row{
-			N: n, Trials: trials,
-			MulticastC:     stats.Summarize(mc).Mean,
-			MulticastBytes: stats.Summarize(mb).Mean,
-			Corruptions:    stats.Summarize(corr).Mean,
-			ViolationRate:  stats.Rate(broke, trials),
+			N: n, Trials: o.Trials,
+			MulticastC:     agg.Mean("multicasts"),
+			MulticastBytes: agg.Mean("mcast_bytes"),
+			Corruptions:    agg.Mean("corruptions"),
+			ViolationRate:  agg.Rate("violation"),
 		}
 		res.Rows = append(res.Rows, row)
 		withinStr := "yes"
-		if !within {
+		if agg.Count("over_budget") > 0 {
 			withinStr = "NO"
 		}
 		res.Table.Add(row.N, row.MulticastC, row.MulticastBytes, row.Corruptions, withinStr, pct(row.ViolationRate))

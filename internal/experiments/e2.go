@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"ccba/internal/crypto/pki"
+	"ccba/internal/harness"
 	"ccba/internal/leader"
 	"ccba/internal/netsim"
 	"ccba/internal/quadratic"
-	"ccba/internal/stats"
 	"ccba/internal/table"
 	"ccba/internal/types"
 )
@@ -29,20 +29,35 @@ type E2Row struct {
 // while the quadratic baseline's classical complexity grows as n² — the
 // crossover the paper's headline result promises.
 type E2Result struct {
-	Rows  []E2Row
-	Table *table.Table
+	Rows []E2Row
+	Artifacts
+}
+
+// e2Obs folds one execution result into the experiment's observation shape.
+func e2Obs(r *netsim.Result, inputs []types.Bit) *harness.Obs {
+	o := harness.NewObs().
+		Event("violation", checkResult(r, inputs).any()).
+		Value("multicasts", float64(r.Metrics.HonestMulticasts))
+	if r.Metrics.HonestMulticasts > 0 {
+		o.Value("bytes_per_mcast", float64(r.Metrics.HonestMulticastBytes)/float64(r.Metrics.HonestMulticasts))
+	}
+	return o.
+		Value("messages", float64(r.Metrics.HonestMessages)).
+		Value("rounds", float64(r.Rounds))
 }
 
 // E2MulticastComplexity runs the experiment. Core sizes are swept up to
 // maxN; the quadratic baseline up to min(maxN, 256) (it is, after all,
 // quadratic).
-func E2MulticastComplexity(trials, maxN int) (*E2Result, error) {
-	res := &E2Result{Table: table.New(
+func E2MulticastComplexity(o Opts, maxN int) (*E2Result, error) {
+	res := &E2Result{}
+	res.Table = table.New(
 		"E2 (Theorem 2 / Lemma 15) — multicast complexity: subquadratic BA vs quadratic baseline",
 		"protocol", "n", "f", "λ", "multicasts", "B/mcast", "classical msgs", "rounds", "violations",
-	)}
+	)
 	res.Table.Note = "Core multicasts stay ≈O(λ²) as n grows 64→" + fmt.Sprint(maxN) +
 		"; the quadratic baseline's classical messages grow ≈n² — who wins flips at the crossover."
+	res.Sweep = harness.NewSweep("e2")
 
 	const lambda = 40
 	for _, n := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
@@ -50,32 +65,26 @@ func E2MulticastComplexity(trials, maxN int) (*E2Result, error) {
 			break
 		}
 		f := (3 * n) / 10
-		var mcasts, bpm, msgs, rounds []float64
-		viol := 0
-		for trial := 0; trial < trials; trial++ {
-			cfg := coreSetup(n, f, lambda, seedFor("e2-core", trial*10000+n))
+		agg, err := harness.Collect(o.options("e2", fmt.Sprintf("core/n=%d", n)), func(tr harness.Trial) (*harness.Obs, error) {
+			cfg := coreSetup(n, f, lambda, tr.Seed)
 			inputs := mixedInputs(n)
 			r, err := runCore(cfg, inputs, nil)
 			if err != nil {
 				return nil, err
 			}
-			if checkResult(r, inputs).any() {
-				viol++
-			}
-			mcasts = append(mcasts, float64(r.Metrics.HonestMulticasts))
-			if r.Metrics.HonestMulticasts > 0 {
-				bpm = append(bpm, float64(r.Metrics.HonestMulticastBytes)/float64(r.Metrics.HonestMulticasts))
-			}
-			msgs = append(msgs, float64(r.Metrics.HonestMessages))
-			rounds = append(rounds, float64(r.Rounds))
+			return e2Obs(r, inputs), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		res.Sweep.Add(agg)
 		row := E2Row{
-			Protocol: "core (subquadratic)", N: n, F: f, Lambda: lambda, Trials: trials,
-			Multicasts:    stats.Summarize(mcasts).Mean,
-			BytesPerMcast: stats.Summarize(bpm).Mean,
-			Messages:      stats.Summarize(msgs).Mean,
-			Rounds:        stats.Summarize(rounds).Mean,
-			Violations:    viol,
+			Protocol: "core (subquadratic)", N: n, F: f, Lambda: lambda, Trials: o.Trials,
+			Multicasts:    agg.Mean("multicasts"),
+			BytesPerMcast: agg.Mean("bytes_per_mcast"),
+			Messages:      agg.Mean("messages"),
+			Rounds:        agg.Mean("rounds"),
+			Violations:    agg.Count("violation"),
 		}
 		res.Rows = append(res.Rows, row)
 		res.Table.Add(row.Protocol, row.N, row.F, row.Lambda, row.Multicasts,
@@ -87,10 +96,8 @@ func E2MulticastComplexity(trials, maxN int) (*E2Result, error) {
 			break
 		}
 		f := (n - 1) / 2
-		var mcasts, bpm, msgs, rounds []float64
-		viol := 0
-		for trial := 0; trial < trials; trial++ {
-			seed := seedFor("e2-quad", trial*10000+n)
+		agg, err := harness.Collect(o.options("e2", fmt.Sprintf("quadratic/n=%d", n)), func(tr harness.Trial) (*harness.Obs, error) {
+			seed := tr.Seed
 			pub, secrets := pki.Setup(n, seed)
 			cfg := quadratic.Config{
 				N: n, F: f, MaxIters: 40,
@@ -108,24 +115,19 @@ func E2MulticastComplexity(trials, maxN int) (*E2Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			r := rt.Run()
-			if checkResult(r, inputs).any() {
-				viol++
-			}
-			mcasts = append(mcasts, float64(r.Metrics.HonestMulticasts))
-			if r.Metrics.HonestMulticasts > 0 {
-				bpm = append(bpm, float64(r.Metrics.HonestMulticastBytes)/float64(r.Metrics.HonestMulticasts))
-			}
-			msgs = append(msgs, float64(r.Metrics.HonestMessages))
-			rounds = append(rounds, float64(r.Rounds))
+			return e2Obs(rt.Run(), inputs), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		res.Sweep.Add(agg)
 		row := E2Row{
-			Protocol: "quadratic (baseline)", N: n, F: f, Lambda: 0, Trials: trials,
-			Multicasts:    stats.Summarize(mcasts).Mean,
-			BytesPerMcast: stats.Summarize(bpm).Mean,
-			Messages:      stats.Summarize(msgs).Mean,
-			Rounds:        stats.Summarize(rounds).Mean,
-			Violations:    viol,
+			Protocol: "quadratic (baseline)", N: n, F: f, Lambda: 0, Trials: o.Trials,
+			Multicasts:    agg.Mean("multicasts"),
+			BytesPerMcast: agg.Mean("bytes_per_mcast"),
+			Messages:      agg.Mean("messages"),
+			Rounds:        agg.Mean("rounds"),
+			Violations:    agg.Count("violation"),
 		}
 		res.Rows = append(res.Rows, row)
 		res.Table.Add(row.Protocol, row.N, row.F, "-", row.Multicasts,

@@ -6,6 +6,7 @@ import (
 
 	"ccba/internal/core"
 	"ccba/internal/fmine"
+	"ccba/internal/harness"
 	"ccba/internal/netsim"
 	"ccba/internal/stats"
 	"ccba/internal/table"
@@ -44,20 +45,20 @@ type E4Result struct {
 	Trials       int
 	SpreadCounts map[int]int // halt-round spread → frequency
 	PSpreadLE1   float64
-	Table        *table.Table
+	Artifacts
 }
 
 // E4TerminatePropagation measures the halt-round spread of the core
 // protocol across trials.
-func E4TerminatePropagation(trials int) (*E4Result, error) {
+func E4TerminatePropagation(o Opts) (*E4Result, error) {
 	const n, f, lambda = 200, 60, 40
-	res := &E4Result{Trials: trials, SpreadCounts: map[int]int{}}
-	for trial := 0; trial < trials; trial++ {
-		cfg := coreSetup(n, f, lambda, seedFor("e4", trial))
+	res := &E4Result{Trials: o.Trials, SpreadCounts: map[int]int{}}
+	spreads, err := harness.Run(o.options("e4", ""), func(tr harness.Trial) (int, error) {
+		cfg := coreSetup(n, f, lambda, tr.Seed)
 		inputs := mixedInputs(n)
 		inner, err := core.NewNodes(cfg, inputs)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		nodes := make([]netsim.Node, len(inner))
 		recs := make([]*haltRecorder, len(inner))
@@ -67,7 +68,7 @@ func E4TerminatePropagation(trials int) (*E4Result, error) {
 		}
 		rt, err := netsim.NewRuntime(netsim.Config{N: n, F: f, MaxRounds: cfg.Rounds()}, nodes, nil)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		r := rt.Run()
 		first, last := math.MaxInt, -1
@@ -83,17 +84,28 @@ func E4TerminatePropagation(trials int) (*E4Result, error) {
 				last = hr
 			}
 		}
-		if last >= 0 {
-			res.SpreadCounts[last-first]++
+		if last < 0 {
+			return -1, nil // no honest node halted
 		}
+		return last - first, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	le1 := 0
-	for spread, cnt := range res.SpreadCounts {
-		if spread <= 1 {
-			le1 += cnt
+
+	obs := make([]*harness.Obs, len(spreads))
+	for t, spread := range spreads {
+		o := harness.NewObs()
+		if spread >= 0 {
+			res.SpreadCounts[spread]++
+			o.Value("spread", float64(spread)).Event("spread<=1", spread <= 1)
 		}
+		obs[t] = o
 	}
-	res.PSpreadLE1 = stats.Rate(le1, trials)
+	agg := harness.Aggregate("e4", "", obs)
+	res.Sweep = harness.NewSweep("e4")
+	res.Sweep.Add(agg)
+	res.PSpreadLE1 = stats.Rate(agg.Count("spread<=1"), o.Trials)
 
 	res.Table = table.New(
 		"E4 (Lemma 10) — terminate propagation: halt-round spread across forever-honest nodes",
@@ -102,7 +114,7 @@ func E4TerminatePropagation(trials int) (*E4Result, error) {
 	res.Table.Note = "Lemma 10: once εn/2 honest nodes terminate, all terminate next round whp ⇒ spread ≤ 1 dominates."
 	for spread := 0; spread <= 8; spread++ {
 		if cnt, ok := res.SpreadCounts[spread]; ok {
-			res.Table.Add(spread, cnt, pct(stats.Rate(cnt, trials)))
+			res.Table.Add(spread, cnt, pct(stats.Rate(cnt, o.Trials)))
 		}
 	}
 	return res, nil
@@ -123,31 +135,32 @@ type E5Result struct {
 	N, F   int
 	Trials int
 	Rows   []E5Row
-	Table  *table.Table
+	Artifacts
 }
 
 // E5CommitteeConcentration samples eligibility directly from F_mine and
 // compares the two bad-event frequencies of Lemma 11 with their Chernoff
-// bounds.
-func E5CommitteeConcentration(trials int) (*E5Result, error) {
+// bounds. Each trial instantiates its own F_mine from the trial seed, so
+// trials are fully independent and safe to run concurrently.
+func E5CommitteeConcentration(o Opts) (*E5Result, error) {
 	const n = 2000
 	const eps = 0.1
 	f := int((0.5 - eps) * n)
-	res := &E5Result{N: n, F: f, Trials: trials}
+	res := &E5Result{N: n, F: f, Trials: o.Trials}
 	res.Table = table.New(
-		fmt.Sprintf("E5 (Lemma 11) — committee concentration (n=%d, f=%d, %d trials)", n, f, trials),
+		fmt.Sprintf("E5 (Lemma 11) — committee concentration (n=%d, f=%d, %d trials)", n, f, o.Trials),
 		"λ", "⌈λ/2⌉", "P[corrupt ≥ ⌈λ/2⌉]", "Chernoff bound", "P[honest < ⌈λ/2⌉]", "Chernoff bound",
 	)
 	res.Table.Note = "Both bad events must sit under their exp(−Ω(ε²λ)) bounds and vanish as λ grows."
+	res.Sweep = harness.NewSweep("e5")
 
 	for _, lambda := range []int{20, 40, 80, 160} {
-		ideal := fmine.NewIdeal(seedFor("e5", lambda), func(fmine.Tag) float64 {
-			return fmine.CommitteeProb(n, lambda)
-		})
 		threshold := (lambda + 1) / 2
-		corruptBad, honestBad := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			tag := fmine.Tag{Domain: "e5", Type: 1, Iter: uint32(trial), Bit: types.Zero}
+		agg, err := harness.Collect(o.options("e5", fmt.Sprintf("lambda=%d", lambda)), func(tr harness.Trial) (*harness.Obs, error) {
+			ideal := fmine.NewIdeal(tr.Seed, func(fmine.Tag) float64 {
+				return fmine.CommitteeProb(n, lambda)
+			})
+			tag := fmine.Tag{Domain: "e5", Type: 1, Iter: 0, Bit: types.Zero}
 			corruptElig, honestElig := 0, 0
 			for id := 0; id < n; id++ {
 				_, ok := ideal.Miner(types.NodeID(id)).Mine(tag)
@@ -160,21 +173,23 @@ func E5CommitteeConcentration(trials int) (*E5Result, error) {
 					honestElig++
 				}
 			}
-			if corruptElig >= threshold {
-				corruptBad++
-			}
-			if honestElig < threshold {
-				honestBad++
-			}
+			return harness.NewObs().
+				Event("corrupt_quorum", corruptElig >= threshold).
+				Event("honest_short", honestElig < threshold), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		res.Sweep.Add(agg)
+
 		muCorrupt := float64(f) * float64(lambda) / n
 		muHonest := float64(n-f) * float64(lambda) / n
 		row := E5Row{
 			Lambda:          lambda,
 			Threshold:       threshold,
-			PCorruptQuorum:  stats.Rate(corruptBad, trials),
+			PCorruptQuorum:  agg.Rate("corrupt_quorum"),
 			ChernoffCorrupt: stats.ChernoffUpper(muCorrupt, float64(threshold)),
-			PHonestShort:    stats.Rate(honestBad, trials),
+			PHonestShort:    agg.Rate("honest_short"),
 			ChernoffHonest:  stats.ChernoffLower(muHonest, float64(threshold)),
 		}
 		res.Rows = append(res.Rows, row)
@@ -198,49 +213,52 @@ type E6Row struct {
 type E6Result struct {
 	Trials int
 	Rows   []E6Row
-	Table  *table.Table
+	Artifacts
 }
 
 // E6GoodIteration samples the 2n propose coins of Lemma 12 and measures the
-// unique-leader and good-iteration frequencies.
-func E6GoodIteration(trials int) (*E6Result, error) {
-	res := &E6Result{Trials: trials}
+// unique-leader and good-iteration frequencies. As in E5, each trial owns a
+// fresh F_mine instance derived from its trial seed.
+func E6GoodIteration(o Opts) (*E6Result, error) {
+	res := &E6Result{Trials: o.Trials}
 	res.Table = table.New(
-		fmt.Sprintf("E6 (Lemma 12) — good iterations: unique so-far-honest leader (%d trials)", trials),
+		fmt.Sprintf("E6 (Lemma 12) — good iterations: unique so-far-honest leader (%d trials)", o.Trials),
 		"n", "P[unique proposer]", "paper: >1/e", "P[good iteration]", "paper: >1/(2e)",
 	)
+	res.Sweep = harness.NewSweep("e6")
 	invE := 1 / math.E
 	for _, n := range []int{64, 256, 1024} {
 		f := (n - 1) / 2
-		ideal := fmine.NewIdeal(seedFor("e6", n), func(fmine.Tag) float64 {
-			return fmine.LeaderProb(n)
-		})
-		unique, good := 0, 0
-		for trial := 0; trial < trials; trial++ {
+		agg, err := harness.Collect(o.options("e6", fmt.Sprintf("n=%d", n)), func(tr harness.Trial) (*harness.Obs, error) {
+			ideal := fmine.NewIdeal(tr.Seed, func(fmine.Tag) float64 {
+				return fmine.LeaderProb(n)
+			})
 			successes := 0
 			honestOwner := false
 			// Lemma 12's process: 2n attempts per iteration — every node may
 			// try to propose 0 and 1. Nodes 0..f−1 are corrupt.
 			for id := 0; id < n; id++ {
 				for _, b := range []types.Bit{types.Zero, types.One} {
-					tag := fmine.Tag{Domain: "e6", Type: 1, Iter: uint32(trial), Bit: b}
+					tag := fmine.Tag{Domain: "e6", Type: 1, Iter: 0, Bit: b}
 					if _, ok := ideal.Miner(types.NodeID(id)).Mine(tag); ok {
 						successes++
 						honestOwner = id >= f
 					}
 				}
 			}
-			if successes == 1 {
-				unique++
-				if honestOwner {
-					good++
-				}
-			}
+			unique := successes == 1
+			return harness.NewObs().
+				Event("unique", unique).
+				Event("good", unique && honestOwner), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		res.Sweep.Add(agg)
 		row := E6Row{
 			N:           n,
-			PUnique:     stats.Rate(unique, trials),
-			PGood:       stats.Rate(good, trials),
+			PUnique:     agg.Rate("unique"),
+			PGood:       agg.Rate("good"),
 			PaperUnique: invE,
 			PaperGood:   invE / 2,
 		}
@@ -266,7 +284,7 @@ type E7Row struct {
 type E7Result struct {
 	Rows            []E7Row
 	TotalViolations int
-	Table           *table.Table
+	Artifacts
 }
 
 // silentStatic corrupts the first f nodes; they stay silent.
@@ -283,14 +301,17 @@ func (a *silentStatic) Setup(ctx *netsim.Ctx) {
 }
 
 // E7SafetyTrials runs the core protocol against the proof-relevant
-// adversaries and counts violations.
-func E7SafetyTrials(trials int) (*E7Result, error) {
+// adversaries and counts violations. Every trial builds its own adversary
+// via the setting's factory — the harness contract that makes stateful
+// adversaries (like the adaptive vote flipper) safe to sweep.
+func E7SafetyTrials(o Opts) (*E7Result, error) {
 	const n, f, lambda = 150, 45, 40
 	res := &E7Result{}
 	res.Table = table.New(
 		fmt.Sprintf("E7 (Lemmas 13–14) — consistency & validity of the core protocol (n=%d, f=%d, λ=%d)", n, f, lambda),
 		"adversary", "inputs", "trials", "violations", "mean rounds", "mean corrupted",
 	)
+	res.Sweep = harness.NewSweep("e7")
 	type setting struct {
 		name   string
 		adv    func() netsim.Adversary
@@ -304,30 +325,31 @@ func E7SafetyTrials(trials int) (*E7Result, error) {
 		{"adaptive vote-flipper", func() netsim.Adversary { return &core.VoteFlipAttack{} }, func() []types.Bit { return mixedInputs(n) }, "mixed"},
 		{"adaptive vote-flipper", func() netsim.Adversary { return &core.VoteFlipAttack{} }, func() []types.Bit { return constInputs(n, types.Zero) }, "unanimous-0"},
 	}
-	for si, st := range settings {
-		viol := 0
-		var rounds, corrupted []float64
-		for trial := 0; trial < trials; trial++ {
-			cfg := coreSetup(n, f, lambda, seedFor("e7", si*10000+trial))
+	for _, st := range settings {
+		agg, err := harness.Collect(o.options("e7", st.name+"/"+st.label), func(tr harness.Trial) (*harness.Obs, error) {
+			cfg := coreSetup(n, f, lambda, tr.Seed)
 			inputs := st.inputs()
 			r, err := runCore(cfg, inputs, st.adv())
 			if err != nil {
 				return nil, err
 			}
-			if checkResult(r, inputs).any() {
-				viol++
-			}
-			rounds = append(rounds, float64(r.Rounds))
-			corrupted = append(corrupted, float64(r.NumCorrupt()))
+			return harness.NewObs().
+				Event("violation", checkResult(r, inputs).any()).
+				Value("rounds", float64(r.Rounds)).
+				Value("corrupted", float64(r.NumCorrupt())), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		res.Sweep.Add(agg)
 		row := E7Row{
-			Adversary: st.name, Inputs: st.label, Trials: trials,
-			Violations: viol,
-			MeanRounds: stats.Summarize(rounds).Mean,
-			Corrupted:  stats.Summarize(corrupted).Mean,
+			Adversary: st.name, Inputs: st.label, Trials: o.Trials,
+			Violations: agg.Count("violation"),
+			MeanRounds: agg.Mean("rounds"),
+			Corrupted:  agg.Mean("corrupted"),
 		}
 		res.Rows = append(res.Rows, row)
-		res.TotalViolations += viol
+		res.TotalViolations += row.Violations
 		res.Table.Add(row.Adversary, row.Inputs, row.Trials, row.Violations, row.MeanRounds, row.Corrupted)
 	}
 	res.Table.Note = "Expected: zero violations in every row (the paper's exp(−Ω(ε²λ)) failure terms are ≪ 1/trials at these parameters)."

@@ -8,11 +8,11 @@ import (
 	"ccba/internal/crypto/pki"
 	"ccba/internal/dolevstrong"
 	"ccba/internal/fmine"
+	"ccba/internal/harness"
 	"ccba/internal/leader"
 	"ccba/internal/netsim"
 	"ccba/internal/phaseking"
 	"ccba/internal/quadratic"
-	"ccba/internal/stats"
 	"ccba/internal/table"
 	"ccba/internal/types"
 )
@@ -29,12 +29,12 @@ type E8Row struct {
 // E8Result is the §3.3 Remark made executable: the same quorum-flip attack
 // against three eligibility designs.
 type E8Result struct {
-	Rows  []E8Row
-	Table *table.Table
+	Rows []E8Row
+	Artifacts
 }
 
 // E8BitSpecificAblation runs the ablation.
-func E8BitSpecificAblation(trials int) (*E8Result, error) {
+func E8BitSpecificAblation(o Opts) (*E8Result, error) {
 	const n, epochs, lambda, f = 150, 8, 40, 50
 	res := &E8Result{}
 	res.Table = table.New(
@@ -42,6 +42,7 @@ func E8BitSpecificAblation(trials int) (*E8Result, error) {
 		"eligibility design", "trials", "attack violations", "baseline violations", "mean forged msgs",
 	)
 	res.Table.Note = "Same weakly adaptive quorum-flip adversary in every row; only the eligibility design changes."
+	res.Sweep = harness.NewSweep("e8")
 
 	victims := make([]types.NodeID, 0, n/2)
 	for i := n / 2; i < n; i++ {
@@ -49,26 +50,35 @@ func E8BitSpecificAblation(trials int) (*E8Result, error) {
 	}
 	inputs := constInputs(n, types.One)
 
+	addRow := func(design string, agg *harness.Agg) {
+		res.Sweep.Add(agg)
+		row := E8Row{
+			Design: design, Trials: o.Trials,
+			AttackBroke:   agg.Count("attack_violation"),
+			BaselineBroke: agg.Count("baseline_violation"),
+			ForgedMean:    agg.Mean("forged"),
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.Design, row.Trials, row.AttackBroke, row.BaselineBroke, row.ForgedMean)
+	}
+
 	// Design 1 & 2: Chen–Micali-style bit-free tickets, erasure off/on.
 	for _, erasure := range []bool{false, true} {
 		name := "bit-free tickets, no erasure (Chen–Micali strawman)"
+		scenario := "bit-free"
 		if erasure {
 			name = "bit-free tickets + memory erasure (Chen–Micali fix)"
+			scenario = "bit-free+erasure"
 		}
-		broke, baseBroke := 0, 0
-		var forged []float64
-		for trial := 0; trial < trials; trial++ {
-			seed := seedFor("e8-cm", trial*10+boolInt(erasure))
-			mkCfg := func() (chenmicali.Config, []pki.Secret) {
+		agg, err := harness.Collect(o.options("e8", scenario), func(tr harness.Trial) (*harness.Obs, error) {
+			seed := tr.Seed
+			runOne := func(adv netsim.Adversary) (bool, error) {
 				pub, secrets := pki.Setup(n, seed)
-				return chenmicali.Config{
+				cfg := chenmicali.Config{
 					N: n, Epochs: epochs, Lambda: lambda, Erasure: erasure,
 					Suite: fmine.NewIdeal(seed, chenmicali.Probabilities(n, lambda)),
 					PKI:   pub,
-				}, secrets
-			}
-			runOne := func(adv netsim.Adversary) (bool, error) {
-				cfg, secrets := mkCfg()
+				}
 				nodes, keys, err := chenmicali.NewNodes(cfg, inputs, secrets)
 				if err != nil {
 					return false, err
@@ -88,42 +98,33 @@ func E8BitSpecificAblation(trials int) (*E8Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if v {
-				broke++
-			}
 			bv, err := runOne(nil)
 			if err != nil {
 				return nil, err
 			}
-			if bv {
-				baseBroke++
-			}
-			forged = append(forged, float64(attack.Forged))
+			return harness.NewObs().
+				Event("attack_violation", v).
+				Event("baseline_violation", bv).
+				Value("forged", float64(attack.Forged)), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		row := E8Row{Design: name, Trials: trials, AttackBroke: broke, BaselineBroke: baseBroke,
-			ForgedMean: stats.Summarize(forged).Mean}
-		res.Rows = append(res.Rows, row)
-		res.Table.Add(row.Design, row.Trials, row.AttackBroke, row.BaselineBroke, row.ForgedMean)
+		addRow(name, agg)
 	}
 
 	// Design 3: the paper's fix — bit-specific tickets (sub-sampled
 	// phase-king), no erasure, same attack shape.
 	{
-		broke, baseBroke := 0, 0
-		var mined []float64
-		for trial := 0; trial < trials; trial++ {
-			seed := seedFor("e8-pk", trial)
-			mkNodes := func() ([]netsim.Node, fmine.Suite, error) {
+		agg, err := harness.Collect(o.options("e8", "bit-specific"), func(tr harness.Trial) (*harness.Obs, error) {
+			seed := tr.Seed
+			runOne := func(adv netsim.Adversary) (bool, error) {
 				suite := fmine.NewIdeal(seed, phaseking.Probabilities(n, lambda))
 				cfg := phaseking.Config{
 					N: n, Epochs: epochs, Sampled: true, Lambda: lambda,
 					Suite: suite, CoinSeed: seed,
 				}
 				nodes, err := phaseking.NewNodes(cfg, inputs)
-				return nodes, suite, err
-			}
-			runOne := func(adv netsim.Adversary) (bool, error) {
-				nodes, suite, err := mkNodes()
 				if err != nil {
 					return false, err
 				}
@@ -142,31 +143,21 @@ func E8BitSpecificAblation(trials int) (*E8Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if v {
-				broke++
-			}
 			bv, err := runOne(nil)
 			if err != nil {
 				return nil, err
 			}
-			if bv {
-				baseBroke++
-			}
-			mined = append(mined, float64(attack.Mined))
+			return harness.NewObs().
+				Event("attack_violation", v).
+				Event("baseline_violation", bv).
+				Value("forged", float64(attack.Mined)), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		row := E8Row{Design: "bit-specific tickets, no erasure (this paper)", Trials: trials,
-			AttackBroke: broke, BaselineBroke: baseBroke, ForgedMean: stats.Summarize(mined).Mean}
-		res.Rows = append(res.Rows, row)
-		res.Table.Add(row.Design, row.Trials, row.AttackBroke, row.BaselineBroke, row.ForgedMean)
+		addRow("bit-specific tickets, no erasure (this paper)", agg)
 	}
 	return res, nil
-}
-
-func boolInt(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
 }
 
 // E9Row is one protocol of the comparison table.
@@ -184,20 +175,21 @@ type E9Row struct {
 // E9Result is the measured counterpart of the paper's introduction-level
 // comparison of BA protocols.
 type E9Result struct {
-	Rows  []E9Row
-	Table *table.Table
+	Rows []E9Row
+	Artifacts
 }
 
 // E9ProtocolComparison measures every implemented protocol on comparable
 // workloads.
-func E9ProtocolComparison(trials int) (*E9Result, error) {
+func E9ProtocolComparison(o Opts) (*E9Result, error) {
 	res := &E9Result{}
 	res.Table = table.New(
 		"E9 — measured protocol comparison (the paper's §1 related-work table, reproduced)",
 		"protocol", "assumptions", "n", "f", "rounds", "multicasts", "KB mcast", "classical msgs", "violations",
 	)
+	res.Sweep = harness.NewSweep("e9")
 
-	type runner func(trial int) (*netsim.Result, []types.Bit, error)
+	type runner func(seed [32]byte) (*netsim.Result, []types.Bit, error)
 	type setting struct {
 		name, model string
 		n, f        int
@@ -207,8 +199,7 @@ func E9ProtocolComparison(trials int) (*E9Result, error) {
 	settings := []setting{
 		{
 			name: "dolev-strong BB", model: "PKI, strongly adaptive f<n", n: 48, f: 16,
-			run: func(trial int) (*netsim.Result, []types.Bit, error) {
-				seed := seedFor("e9-ds", trial)
+			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
 				pub, secrets := pki.Setup(48, seed)
 				cfg := dolevstrong.Config{N: 48, F: 16, Sender: 0, PKI: pub}
 				nodes, err := dolevstrong.NewNodes(cfg, types.One, secrets)
@@ -224,8 +215,8 @@ func E9ProtocolComparison(trials int) (*E9Result, error) {
 		},
 		{
 			name: "phase-king (plain §3.1)", model: "auth. channels, f<n/3", n: 48, f: 15,
-			run: func(trial int) (*netsim.Result, []types.Bit, error) {
-				cfg := phaseking.Config{N: 48, Epochs: 20, CoinSeed: seedFor("e9-pk", trial)}
+			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
+				cfg := phaseking.Config{N: 48, Epochs: 20, CoinSeed: seed}
 				inputs := mixedInputs(48)
 				nodes, err := phaseking.NewNodes(cfg, inputs)
 				if err != nil {
@@ -240,8 +231,7 @@ func E9ProtocolComparison(trials int) (*E9Result, error) {
 		},
 		{
 			name: "phase-king (sampled §3.2)", model: "PKI+VRF, weakly adaptive f<(1/3−ε)n", n: 200, f: 40,
-			run: func(trial int) (*netsim.Result, []types.Bit, error) {
-				seed := seedFor("e9-pks", trial)
+			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
 				cfg := phaseking.Config{
 					N: 200, Epochs: 20, Sampled: true, Lambda: 40,
 					Suite:    fmine.NewIdeal(seed, phaseking.Probabilities(200, 40)),
@@ -261,8 +251,7 @@ func E9ProtocolComparison(trials int) (*E9Result, error) {
 		},
 		{
 			name: "chen-micali style (erasure)", model: "PKI+VRF+memory-erasure, f<(1/3−ε)n", n: 200, f: 40,
-			run: func(trial int) (*netsim.Result, []types.Bit, error) {
-				seed := seedFor("e9-cm", trial)
+			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
 				pub, secrets := pki.Setup(200, seed)
 				cfg := chenmicali.Config{
 					N: 200, Epochs: 20, Lambda: 40, Erasure: true,
@@ -283,8 +272,7 @@ func E9ProtocolComparison(trials int) (*E9Result, error) {
 		},
 		{
 			name: "quadratic BA (App C.1)", model: "PKI+leader oracle, f<n/2", n: 49, f: 24,
-			run: func(trial int) (*netsim.Result, []types.Bit, error) {
-				seed := seedFor("e9-quad", trial)
+			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
 				pub, secrets := pki.Setup(49, seed)
 				cfg := quadratic.Config{N: 49, F: 24, MaxIters: 40, Oracle: leader.New(seed, 49), PKI: pub}
 				inputs := mixedInputs(49)
@@ -301,8 +289,8 @@ func E9ProtocolComparison(trials int) (*E9Result, error) {
 		},
 		{
 			name: "core subquadratic (hybrid)", model: "F_mine, weakly adaptive f<(1/2−ε)n", n: 200, f: 60,
-			run: func(trial int) (*netsim.Result, []types.Bit, error) {
-				cfg := coreSetup(200, 60, 40, seedFor("e9-core", trial))
+			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
+				cfg := coreSetup(200, 60, 40, seed)
 				inputs := mixedInputs(200)
 				r, err := runCore(cfg, inputs, nil)
 				return r, inputs, err
@@ -310,8 +298,7 @@ func E9ProtocolComparison(trials int) (*E9Result, error) {
 		},
 		{
 			name: "core subquadratic (real VRF)", model: "PKI+VRF, weakly adaptive f<(1/2−ε)n", n: 200, f: 60,
-			run: func(trial int) (*netsim.Result, []types.Bit, error) {
-				seed := seedFor("e9-core-real", trial)
+			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
 				pub, secrets := pki.Setup(200, seed)
 				cfg := core.Config{
 					N: 200, F: 60, Lambda: 40, MaxIters: 60,
@@ -325,32 +312,35 @@ func E9ProtocolComparison(trials int) (*E9Result, error) {
 	}
 
 	for _, st := range settings {
-		var rounds, mcasts, mkb, msgs []float64
-		viol := 0
-		for trial := 0; trial < trials; trial++ {
-			r, inputs, err := st.run(trial)
+		agg, err := harness.Collect(o.options("e9", st.name), func(tr harness.Trial) (*harness.Obs, error) {
+			r, inputs, err := st.run(tr.Seed)
 			if err != nil {
 				return nil, err
 			}
+			var violated bool
 			if inputs != nil {
-				if checkResult(r, inputs).any() {
-					viol++
-				}
-			} else if netsim.CheckConsistency(r) != nil || netsim.CheckTermination(r) != nil {
-				viol++
+				violated = checkResult(r, inputs).any()
+			} else {
+				violated = netsim.CheckConsistency(r) != nil || netsim.CheckTermination(r) != nil
 			}
-			rounds = append(rounds, float64(r.Rounds))
-			mcasts = append(mcasts, float64(r.Metrics.HonestMulticasts))
-			mkb = append(mkb, float64(r.Metrics.HonestMulticastBytes)/1024)
-			msgs = append(msgs, float64(r.Metrics.HonestMessages))
+			return harness.NewObs().
+				Event("violation", violated).
+				Value("rounds", float64(r.Rounds)).
+				Value("multicasts", float64(r.Metrics.HonestMulticasts)).
+				Value("mcast_kb", float64(r.Metrics.HonestMulticastBytes)/1024).
+				Value("messages", float64(r.Metrics.HonestMessages)), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		res.Sweep.Add(agg)
 		row := E9Row{
 			Protocol: st.name, Model: st.model, N: st.n, F: st.f,
-			Rounds:     stats.Summarize(rounds).Mean,
-			Multicasts: stats.Summarize(mcasts).Mean,
-			McastKB:    stats.Summarize(mkb).Mean,
-			Messages:   stats.Summarize(msgs).Mean,
-			Violations: viol,
+			Rounds:     agg.Mean("rounds"),
+			Multicasts: agg.Mean("multicasts"),
+			McastKB:    agg.Mean("mcast_kb"),
+			Messages:   agg.Mean("messages"),
+			Violations: agg.Count("violation"),
 		}
 		res.Rows = append(res.Rows, row)
 		res.Table.Add(row.Protocol, row.Model, row.N, row.F, row.Rounds, row.Multicasts,
@@ -372,13 +362,13 @@ type E10Row struct {
 // E10Result is the §3.1/§3.2 warm-up reproduction: linear vs committee
 // multicast complexity.
 type E10Result struct {
-	Rows  []E10Row
-	Table *table.Table
+	Rows []E10Row
+	Artifacts
 }
 
 // E10PhaseKing measures the plain and sub-sampled phase-king protocols
 // across n.
-func E10PhaseKing(trials int) (*E10Result, error) {
+func E10PhaseKing(o Opts) (*E10Result, error) {
 	const epochs, lambda = 12, 24
 	res := &E10Result{}
 	res.Table = table.New(
@@ -386,12 +376,11 @@ func E10PhaseKing(trials int) (*E10Result, error) {
 		"n", "plain multicasts", "plain/node", "sampled multicasts", "sampled/node", "violations",
 	)
 	res.Table.Note = "Plain grows linearly in n (≈ R·n ACKs); the sampled variant tracks R·(λ + 1/2), flat in n."
+	res.Sweep = harness.NewSweep("e10")
 
 	for _, n := range []int{32, 64, 128, 256} {
-		var plainM, sampledM []float64
-		viol := 0
-		for trial := 0; trial < trials; trial++ {
-			seed := seedFor("e10", trial*1000+n)
+		agg, err := harness.Collect(o.options("e10", fmt.Sprintf("n=%d", n)), func(tr harness.Trial) (*harness.Obs, error) {
+			seed := tr.Seed
 			inputs := mixedInputs(n)
 
 			plainCfg := phaseking.Config{N: n, Epochs: epochs, CoinSeed: seed}
@@ -404,10 +393,8 @@ func E10PhaseKing(trials int) (*E10Result, error) {
 				return nil, err
 			}
 			r := rt.Run()
-			if checkResult(r, inputs).any() {
-				viol++
-			}
-			plainM = append(plainM, float64(r.Metrics.HonestMulticasts))
+			plainViol := checkResult(r, inputs).any()
+			plainM := float64(r.Metrics.HonestMulticasts)
 
 			sampledCfg := phaseking.Config{
 				N: n, Epochs: epochs, Sampled: true, Lambda: lambda,
@@ -423,20 +410,25 @@ func E10PhaseKing(trials int) (*E10Result, error) {
 				return nil, err
 			}
 			r = rt.Run()
-			if checkResult(r, inputs).any() {
-				viol++
-			}
-			sampledM = append(sampledM, float64(r.Metrics.HonestMulticasts))
+			return harness.NewObs().
+				Event("plain_violation", plainViol).
+				Event("sampled_violation", checkResult(r, inputs).any()).
+				Value("plain_multicasts", plainM).
+				Value("sampled_multicasts", float64(r.Metrics.HonestMulticasts)), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		pm := stats.Summarize(plainM).Mean
-		sm := stats.Summarize(sampledM).Mean
+		res.Sweep.Add(agg)
+		pm := agg.Mean("plain_multicasts")
+		sm := agg.Mean("sampled_multicasts")
 		row := E10Row{
 			N:                 n,
 			PlainMulticasts:   pm,
 			PlainPerNode:      pm / float64(n),
 			SampledMulticasts: sm,
 			SampledPerNode:    sm / float64(n),
-			Violations:        viol,
+			Violations:        agg.Count("plain_violation") + agg.Count("sampled_violation"),
 		}
 		res.Rows = append(res.Rows, row)
 		res.Table.Add(row.N, row.PlainMulticasts, row.PlainPerNode, row.SampledMulticasts,

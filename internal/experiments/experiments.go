@@ -11,18 +11,43 @@ import (
 
 	"ccba/internal/core"
 	"ccba/internal/fmine"
+	"ccba/internal/harness"
 	"ccba/internal/netsim"
+	"ccba/internal/table"
 	"ccba/internal/types"
 )
 
-// seedFor derives a distinct 32-byte seed for (experiment, trial).
-func seedFor(experiment string, trial int) [32]byte {
-	var seed [32]byte
-	copy(seed[:], experiment)
-	seed[24] = byte(trial)
-	seed[25] = byte(trial >> 8)
-	return seed
+// Opts configures a generator run. Every generator executes its trials on
+// the harness worker pool; aggregates are bit-identical for every worker
+// count because results are reassembled in trial order before folding.
+type Opts struct {
+	// Trials per scenario (each generator documents its default scale).
+	Trials int
+	// Workers sizes the trial worker pool; 0 or less means GOMAXPROCS.
+	Workers int
 }
+
+// options builds the harness options for one scenario of one experiment.
+func (o Opts) options(experiment, scenario string) harness.Options {
+	return harness.Options{
+		Name:     experiment,
+		Scenario: scenario,
+		Trials:   o.Trials,
+		Workers:  o.Workers,
+	}
+}
+
+// Artifacts is the output pair every generator produces alongside its typed
+// rows: the rendered presentation table and the machine-readable sweep of
+// per-scenario aggregates. E*Result types embed it.
+type Artifacts struct {
+	Table *table.Table
+	Sweep *harness.Sweep
+}
+
+// Out returns the artifacts; embedding promotes this accessor onto every
+// generator result so callers need no per-type switch.
+func (a *Artifacts) Out() *Artifacts { return a }
 
 // constInputs returns n copies of b.
 func constInputs(n int, b types.Bit) []types.Bit {

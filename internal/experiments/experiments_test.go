@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
+
+	"ccba/internal/harness"
 )
 
 // The experiment generators are exercised with small trial counts: the goal
@@ -12,7 +16,7 @@ import (
 // full size.
 
 func TestE1Shape(t *testing.T) {
-	res, err := E1StrongAdaptive(3)
+	res, err := E1StrongAdaptive(Opts{Trials: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +41,7 @@ func TestE1Shape(t *testing.T) {
 }
 
 func TestE2Shape(t *testing.T) {
-	res, err := E2MulticastComplexity(1, 256)
+	res, err := E2MulticastComplexity(Opts{Trials: 1}, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +74,7 @@ func TestE2Shape(t *testing.T) {
 }
 
 func TestE3Shape(t *testing.T) {
-	res, err := E3NoSetup(2)
+	res, err := E3NoSetup(Opts{Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +92,7 @@ func TestE3Shape(t *testing.T) {
 }
 
 func TestE4Shape(t *testing.T) {
-	res, err := E4TerminatePropagation(6)
+	res, err := E4TerminatePropagation(Opts{Trials: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +102,7 @@ func TestE4Shape(t *testing.T) {
 }
 
 func TestE5Shape(t *testing.T) {
-	res, err := E5CommitteeConcentration(150)
+	res, err := E5CommitteeConcentration(Opts{Trials: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +130,7 @@ func TestE5Shape(t *testing.T) {
 }
 
 func TestE6Shape(t *testing.T) {
-	res, err := E6GoodIteration(400)
+	res, err := E6GoodIteration(Opts{Trials: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +143,7 @@ func TestE6Shape(t *testing.T) {
 }
 
 func TestE7Shape(t *testing.T) {
-	res, err := E7SafetyTrials(3)
+	res, err := E7SafetyTrials(Opts{Trials: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +153,7 @@ func TestE7Shape(t *testing.T) {
 }
 
 func TestE8Shape(t *testing.T) {
-	res, err := E8BitSpecificAblation(2)
+	res, err := E8BitSpecificAblation(Opts{Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +176,7 @@ func TestE8Shape(t *testing.T) {
 }
 
 func TestE9Shape(t *testing.T) {
-	res, err := E9ProtocolComparison(1)
+	res, err := E9ProtocolComparison(Opts{Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +191,7 @@ func TestE9Shape(t *testing.T) {
 }
 
 func TestE11Shape(t *testing.T) {
-	res, err := E11ResilienceFrontier(2)
+	res, err := E11ResilienceFrontier(Opts{Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +208,7 @@ func TestE11Shape(t *testing.T) {
 }
 
 func TestE10Shape(t *testing.T) {
-	res, err := E10PhaseKing(1)
+	res, err := E10PhaseKing(Opts{Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,5 +219,88 @@ func TestE10Shape(t *testing.T) {
 	}
 	if last.SampledMulticasts > 3*first.SampledMulticasts {
 		t.Errorf("sampled multicasts grew with n: %v → %v", first.SampledMulticasts, last.SampledMulticasts)
+	}
+}
+
+// TestWorkersDeterminism runs a full-protocol generator and an
+// eligibility-sampling generator at workers=1 and workers=8 and requires
+// identical rows, tables, and JSON sweeps — the harness contract that
+// parallel sweeps are bit-identical to the serial schedule.
+func TestWorkersDeterminism(t *testing.T) {
+	type gen func(o Opts) (rows any, art *Artifacts, err error)
+	gens := map[string]gen{
+		"e7": func(o Opts) (any, *Artifacts, error) {
+			r, err := E7SafetyTrials(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Rows, r.Out(), nil
+		},
+		"e10": func(o Opts) (any, *Artifacts, error) {
+			r, err := E10PhaseKing(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Rows, r.Out(), nil
+		},
+		"e5": func(o Opts) (any, *Artifacts, error) {
+			r, err := E5CommitteeConcentration(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Rows, r.Out(), nil
+		},
+	}
+	for name, g := range gens {
+		t.Run(name, func(t *testing.T) {
+			trials := 3
+			rows1, art1, err := g(Opts{Trials: trials, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows8, art8, err := g(Opts{Trials: trials, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rows1, rows8) {
+				t.Errorf("rows diverge:\nworkers=1: %+v\nworkers=8: %+v", rows1, rows8)
+			}
+			if art1.Table.String() != art8.Table.String() {
+				t.Errorf("tables diverge:\n%s\n---\n%s", art1.Table, art8.Table)
+			}
+			var j1, j8 bytes.Buffer
+			if err := harness.WriteJSON(&j1, []*harness.Sweep{art1.Sweep}); err != nil {
+				t.Fatal(err)
+			}
+			if err := harness.WriteJSON(&j8, []*harness.Sweep{art8.Sweep}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1.Bytes(), j8.Bytes()) {
+				t.Errorf("JSON sweeps diverge:\n%s\n---\n%s", j1.String(), j8.String())
+			}
+		})
+	}
+}
+
+// TestSweepsPopulated checks every generator attaches a machine-readable
+// sweep with one aggregate per scenario/row group.
+func TestSweepsPopulated(t *testing.T) {
+	r2, err := E2MulticastComplexity(Opts{Trials: 1}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Sweep == nil || len(r2.Sweep.Aggs) != len(r2.Rows) {
+		t.Fatalf("e2 sweep has %d aggs for %d rows", len(r2.Sweep.Aggs), len(r2.Rows))
+	}
+	for _, a := range r2.Sweep.Aggs {
+		if a.Trials != 1 {
+			t.Fatalf("agg %q records %d trials", a.Scenario, a.Trials)
+		}
+		if _, ok := a.Metric("multicasts"); !ok {
+			t.Fatalf("agg %q missing multicasts metric", a.Scenario)
+		}
+		if _, ok := a.Event("violation"); !ok {
+			t.Fatalf("agg %q missing violation event", a.Scenario)
+		}
 	}
 }

@@ -1,0 +1,260 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ccba/internal/stats"
+	"ccba/internal/table"
+)
+
+// Obs is one trial's observations: named metric values and named boolean
+// events, in the order the trial recorded them. A metric a trial does not
+// record (e.g. rounds-to-decision when the trial never terminated) is simply
+// absent from that trial's summary sample.
+type Obs struct {
+	values []obsValue
+	events []obsEvent
+}
+
+type obsValue struct {
+	name string
+	v    float64
+}
+
+type obsEvent struct {
+	name     string
+	happened bool
+}
+
+// NewObs returns an empty observation record.
+func NewObs() *Obs { return &Obs{} }
+
+// Value records a metric observation and returns o for chaining.
+func (o *Obs) Value(name string, v float64) *Obs {
+	o.values = append(o.values, obsValue{name, v})
+	return o
+}
+
+// Event records a boolean outcome and returns o for chaining.
+func (o *Obs) Event(name string, happened bool) *Obs {
+	o.events = append(o.events, obsEvent{name, happened})
+	return o
+}
+
+// Metric is the cross-trial summary of one named value.
+type Metric struct {
+	Name string `json:"name"`
+	stats.Summary
+}
+
+// Event is the cross-trial rate of one named boolean outcome, with its 95%
+// Wilson score interval. N is the number of trials that reported the event.
+type Event struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	N     int     `json:"n"`
+	Rate  float64 `json:"rate"`
+	Lo    float64 `json:"wilson95_lo"`
+	Hi    float64 `json:"wilson95_hi"`
+}
+
+// Agg is the aggregate of one scenario's trials.
+type Agg struct {
+	Name     string   `json:"experiment"`
+	Scenario string   `json:"scenario,omitempty"`
+	Trials   int      `json:"trials"`
+	Metrics  []Metric `json:"metrics,omitempty"`
+	Events   []Event  `json:"events,omitempty"`
+}
+
+// Metric returns the summary for name and whether it exists.
+func (a *Agg) Metric(name string) (Metric, bool) {
+	for _, m := range a.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Mean returns the mean of metric name (0 when absent).
+func (a *Agg) Mean(name string) float64 {
+	m, _ := a.Metric(name)
+	return m.Mean
+}
+
+// Event returns the rate record for name and whether it exists.
+func (a *Agg) Event(name string) (Event, bool) {
+	for _, e := range a.Events {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Count returns the number of trials on which event name happened.
+func (a *Agg) Count(name string) int {
+	e, _ := a.Event(name)
+	return e.Count
+}
+
+// Rate returns the rate of event name (0 when absent).
+func (a *Agg) Rate(name string) float64 {
+	e, _ := a.Event(name)
+	return e.Rate
+}
+
+// Aggregate folds per-trial observations (in trial order) into an Agg.
+// Metric and event ordering follows first appearance across trials, which is
+// deterministic because obs is ordered by trial index.
+func Aggregate(name, scenario string, obs []*Obs) *Agg {
+	agg := &Agg{Name: name, Scenario: scenario, Trials: len(obs)}
+
+	valueIdx := map[string]int{}
+	samples := [][]float64{}
+	eventIdx := map[string]int{}
+	counts := []struct{ happened, reported int }{}
+	for _, o := range obs {
+		if o == nil {
+			continue
+		}
+		for _, v := range o.values {
+			i, ok := valueIdx[v.name]
+			if !ok {
+				i = len(samples)
+				valueIdx[v.name] = i
+				samples = append(samples, nil)
+				agg.Metrics = append(agg.Metrics, Metric{Name: v.name})
+			}
+			samples[i] = append(samples[i], v.v)
+		}
+		for _, e := range o.events {
+			i, ok := eventIdx[e.name]
+			if !ok {
+				i = len(counts)
+				eventIdx[e.name] = i
+				counts = append(counts, struct{ happened, reported int }{})
+				agg.Events = append(agg.Events, Event{Name: e.name})
+			}
+			counts[i].reported++
+			if e.happened {
+				counts[i].happened++
+			}
+		}
+	}
+	for i := range agg.Metrics {
+		agg.Metrics[i].Summary = stats.Summarize(samples[i])
+	}
+	for i := range agg.Events {
+		c := counts[i]
+		lo, hi := stats.WilsonInterval(c.happened, c.reported, 1.96)
+		agg.Events[i] = Event{
+			Name:  agg.Events[i].Name,
+			Count: c.happened,
+			N:     c.reported,
+			Rate:  stats.Rate(c.happened, c.reported),
+			Lo:    lo,
+			Hi:    hi,
+		}
+	}
+	return agg
+}
+
+// Collect runs fn over opts' trials and aggregates the observations.
+func Collect(opts Options, fn func(Trial) (*Obs, error)) (*Agg, error) {
+	obs, err := Run(opts, fn)
+	if err != nil {
+		return nil, err
+	}
+	return Aggregate(opts.Name, opts.Scenario, obs), nil
+}
+
+// Sweep is an experiment's full set of per-scenario aggregates — the
+// machine-readable counterpart of one rendered table.
+type Sweep struct {
+	Name string `json:"name"`
+	Aggs []*Agg `json:"scenarios"`
+}
+
+// NewSweep creates an empty sweep.
+func NewSweep(name string) *Sweep { return &Sweep{Name: name} }
+
+// Add appends a scenario aggregate.
+func (s *Sweep) Add(a *Agg) { s.Aggs = append(s.Aggs, a) }
+
+// WriteJSON emits sweeps as one indented JSON array. Output depends only on
+// the aggregates, which are worker-count independent, so serial and parallel
+// runs produce byte-identical documents.
+func WriteJSON(w io.Writer, sweeps []*Sweep) error {
+	buf, err := json.MarshalIndent(sweeps, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// csvHeader is the flat schema WriteCSV emits: one row per metric or event.
+var csvHeader = []string{
+	"experiment", "scenario", "kind", "name", "trials",
+	"n", "count", "mean_or_rate", "std", "min", "median", "max",
+	"wilson95_lo", "wilson95_hi",
+}
+
+// WriteCSV emits sweeps in a flat CSV schema: metric rows carry the summary
+// columns, event rows the count/rate/interval columns.
+func WriteCSV(w io.Writer, sweeps []*Sweep) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range sweeps {
+		for _, a := range s.Aggs {
+			for _, m := range a.Metrics {
+				err := cw.Write([]string{
+					a.Name, a.Scenario, "metric", m.Name, strconv.Itoa(a.Trials),
+					strconv.Itoa(m.N), "", num(m.Mean), num(m.Std), num(m.Min), num(m.Median), num(m.Max),
+					"", "",
+				})
+				if err != nil {
+					return err
+				}
+			}
+			for _, e := range a.Events {
+				err := cw.Write([]string{
+					a.Name, a.Scenario, "event", e.Name, strconv.Itoa(a.Trials),
+					strconv.Itoa(e.N), strconv.Itoa(e.Count), num(e.Rate), "", "", "", "",
+					num(e.Lo), num(e.Hi),
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table renders the sweep as a generic scenario × observation table, for
+// harness users that do not hand-build a presentation table.
+func (s *Sweep) Table() *table.Table {
+	t := table.New(s.Name, "scenario", "observation", "trials", "n", "mean/rate", "±std", "min", "median", "max", "wilson 95%")
+	for _, a := range s.Aggs {
+		for _, m := range a.Metrics {
+			t.Add(a.Scenario, m.Name, a.Trials, m.N, m.Mean, m.Std, m.Min, m.Median, m.Max, "")
+		}
+		for _, e := range a.Events {
+			t.Add(a.Scenario, e.Name, a.Trials, e.N, e.Rate, "", "", "", "",
+				fmt.Sprintf("[%.3f, %.3f]", e.Lo, e.Hi))
+		}
+	}
+	return t
+}

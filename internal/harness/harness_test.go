@@ -1,0 +1,278 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSeedUniqueness enumerates (name, scenario, trial) coordinates —
+// including the adversarial shapes the old derivations collided on — and
+// requires all seeds distinct.
+func TestSeedUniqueness(t *testing.T) {
+	seen := map[[32]byte]string{}
+	record := func(key string, seed [32]byte) {
+		if prev, ok := seen[seed]; ok {
+			t.Fatalf("seed collision: %s and %s", prev, key)
+		}
+		seen[seed] = key
+	}
+	names := []string{
+		"e1", "e2", "e1-committee", "e1-committee-large", // shared prefixes
+		"a-very-long-experiment-name-over-24-bytes",
+		"a-very-long-experiment-name-over-24-bytes-x", // clobbered tail under prefix-copy
+		"", "ab", "a",
+	}
+	scenarios := []string{"", "n=64", "n=640", "b"} // "a"+"b" vs "ab"+"" must differ
+	for _, name := range names {
+		for _, sc := range scenarios {
+			for trial := 0; trial < 64; trial++ {
+				record(fmt.Sprintf("(%q,%q,%d)", name, sc, trial), Seed(name, sc, trial))
+			}
+			// The old RunTrials XOR tweak collided for base seeds differing
+			// only in byte 31; hash derivation must not.
+			record(fmt.Sprintf("base1(%q,%q)", name, sc), SeedFrom([32]byte{31: 1}, name, sc, 0))
+			record(fmt.Sprintf("base2(%q,%q)", name, sc), SeedFrom([32]byte{31: 3}, name, sc, 2))
+		}
+	}
+}
+
+// TestSeedDeterministic pins the derivation: same coordinates, same seed.
+func TestSeedDeterministic(t *testing.T) {
+	if Seed("e2", "n=64", 7) != Seed("e2", "n=64", 7) {
+		t.Fatal("seed derivation is not a function of its inputs")
+	}
+	if Seed("e2", "n=64", 7) == Seed("e2", "n=64", 8) {
+		t.Fatal("trial index ignored")
+	}
+}
+
+// TestRunOrder checks results come back indexed by trial regardless of
+// worker count.
+func TestRunOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		got, err := Run(Options{Name: "order", Trials: 50, Workers: workers},
+			func(tr Trial) (int, error) { return tr.Index * tr.Index, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestRunSeedsMatchSerial checks each trial receives the same derived seed
+// under any worker count.
+func TestRunSeedsMatchSerial(t *testing.T) {
+	opts := Options{Name: "seeds", Scenario: "s", Trials: 20, Base: [32]byte{5}}
+	fn := func(tr Trial) ([32]byte, error) { return tr.Seed, nil }
+	opts.Workers = 1
+	serial, err := Run(opts, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 7
+	parallel, err := Run(opts, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d seed differs between worker counts", i)
+		}
+		if serial[i] != SeedFrom(opts.Base, "seeds", "s", i) {
+			t.Fatalf("trial %d seed does not match direct derivation", i)
+		}
+	}
+}
+
+// TestRunError checks the lowest-indexed error among executed trials is
+// reported and wraps the cause.
+func TestRunError(t *testing.T) {
+	cause := errors.New("boom")
+	_, err := Run(Options{Name: "err", Trials: 10, Workers: 4},
+		func(tr Trial) (int, error) {
+			if tr.Index == 3 {
+				return 0, cause
+			}
+			return tr.Index, nil
+		})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("error does not wrap cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "trial 3") {
+		t.Fatalf("error does not name the trial: %v", err)
+	}
+}
+
+func TestRunRejectsNonPositiveTrials(t *testing.T) {
+	for _, trials := range []int{0, -4} {
+		if _, err := Run(Options{Name: "bad", Trials: trials},
+			func(Trial) (int, error) { return 0, nil }); err == nil {
+			t.Fatalf("trials=%d accepted", trials)
+		}
+	}
+}
+
+// TestRunConcurrency checks the pool actually runs trials concurrently at
+// workers>1 (peak in-flight above 1) and never exceeds the requested width.
+func TestRunConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	gate := make(chan struct{})
+	const workers = 4
+	_, err := Run(Options{Name: "conc", Trials: 2 * workers, Workers: workers},
+		func(tr Trial) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			if tr.Index < workers {
+				// First wave holds until all of it is in flight.
+				if cur == workers {
+					close(gate)
+				}
+				<-gate
+			}
+			inFlight.Add(-1)
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got < 2 || got > workers {
+		t.Fatalf("peak in-flight = %d, want within [2, %d]", got, workers)
+	}
+}
+
+// aggregateFixture runs a small synthetic sweep at the given worker count.
+func aggregateFixture(workers int) (*Agg, error) {
+	return Collect(Options{Name: "fixture", Scenario: "s", Trials: 40, Workers: workers},
+		func(tr Trial) (*Obs, error) {
+			o := NewObs().
+				Value("index", float64(tr.Index)).
+				Event("odd", tr.Index%2 == 1)
+			if tr.Index%4 == 0 {
+				o.Value("quarters", float64(tr.Index)/4) // sparse metric
+			}
+			return o, nil
+		})
+}
+
+// TestAggregateJSONDeterminism is the satellite determinism check: identical
+// JSON bytes for workers=1 and workers=8 on the same seed space.
+func TestAggregateJSONDeterminism(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	a1, err := aggregateFixture(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a8, err := aggregateFixture(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := &Sweep{Name: "fixture", Aggs: []*Agg{a1}}
+	s8 := &Sweep{Name: "fixture", Aggs: []*Agg{a8}}
+	if err := WriteJSON(&serial, []*Sweep{s1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&parallel, []*Sweep{s8}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("workers=1 and workers=8 JSON differ:\n%s\n---\n%s", serial.String(), parallel.String())
+	}
+}
+
+func TestAggregateContents(t *testing.T) {
+	a, err := aggregateFixture(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := a.Metric("index")
+	if !ok || idx.N != 40 || idx.Mean != 19.5 || idx.Min != 0 || idx.Max != 39 {
+		t.Fatalf("index summary wrong: %+v", idx)
+	}
+	q, ok := a.Metric("quarters")
+	if !ok || q.N != 10 {
+		t.Fatalf("sparse metric should have 10 samples: %+v", q)
+	}
+	odd, ok := a.Event("odd")
+	if !ok || odd.Count != 20 || odd.N != 40 || odd.Rate != 0.5 {
+		t.Fatalf("event wrong: %+v", odd)
+	}
+	if !(odd.Lo < 0.5 && 0.5 < odd.Hi) {
+		t.Fatalf("Wilson interval [%v, %v] does not bracket the rate", odd.Lo, odd.Hi)
+	}
+}
+
+func TestAggregateEmptyAndNil(t *testing.T) {
+	a := Aggregate("x", "y", []*Obs{nil, NewObs()})
+	if a.Trials != 2 || len(a.Metrics) != 0 || len(a.Events) != 0 {
+		t.Fatalf("unexpected aggregate: %+v", a)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a, err := aggregateFixture(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*Sweep{{Name: "fixture", Aggs: []*Agg{a}}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 2 metric rows + 1 event row
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "experiment,scenario,kind,name,trials") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(out, "fixture,s,metric,index,40") || !strings.Contains(out, "fixture,s,event,odd,40") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	a, err := aggregateFixture(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Sweep{Name: "fixture sweep", Aggs: []*Agg{a}}
+	str := s.Table().String()
+	for _, want := range []string{"fixture sweep", "index", "odd", "scenario"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("table missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func TestAggAccessorsMissing(t *testing.T) {
+	a := Aggregate("x", "", nil)
+	if v := a.Mean("nope"); v != 0 {
+		t.Fatalf("Mean of missing metric = %v", v)
+	}
+	if r := a.Rate("nope"); r != 0 || a.Count("nope") != 0 {
+		t.Fatalf("Rate/Count of missing event = %v/%v", r, a.Count("nope"))
+	}
+	if _, ok := a.Metric("nope"); ok {
+		t.Fatal("missing metric reported present")
+	}
+	if _, ok := a.Event("nope"); ok {
+		t.Fatal("missing event reported present")
+	}
+}

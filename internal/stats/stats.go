@@ -12,9 +12,12 @@ import (
 
 // Summary describes a sample.
 type Summary struct {
-	N                   int
-	Mean, Std, Min, Max float64
-	Median              float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
 }
 
 // Summarize computes a Summary of xs. An empty sample yields a zero Summary.

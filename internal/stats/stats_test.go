@@ -111,3 +111,46 @@ func TestRate(t *testing.T) {
 		t.Fatal("Rate wrong")
 	}
 }
+
+// TestEdgeCases is the harness-adjacent edge-case table: degenerate samples
+// and the trials=0 Wilson interval, which the aggregator leans on for
+// scenarios whose metrics or events may be empty.
+func TestEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"empty-slice", []float64{}, Summary{}},
+		{"single", []float64{7}, Summary{N: 1, Mean: 7, Std: 0, Min: 7, Max: 7, Median: 7}},
+		{"all-equal", []float64{4, 4, 4, 4}, Summary{N: 4, Mean: 4, Std: 0, Min: 4, Max: 4, Median: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Summarize(tc.xs); got != tc.want {
+				t.Fatalf("Summarize(%v) = %+v, want %+v", tc.xs, got, tc.want)
+			}
+		})
+	}
+
+	t.Run("wilson-zero-trials", func(t *testing.T) {
+		lo, hi := WilsonInterval(0, 0, 1.96)
+		if lo != 0 || hi != 1 {
+			t.Fatalf("WilsonInterval(0, 0) = [%v, %v], want the vacuous [0, 1]", lo, hi)
+		}
+		if r := Rate(0, 0); r != 0 {
+			t.Fatalf("Rate(0, 0) = %v", r)
+		}
+	})
+	t.Run("wilson-extremes", func(t *testing.T) {
+		lo, hi := WilsonInterval(0, 50, 1.96)
+		if lo != 0 || hi <= 0 || hi >= 0.2 {
+			t.Fatalf("WilsonInterval(0, 50) = [%v, %v]", lo, hi)
+		}
+		lo, hi = WilsonInterval(50, 50, 1.96)
+		if hi != 1 || lo >= 1 || lo <= 0.8 {
+			t.Fatalf("WilsonInterval(50, 50) = [%v, %v]", lo, hi)
+		}
+	})
+}
