@@ -153,6 +153,20 @@ func BenchmarkE11ResilienceFrontier(b *testing.B) {
 	}
 }
 
+func BenchmarkE12NetworkModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E12NetworkModels(experiments.Opts{Trials: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		viol := 0
+		for _, r := range res.Rows {
+			viol += r.SafetyViol
+		}
+		b.ReportMetric(float64(viol), "safety-violations")
+	}
+}
+
 // --- Protocol end-to-end benchmarks ----------------------------------------
 
 func benchProtocol(b *testing.B, cfg Config) {

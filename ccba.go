@@ -15,7 +15,9 @@
 //     Chen–Micali-style non-bit-specific variant with optional memory
 //     erasure;
 //   - the execution model of Appendix A.1 (synchronous rounds, rushing
-//     adaptive adversaries, enforced after-the-fact-removal boundary) and a
+//     adaptive adversaries, enforced after-the-fact-removal boundary) with
+//     a pluggable network-model layer — worst-case Δ-delay scheduling,
+//     seeded jitter, per-link omission faults, temporary partitions — and a
 //     library of attack strategies, including the Theorem 1 and Theorem 3
 //     lower-bound adversaries.
 //
@@ -27,23 +29,20 @@
 // Report carries the execution result, communication metrics, and the
 // outcome of the consistency/validity/termination checkers. Everything is
 // deterministic given Config.Seed.
+//
+// Protocols, adversaries, and network models all resolve through the
+// registries of internal/scenario, re-exported here: a Scenario is one
+// declarative record of protocol × N/F/λ × adversary × network model ×
+// inputs, and named scenarios (ScenarioNames, LookupScenario) are shared by
+// the library, the experiment generators, and the cmd binaries.
 package ccba
 
 import (
 	"fmt"
 
-	"ccba/internal/broadcast"
-	"ccba/internal/chenmicali"
-	"ccba/internal/committee"
-	"ccba/internal/core"
-	"ccba/internal/crypto/pki"
-	"ccba/internal/dolevstrong"
-	"ccba/internal/fmine"
 	"ccba/internal/harness"
-	"ccba/internal/leader"
 	"ccba/internal/netsim"
-	"ccba/internal/phaseking"
-	"ccba/internal/quadratic"
+	"ccba/internal/scenario"
 	"ccba/internal/stats"
 	"ccba/internal/types"
 )
@@ -63,6 +62,9 @@ type (
 	Adversary = netsim.Adversary
 	// Node is the sans-I/O protocol state machine interface.
 	Node = netsim.Node
+	// NetModel is the pluggable message-scheduling layer (delivery round
+	// assignment within the synchronous bound Δ).
+	NetModel = netsim.NetModel
 )
 
 // Re-exported bit values.
@@ -72,288 +74,104 @@ const (
 	NoBit = types.NoBit
 )
 
-// Protocol selects which of the implemented protocols to run.
-type Protocol string
+// Re-exported configuration layer: the Config, Protocol, CryptoMode, and
+// network-model names live in internal/scenario alongside the registries
+// that resolve them.
+type (
+	// Config parameterises one execution.
+	Config = scenario.Config
+	// Protocol selects which of the implemented protocols to run.
+	Protocol = scenario.Protocol
+	// CryptoMode selects the hybrid or real-crypto instantiation.
+	CryptoMode = scenario.CryptoMode
+	// NetName selects a network model by name.
+	NetName = scenario.NetName
+	// Report is the outcome of Run.
+	Report = scenario.Report
+	// Scenario is a declarative, optionally registered experiment setting.
+	Scenario = scenario.Scenario
+	// AdversaryFactory builds one fresh adversary per trial of a config.
+	AdversaryFactory = scenario.AdversaryFactory
+	// Builder constructs a protocol's node set from a resolved Config.
+	Builder = scenario.Builder
+)
 
 // The implemented protocols.
 const (
 	// Core is the paper's primary contribution (Appendix C.2).
-	Core Protocol = "core"
+	Core = scenario.Core
 	// CoreBroadcast wraps Core in the §1.1 BB-from-BA reduction.
-	CoreBroadcast Protocol = "core-broadcast"
+	CoreBroadcast = scenario.CoreBroadcast
 	// Quadratic is the Appendix C.1 baseline.
-	Quadratic Protocol = "quadratic"
+	Quadratic = scenario.Quadratic
 	// PhaseKingPlain is the §3.1 warm-up.
-	PhaseKingPlain Protocol = "phaseking"
+	PhaseKingPlain = scenario.PhaseKingPlain
 	// PhaseKingSampled is the §3.2 sub-sampled warm-up.
-	PhaseKingSampled Protocol = "phaseking-sampled"
+	PhaseKingSampled = scenario.PhaseKingSampled
 	// ChenMicali is the non-bit-specific ablation (§3.2 strawman).
-	ChenMicali Protocol = "chenmicali"
+	ChenMicali = scenario.ChenMicali
 	// DolevStrong is the classic broadcast baseline.
-	DolevStrong Protocol = "dolevstrong"
+	DolevStrong = scenario.DolevStrong
 	// CommitteeEcho is the static CRS committee broadcast baseline.
-	CommitteeEcho Protocol = "committee"
+	CommitteeEcho = scenario.CommitteeEcho
 )
-
-// Broadcast reports whether the protocol solves the broadcast version
-// (designated sender) rather than the agreement version.
-func (p Protocol) Broadcast() bool {
-	switch p {
-	case DolevStrong, CommitteeEcho, CoreBroadcast:
-		return true
-	default:
-		return false
-	}
-}
-
-// CryptoMode selects the hybrid or real-crypto instantiation.
-type CryptoMode string
 
 // The crypto modes.
 const (
-	// Ideal runs in the F_mine-hybrid world of Figure 1 (and idealized
-	// leader election where applicable).
-	Ideal CryptoMode = "ideal"
-	// Real runs the Appendix D compiler: Ed25519 VRF eligibility and real
-	// signatures over a trusted PKI.
-	Real CryptoMode = "real"
+	// Ideal runs in the F_mine-hybrid world of Figure 1.
+	Ideal = scenario.Ideal
+	// Real runs the Appendix D compiler (Ed25519 VRF over a trusted PKI).
+	Real = scenario.Real
 )
 
-// Config parameterises one execution.
-type Config struct {
-	// Protocol to run.
-	Protocol Protocol
-	// N is the node count; F the corruption budget.
-	N, F int
-	// Lambda is the expected committee size (committee-sampled protocols).
-	Lambda int
-	// Epochs is the epoch count for phase-king-style protocols (default 20).
-	Epochs int
-	// MaxIters bounds certificate-protocol iterations (default 60).
-	MaxIters int
-	// Crypto selects hybrid or real instantiation (default Ideal).
-	Crypto CryptoMode
-	// Seed makes the execution reproducible.
-	Seed [32]byte
-	// Inputs are the per-node input bits (agreement protocols). Defaults to
-	// alternating bits.
-	Inputs []Bit
-	// Sender and SenderInput configure broadcast protocols. The zero values
-	// mean sender 0 broadcasting bit 0.
-	Sender      NodeID
-	SenderInput Bit
-	// CommitteeSize configures the CommitteeEcho baseline (default 2·log₂n).
-	CommitteeSize int
-	// Erasure enables the memory-erasure model (ChenMicali only).
-	Erasure bool
-	// Adversary is the corruption strategy (nil = passive).
-	Adversary Adversary
-	// Parallel steps nodes on multiple goroutines.
-	Parallel bool
-}
+// The network models.
+const (
+	// NetDeltaOne is the default lockstep model (Δ = 1).
+	NetDeltaOne = scenario.NetDeltaOne
+	// NetWorstCase holds every link to the delivery bound Δ.
+	NetWorstCase = scenario.NetWorstCase
+	// NetJitter delays each link by a seeded uniform amount in [1, Δ].
+	NetJitter = scenario.NetJitter
+	// NetOmission drops links from omission-faulty senders with probability
+	// OmissionRate.
+	NetOmission = scenario.NetOmission
+	// NetPartition temporarily holds cross-partition links to Δ.
+	NetPartition = scenario.NetPartition
+)
 
-// Report is the outcome of Run: the raw result plus the paper's three
-// security properties evaluated over forever-honest nodes.
-type Report struct {
-	*Result
-	// Inputs used (agreement version).
-	Inputs []Bit
-	// Consistency, Validity, and Termination hold the checker outcomes
-	// (nil = property held).
-	Consistency error
-	Validity    error
-	Termination error
-}
-
-// Ok reports whether all three properties held.
-func (r *Report) Ok() bool {
-	return r.Consistency == nil && r.Validity == nil && r.Termination == nil
-}
-
-// validate rejects configurations the simulator cannot execute meaningfully.
-// It runs on the raw Config, before defaults are applied.
-func (c *Config) validate() error {
-	if c.N <= 0 {
-		return fmt.Errorf("ccba: config N=%d; need at least one node", c.N)
-	}
-	if c.F < 0 {
-		return fmt.Errorf("ccba: config F=%d; the corruption budget cannot be negative", c.F)
-	}
-	if c.F >= c.N {
-		return fmt.Errorf("ccba: config F=%d with N=%d; need F < N so at least one node stays honest", c.F, c.N)
-	}
-	if c.Inputs != nil && !c.Protocol.Broadcast() && len(c.Inputs) != c.N {
-		return fmt.Errorf("ccba: config has %d inputs for N=%d nodes", len(c.Inputs), c.N)
-	}
-	if c.Protocol == CommitteeEcho && c.N < 2 {
-		return fmt.Errorf("ccba: committee echo needs N ≥ 2 (a sender plus at least one echoer), got N=%d", c.N)
-	}
-	return nil
-}
-
-func (c *Config) applyDefaults() {
-	if c.Crypto == "" {
-		c.Crypto = Ideal
-	}
-	if c.Epochs == 0 {
-		c.Epochs = 20
-	}
-	if c.MaxIters == 0 {
-		c.MaxIters = 60
-	}
-	if c.Lambda == 0 {
-		c.Lambda = 40
-	}
-	if c.CommitteeSize == 0 {
-		n, size := c.N, 2
-		for n > 1 {
-			n >>= 1
-			size += 2
-		}
-		if size >= c.N {
-			// 2·log₂n exceeds n at small n; cap below n but never below one
-			// member (N=1 used to compute an empty committee here before
-			// validate started rejecting single-node committee echo).
-			size = c.N - 1
-			if size < 1 {
-				size = 1
-			}
-		}
-		c.CommitteeSize = size
-	}
-	if !c.Protocol.Broadcast() && c.Inputs == nil {
-		c.Inputs = make([]Bit, c.N)
-		for i := range c.Inputs {
-			c.Inputs[i] = types.BitFromBool(i%2 == 0)
-		}
-	}
-	if c.Protocol.Broadcast() && !c.SenderInput.Valid() {
-		c.SenderInput = Zero
-	}
-}
-
-// Run executes one instance and evaluates the security properties.
-func Run(cfg Config) (*Report, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	cfg.applyDefaults()
-	nodes, seize, maxRounds, err := build(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := netsim.NewRuntime(netsim.Config{
-		N: cfg.N, F: cfg.F, MaxRounds: maxRounds,
-		Seize:    seize,
-		Parallel: cfg.Parallel,
-	}, nodes, cfg.Adversary)
-	if err != nil {
-		return nil, err
-	}
-	res := rt.Run()
-	rep := &Report{Result: res, Inputs: cfg.Inputs}
-	rep.Consistency = netsim.CheckConsistency(res)
-	rep.Termination = netsim.CheckTermination(res)
-	if cfg.Protocol.Broadcast() {
-		rep.Validity = netsim.CheckBroadcastValidity(res, cfg.Sender, cfg.SenderInput)
-	} else {
-		rep.Validity = netsim.CheckAgreementValidity(res, cfg.Inputs)
-	}
-	return rep, nil
-}
-
-// build constructs the protocol instance selected by cfg.
-func build(cfg Config) (nodes []netsim.Node, seize func(NodeID) any, maxRounds int, err error) {
-	switch cfg.Protocol {
-	case Core, CoreBroadcast:
-		suite, suiteSeize, err := coreSuite(cfg)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		ccfg := core.Config{N: cfg.N, F: cfg.F, Lambda: cfg.Lambda, MaxIters: cfg.MaxIters, Suite: suite}
-		if cfg.Protocol == Core {
-			nodes, err = core.NewNodes(ccfg, cfg.Inputs)
-			return nodes, suiteSeize, ccfg.Rounds(), err
-		}
-		nodes, err = broadcast.NewNodes(cfg.N, cfg.Sender, cfg.SenderInput,
-			func(id NodeID, input Bit) (netsim.Node, error) { return core.New(ccfg, id, input) })
-		return nodes, suiteSeize, ccfg.Rounds() + 1, err
-
-	case Quadratic:
-		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
-		qcfg := quadratic.Config{
-			N: cfg.N, F: cfg.F, MaxIters: cfg.MaxIters,
-			Oracle: leader.New(cfg.Seed, cfg.N), PKI: pub,
-		}
-		nodes, err = quadratic.NewNodes(qcfg, cfg.Inputs, secrets)
-		return nodes, func(id NodeID) any { return secrets[id] }, qcfg.Rounds(), err
-
-	case PhaseKingPlain:
-		pcfg := phaseking.Config{N: cfg.N, Epochs: cfg.Epochs, CoinSeed: cfg.Seed}
-		nodes, err = phaseking.NewNodes(pcfg, cfg.Inputs)
-		return nodes, nil, pcfg.Rounds() + 1, err
-
-	case PhaseKingSampled:
-		suite := fmine.NewIdeal(cfg.Seed, phaseking.Probabilities(cfg.N, cfg.Lambda))
-		var suiteAny fmine.Suite = suite
-		if cfg.Crypto == Real {
-			pub, secrets := pki.Setup(cfg.N, cfg.Seed)
-			suiteAny = fmine.NewReal(pub, secrets, phaseking.Probabilities(cfg.N, cfg.Lambda))
-		}
-		pcfg := phaseking.Config{
-			N: cfg.N, Epochs: cfg.Epochs, Sampled: true, Lambda: cfg.Lambda,
-			Suite: suiteAny, CoinSeed: cfg.Seed,
-		}
-		nodes, err = phaseking.NewNodes(pcfg, cfg.Inputs)
-		return nodes, func(id NodeID) any { return suiteAny.Miner(id) }, pcfg.Rounds() + 1, err
-
-	case ChenMicali:
-		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
-		var suite fmine.Suite = fmine.NewIdeal(cfg.Seed, chenmicali.Probabilities(cfg.N, cfg.Lambda))
-		if cfg.Crypto == Real {
-			suite = fmine.NewReal(pub, secrets, chenmicali.Probabilities(cfg.N, cfg.Lambda))
-		}
-		mcfg := chenmicali.Config{
-			N: cfg.N, Epochs: cfg.Epochs, Lambda: cfg.Lambda, Erasure: cfg.Erasure,
-			Suite: suite, PKI: pub,
-		}
-		var keys []*chenmicali.Keys
-		nodes, keys, err = chenmicali.NewNodes(mcfg, cfg.Inputs, secrets)
-		return nodes, func(id NodeID) any { return keys[id] }, mcfg.Rounds() + 1, err
-
-	case DolevStrong:
-		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
-		dcfg := dolevstrong.Config{N: cfg.N, F: cfg.F, Sender: cfg.Sender, PKI: pub}
-		nodes, err = dolevstrong.NewNodes(dcfg, cfg.SenderInput, secrets)
-		return nodes, func(id NodeID) any { return secrets[id] }, dcfg.Rounds(), err
-
-	case CommitteeEcho:
-		ecfg := committee.Config{N: cfg.N, CommitteeSize: cfg.CommitteeSize, Sender: cfg.Sender, CRS: cfg.Seed}
-		nodes, err = committee.NewNodes(ecfg, cfg.SenderInput)
-		return nodes, nil, ecfg.Rounds(), err
-
-	default:
-		return nil, nil, 0, fmt.Errorf("ccba: unknown protocol %q", cfg.Protocol)
-	}
-}
-
-// coreSuite builds the eligibility suite for the core protocol per the
-// crypto mode, along with the seize function handing miners to the
-// adversary.
-func coreSuite(cfg Config) (fmine.Suite, func(NodeID) any, error) {
-	probs := core.Probabilities(cfg.N, cfg.Lambda)
-	var suite fmine.Suite
-	switch cfg.Crypto {
-	case Ideal:
-		suite = fmine.NewIdeal(cfg.Seed, probs)
-	case Real:
-		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
-		suite = fmine.NewReal(pub, secrets, probs)
-	default:
-		return nil, nil, fmt.Errorf("ccba: unknown crypto mode %q", cfg.Crypto)
-	}
-	return suite, func(id NodeID) any { return suite.Miner(id) }, nil
-}
+// Registry entry points, re-exported from internal/scenario.
+var (
+	// Run executes one instance and evaluates the security properties.
+	// Protocols resolve through the builder registry; message delivery
+	// through the network model named by the config.
+	Run = scenario.Run
+	// BuildNodes constructs a protocol's node set through the builder
+	// registry without executing it — for callers that drive their own
+	// runtime (the lower-bound engines, instrumented executions).
+	BuildNodes = scenario.Build
+	// RegisterProtocol adds a protocol builder to the registry.
+	RegisterProtocol = scenario.RegisterProtocol
+	// VictimFactory adapts a broadcast config into the node-set factory the
+	// Theorem 1 strongly adaptive engine drives.
+	VictimFactory = scenario.VictimFactory
+	// SplitWorlds builds both node sets of the Theorem 3 Q—1—Q′ experiment.
+	SplitWorlds = scenario.SplitWorlds
+	// Protocols lists the registered protocol names.
+	Protocols = scenario.Protocols
+	// RegisterScenario adds a named scenario to the registry.
+	RegisterScenario = scenario.Register
+	// LookupScenario resolves a named scenario.
+	LookupScenario = scenario.Lookup
+	// ScenarioNames lists the registered scenarios.
+	ScenarioNames = scenario.Names
+	// RegisterAdversary adds a named adversary factory.
+	RegisterAdversary = scenario.RegisterAdversary
+	// NewAdversary builds a fresh instance of a named adversary for one
+	// trial ("" and "none" mean passive).
+	NewAdversary = scenario.NewAdversary
+	// Adversaries lists the registered adversary names.
+	Adversaries = scenario.Adversaries
+)
 
 // TrialStats aggregates repeated runs of one configuration with derived
 // seeds: per-metric summaries across trials plus the violation rate with its

@@ -1,4 +1,6 @@
-// Command attack mounts the paper's lower-bound adversaries interactively:
+// Command attack mounts the paper's lower-bound adversaries interactively.
+// Victim protocols are constructed through the ccba scenario/builder
+// registries; the flip attack resolves the registered "flip" adversary.
 //
 //	attack -kind strong -n 64 -f 20        # Theorem 1: Dolev–Reischuk A/A′
 //	attack -kind strong -protocol dolevstrong -n 24 -f 8
@@ -13,13 +15,8 @@ import (
 
 	"ccba"
 	"ccba/internal/chenmicali"
-	"ccba/internal/committee"
-	"ccba/internal/crypto/pki"
-	"ccba/internal/dolevstrong"
 	"ccba/internal/lowerbound/nosetup"
 	"ccba/internal/lowerbound/strongadaptive"
-	"ccba/internal/netsim"
-	"ccba/internal/types"
 )
 
 func main() {
@@ -60,26 +57,19 @@ func run(args []string) error {
 }
 
 func strongAttack(protocol string, n, f, c int, seed [32]byte) error {
-	var factory strongadaptive.Factory
+	var victim ccba.Config
 	rounds := 10
 	switch protocol {
 	case "committee":
-		factory = func(input types.Bit) ([]netsim.Node, error) {
-			cfg := committee.Config{N: n, CommitteeSize: c, Sender: 0, CRS: seed}
-			return committee.NewNodes(cfg, input)
-		}
+		victim = ccba.Config{Protocol: ccba.CommitteeEcho, N: n, F: f, CommitteeSize: c, Seed: seed}
 	case "dolevstrong":
-		factory = func(input types.Bit) ([]netsim.Node, error) {
-			pub, secrets := pki.Setup(n, seed)
-			cfg := dolevstrong.Config{N: n, F: f, Sender: 0, PKI: pub}
-			return dolevstrong.NewNodes(cfg, input, secrets)
-		}
+		victim = ccba.Config{Protocol: ccba.DolevStrong, N: n, F: f, Seed: seed}
 		rounds = f + 4
 	default:
 		return fmt.Errorf("unknown victim %q", protocol)
 	}
 	out, err := strongadaptive.Run(strongadaptive.Config{
-		N: n, F: f, Sender: 0, MaxRounds: rounds, Seed: seed, NewNodes: factory,
+		N: n, F: f, Sender: 0, MaxRounds: rounds, Seed: seed, NewNodes: ccba.VictimFactory(victim),
 	})
 	if err != nil {
 		return err
@@ -100,17 +90,15 @@ func strongAttack(protocol string, n, f, c int, seed [32]byte) error {
 }
 
 func nosetupAttack(n, c int, seed [32]byte) error {
-	out, err := nosetup.Run(nosetup.Config{
-		N: n, MaxRounds: 10,
-		NewNode: func(w nosetup.World, id types.NodeID) (netsim.Node, error) {
-			cfg := committee.Config{N: n, CommitteeSize: c, Sender: nosetup.Sender, CRS: seed}
-			input := types.Zero
-			if w == nosetup.WorldQPrime {
-				input = types.One
-			}
-			return committee.New(cfg, id, input)
-		},
+	// Both worlds share the CRS and differ only in the sender's input; each
+	// world's node set comes out of the builder registry.
+	newNode, err := ccba.SplitWorlds(ccba.Config{
+		Protocol: ccba.CommitteeEcho, N: n, F: 0, CommitteeSize: c, Seed: seed,
 	})
+	if err != nil {
+		return err
+	}
+	out, err := nosetup.Run(nosetup.Config{N: n, MaxRounds: 10, NewNode: newNode})
 	if err != nil {
 		return err
 	}
@@ -128,19 +116,17 @@ func nosetupAttack(n, c int, seed [32]byte) error {
 
 func flipAttack(n, f int, erasure bool, seed [32]byte) error {
 	const epochs = 8
-	victims := make([]types.NodeID, 0, n/2)
-	for i := n / 2; i < n; i++ {
-		victims = append(victims, types.NodeID(i))
-	}
-	attack := &chenmicali.FlipAttack{TargetEpoch: epochs - 1, Victims: victims}
-	inputs := make([]ccba.Bit, n)
-	for i := range inputs {
-		inputs[i] = ccba.One
-	}
-	rep, err := ccba.Run(ccba.Config{
+	cfg := ccba.Config{
 		Protocol: ccba.ChenMicali, N: n, F: f, Lambda: 40, Epochs: epochs,
-		Erasure: erasure, Seed: seed, Inputs: inputs, Adversary: attack,
-	})
+		Erasure: erasure, Seed: seed, InputPattern: "unanimous-1",
+	}
+	adv, err := ccba.NewAdversary("flip", cfg, 0)
+	if err != nil {
+		return err
+	}
+	attack := adv.(*chenmicali.FlipAttack)
+	cfg.Adversary = attack
+	rep, err := ccba.Run(cfg)
 	if err != nil {
 		return err
 	}

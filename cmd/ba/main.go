@@ -3,6 +3,11 @@
 // metrics. With -trials it fans independent runs out across harness workers
 // and prints (or emits as JSON) the aggregate.
 //
+// Protocols, adversaries, and network models all resolve through the ccba
+// scenario registries: -adversary names a registered strategy, -net/-delta
+// select the message-scheduling model, and -scenario loads a whole
+// registered setting (individual flags still override its fields).
+//
 // Examples:
 //
 //	ba -protocol core -n 500 -f 150 -lambda 40
@@ -10,6 +15,10 @@
 //	ba -protocol dolevstrong -n 32 -f 10 -sender-input 1
 //	ba -protocol chenmicali -n 150 -erasure=false -adversary flip
 //	ba -protocol core -n 200 -f 60 -trials 100 -workers 8 -json
+//	ba -net delta -delta 3 -trials 8 -workers 4 -json
+//	ba -net omission -omission-rate 0.25 -n 100 -f 30
+//	ba -scenario core-delta3-n200
+//	ba -scenarios
 package main
 
 import (
@@ -18,12 +27,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"ccba"
-	"ccba/internal/chenmicali"
-	"ccba/internal/core"
-	"ccba/internal/netsim"
-	"ccba/internal/types"
 )
 
 func main() {
@@ -33,84 +39,128 @@ func main() {
 	}
 }
 
-// silencer statically corrupts the first f nodes.
-type silencer struct{ netsim.Passive }
-
-func (s *silencer) Setup(ctx *netsim.Ctx) {
-	for i := 0; i < ctx.F(); i++ {
-		if _, err := ctx.Corrupt(types.NodeID(i)); err != nil {
-			return
-		}
-	}
-}
-
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ba", flag.ContinueOnError)
 	var (
-		protocol    = fs.String("protocol", "core", "protocol: core, core-broadcast, quadratic, phaseking, phaseking-sampled, chenmicali, dolevstrong, committee")
-		n           = fs.Int("n", 200, "number of nodes")
-		f           = fs.Int("f", 60, "corruption budget")
-		lambda      = fs.Int("lambda", 40, "expected committee size")
-		epochs      = fs.Int("epochs", 20, "epochs (phase-king protocols)")
-		crypto      = fs.String("crypto", "ideal", "crypto mode: ideal (F_mine hybrid) or real (Ed25519 VRF)")
-		seed        = fs.Int64("seed", 1, "execution seed")
-		adversary   = fs.String("adversary", "none", "adversary: none, silent, flip (core/chenmicali vote flipper)")
-		erasure     = fs.Bool("erasure", false, "memory-erasure model (chenmicali)")
-		senderInput = fs.Int("sender-input", 0, "sender input bit (broadcast protocols)")
-		unanimous   = fs.Int("unanimous", -1, "if 0 or 1, give every node that input bit (agreement protocols)")
-		trials      = fs.Int("trials", 1, "number of runs (aggregated when > 1)")
-		workers     = fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS); aggregates are identical for every value")
-		parallel    = fs.Bool("parallel", false, "step nodes on multiple goroutines")
-		asJSON      = fs.Bool("json", false, "emit the outcome as JSON")
+		protocol      = fs.String("protocol", "core", "protocol: core, core-broadcast, quadratic, phaseking, phaseking-sampled, chenmicali, dolevstrong, committee")
+		n             = fs.Int("n", 200, "number of nodes")
+		f             = fs.Int("f", 60, "corruption budget")
+		lambda        = fs.Int("lambda", 40, "expected committee size")
+		epochs        = fs.Int("epochs", 20, "epochs (phase-king protocols)")
+		crypto        = fs.String("crypto", "ideal", "crypto mode: ideal (F_mine hybrid) or real (Ed25519 VRF)")
+		seed          = fs.Int64("seed", 1, "execution seed")
+		adversary     = fs.String("adversary", "none", "adversary from the registry (see ccba.Adversaries): none, silent, flip, …")
+		erasure       = fs.Bool("erasure", false, "memory-erasure model (chenmicali)")
+		senderInput   = fs.Int("sender-input", 0, "sender input bit (broadcast protocols)")
+		unanimous     = fs.Int("unanimous", -1, "if 0 or 1, give every node that input bit (agreement protocols)")
+		net           = fs.String("net", "", "network model: delta-one (default), delta (worst-case Δ-delay), jitter, omission, partition")
+		delta         = fs.Int("delta", 0, "delivery bound Δ for the delay-capable network models")
+		omissionRate  = fs.Float64("omission-rate", 0, "per-link drop probability of the omission model")
+		faulty        = fs.Int("faulty", 0, "omission-faulty sender count (0 = the corruption budget f)")
+		scenarioName  = fs.String("scenario", "", "run a registered scenario by name; other flags override its fields")
+		listScenarios = fs.Bool("scenarios", false, "list the registered scenarios and exit")
+		trials        = fs.Int("trials", 1, "number of runs (aggregated when > 1)")
+		workers       = fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS); aggregates are identical for every value")
+		parallel      = fs.Bool("parallel", false, "step nodes on multiple goroutines")
+		asJSON        = fs.Bool("json", false, "emit the outcome as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *listScenarios {
+		for _, name := range ccba.ScenarioNames() {
+			sc, _ := ccba.LookupScenario(name)
+			fmt.Fprintf(out, "%-24s %s\n", name, sc.Description)
+		}
+		return nil
+	}
+
+	set := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+
 	cfg := ccba.Config{
 		Protocol: ccba.Protocol(*protocol),
 		N:        *n, F: *f, Lambda: *lambda, Epochs: *epochs,
-		Crypto:   ccba.CryptoMode(*crypto),
-		Erasure:  *erasure,
-		Parallel: *parallel,
+		Crypto:       ccba.CryptoMode(*crypto),
+		Erasure:      *erasure,
+		Parallel:     *parallel,
+		Net:          ccba.NetName(*net),
+		Delta:        *delta,
+		OmissionRate: *omissionRate,
 	}
+	advName := *adversary
+	if *scenarioName != "" {
+		sc, ok := ccba.LookupScenario(*scenarioName)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (registered: %v)", *scenarioName, ccba.ScenarioNames())
+		}
+		cfg = sc.Config
+		cfg.Parallel = *parallel
+		if !set["adversary"] {
+			advName = sc.Adversary
+			if advName == "" {
+				advName = "none"
+			}
+		}
+		// Explicitly passed flags override the scenario's fields.
+		override := map[string]func(){
+			"protocol":      func() { cfg.Protocol = ccba.Protocol(*protocol) },
+			"n":             func() { cfg.N = *n },
+			"f":             func() { cfg.F = *f },
+			"lambda":        func() { cfg.Lambda = *lambda },
+			"epochs":        func() { cfg.Epochs = *epochs },
+			"crypto":        func() { cfg.Crypto = ccba.CryptoMode(*crypto) },
+			"erasure":       func() { cfg.Erasure = *erasure },
+			"net":           func() { cfg.Net = ccba.NetName(*net) },
+			"delta":         func() { cfg.Delta = *delta },
+			"omission-rate": func() { cfg.OmissionRate = *omissionRate },
+		}
+		for name, apply := range override {
+			if set[name] {
+				apply()
+			}
+		}
+	}
+	if *faulty > 0 {
+		cfg.OmissionFaulty = *faulty
+	}
+	cfg.Seed = [32]byte{}
 	cfg.Seed[0] = byte(*seed)
 	cfg.Seed[1] = byte(*seed >> 8)
 	cfg.Seed[2] = byte(*seed >> 16)
-	if *senderInput == 1 {
-		cfg.SenderInput = ccba.One
-	}
-	if *unanimous == 0 || *unanimous == 1 {
-		cfg.Inputs = make([]ccba.Bit, *n)
-		for i := range cfg.Inputs {
-			cfg.Inputs[i] = types.BitFromBool(*unanimous == 1)
+	if set["sender-input"] || *scenarioName == "" {
+		// An explicitly passed -sender-input overrides a scenario's value in
+		// either direction, 1 or 0 (the non-scenario default is 0 anyway).
+		cfg.SenderInput = ccba.Zero
+		if *senderInput == 1 {
+			cfg.SenderInput = ccba.One
 		}
+	}
+	switch *unanimous {
+	case 0:
+		cfg.Inputs, cfg.InputPattern = nil, "unanimous-0"
+	case 1:
+		cfg.Inputs, cfg.InputPattern = nil, "unanimous-1"
 	}
 
-	// Adversaries are stateful, so the CLI builds a factory and lets the
-	// trial engine construct one fresh instance per trial.
-	var newAdversary func(trial int) ccba.Adversary
-	switch *adversary {
-	case "none":
-	case "silent":
-		newAdversary = func(int) ccba.Adversary { return &silencer{} }
-	case "flip":
-		switch cfg.Protocol {
-		case ccba.Core:
-			newAdversary = func(int) ccba.Adversary { return &core.VoteFlipAttack{} }
-		case ccba.ChenMicali:
-			newAdversary = func(int) ccba.Adversary {
-				victims := make([]types.NodeID, 0, *n/2)
-				for i := *n / 2; i < *n; i++ {
-					victims = append(victims, types.NodeID(i))
-				}
-				return &chenmicali.FlipAttack{TargetEpoch: uint32(*epochs - 1), Victims: victims}
-			}
-		default:
-			return fmt.Errorf("adversary flip supports protocols core and chenmicali, not %q", *protocol)
+	// Adversaries are stateful, so the registry builds one fresh instance
+	// per trial; resolve once up front so an unknown name or unsupported
+	// protocol fails before any trial runs. Factories may still fail for a
+	// later trial (the trial index is part of their contract), so the first
+	// such error is captured and fails the command rather than letting
+	// those trials silently run passive.
+	if _, err := ccba.NewAdversary(advName, cfg, 0); err != nil {
+		return err
+	}
+	var advErr atomic.Pointer[error]
+	newAdversary := func(trial int) ccba.Adversary {
+		adv, err := ccba.NewAdversary(advName, cfg, trial)
+		if err != nil {
+			advErr.CompareAndSwap(nil, &err)
+			return nil
 		}
-	default:
-		return fmt.Errorf("unknown adversary %q", *adversary)
+		return adv
 	}
 
 	if *trials > 1 {
@@ -119,6 +169,9 @@ func run(args []string, out io.Writer) error {
 			Workers:      *workers,
 			NewAdversary: newAdversary,
 		})
+		if e := advErr.Load(); e != nil {
+			return fmt.Errorf("adversary %q: %w", advName, *e)
+		}
 		if err != nil {
 			return err
 		}
@@ -127,7 +180,8 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		} else {
-			fmt.Fprintf(out, "protocol=%s n=%d f=%d crypto=%s trials=%d workers=%d\n", *protocol, *n, *f, *crypto, *trials, *workers)
+			fmt.Fprintf(out, "protocol=%s n=%d f=%d crypto=%s net=%s delta=%d trials=%d workers=%d\n",
+				cfg.Protocol, cfg.N, cfg.F, cfg.Crypto, netLabel(cfg), cfg.Delta, *trials, *workers)
 			fmt.Fprintf(out, "  violations:      %d (rate %.3f, 95%% CI [%.3f, %.3f])\n",
 				st.Violations, st.ViolationRate, st.ViolationLo, st.ViolationHi)
 			fmt.Fprintf(out, "  rounds:          %v\n", st.Rounds)
@@ -141,9 +195,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	if newAdversary != nil {
-		cfg.Adversary = newAdversary(0)
-	}
+	cfg.Adversary = newAdversary(0)
 	rep, err := ccba.Run(cfg)
 	if err != nil {
 		return err
@@ -156,10 +208,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *asJSON {
 		doc := singleRunJSON{
-			Protocol:   *protocol,
-			N:          *n,
-			F:          *f,
-			Crypto:     *crypto,
+			Protocol:   string(cfg.Protocol),
+			N:          cfg.N,
+			F:          cfg.F,
+			Crypto:     string(cfg.Crypto),
+			Net:        netLabel(cfg),
+			Delta:      max(cfg.Delta, 1),
 			Seed:       *seed,
 			Rounds:     rep.Rounds,
 			Corrupted:  rep.NumCorrupt(),
@@ -182,7 +236,8 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	fmt.Fprintf(out, "protocol=%s n=%d f=%d crypto=%s seed=%d\n", *protocol, *n, *f, *crypto, *seed)
+	fmt.Fprintf(out, "protocol=%s n=%d f=%d crypto=%s net=%s delta=%d seed=%d\n",
+		cfg.Protocol, cfg.N, cfg.F, cfg.Crypto, netLabel(cfg), max(cfg.Delta, 1), *seed)
 	fmt.Fprintf(out, "  rounds:            %d\n", rep.Rounds)
 	fmt.Fprintf(out, "  corrupted:         %d\n", rep.NumCorrupt())
 	fmt.Fprintf(out, "  multicasts:        %d (%d bytes)\n",
@@ -199,12 +254,22 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// netLabel names the effective network model of a config.
+func netLabel(cfg ccba.Config) string {
+	if cfg.Net == "" {
+		return string(ccba.NetDeltaOne)
+	}
+	return string(cfg.Net)
+}
+
 // singleRunJSON is the -json document for a single execution.
 type singleRunJSON struct {
 	Protocol   string            `json:"protocol"`
 	N          int               `json:"n"`
 	F          int               `json:"f"`
 	Crypto     string            `json:"crypto"`
+	Net        string            `json:"net"`
+	Delta      int               `json:"delta"`
 	Seed       int64             `json:"seed"`
 	Rounds     int               `json:"rounds"`
 	Corrupted  int               `json:"corrupted"`

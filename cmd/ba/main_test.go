@@ -107,10 +107,85 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-protocol", "unknown-protocol", "-n", "10", "-f", "2"},
 		{"-n", "10", "-f", "10"},
 		{"-n", "0", "-f", "0"},
+		{"-net", "carrier-pigeon"},
+		{"-delta", "3"}, // Δ>1 needs a delay-capable -net
+		{"-net", "omission", "-omission-rate", "1.5"},
+		{"-scenario", "no-such-scenario"},
 	}
 	for _, args := range cases {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// The omission model at a modest rate keeps the protocol live (more rounds,
+// same safety), so the command exits clean.
+func TestRunOmissionNet(t *testing.T) {
+	if err := run([]string{"-n", "80", "-f", "20", "-lambda", "24",
+		"-net", "omission", "-omission-rate", "0.2"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Worst-case Δ-delay stalls lockstep protocols: the run completes (exit via
+// the violation path, not an error in the engine) and the JSON names the
+// model and reports the termination violation.
+func TestRunDeltaNetJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "60", "-f", "15", "-lambda", "16",
+		"-net", "delta", "-delta", "3", "-json"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "violated") {
+		t.Fatalf("worst-case Δ=3 err = %v, want violation exit", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-net delta JSON unparseable: %v\n%s", err, buf.String())
+	}
+	if doc["net"] != "delta" || doc["delta"] != float64(3) {
+		t.Fatalf("JSON net/delta = %v/%v", doc["net"], doc["delta"])
+	}
+}
+
+// The trials path under a non-default net model stays worker-count
+// independent — the CLI surface of the acceptance criterion.
+func TestRunDeltaTrialsDeterministicAcrossWorkers(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	args := []string{"-n", "60", "-f", "15", "-lambda", "16",
+		"-net", "jitter", "-delta", "2", "-trials", "4", "-json"}
+	errSerial := run(append(args, "-workers", "1"), &serial)
+	errParallel := run(append(args, "-workers", "4"), &parallel)
+	if (errSerial == nil) != (errParallel == nil) {
+		t.Fatalf("exit mismatch: %v vs %v", errSerial, errParallel)
+	}
+	if serial.Len() == 0 || !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("-workers=1 and -workers=4 JSON differ:\n%s\n---\n%s", serial.String(), parallel.String())
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	var buf bytes.Buffer
+	// Registered scenario, shrunk by explicit flag overrides for speed.
+	if err := run([]string{"-scenario", "core-silent-n200", "-n", "80", "-f", "20", "-lambda", "24", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("scenario JSON unparseable: %v\n%s", err, buf.String())
+	}
+	if doc["corrupted"] != float64(20) {
+		t.Fatalf("scenario adversary did not corrupt f nodes: %v", doc["corrupted"])
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenarios"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"core-n200", "core-delta3-n200", "core-omission-n200"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("scenario listing missing %q:\n%s", want, buf.String())
 		}
 	}
 }

@@ -23,21 +23,33 @@ import (
 	"ccba"
 )
 
-// benchCase is one tracked benchmark configuration.
+// benchCase is one tracked benchmark configuration. AllowViolations is for
+// the adversarial network-model cases: under worst-case Δ-delay a lockstep
+// protocol is expected to stall (that stall is what the case measures), so
+// a termination violation is the workload, not a failure.
 type benchCase struct {
-	Name string
-	Cfg  ccba.Config
+	Name            string
+	Cfg             ccba.Config
+	AllowViolations bool
 }
 
 // cases mirrors the protocol benchmarks of bench_test.go. Keep the two
 // lists in sync: this one feeds the tracked JSON artifacts.
+//
+// The two CoreIdealN1000Delta* cases bracket the scheduling layer:
+// DeltaOne must keep the PR1 zero-allocation fast path (allocs/op on par
+// with CoreIdealN1000), while delta=3 worst-case runs the general
+// per-link scheduler at full fan-out to iteration exhaustion.
 var cases = []benchCase{
-	{"CoreIdealN200", ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40}},
-	{"CoreIdealN1000", ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40}},
-	{"CoreRealN200", ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40, Crypto: ccba.Real}},
-	{"QuadraticN101", ccba.Config{Protocol: ccba.Quadratic, N: 101, F: 50}},
-	{"DolevStrongN48", ccba.Config{Protocol: ccba.DolevStrong, N: 48, F: 16, SenderInput: ccba.One}},
-	{"PhaseKingSampledN400", ccba.Config{Protocol: ccba.PhaseKingSampled, N: 400, F: 80, Lambda: 30, Epochs: 12}},
+	{Name: "CoreIdealN200", Cfg: ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40}},
+	{Name: "CoreIdealN1000", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40}},
+	{Name: "CoreIdealN1000DeltaOne", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40, Net: ccba.NetDeltaOne, Delta: 1}},
+	{Name: "CoreIdealN1000Delta3Worst", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40, MaxIters: 12, Net: ccba.NetWorstCase, Delta: 3}, AllowViolations: true},
+	{Name: "CoreIdealN200Omission25", Cfg: ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40, Net: ccba.NetOmission, OmissionRate: 0.25}, AllowViolations: true},
+	{Name: "CoreRealN200", Cfg: ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40, Crypto: ccba.Real}},
+	{Name: "QuadraticN101", Cfg: ccba.Config{Protocol: ccba.Quadratic, N: 101, F: 50}},
+	{Name: "DolevStrongN48", Cfg: ccba.Config{Protocol: ccba.DolevStrong, N: 48, F: 16, SenderInput: ccba.One}},
+	{Name: "PhaseKingSampledN400", Cfg: ccba.Config{Protocol: ccba.PhaseKingSampled, N: 400, F: 80, Lambda: 30, Epochs: 12}},
 }
 
 // sweepCase is one tracked trial-sweep configuration: the same 16-trial
@@ -112,7 +124,7 @@ func run(args []string) error {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", c.Name)
-		r := measure(singleRunBody(c.Cfg), *benchtime)
+		r := measure(singleRunBody(c.Cfg, c.AllowViolations), *benchtime)
 		rep.Results = append(rep.Results, Result{
 			Name:        c.Name,
 			Iterations:  r.N,
@@ -161,7 +173,7 @@ func matches(name, only string) bool {
 // singleRunBody measures complete protocol executions, varying the seed per
 // iteration exactly like bench_test.go so results stay comparable with
 // `go test -bench`.
-func singleRunBody(cfg ccba.Config) func(i int) error {
+func singleRunBody(cfg ccba.Config, allowViolations bool) func(i int) error {
 	return func(i int) error {
 		c := cfg
 		c.Seed[29] = byte(i)
@@ -170,7 +182,7 @@ func singleRunBody(cfg ccba.Config) func(i int) error {
 		if err != nil {
 			return err
 		}
-		if !rep.Ok() {
+		if !rep.Ok() && !allowViolations {
 			return fmt.Errorf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
 		}
 		return nil

@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's evaluation: one measured
-// table per theorem/lemma-level claim (E1–E11 in DESIGN.md §3), with trials
+// table per theorem/lemma-level claim (E1–E12 in DESIGN.md §3), with trials
 // fanned out across harness workers.
 //
 // Examples:
@@ -8,6 +8,8 @@
 //	experiments -only e2 -max-n 2048 -trials 3
 //	experiments -only e8 -trials 10 -workers 8
 //	experiments -only e7,e11 -json        # machine-readable sweep aggregates
+//	experiments -only e12 -trials 20      # agreement vs Δ and omission rate
+//	experiments -only e7 -net delta -delta 2   # rerun E7 under worst-case Δ=2
 //	experiments -csv > sweeps.csv
 //
 // Output is identical for every -workers value: trials are reassembled in
@@ -24,6 +26,7 @@ import (
 
 	"ccba/internal/experiments"
 	"ccba/internal/harness"
+	"ccba/internal/scenario"
 )
 
 func main() {
@@ -36,10 +39,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only    = fs.String("only", "", "comma-separated experiment ids (e1..e11); empty = all")
+		only    = fs.String("only", "", "comma-separated experiment ids (e1..e12); empty = all")
 		trials  = fs.Int("trials", 0, "override trial count (0 = per-experiment default)")
 		workers = fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS)")
 		maxN    = fs.Int("max-n", 1024, "largest n for the E2 sweep")
+		net     = fs.String("net", "", "network-model override for the scenario-run experiments E2, E7-E11: delta, jitter, omission, partition (E1/E3-E6 drive custom engines; E12 sweeps its own models)")
+		delta   = fs.Int("delta", 0, "delivery bound Δ for the -net override")
 		asJSON  = fs.Bool("json", false, "emit machine-readable sweep aggregates as JSON instead of tables")
 		asCSV   = fs.Bool("csv", false, "emit sweep aggregates as CSV instead of tables")
 	)
@@ -62,7 +67,7 @@ func run(args []string, out io.Writer) error {
 		if *trials > 0 {
 			t = *trials
 		}
-		return experiments.Opts{Trials: t, Workers: *workers}
+		return experiments.Opts{Trials: t, Workers: *workers, Net: scenario.NetName(*net), Delta: *delta}
 	}
 
 	type gen struct {
@@ -87,6 +92,7 @@ func run(args []string, out io.Writer) error {
 		{"e9", func() (*experiments.Artifacts, error) { return art(experiments.E9ProtocolComparison(opts(5))) }},
 		{"e10", func() (*experiments.Artifacts, error) { return art(experiments.E10PhaseKing(opts(3))) }},
 		{"e11", func() (*experiments.Artifacts, error) { return art(experiments.E11ResilienceFrontier(opts(10))) }},
+		{"e12", func() (*experiments.Artifacts, error) { return art(experiments.E12NetworkModels(opts(10))) }},
 	}
 
 	var sweeps []*harness.Sweep

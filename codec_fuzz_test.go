@@ -1,6 +1,7 @@
 package ccba
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
@@ -9,8 +10,10 @@ import (
 	"ccba/internal/committee"
 	"ccba/internal/core"
 	"ccba/internal/dolevstrong"
+	"ccba/internal/netsim"
 	"ccba/internal/phaseking"
 	"ccba/internal/quadratic"
+	"ccba/internal/types"
 	"ccba/internal/wire"
 )
 
@@ -51,6 +54,106 @@ func TestDecodersNeverPanic(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// deliveryProbe records the messages one node receives through a runtime.
+type deliveryProbe struct {
+	send   []netsim.Send
+	rounds int
+	got    []wire.Message
+	halted bool
+}
+
+func (p *deliveryProbe) Step(round int, delivered []netsim.Delivered) []netsim.Send {
+	for _, d := range delivered {
+		p.got = append(p.got, d.Msg)
+	}
+	if round >= p.rounds {
+		p.halted = true
+		return nil
+	}
+	if round == 0 {
+		return p.send
+	}
+	return nil
+}
+
+func (p *deliveryProbe) Output() (types.Bit, bool) { return types.Zero, false }
+func (p *deliveryProbe) Halted() bool              { return p.halted }
+
+// Messages routed through the scheduled-delivery envelope path (Δ > 1
+// network models) must round-trip exactly: every delivered message
+// re-marshals to the bytes of the one sent, and the honest-byte metrics
+// equal Σ wire.Size over the sends — Size() staying exact is what keeps the
+// communication-complexity accounting trustworthy once envelopes outlive
+// their send round. Driven by quick with arbitrary certificate/eligibility
+// payloads.
+func TestScheduledDeliveryPreservesEncoding(t *testing.T) {
+	const n, delta = 3, 3
+	f := func(elig, leaderElig []byte, iter uint32, seedByte uint8) bool {
+		sent := []wire.Message{
+			core.VoteMsg{Iter: iter, B: One, Elig: elig, Leader: 2, LeaderElig: leaderElig},
+			quadratic.VoteMsg{Iter: iter, B: Zero, Sig: leaderElig, LeaderSig: elig},
+			chenmicali.AckMsg{Epoch: iter, B: One, Elig: elig, Sig: leaderElig},
+		}
+		var seed [32]byte
+		seed[0] = seedByte
+		probes := make([]*deliveryProbe, n)
+		nodes := make([]netsim.Node, n)
+		for i := range nodes {
+			probes[i] = &deliveryProbe{rounds: delta + 1}
+			nodes[i] = probes[i]
+		}
+		probes[0].send = []netsim.Send{
+			netsim.Multicast(sent[0]),
+			netsim.Unicast(1, sent[1]),
+			netsim.Unicast(1, sent[2]),
+		}
+		rt, err := netsim.NewRuntime(netsim.Config{
+			N: n, F: 0, MaxRounds: delta + 3,
+			Net: netsim.Jitter(delta, seed),
+		}, nodes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rt.Run()
+
+		wantBytes := 0
+		for _, m := range sent {
+			wantBytes += wire.Size(m)
+		}
+		// One multicast (counted once in multicast bytes) + two unicasts.
+		if res.Metrics.HonestMulticastBytes != wire.Size(sent[0]) {
+			t.Fatalf("multicast bytes %d, want %d", res.Metrics.HonestMulticastBytes, wire.Size(sent[0]))
+		}
+		if got := res.Metrics.HonestMessageBytes; got != n*wire.Size(sent[0])+wire.Size(sent[1])+wire.Size(sent[2]) {
+			t.Fatalf("classical bytes %d for sends totalling %d", got, wantBytes)
+		}
+		// Node 1 received all three messages (in some schedule order); each
+		// must re-marshal to its canonical bytes and report an exact Size.
+		if len(probes[1].got) != len(sent) {
+			t.Fatalf("node 1 received %d messages, want %d", len(probes[1].got), len(sent))
+		}
+		for _, m := range probes[1].got {
+			if m.Size() != len(m.Encode(nil)) {
+				t.Fatalf("delivered %T: Size()=%d but encoding is %d bytes", m, m.Size(), len(m.Encode(nil)))
+			}
+			matched := false
+			for _, s := range sent {
+				if bytes.Equal(wire.Marshal(m), wire.Marshal(s)) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Fatalf("delivered %T does not round-trip any sent message", m)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }
 

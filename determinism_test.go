@@ -109,6 +109,34 @@ func TestFixedSeedGoldens(t *testing.T) {
 	}
 }
 
+// The pluggable network-model layer must leave the default path untouched:
+// an explicitly selected delta-one model (the lockstep fast path) and the
+// general scheduler's Δ=1 behavior both reproduce the pre-refactor goldens
+// bit for bit.
+func TestDeltaOneExplicitMatchesGoldens(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Seed[0] = 7
+			cfg.Net = NetDeltaOne
+			cfg.Delta = 1
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := outputsDigest(rep); got != tc.outputs {
+				t.Errorf("outputs digest = %s, want %s", got, tc.outputs)
+			}
+			if rep.Rounds != tc.rounds {
+				t.Errorf("rounds = %d, want %d", rep.Rounds, tc.rounds)
+			}
+			if rep.Result.Metrics != tc.metrics {
+				t.Errorf("metrics = %+v, want %+v", rep.Result.Metrics, tc.metrics)
+			}
+		})
+	}
+}
+
 // Two executions of the same configuration must agree exactly — including
 // across serial and parallel stepping — beyond the spot-checked goldens:
 // every output, decision flag, and halt flag.

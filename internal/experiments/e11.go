@@ -4,9 +4,8 @@ import (
 	"fmt"
 
 	"ccba/internal/harness"
-	"ccba/internal/netsim"
+	"ccba/internal/scenario"
 	"ccba/internal/table"
-	"ccba/internal/types"
 )
 
 // E11Row is one (f/n, λ) cell of the resilience frontier.
@@ -29,21 +28,9 @@ type E11Result struct {
 	Artifacts
 }
 
-// e11Silencer statically corrupts the first f nodes (silent corruption is
-// the worst case for the honest-quorum margin).
-type e11Silencer struct {
-	netsim.Passive
-}
-
-func (a *e11Silencer) Setup(ctx *netsim.Ctx) {
-	for i := 0; i < ctx.F(); i++ {
-		if _, err := ctx.Corrupt(types.NodeID(i)); err != nil {
-			return
-		}
-	}
-}
-
-// E11ResilienceFrontier sweeps f/n toward 1/2 at two committee sizes.
+// E11ResilienceFrontier sweeps f/n toward 1/2 at two committee sizes under
+// the registry's "silent" adversary (silent corruption is the worst case
+// for the honest-quorum margin).
 func E11ResilienceFrontier(o Opts) (*E11Result, error) {
 	const n = 200
 	res := &E11Result{N: n}
@@ -57,20 +44,22 @@ func E11ResilienceFrontier(o Opts) (*E11Result, error) {
 	for _, frac := range []float64{0.30, 0.40, 0.45} {
 		for _, lambda := range []int{40, 80} {
 			f := int(frac * n)
-			scenario := fmt.Sprintf("f/n=%.2f/lambda=%d", frac, lambda)
-			agg, err := harness.Collect(o.options("e11", scenario), func(tr harness.Trial) (*harness.Obs, error) {
-				cfg := coreSetup(n, f, lambda, tr.Seed)
-				inputs := mixedInputs(n)
-				r, err := runCore(cfg, inputs, &e11Silencer{})
+			sc := scenario.Scenario{
+				Config:    scenario.Config{Protocol: scenario.Core, N: n, F: f, Lambda: lambda},
+				Adversary: "silent",
+			}
+			key := fmt.Sprintf("f/n=%.2f/lambda=%d", frac, lambda)
+			agg, err := harness.Collect(o.options("e11", key), func(tr harness.Trial) (*harness.Obs, error) {
+				rep, err := o.run(sc, tr)
 				if err != nil {
 					return nil, err
 				}
-				v := checkResult(r, inputs)
+				v := checkReport(rep)
 				obs := harness.NewObs().
 					Event("safety_violation", v.consistency || v.validity).
 					Event("terminated", !v.termination)
 				if !v.termination {
-					obs.Value("rounds", float64(r.Rounds))
+					obs.Value("rounds", float64(rep.Rounds))
 				}
 				return obs, nil
 			})

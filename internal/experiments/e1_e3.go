@@ -3,15 +3,11 @@ package experiments
 import (
 	"fmt"
 
-	"ccba/internal/committee"
-	"ccba/internal/crypto/pki"
-	"ccba/internal/dolevstrong"
 	"ccba/internal/harness"
 	"ccba/internal/lowerbound/nosetup"
 	"ccba/internal/lowerbound/strongadaptive"
-	"ccba/internal/netsim"
+	"ccba/internal/scenario"
 	"ccba/internal/table"
-	"ccba/internal/types"
 )
 
 // E1Row is one protocol × size setting of the Theorem 1 experiment.
@@ -37,38 +33,28 @@ type E1Result struct {
 // E1StrongAdaptive runs the Theorem 1 experiment.
 func E1StrongAdaptive(o Opts) (*E1Result, error) {
 	type setting struct {
-		name    string
-		n, f    int
-		factory func(seed [32]byte) strongadaptive.Factory
-		rounds  int
+		name   string
+		n, f   int
+		victim func(seed [32]byte) scenario.Config
+		rounds int
 	}
 	settings := []setting{
 		{
 			name: "committee-echo (sub-bound)", n: 64, f: 20, rounds: 8,
-			factory: func(seed [32]byte) strongadaptive.Factory {
-				return func(input types.Bit) ([]netsim.Node, error) {
-					cfg := committee.Config{N: 64, CommitteeSize: 6, Sender: 0, CRS: seed}
-					return committee.NewNodes(cfg, input)
-				}
+			victim: func(seed [32]byte) scenario.Config {
+				return scenario.Config{Protocol: scenario.CommitteeEcho, N: 64, F: 20, CommitteeSize: 6, Seed: seed}
 			},
 		},
 		{
 			name: "committee-echo (sub-bound)", n: 128, f: 40, rounds: 8,
-			factory: func(seed [32]byte) strongadaptive.Factory {
-				return func(input types.Bit) ([]netsim.Node, error) {
-					cfg := committee.Config{N: 128, CommitteeSize: 8, Sender: 0, CRS: seed}
-					return committee.NewNodes(cfg, input)
-				}
+			victim: func(seed [32]byte) scenario.Config {
+				return scenario.Config{Protocol: scenario.CommitteeEcho, N: 128, F: 40, CommitteeSize: 8, Seed: seed}
 			},
 		},
 		{
 			name: "dolev-strong (Ω(n²))", n: 24, f: 8, rounds: 12,
-			factory: func(seed [32]byte) strongadaptive.Factory {
-				return func(input types.Bit) ([]netsim.Node, error) {
-					pub, secrets := pki.Setup(24, seed)
-					cfg := dolevstrong.Config{N: 24, F: 8, Sender: 0, PKI: pub}
-					return dolevstrong.NewNodes(cfg, input, secrets)
-				}
+			victim: func(seed [32]byte) scenario.Config {
+				return scenario.Config{Protocol: scenario.DolevStrong, N: 24, F: 8, Seed: seed}
 			},
 		},
 	}
@@ -82,12 +68,12 @@ func E1StrongAdaptive(o Opts) (*E1Result, error) {
 	res.Sweep = harness.NewSweep("e1")
 
 	for _, st := range settings {
-		scenario := fmt.Sprintf("%s/n=%d", st.name, st.n)
-		agg, err := harness.Collect(o.options("e1", scenario), func(tr harness.Trial) (*harness.Obs, error) {
+		key := fmt.Sprintf("%s/n=%d", st.name, st.n)
+		agg, err := harness.Collect(o.options("e1", key), func(tr harness.Trial) (*harness.Obs, error) {
 			cfg := strongadaptive.Config{
 				N: st.n, F: st.f, Sender: 0, MaxRounds: st.rounds,
 				Seed:     harness.SeedFrom(tr.Seed, "e1", "pick", 0),
-				NewNodes: st.factory(harness.SeedFrom(tr.Seed, "e1", "nodes", 0)),
+				NewNodes: scenario.VictimFactory(st.victim(harness.SeedFrom(tr.Seed, "e1", "nodes", 0))),
 			}
 			out, err := strongadaptive.Run(cfg)
 			if err != nil {
@@ -151,18 +137,15 @@ func E3NoSetup(o Opts) (*E3Result, error) {
 
 	for _, n := range []int{64, 256, 1024} {
 		agg, err := harness.Collect(o.options("e3", fmt.Sprintf("n=%d", n)), func(tr harness.Trial) (*harness.Obs, error) {
-			crs := tr.Seed
-			cfg := nosetup.Config{
-				N: n, MaxRounds: 8,
-				NewNode: func(w nosetup.World, id types.NodeID) (netsim.Node, error) {
-					c := committee.Config{N: n, CommitteeSize: 8, Sender: nosetup.Sender, CRS: crs}
-					input := types.Zero
-					if w == nosetup.WorldQPrime {
-						input = types.One
-					}
-					return committee.New(c, id, input)
-				},
+			// Both worlds share the CRS (the trial seed); SplitWorlds builds
+			// each side's node set through the scenario registry.
+			newNode, err := scenario.SplitWorlds(scenario.Config{
+				Protocol: scenario.CommitteeEcho, N: n, F: 0, CommitteeSize: 8, Seed: tr.Seed,
+			})
+			if err != nil {
+				return nil, err
 			}
+			cfg := nosetup.Config{N: n, MaxRounds: 8, NewNode: newNode}
 			out, err := nosetup.Run(cfg)
 			if err != nil {
 				return nil, err

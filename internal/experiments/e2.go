@@ -3,13 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"ccba/internal/crypto/pki"
 	"ccba/internal/harness"
-	"ccba/internal/leader"
-	"ccba/internal/netsim"
-	"ccba/internal/quadratic"
+	"ccba/internal/scenario"
 	"ccba/internal/table"
-	"ccba/internal/types"
 )
 
 // E2Row is one protocol × n setting of the multicast-complexity experiment.
@@ -33,10 +29,11 @@ type E2Result struct {
 	Artifacts
 }
 
-// e2Obs folds one execution result into the experiment's observation shape.
-func e2Obs(r *netsim.Result, inputs []types.Bit) *harness.Obs {
+// e2Obs folds one execution report into the experiment's observation shape.
+func e2Obs(rep *scenario.Report) *harness.Obs {
+	r := rep.Result
 	o := harness.NewObs().
-		Event("violation", checkResult(r, inputs).any()).
+		Event("violation", checkReport(rep).any()).
 		Value("multicasts", float64(r.Metrics.HonestMulticasts))
 	if r.Metrics.HonestMulticasts > 0 {
 		o.Value("bytes_per_mcast", float64(r.Metrics.HonestMulticastBytes)/float64(r.Metrics.HonestMulticasts))
@@ -59,36 +56,47 @@ func E2MulticastComplexity(o Opts, maxN int) (*E2Result, error) {
 		"; the quadratic baseline's classical messages grow ≈n² — who wins flips at the crossover."
 	res.Sweep = harness.NewSweep("e2")
 
+	run := func(label, key string, row E2Row, sc scenario.Scenario) error {
+		agg, err := harness.Collect(o.options("e2", key), func(tr harness.Trial) (*harness.Obs, error) {
+			rep, err := o.run(sc, tr)
+			if err != nil {
+				return nil, err
+			}
+			return e2Obs(rep), nil
+		})
+		if err != nil {
+			return err
+		}
+		res.Sweep.Add(agg)
+		row.Protocol = label
+		row.Trials = o.Trials
+		row.Multicasts = agg.Mean("multicasts")
+		row.BytesPerMcast = agg.Mean("bytes_per_mcast")
+		row.Messages = agg.Mean("messages")
+		row.Rounds = agg.Mean("rounds")
+		row.Violations = agg.Count("violation")
+		res.Rows = append(res.Rows, row)
+		lambda := any(row.Lambda)
+		if row.Lambda == 0 {
+			lambda = "-"
+		}
+		res.Table.Add(row.Protocol, row.N, row.F, lambda, row.Multicasts,
+			row.BytesPerMcast, row.Messages, row.Rounds, row.Violations)
+		return nil
+	}
+
 	const lambda = 40
 	for _, n := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
 		if n > maxN {
 			break
 		}
 		f := (3 * n) / 10
-		agg, err := harness.Collect(o.options("e2", fmt.Sprintf("core/n=%d", n)), func(tr harness.Trial) (*harness.Obs, error) {
-			cfg := coreSetup(n, f, lambda, tr.Seed)
-			inputs := mixedInputs(n)
-			r, err := runCore(cfg, inputs, nil)
-			if err != nil {
-				return nil, err
-			}
-			return e2Obs(r, inputs), nil
-		})
+		err := run("core (subquadratic)", fmt.Sprintf("core/n=%d", n),
+			E2Row{N: n, F: f, Lambda: lambda},
+			scenario.Scenario{Config: scenario.Config{Protocol: scenario.Core, N: n, F: f, Lambda: lambda}})
 		if err != nil {
 			return nil, err
 		}
-		res.Sweep.Add(agg)
-		row := E2Row{
-			Protocol: "core (subquadratic)", N: n, F: f, Lambda: lambda, Trials: o.Trials,
-			Multicasts:    agg.Mean("multicasts"),
-			BytesPerMcast: agg.Mean("bytes_per_mcast"),
-			Messages:      agg.Mean("messages"),
-			Rounds:        agg.Mean("rounds"),
-			Violations:    agg.Count("violation"),
-		}
-		res.Rows = append(res.Rows, row)
-		res.Table.Add(row.Protocol, row.N, row.F, row.Lambda, row.Multicasts,
-			row.BytesPerMcast, row.Messages, row.Rounds, row.Violations)
 	}
 
 	for _, n := range []int{64, 128, 256} {
@@ -96,42 +104,12 @@ func E2MulticastComplexity(o Opts, maxN int) (*E2Result, error) {
 			break
 		}
 		f := (n - 1) / 2
-		agg, err := harness.Collect(o.options("e2", fmt.Sprintf("quadratic/n=%d", n)), func(tr harness.Trial) (*harness.Obs, error) {
-			seed := tr.Seed
-			pub, secrets := pki.Setup(n, seed)
-			cfg := quadratic.Config{
-				N: n, F: f, MaxIters: 40,
-				Oracle: leader.New(seed, n), PKI: pub,
-			}
-			inputs := mixedInputs(n)
-			nodes, err := quadratic.NewNodes(cfg, inputs, secrets)
-			if err != nil {
-				return nil, err
-			}
-			rt, err := netsim.NewRuntime(netsim.Config{
-				N: n, F: f, MaxRounds: cfg.Rounds(),
-				Seize: func(id types.NodeID) any { return secrets[id] },
-			}, nodes, nil)
-			if err != nil {
-				return nil, err
-			}
-			return e2Obs(rt.Run(), inputs), nil
-		})
+		err := run("quadratic (baseline)", fmt.Sprintf("quadratic/n=%d", n),
+			E2Row{N: n, F: f},
+			scenario.Scenario{Config: scenario.Config{Protocol: scenario.Quadratic, N: n, F: f, MaxIters: 40}})
 		if err != nil {
 			return nil, err
 		}
-		res.Sweep.Add(agg)
-		row := E2Row{
-			Protocol: "quadratic (baseline)", N: n, F: f, Lambda: 0, Trials: o.Trials,
-			Multicasts:    agg.Mean("multicasts"),
-			BytesPerMcast: agg.Mean("bytes_per_mcast"),
-			Messages:      agg.Mean("messages"),
-			Rounds:        agg.Mean("rounds"),
-			Violations:    agg.Count("violation"),
-		}
-		res.Rows = append(res.Rows, row)
-		res.Table.Add(row.Protocol, row.N, row.F, "-", row.Multicasts,
-			row.BytesPerMcast, row.Messages, row.Rounds, row.Violations)
 	}
 	return res, nil
 }

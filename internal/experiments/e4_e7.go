@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math"
 
-	"ccba/internal/core"
 	"ccba/internal/fmine"
 	"ccba/internal/harness"
 	"ccba/internal/netsim"
+	"ccba/internal/scenario"
 	"ccba/internal/stats"
 	"ccba/internal/table"
 	"ccba/internal/types"
@@ -54,9 +54,11 @@ func E4TerminatePropagation(o Opts) (*E4Result, error) {
 	const n, f, lambda = 200, 60, 40
 	res := &E4Result{Trials: o.Trials, SpreadCounts: map[int]int{}}
 	spreads, err := harness.Run(o.options("e4", ""), func(tr harness.Trial) (int, error) {
-		cfg := coreSetup(n, f, lambda, tr.Seed)
-		inputs := mixedInputs(n)
-		inner, err := core.NewNodes(cfg, inputs)
+		// Nodes come out of the scenario builder registry; the runtime is
+		// driven locally so every node can be wrapped in a halt recorder.
+		inner, _, steps, err := scenario.Build(scenario.Config{
+			Protocol: scenario.Core, N: n, F: f, Lambda: lambda, Seed: tr.Seed,
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -66,7 +68,7 @@ func E4TerminatePropagation(o Opts) (*E4Result, error) {
 			recs[i] = newHaltRecorder(nd)
 			nodes[i] = recs[i]
 		}
-		rt, err := netsim.NewRuntime(netsim.Config{N: n, F: f, MaxRounds: cfg.Rounds()}, nodes, nil)
+		rt, err := netsim.NewRuntime(netsim.Config{N: n, F: f, MaxRounds: steps}, nodes, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -287,23 +289,11 @@ type E7Result struct {
 	Artifacts
 }
 
-// silentStatic corrupts the first f nodes; they stay silent.
-type silentStatic struct {
-	netsim.Passive
-}
-
-func (a *silentStatic) Setup(ctx *netsim.Ctx) {
-	for i := 0; i < ctx.F(); i++ {
-		if _, err := ctx.Corrupt(types.NodeID(i)); err != nil {
-			return
-		}
-	}
-}
-
 // E7SafetyTrials runs the core protocol against the proof-relevant
-// adversaries and counts violations. Every trial builds its own adversary
-// via the setting's factory — the harness contract that makes stateful
-// adversaries (like the adaptive vote flipper) safe to sweep.
+// adversaries and counts violations. Each setting is one declarative
+// scenario — adversaries resolve by registry name, so every trial builds a
+// fresh instance (the harness contract that makes stateful adversaries,
+// like the adaptive vote flipper, safe to sweep).
 func E7SafetyTrials(o Opts) (*E7Result, error) {
 	const n, f, lambda = 150, 45, 40
 	res := &E7Result{}
@@ -313,30 +303,32 @@ func E7SafetyTrials(o Opts) (*E7Result, error) {
 	)
 	res.Sweep = harness.NewSweep("e7")
 	type setting struct {
-		name   string
-		adv    func() netsim.Adversary
-		inputs func() []types.Bit
-		label  string
+		name      string
+		adversary string
+		pattern   string
+		label     string
 	}
 	settings := []setting{
-		{"passive", func() netsim.Adversary { return nil }, func() []types.Bit { return mixedInputs(n) }, "mixed"},
-		{"passive", func() netsim.Adversary { return nil }, func() []types.Bit { return constInputs(n, types.One) }, "unanimous-1"},
-		{"silent-static (f)", func() netsim.Adversary { return &silentStatic{} }, func() []types.Bit { return mixedInputs(n) }, "mixed"},
-		{"adaptive vote-flipper", func() netsim.Adversary { return &core.VoteFlipAttack{} }, func() []types.Bit { return mixedInputs(n) }, "mixed"},
-		{"adaptive vote-flipper", func() netsim.Adversary { return &core.VoteFlipAttack{} }, func() []types.Bit { return constInputs(n, types.Zero) }, "unanimous-0"},
+		{"passive", "", scenario.InputsMixed, "mixed"},
+		{"passive", "", scenario.InputsUnanimous1, "unanimous-1"},
+		{"silent-static (f)", "silent", scenario.InputsMixed, "mixed"},
+		{"adaptive vote-flipper", "flip", scenario.InputsMixed, "mixed"},
+		{"adaptive vote-flipper", "flip", scenario.InputsUnanimous0, "unanimous-0"},
 	}
 	for _, st := range settings {
+		sc := scenario.Scenario{
+			Config:    scenario.Config{Protocol: scenario.Core, N: n, F: f, Lambda: lambda, InputPattern: st.pattern},
+			Adversary: st.adversary,
+		}
 		agg, err := harness.Collect(o.options("e7", st.name+"/"+st.label), func(tr harness.Trial) (*harness.Obs, error) {
-			cfg := coreSetup(n, f, lambda, tr.Seed)
-			inputs := st.inputs()
-			r, err := runCore(cfg, inputs, st.adv())
+			rep, err := o.run(sc, tr)
 			if err != nil {
 				return nil, err
 			}
 			return harness.NewObs().
-				Event("violation", checkResult(r, inputs).any()).
-				Value("rounds", float64(r.Rounds)).
-				Value("corrupted", float64(r.NumCorrupt())), nil
+				Event("violation", checkReport(rep).any()).
+				Value("rounds", float64(rep.Rounds)).
+				Value("corrupted", float64(rep.NumCorrupt())), nil
 		})
 		if err != nil {
 			return nil, err

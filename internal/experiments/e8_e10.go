@@ -4,15 +4,9 @@ import (
 	"fmt"
 
 	"ccba/internal/chenmicali"
-	"ccba/internal/core"
-	"ccba/internal/crypto/pki"
-	"ccba/internal/dolevstrong"
-	"ccba/internal/fmine"
 	"ccba/internal/harness"
-	"ccba/internal/leader"
-	"ccba/internal/netsim"
 	"ccba/internal/phaseking"
-	"ccba/internal/quadratic"
+	"ccba/internal/scenario"
 	"ccba/internal/table"
 	"ccba/internal/types"
 )
@@ -33,7 +27,10 @@ type E8Result struct {
 	Artifacts
 }
 
-// E8BitSpecificAblation runs the ablation.
+// E8BitSpecificAblation runs the ablation. Every design is a scenario over
+// the same parameters; the "flip" registry adversary resolves to the
+// protocol-appropriate quorum-flip attack, and each trial pairs it with a
+// passive baseline run on the same seed.
 func E8BitSpecificAblation(o Opts) (*E8Result, error) {
 	const n, epochs, lambda, f = 150, 8, 40, 50
 	res := &E8Result{}
@@ -44,118 +41,81 @@ func E8BitSpecificAblation(o Opts) (*E8Result, error) {
 	res.Table.Note = "Same weakly adaptive quorum-flip adversary in every row; only the eligibility design changes."
 	res.Sweep = harness.NewSweep("e8")
 
-	victims := make([]types.NodeID, 0, n/2)
-	for i := n / 2; i < n; i++ {
-		victims = append(victims, types.NodeID(i))
+	type design struct {
+		name     string
+		scenario string // harness scenario key
+		cfg      scenario.Config
+		// forged extracts the attack's forgery count once the trial ran.
+		forged func(adv any) float64
 	}
-	inputs := constInputs(n, types.One)
+	base := scenario.Config{N: n, F: f, Epochs: epochs, Lambda: lambda, InputPattern: scenario.InputsUnanimous1}
+	withProtocol := func(p scenario.Protocol, erasure bool) scenario.Config {
+		cfg := base
+		cfg.Protocol = p
+		cfg.Erasure = erasure
+		return cfg
+	}
+	designs := []design{
+		{
+			name: "bit-free tickets, no erasure (Chen–Micali strawman)", scenario: "bit-free",
+			cfg:    withProtocol(scenario.ChenMicali, false),
+			forged: func(adv any) float64 { return float64(adv.(*chenmicali.FlipAttack).Forged) },
+		},
+		{
+			name: "bit-free tickets + memory erasure (Chen–Micali fix)", scenario: "bit-free+erasure",
+			cfg:    withProtocol(scenario.ChenMicali, true),
+			forged: func(adv any) float64 { return float64(adv.(*chenmicali.FlipAttack).Forged) },
+		},
+		{
+			name: "bit-specific tickets, no erasure (this paper)", scenario: "bit-specific",
+			cfg:    withProtocol(scenario.PhaseKingSampled, false),
+			forged: func(adv any) float64 { return float64(adv.(*phaseking.FlipAttack).Mined) },
+		},
+	}
 
-	addRow := func(design string, agg *harness.Agg) {
+	for _, d := range designs {
+		agg, err := harness.Collect(o.options("e8", d.scenario), func(tr harness.Trial) (*harness.Obs, error) {
+			runOne := func(adversary string) (violations, any, error) {
+				sc := scenario.Scenario{Config: d.cfg, Adversary: adversary}
+				cfg, err := sc.Resolve(tr.Seed, tr.Index)
+				if err != nil {
+					return violations{}, nil, err
+				}
+				if o.Net != "" {
+					cfg.Net = o.Net
+					cfg.Delta = o.Delta
+				}
+				rep, err := scenario.Run(cfg)
+				if err != nil {
+					return violations{}, nil, err
+				}
+				return checkReport(rep), cfg.Adversary, nil
+			}
+			v, adv, err := runOne("flip")
+			if err != nil {
+				return nil, err
+			}
+			bv, _, err := runOne("")
+			if err != nil {
+				return nil, err
+			}
+			return harness.NewObs().
+				Event("attack_violation", v.any()).
+				Event("baseline_violation", bv.any()).
+				Value("forged", d.forged(adv)), nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		res.Sweep.Add(agg)
 		row := E8Row{
-			Design: design, Trials: o.Trials,
+			Design: d.name, Trials: o.Trials,
 			AttackBroke:   agg.Count("attack_violation"),
 			BaselineBroke: agg.Count("baseline_violation"),
 			ForgedMean:    agg.Mean("forged"),
 		}
 		res.Rows = append(res.Rows, row)
 		res.Table.Add(row.Design, row.Trials, row.AttackBroke, row.BaselineBroke, row.ForgedMean)
-	}
-
-	// Design 1 & 2: Chen–Micali-style bit-free tickets, erasure off/on.
-	for _, erasure := range []bool{false, true} {
-		name := "bit-free tickets, no erasure (Chen–Micali strawman)"
-		scenario := "bit-free"
-		if erasure {
-			name = "bit-free tickets + memory erasure (Chen–Micali fix)"
-			scenario = "bit-free+erasure"
-		}
-		agg, err := harness.Collect(o.options("e8", scenario), func(tr harness.Trial) (*harness.Obs, error) {
-			seed := tr.Seed
-			runOne := func(adv netsim.Adversary) (bool, error) {
-				pub, secrets := pki.Setup(n, seed)
-				cfg := chenmicali.Config{
-					N: n, Epochs: epochs, Lambda: lambda, Erasure: erasure,
-					Suite: fmine.NewIdeal(seed, chenmicali.Probabilities(n, lambda)),
-					PKI:   pub,
-				}
-				nodes, keys, err := chenmicali.NewNodes(cfg, inputs, secrets)
-				if err != nil {
-					return false, err
-				}
-				rt, err := netsim.NewRuntime(netsim.Config{
-					N: n, F: f, MaxRounds: cfg.Rounds() + 2,
-					Seize: func(id types.NodeID) any { return keys[id] },
-				}, nodes, adv)
-				if err != nil {
-					return false, err
-				}
-				r := rt.Run()
-				return checkResult(r, inputs).any(), nil
-			}
-			attack := &chenmicali.FlipAttack{TargetEpoch: uint32(epochs - 1), Victims: victims}
-			v, err := runOne(attack)
-			if err != nil {
-				return nil, err
-			}
-			bv, err := runOne(nil)
-			if err != nil {
-				return nil, err
-			}
-			return harness.NewObs().
-				Event("attack_violation", v).
-				Event("baseline_violation", bv).
-				Value("forged", float64(attack.Forged)), nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		addRow(name, agg)
-	}
-
-	// Design 3: the paper's fix — bit-specific tickets (sub-sampled
-	// phase-king), no erasure, same attack shape.
-	{
-		agg, err := harness.Collect(o.options("e8", "bit-specific"), func(tr harness.Trial) (*harness.Obs, error) {
-			seed := tr.Seed
-			runOne := func(adv netsim.Adversary) (bool, error) {
-				suite := fmine.NewIdeal(seed, phaseking.Probabilities(n, lambda))
-				cfg := phaseking.Config{
-					N: n, Epochs: epochs, Sampled: true, Lambda: lambda,
-					Suite: suite, CoinSeed: seed,
-				}
-				nodes, err := phaseking.NewNodes(cfg, inputs)
-				if err != nil {
-					return false, err
-				}
-				rt, err := netsim.NewRuntime(netsim.Config{
-					N: n, F: f, MaxRounds: 2*epochs + 3,
-					Seize: func(id types.NodeID) any { return suite.Miner(id) },
-				}, nodes, adv)
-				if err != nil {
-					return false, err
-				}
-				r := rt.Run()
-				return checkResult(r, inputs).any(), nil
-			}
-			attack := &phaseking.FlipAttack{TargetEpoch: uint32(epochs - 1), Victims: victims}
-			v, err := runOne(attack)
-			if err != nil {
-				return nil, err
-			}
-			bv, err := runOne(nil)
-			if err != nil {
-				return nil, err
-			}
-			return harness.NewObs().
-				Event("attack_violation", v).
-				Event("baseline_violation", bv).
-				Value("forged", float64(attack.Mined)), nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		addRow("bit-specific tickets, no erasure (this paper)", agg)
 	}
 	return res, nil
 }
@@ -180,7 +140,7 @@ type E9Result struct {
 }
 
 // E9ProtocolComparison measures every implemented protocol on comparable
-// workloads.
+// workloads — one declarative scenario per row.
 func E9ProtocolComparison(o Opts) (*E9Result, error) {
 	res := &E9Result{}
 	res.Table = table.New(
@@ -189,142 +149,51 @@ func E9ProtocolComparison(o Opts) (*E9Result, error) {
 	)
 	res.Sweep = harness.NewSweep("e9")
 
-	type runner func(seed [32]byte) (*netsim.Result, []types.Bit, error)
 	type setting struct {
 		name, model string
-		n, f        int
-		run         runner
+		cfg         scenario.Config
 	}
-
 	settings := []setting{
 		{
-			name: "dolev-strong BB", model: "PKI, strongly adaptive f<n", n: 48, f: 16,
-			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
-				pub, secrets := pki.Setup(48, seed)
-				cfg := dolevstrong.Config{N: 48, F: 16, Sender: 0, PKI: pub}
-				nodes, err := dolevstrong.NewNodes(cfg, types.One, secrets)
-				if err != nil {
-					return nil, nil, err
-				}
-				rt, err := netsim.NewRuntime(netsim.Config{N: 48, F: 16, MaxRounds: cfg.Rounds()}, nodes, nil)
-				if err != nil {
-					return nil, nil, err
-				}
-				return rt.Run(), nil, nil
-			},
+			name: "dolev-strong BB", model: "PKI, strongly adaptive f<n",
+			cfg: scenario.Config{Protocol: scenario.DolevStrong, N: 48, F: 16, SenderInput: types.One},
 		},
 		{
-			name: "phase-king (plain §3.1)", model: "auth. channels, f<n/3", n: 48, f: 15,
-			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
-				cfg := phaseking.Config{N: 48, Epochs: 20, CoinSeed: seed}
-				inputs := mixedInputs(48)
-				nodes, err := phaseking.NewNodes(cfg, inputs)
-				if err != nil {
-					return nil, nil, err
-				}
-				rt, err := netsim.NewRuntime(netsim.Config{N: 48, F: 15, MaxRounds: cfg.Rounds() + 1}, nodes, nil)
-				if err != nil {
-					return nil, nil, err
-				}
-				return rt.Run(), inputs, nil
-			},
+			name: "phase-king (plain §3.1)", model: "auth. channels, f<n/3",
+			cfg: scenario.Config{Protocol: scenario.PhaseKingPlain, N: 48, F: 15},
 		},
 		{
-			name: "phase-king (sampled §3.2)", model: "PKI+VRF, weakly adaptive f<(1/3−ε)n", n: 200, f: 40,
-			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
-				cfg := phaseking.Config{
-					N: 200, Epochs: 20, Sampled: true, Lambda: 40,
-					Suite:    fmine.NewIdeal(seed, phaseking.Probabilities(200, 40)),
-					CoinSeed: seed,
-				}
-				inputs := mixedInputs(200)
-				nodes, err := phaseking.NewNodes(cfg, inputs)
-				if err != nil {
-					return nil, nil, err
-				}
-				rt, err := netsim.NewRuntime(netsim.Config{N: 200, F: 40, MaxRounds: cfg.Rounds() + 1}, nodes, nil)
-				if err != nil {
-					return nil, nil, err
-				}
-				return rt.Run(), inputs, nil
-			},
+			name: "phase-king (sampled §3.2)", model: "PKI+VRF, weakly adaptive f<(1/3−ε)n",
+			cfg: scenario.Config{Protocol: scenario.PhaseKingSampled, N: 200, F: 40, Lambda: 40},
 		},
 		{
-			name: "chen-micali style (erasure)", model: "PKI+VRF+memory-erasure, f<(1/3−ε)n", n: 200, f: 40,
-			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
-				pub, secrets := pki.Setup(200, seed)
-				cfg := chenmicali.Config{
-					N: 200, Epochs: 20, Lambda: 40, Erasure: true,
-					Suite: fmine.NewIdeal(seed, chenmicali.Probabilities(200, 40)),
-					PKI:   pub,
-				}
-				inputs := mixedInputs(200)
-				nodes, _, err := chenmicali.NewNodes(cfg, inputs, secrets)
-				if err != nil {
-					return nil, nil, err
-				}
-				rt, err := netsim.NewRuntime(netsim.Config{N: 200, F: 40, MaxRounds: cfg.Rounds() + 1}, nodes, nil)
-				if err != nil {
-					return nil, nil, err
-				}
-				return rt.Run(), inputs, nil
-			},
+			name: "chen-micali style (erasure)", model: "PKI+VRF+memory-erasure, f<(1/3−ε)n",
+			cfg: scenario.Config{Protocol: scenario.ChenMicali, N: 200, F: 40, Lambda: 40, Erasure: true},
 		},
 		{
-			name: "quadratic BA (App C.1)", model: "PKI+leader oracle, f<n/2", n: 49, f: 24,
-			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
-				pub, secrets := pki.Setup(49, seed)
-				cfg := quadratic.Config{N: 49, F: 24, MaxIters: 40, Oracle: leader.New(seed, 49), PKI: pub}
-				inputs := mixedInputs(49)
-				nodes, err := quadratic.NewNodes(cfg, inputs, secrets)
-				if err != nil {
-					return nil, nil, err
-				}
-				rt, err := netsim.NewRuntime(netsim.Config{N: 49, F: 24, MaxRounds: cfg.Rounds()}, nodes, nil)
-				if err != nil {
-					return nil, nil, err
-				}
-				return rt.Run(), inputs, nil
-			},
+			name: "quadratic BA (App C.1)", model: "PKI+leader oracle, f<n/2",
+			cfg: scenario.Config{Protocol: scenario.Quadratic, N: 49, F: 24, MaxIters: 40},
 		},
 		{
-			name: "core subquadratic (hybrid)", model: "F_mine, weakly adaptive f<(1/2−ε)n", n: 200, f: 60,
-			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
-				cfg := coreSetup(200, 60, 40, seed)
-				inputs := mixedInputs(200)
-				r, err := runCore(cfg, inputs, nil)
-				return r, inputs, err
-			},
+			name: "core subquadratic (hybrid)", model: "F_mine, weakly adaptive f<(1/2−ε)n",
+			cfg: scenario.Config{Protocol: scenario.Core, N: 200, F: 60, Lambda: 40},
 		},
 		{
-			name: "core subquadratic (real VRF)", model: "PKI+VRF, weakly adaptive f<(1/2−ε)n", n: 200, f: 60,
-			run: func(seed [32]byte) (*netsim.Result, []types.Bit, error) {
-				pub, secrets := pki.Setup(200, seed)
-				cfg := core.Config{
-					N: 200, F: 60, Lambda: 40, MaxIters: 60,
-					Suite: fmine.NewReal(pub, secrets, core.Probabilities(200, 40)),
-				}
-				inputs := mixedInputs(200)
-				r, err := runCore(cfg, inputs, nil)
-				return r, inputs, err
-			},
+			name: "core subquadratic (real VRF)", model: "PKI+VRF, weakly adaptive f<(1/2−ε)n",
+			cfg: scenario.Config{Protocol: scenario.Core, N: 200, F: 60, Lambda: 40, Crypto: scenario.Real},
 		},
 	}
 
 	for _, st := range settings {
+		sc := scenario.Scenario{Config: st.cfg}
 		agg, err := harness.Collect(o.options("e9", st.name), func(tr harness.Trial) (*harness.Obs, error) {
-			r, inputs, err := st.run(tr.Seed)
+			rep, err := o.run(sc, tr)
 			if err != nil {
 				return nil, err
 			}
-			var violated bool
-			if inputs != nil {
-				violated = checkResult(r, inputs).any()
-			} else {
-				violated = netsim.CheckConsistency(r) != nil || netsim.CheckTermination(r) != nil
-			}
+			r := rep.Result
 			return harness.NewObs().
-				Event("violation", violated).
+				Event("violation", checkReport(rep).any()).
 				Value("rounds", float64(r.Rounds)).
 				Value("multicasts", float64(r.Metrics.HonestMulticasts)).
 				Value("mcast_kb", float64(r.Metrics.HonestMulticastBytes)/1024).
@@ -335,7 +204,7 @@ func E9ProtocolComparison(o Opts) (*E9Result, error) {
 		}
 		res.Sweep.Add(agg)
 		row := E9Row{
-			Protocol: st.name, Model: st.model, N: st.n, F: st.f,
+			Protocol: st.name, Model: st.model, N: st.cfg.N, F: st.cfg.F,
 			Rounds:     agg.Mean("rounds"),
 			Multicasts: agg.Mean("multicasts"),
 			McastKB:    agg.Mean("mcast_kb"),
@@ -379,42 +248,26 @@ func E10PhaseKing(o Opts) (*E10Result, error) {
 	res.Sweep = harness.NewSweep("e10")
 
 	for _, n := range []int{32, 64, 128, 256} {
+		plain := scenario.Scenario{Config: scenario.Config{
+			Protocol: scenario.PhaseKingPlain, N: n, F: 0, Epochs: epochs,
+		}}
+		sampled := scenario.Scenario{Config: scenario.Config{
+			Protocol: scenario.PhaseKingSampled, N: n, F: 0, Epochs: epochs, Lambda: lambda,
+		}}
 		agg, err := harness.Collect(o.options("e10", fmt.Sprintf("n=%d", n)), func(tr harness.Trial) (*harness.Obs, error) {
-			seed := tr.Seed
-			inputs := mixedInputs(n)
-
-			plainCfg := phaseking.Config{N: n, Epochs: epochs, CoinSeed: seed}
-			nodes, err := phaseking.NewNodes(plainCfg, inputs)
+			prep, err := o.run(plain, tr)
 			if err != nil {
 				return nil, err
 			}
-			rt, err := netsim.NewRuntime(netsim.Config{N: n, F: 0, MaxRounds: plainCfg.Rounds() + 1}, nodes, nil)
+			srep, err := o.run(sampled, tr)
 			if err != nil {
 				return nil, err
 			}
-			r := rt.Run()
-			plainViol := checkResult(r, inputs).any()
-			plainM := float64(r.Metrics.HonestMulticasts)
-
-			sampledCfg := phaseking.Config{
-				N: n, Epochs: epochs, Sampled: true, Lambda: lambda,
-				Suite:    fmine.NewIdeal(seed, phaseking.Probabilities(n, lambda)),
-				CoinSeed: seed,
-			}
-			nodes, err = phaseking.NewNodes(sampledCfg, inputs)
-			if err != nil {
-				return nil, err
-			}
-			rt, err = netsim.NewRuntime(netsim.Config{N: n, F: 0, MaxRounds: sampledCfg.Rounds() + 1}, nodes, nil)
-			if err != nil {
-				return nil, err
-			}
-			r = rt.Run()
 			return harness.NewObs().
-				Event("plain_violation", plainViol).
-				Event("sampled_violation", checkResult(r, inputs).any()).
-				Value("plain_multicasts", plainM).
-				Value("sampled_multicasts", float64(r.Metrics.HonestMulticasts)), nil
+				Event("plain_violation", checkReport(prep).any()).
+				Event("sampled_violation", checkReport(srep).any()).
+				Value("plain_multicasts", float64(prep.Metrics.HonestMulticasts)).
+				Value("sampled_multicasts", float64(srep.Metrics.HonestMulticasts)), nil
 		})
 		if err != nil {
 			return nil, err

@@ -1,18 +1,22 @@
 // Package experiments regenerates every table-equivalent in the paper's
-// evaluation — one generator per experiment in DESIGN.md §3 (E1–E10), each
+// evaluation — one generator per experiment in DESIGN.md §3 (E1–E12), each
 // mapping a theorem, lemma, or remark to a measured table. The generators
 // return structured results for programmatic assertions plus a rendered
 // text table; cmd/experiments prints them and bench_test.go wraps them as
 // benchmarks.
+//
+// Every protocol execution resolves through the internal/scenario registry:
+// generators declare scenario values (protocol × N/F/λ × adversary ×
+// network model × inputs) and run them on the harness worker pool, so a new
+// setting is one declaration, not a hand-wired construction.
 package experiments
 
 import (
 	"fmt"
 
-	"ccba/internal/core"
-	"ccba/internal/fmine"
 	"ccba/internal/harness"
 	"ccba/internal/netsim"
+	"ccba/internal/scenario"
 	"ccba/internal/table"
 	"ccba/internal/types"
 )
@@ -25,16 +29,34 @@ type Opts struct {
 	Trials int
 	// Workers sizes the trial worker pool; 0 or less means GOMAXPROCS.
 	Workers int
+	// Net and Delta, when Net is non-empty, override the network model of
+	// every execution that goes through the scenario runner (E2, E7–E11) —
+	// rerunning one of those under, say, worst-case Δ=3 scheduling is a
+	// flag, not a code change. Experiments that drive custom engines or
+	// instrumented runtimes (E1, E3–E6) and E12, which sweeps network
+	// models itself, ignore the override.
+	Net   scenario.NetName
+	Delta int
 }
 
 // options builds the harness options for one scenario of one experiment.
-func (o Opts) options(experiment, scenario string) harness.Options {
+func (o Opts) options(experiment, scenarioKey string) harness.Options {
 	return harness.Options{
 		Name:     experiment,
-		Scenario: scenario,
+		Scenario: scenarioKey,
 		Trials:   o.Trials,
 		Workers:  o.Workers,
 	}
+}
+
+// run resolves and executes one scenario trial, applying the Opts
+// network-model override.
+func (o Opts) run(sc scenario.Scenario, tr harness.Trial) (*scenario.Report, error) {
+	if o.Net != "" {
+		sc.Config.Net = o.Net
+		sc.Config.Delta = o.Delta
+	}
+	return sc.Run(tr.Seed, tr.Index)
 }
 
 // Artifacts is the output pair every generator produces alongside its typed
@@ -65,30 +87,6 @@ func mixedInputs(n int) []types.Bit {
 		in[i] = types.BitFromBool(i%2 == 0)
 	}
 	return in
-}
-
-// coreSetup builds a core-protocol configuration in the hybrid world.
-func coreSetup(n, f, lambda int, seed [32]byte) core.Config {
-	return core.Config{
-		N: n, F: f, Lambda: lambda, MaxIters: 60,
-		Suite: fmine.NewIdeal(seed, core.Probabilities(n, lambda)),
-	}
-}
-
-// runCore executes one core-protocol instance and returns the result.
-func runCore(cfg core.Config, inputs []types.Bit, adv netsim.Adversary) (*netsim.Result, error) {
-	nodes, err := core.NewNodes(cfg, inputs)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := netsim.NewRuntime(netsim.Config{
-		N: cfg.N, F: cfg.F, MaxRounds: cfg.Rounds(),
-		Seize: func(id types.NodeID) any { return cfg.Suite.Miner(id) },
-	}, nodes, adv)
-	if err != nil {
-		return nil, err
-	}
-	return rt.Run(), nil
 }
 
 // violations counts which properties failed on a result.
@@ -122,6 +120,16 @@ func checkResult(res *netsim.Result, inputs []types.Bit) violations {
 		consistency: netsim.CheckConsistency(res) != nil,
 		validity:    netsim.CheckAgreementValidity(res, inputs) != nil,
 		termination: netsim.CheckTermination(res) != nil,
+	}
+}
+
+// checkReport folds a scenario report's checker outcomes into the
+// experiment observation shape.
+func checkReport(rep *scenario.Report) violations {
+	return violations{
+		consistency: rep.Consistency != nil,
+		validity:    rep.Validity != nil,
+		termination: rep.Termination != nil,
 	}
 }
 

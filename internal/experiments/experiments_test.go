@@ -222,6 +222,39 @@ func TestE10Shape(t *testing.T) {
 	}
 }
 
+func TestE12Shape(t *testing.T) {
+	res, err := E12NetworkModels(Opts{Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// A legal schedule can stall quorums but never forge one: safety
+		// must hold in every row, whatever Δ or omission rate does to
+		// liveness.
+		if r.SafetyViol != 0 {
+			t.Errorf("%s Δ=%d rate=%.2f: %d safety violations", r.Net, r.Delta, r.OmissionRate, r.SafetyViol)
+		}
+	}
+	control := res.Rows[0]
+	if control.Net != "delta-one" || control.TerminationRate != 1 {
+		t.Errorf("lockstep control: net=%s termination=%.2f, want delta-one at 100%%", control.Net, control.TerminationRate)
+	}
+	// Worst-case Δ-delay must measurably hurt liveness: lockstep protocols
+	// are designed for Δ=1, and the gap is the experiment's point.
+	worst := res.Rows[2] // Δ=3 worst-case
+	if worst.TerminationRate >= control.TerminationRate {
+		t.Errorf("worst-case Δ=3 terminated as often as lockstep (%.2f vs %.2f)",
+			worst.TerminationRate, control.TerminationRate)
+	}
+	if worst.MeanRounds <= control.MeanRounds {
+		t.Errorf("worst-case Δ=3 used %v rounds vs lockstep %v; stalled runs must burn the Δ-scaled budget",
+			worst.MeanRounds, control.MeanRounds)
+	}
+}
+
 // TestWorkersDeterminism runs a full-protocol generator and an
 // eligibility-sampling generator at workers=1 and workers=8 and requires
 // identical rows, tables, and JSON sweeps — the harness contract that
@@ -245,6 +278,16 @@ func TestWorkersDeterminism(t *testing.T) {
 		},
 		"e5": func(o Opts) (any, *Artifacts, error) {
 			r, err := E5CommitteeConcentration(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Rows, r.Out(), nil
+		},
+		// e12 exercises the scheduled-delivery engine (Δ > 1, omission)
+		// under the parallel harness: network-model runs must be as
+		// worker-count-independent as lockstep ones.
+		"e12": func(o Opts) (any, *Artifacts, error) {
+			r, err := E12NetworkModels(o)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -83,8 +83,17 @@ func (c *Ctx) Corrupt(id types.NodeID) (Seized, error) {
 	if c.rt.adv.Power() == PowerStatic && c.round >= 0 {
 		return Seized{}, fmt.Errorf("%w: static adversary corrupting at round %d", ErrPower, c.round)
 	}
-	if c.CorruptCount() >= c.rt.cfg.F {
-		return Seized{}, fmt.Errorf("%w: f=%d", ErrBudget, c.rt.cfg.F)
+	// Omission faults declared by the network model spend the same budget:
+	// corruptions plus still-honest faulty senders may never exceed F.
+	// Corrupting an already-faulty node converts its fault slot into a
+	// corruption slot rather than consuming a second one.
+	spent := c.CorruptCount() + c.rt.honestFaultyCount()
+	if c.rt.faulty != nil && c.rt.faulty[id] {
+		spent--
+	}
+	if spent >= c.rt.cfg.F {
+		return Seized{}, fmt.Errorf("%w: f=%d (%d spent on omission faults)",
+			ErrBudget, c.rt.cfg.F, c.rt.honestFaultyCount())
 	}
 	c.rt.status[id] = types.Corrupt
 	c.rt.corruptAt[id] = c.round

@@ -1,0 +1,278 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccba/internal/types"
+)
+
+// NetModel is the pluggable message-scheduling layer of the simulator.
+//
+// The paper's execution model (Appendix A.1) is synchronous with delivery
+// bound ∆: the adversary controls the network and may delay any message, but
+// a message sent by a so-far-honest node in round r must be delivered by
+// round r+∆. The Runtime asks its NetModel for a delivery delay on every
+// (sender, recipient) link and enforces the model's answers against that
+// bound and against the adversary's declared Power:
+//
+//   - Honest-sender links are never dropped. A model that returns Drop for
+//     one is overridden to the maximal legal delay ∆ — holding a message to
+//     the bound is the strongest thing a synchronous adversary can do to an
+//     honest link. The only exceptions are the adversary's own after-the-fact
+//     removal (a Ctx.Remove by a strongly adaptive adversary, which happens
+//     before scheduling) and the model's declared omission faults below.
+//   - Delays are clamped into [1, Delta()]. Nothing arrives in the round it
+//     was sent (the adversary is rushing, the honest nodes are not), and
+//     nothing arrives after the bound.
+//   - A model may declare a set of omission-faulty senders via Faulty().
+//     Links from those nodes may be dropped — the classic omission/crash
+//     fault class, distinct from Byzantine corruption: faulty nodes keep
+//     executing the protocol honestly, but the network loses (some of) their
+//     outbound messages. Omission faults spend the same budget as
+//     corruptions: NewRuntime rejects models whose fault set exceeds F, and
+//     Ctx.Corrupt charges adaptive corruptions against the remainder, so
+//     faulty-plus-corrupt senders never exceed F in total.
+//   - Links from corrupt senders (injected traffic, or sends erasable under
+//     strongly adaptive power) may be dropped freely — the adversary already
+//     controls that traffic.
+//   - A node's message to itself never touches the network: self-links are
+//     delivered next round and cannot be dropped or delayed further.
+//
+// Models must be deterministic given their construction parameters; seeded
+// models derive every decision from (seed, round, from, to) so executions
+// remain reproducible and independent of scheduling order.
+type NetModel interface {
+	// Delta returns the model's delivery bound ∆ ≥ 1.
+	Delta() int
+	// Faulty returns the omission-faulty sender set (nil for pure
+	// scheduling models). The Runtime validates it against N and F.
+	Faulty() []types.NodeID
+	// Schedule returns the delivery delay in rounds for one link, in
+	// [1, Delta()], or Drop to omit delivery on that link. The Runtime
+	// clamps and power-checks the answer as described above.
+	Schedule(l Link) int
+}
+
+// Drop is the Schedule return value requesting that a link's message be
+// omitted entirely. The Runtime honors it only on links the adversary's
+// power permits (faulty or corrupt senders); on honest links it degrades to
+// the maximal delay Delta().
+const Drop = -1
+
+// Link is one (sender, recipient) delivery decision put to a NetModel. A
+// multicast fans out into one Link per recipient, so models can make
+// per-link choices (drop the copy to one node, delay another).
+type Link struct {
+	// Round is the round the message was sent.
+	Round int
+	// From and To identify the link. To is always a concrete recipient.
+	From, To types.NodeID
+	// HonestSend reports whether the sender was so-far-honest when it sent.
+	HonestSend bool
+	// FromCorrupt reports whether the sender is corrupt by scheduling time
+	// (an injected message, or a sender corrupted after speaking).
+	FromCorrupt bool
+}
+
+// ---------------------------------------------------------------------------
+// DeltaOne — the default lockstep model.
+
+type deltaOne struct{}
+
+// DeltaOne returns the lockstep model: every message is delivered exactly
+// one round after it is sent. It is the default, reproduces the pre-model
+// engine bit for bit, and keeps the zero-allocation fast path (the Runtime
+// recognises it and skips per-link scheduling entirely).
+func DeltaOne() NetModel { return deltaOne{} }
+
+func (deltaOne) Delta() int             { return 1 }
+func (deltaOne) Faulty() []types.NodeID { return nil }
+func (deltaOne) Schedule(Link) int      { return 1 }
+func (deltaOne) String() string         { return "delta-one" }
+
+// ---------------------------------------------------------------------------
+// WorstCase — adversarial ∆-delay.
+
+type worstCase struct{ delta int }
+
+// WorstCase returns the adversary's classic synchronous schedule: every
+// link is held to the delivery bound ∆. Against lockstep protocols this is
+// the worst legal timing an adversary can impose without dropping anything.
+func WorstCase(delta int) NetModel { return worstCase{delta: delta} }
+
+func (w worstCase) Delta() int           { return w.delta }
+func (worstCase) Faulty() []types.NodeID { return nil }
+func (w worstCase) Schedule(Link) int    { return w.delta }
+func (w worstCase) String() string       { return fmt.Sprintf("worst-case(Δ=%d)", w.delta) }
+
+// ---------------------------------------------------------------------------
+// Jitter — seeded per-link random delay.
+
+type jitter struct {
+	delta int
+	key   uint64
+}
+
+// Jitter returns a model that delays every link by an independent,
+// seed-deterministic amount uniform in [1, delta]. The same seed yields the
+// same schedule on every run; per-link decisions are derived by hashing
+// (seed, round, from, to), so they do not depend on scheduling order.
+func Jitter(delta int, seed [32]byte) NetModel {
+	return jitter{delta: delta, key: FoldSeed(seed)}
+}
+
+func (j jitter) Delta() int           { return j.delta }
+func (jitter) Faulty() []types.NodeID { return nil }
+
+func (j jitter) Schedule(l Link) int {
+	if j.delta <= 1 {
+		return 1
+	}
+	return 1 + int(linkHash(j.key, l.Round, l.From, l.To)%uint64(j.delta))
+}
+
+func (j jitter) String() string { return fmt.Sprintf("jitter(Δ=%d)", j.delta) }
+
+// ---------------------------------------------------------------------------
+// Omission — per-link drops on a declared faulty-sender set.
+
+type omission struct {
+	delta  int
+	rate   float64
+	key    uint64
+	faulty []types.NodeID
+	isF    map[types.NodeID]bool
+}
+
+// Omission returns a model with omission-faulty senders: each link from a
+// node in faulty independently loses its message with the given probability
+// (seed-deterministic per (round, from, to)); all other links are delivered
+// next round. delta still bounds any delay a composed runtime applies and
+// must be ≥ 1. Faulty nodes keep running the protocol — only the network
+// misbehaves — and the fault set spends the corruption budget F.
+func Omission(delta int, rate float64, faulty []types.NodeID, seed [32]byte) NetModel {
+	m := omission{
+		delta:  delta,
+		rate:   rate,
+		key:    FoldSeed(seed),
+		faulty: append([]types.NodeID(nil), faulty...),
+		isF:    make(map[types.NodeID]bool, len(faulty)),
+	}
+	for _, id := range m.faulty {
+		m.isF[id] = true
+	}
+	return m
+}
+
+func (o omission) Delta() int             { return o.delta }
+func (o omission) Faulty() []types.NodeID { return o.faulty }
+
+func (o omission) Schedule(l Link) int {
+	if o.isF[l.From] && o.rate > 0 {
+		h := linkHash(o.key, l.Round, l.From, l.To)
+		if float64(h>>11)/(1<<53) < o.rate {
+			return Drop
+		}
+	}
+	return 1
+}
+
+func (o omission) String() string {
+	return fmt.Sprintf("omission(rate=%.2f, faulty=%d)", o.rate, len(o.faulty))
+}
+
+// ---------------------------------------------------------------------------
+// Partition — a temporary split held to the delivery bound.
+
+type partition struct {
+	delta int
+	cut   types.NodeID
+	until int
+}
+
+// Partition returns a model that splits the network into [0, cut) and
+// [cut, n) for rounds 0..until−1: cross-partition links are held to the
+// delivery bound ∆ while the partition lasts, then the network heals back
+// to lockstep. A synchronous adversary cannot silently disconnect honest
+// nodes — ∆-delay is the strongest partition it can impose — so this model
+// drops nothing.
+func Partition(delta int, cut types.NodeID, until int) NetModel {
+	return partition{delta: delta, cut: cut, until: until}
+}
+
+func (p partition) Delta() int           { return p.delta }
+func (partition) Faulty() []types.NodeID { return nil }
+
+func (p partition) Schedule(l Link) int {
+	if l.Round < p.until && (l.From < p.cut) != (l.To < p.cut) {
+		return p.delta
+	}
+	return 1
+}
+
+func (p partition) String() string {
+	return fmt.Sprintf("partition(Δ=%d, cut=%d, until=%d)", p.delta, p.cut, p.until)
+}
+
+// ---------------------------------------------------------------------------
+// Seeded link hashing shared by the randomized models.
+
+// FoldSeed collapses a 32-byte seed into the 64-bit key the seeded models
+// (and the scenario layer's fault sampling) mix per-decision hashes from.
+func FoldSeed(seed [32]byte) uint64 {
+	k := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 32; i += 8 {
+		k = Mix64(k ^ binary.LittleEndian.Uint64(seed[i:]))
+	}
+	return k
+}
+
+// linkHash derives a deterministic 64-bit value for one (round, from, to)
+// link under a folded seed key, so per-link decisions are independent of
+// the order in which links are scheduled.
+func linkHash(key uint64, round int, from, to types.NodeID) uint64 {
+	h := key
+	h = Mix64(h ^ uint64(round))
+	h = Mix64(h ^ uint64(uint32(from)))
+	h = Mix64(h ^ uint64(uint32(to)))
+	return h
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection.
+func Mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// validateNetModel checks a model against the execution parameters: Δ ≥ 1,
+// fault ids in range, and the omission budget within F. (Ctx.Corrupt then
+// charges adaptive corruptions against the budget the fault set already
+// spent, so faults plus corruptions never exceed F in total.)
+func validateNetModel(m NetModel, n, f int) ([]bool, error) {
+	if d := m.Delta(); d < 1 {
+		return nil, fmt.Errorf("netsim: net model delta=%d, need Δ ≥ 1", d)
+	}
+	faulty := m.Faulty()
+	if len(faulty) == 0 {
+		return nil, nil
+	}
+	mask := make([]bool, n)
+	distinct := 0
+	for _, id := range faulty {
+		if int(id) < 0 || int(id) >= n {
+			return nil, fmt.Errorf("%w: omission-faulty node %d (n=%d)", ErrUnknownNode, id, n)
+		}
+		if !mask[id] {
+			mask[id] = true
+			distinct++
+		}
+	}
+	if distinct > f {
+		return nil, fmt.Errorf("%w: %d omission-faulty senders exceed the corruption budget f=%d (omission faults spend the same budget)",
+			ErrBudget, distinct, f)
+	}
+	return mask, nil
+}

@@ -4,9 +4,21 @@
 //
 // Every protocol in this repository is written "sans I/O" as a Node state
 // machine; the Runtime drives rounds, routes multicast and pairwise
-// messages with ∆ = 1 delivery, lets the adversary observe and intervene
-// between sending and delivery, and accounts communication complexity in
-// both the classical (Definition 6) and multicast (Definition 7) senses.
+// messages through a pluggable scheduling layer (NetModel), lets the
+// adversary observe and intervene between sending and delivery, and
+// accounts communication complexity in both the classical (Definition 6)
+// and multicast (Definition 7) senses.
+//
+// Message timing is the NetModel's job: each (sender, recipient) link of a
+// round-r send is assigned a delivery round in [r+1, r+∆]. The default
+// DeltaOne model is the lockstep ∆ = 1 engine, bit-identical to the
+// pre-model runtime and allocation-free in steady state; the other models —
+// worst-case ∆-delay, seeded jitter, per-link omission faults, temporary
+// partitions — exercise the adversary's classic synchronous power of
+// delaying honest messages up to the bound. The Runtime enforces the
+// model's answers against the bound and the adversary's declared Power:
+// honest-to-honest messages always arrive by ∆, and only links from
+// omission-faulty or corrupt senders may be dropped (see NetModel).
 //
 // The adversary model is enforced structurally:
 //

@@ -21,6 +21,9 @@ type Config struct {
 	// Seize returns the secret key material handed to the adversary when it
 	// corrupts a node. May be nil.
 	Seize func(id types.NodeID) any
+	// Net is the message-scheduling model (nil = DeltaOne lockstep). See
+	// NetModel for the delivery-bound and power-enforcement contract.
+	Net NetModel
 	// Parallel steps honest nodes on a persistent worker pool within each
 	// round. Protocol state machines are independent, so this is safe; it
 	// trades determinism of memory-allocation patterns, not of results.
@@ -43,6 +46,10 @@ type Runtime struct {
 	adv       Adversary
 	metrics   Metrics
 
+	net      NetModel
+	lockstep bool   // net is the DeltaOne model: take the zero-alloc fast path
+	faulty   []bool // omission-faulty senders declared by the model, nil if none
+
 	inboxes [][]Delivered // per-node view of the current round's deliveries
 
 	// Round-scoped buffers, reused across rounds.
@@ -52,6 +59,10 @@ type Runtime struct {
 	shared  []Delivered   // multicast deliveries common to every inbox
 	extras  []extraList   // per-recipient deliveries interleaved into shared
 	merged  [][]Delivered // per-node merge buffers, only for nodes with extras
+
+	// Scheduled-delivery state (non-lockstep models): a ring of ∆+1 future
+	// rounds, each holding per-node delivery lists reused across laps.
+	buckets [][][]Delivered
 
 	pool     *workerPool
 	curRound int // round currently being stepped, read by pool workers
@@ -84,12 +95,23 @@ func NewRuntime(cfg Config, nodes []Node, adv Adversary) (*Runtime, error) {
 	if adv == nil {
 		adv = Passive{}
 	}
+	if cfg.Net == nil {
+		cfg.Net = DeltaOne()
+	}
+	faulty, err := validateNetModel(cfg.Net, cfg.N, cfg.F)
+	if err != nil {
+		return nil, err
+	}
+	_, lockstep := cfg.Net.(deltaOne)
 	rt := &Runtime{
 		cfg:       cfg,
 		nodes:     nodes,
 		status:    make([]types.Status, cfg.N),
 		corruptAt: make([]int, cfg.N),
 		adv:       adv,
+		net:       cfg.Net,
+		lockstep:  lockstep,
+		faulty:    faulty,
 		inboxes:   make([][]Delivered, cfg.N),
 		sends:     make([][]Send, cfg.N),
 		extras:    make([]extraList, cfg.N),
@@ -112,6 +134,11 @@ type Result struct {
 	Halted  []bool
 	// Corrupt[i] reports whether node i was eventually corrupt.
 	Corrupt []bool
+	// OmissionFaulty[i] reports whether the network model declared node i an
+	// omission-faulty sender. Faulty nodes execute honestly and stay in the
+	// forever-honest set the security checkers range over — omission faults
+	// degrade what the network delivers, not what the node is promised.
+	OmissionFaulty []bool
 	// Rounds is the number of rounds executed.
 	Rounds  int
 	Metrics Metrics
@@ -249,12 +276,36 @@ func (rt *Runtime) stepRound(round int) (done bool) {
 	// quorum counting treats one's own vote uniformly); unicasts reach their
 	// destination. Removed envelopes vanish.
 	//
-	// A multicast with no per-recipient removals is appended once to the
-	// shared list every inbox aliases, instead of copied into each of the n
-	// inboxes. Unicasts — and the rare multicast a strongly adaptive
-	// adversary erased for specific recipients — become per-recipient
-	// extras, tagged with their position so the merge below reproduces the
-	// exact delivery order of the envelope list.
+	// Under a non-lockstep network model, every surviving (envelope,
+	// recipient) link is scheduled into a future round instead.
+	if rt.lockstep {
+		rt.lockstepDeliveries(envs)
+	} else {
+		rt.scheduleDeliveries(round, envs)
+	}
+
+	// 6. Done when every so-far-honest node has halted.
+	done = true
+	for i := 0; i < n; i++ {
+		if rt.status[i] == types.Honest && !rt.nodes[i].Halted() {
+			done = false
+			break
+		}
+	}
+	return done
+}
+
+// lockstepDeliveries is the ∆ = 1 fast path: everything sent this round is
+// delivered at the beginning of the next.
+//
+// A multicast with no per-recipient removals is appended once to the shared
+// list every inbox aliases, instead of copied into each of the n inboxes.
+// Unicasts — and the rare multicast a strongly adaptive adversary erased for
+// specific recipients — become per-recipient extras, tagged with their
+// position so the merge below reproduces the exact delivery order of the
+// envelope list.
+func (rt *Runtime) lockstepDeliveries(envs []*Envelope) {
+	n := rt.cfg.N
 	shared := rt.shared[:0]
 	for i := range rt.extras {
 		rt.extras[i] = rt.extras[i][:0]
@@ -298,16 +349,113 @@ func (rt *Runtime) stepRound(round int) (done bool) {
 		rt.merged[j] = buf
 		rt.inboxes[j] = buf
 	}
+}
 
-	// 6. Done when every so-far-honest node has halted.
-	done = true
-	for i := 0; i < n; i++ {
-		if rt.status[i] == types.Honest && !rt.nodes[i].Halted() {
-			done = false
-			break
+// scheduleDeliveries is the general path: each surviving (envelope,
+// recipient) link is put to the network model, power-checked, and appended
+// to the delivery bucket of its assigned round. Buckets form a ring of ∆+1
+// future rounds whose per-node lists are reused across laps, so the path is
+// allocation-free in steady state like the lockstep one.
+func (rt *Runtime) scheduleDeliveries(round int, envs []*Envelope) {
+	n := rt.cfg.N
+	ring := rt.net.Delta() + 1
+	if rt.buckets == nil {
+		rt.buckets = make([][][]Delivered, ring)
+		for i := range rt.buckets {
+			rt.buckets[i] = make([][]Delivered, n)
 		}
 	}
-	return done
+	// Reclaim this round's slot: its deliveries were consumed by the Step
+	// calls at the top of this round, and its ring position is about to be
+	// reused for round+∆.
+	cur := rt.buckets[round%ring]
+	for i := range cur {
+		cur[i] = cur[i][:0]
+	}
+	for _, e := range envs {
+		if e.removed {
+			continue
+		}
+		d := Delivered{From: e.From, Msg: e.Msg}
+		if e.To == types.Broadcast {
+			for j := 0; j < n; j++ {
+				if !e.RemovedFor(types.NodeID(j)) {
+					rt.scheduleLink(round, e, types.NodeID(j), d)
+				}
+			}
+		} else if int(e.To) >= 0 && int(e.To) < n {
+			if !e.RemovedFor(e.To) {
+				rt.scheduleLink(round, e, e.To, d)
+			}
+		}
+	}
+	// The next round's inbox is whatever has accumulated for it: sends from
+	// this round scheduled at +1 together with earlier sends the model held
+	// back, in chronological send order (ties broken by envelope order).
+	next := rt.buckets[(round+1)%ring]
+	for i := 0; i < n; i++ {
+		rt.inboxes[i] = next[i]
+	}
+}
+
+// scheduleLink schedules one (envelope, recipient) link, enforcing the
+// delivery-bound and power contract documented on NetModel.
+func (rt *Runtime) scheduleLink(round int, e *Envelope, to types.NodeID, d Delivered) {
+	delta := rt.net.Delta()
+	delay := 1
+	if e.From != to {
+		delay = rt.net.Schedule(Link{
+			Round:       round,
+			From:        e.From,
+			To:          to,
+			HonestSend:  e.honestSend,
+			FromCorrupt: rt.status[e.From] == types.Corrupt,
+		})
+		if delay == Drop {
+			if rt.mayDrop(e) {
+				return
+			}
+			// An illegal drop request degrades to the strongest legal move:
+			// holding the honest message to the bound.
+			delay = delta
+		}
+		if delay < 1 {
+			delay = 1
+		}
+		if delay > delta {
+			delay = delta
+		}
+	}
+	slot := rt.buckets[(round+delay)%(delta+1)]
+	slot[to] = append(slot[to], d)
+}
+
+// honestFaultyCount returns the number of omission-faulty senders that are
+// not (yet) corrupt — the slice of the corruption budget the network model
+// holds. Fault sets are small (≤ F) and corruption is rare, so recounting
+// is cheaper than bookkeeping.
+func (rt *Runtime) honestFaultyCount() int {
+	n := 0
+	for id, faulty := range rt.faulty {
+		if faulty && rt.status[id] != types.Corrupt {
+			n++
+		}
+	}
+	return n
+}
+
+// mayDrop reports whether the network model is permitted to omit envelope
+// e's message: omission-faulty senders, adversary-injected traffic, and —
+// under strongly adaptive power only — messages whose sender was corrupted
+// after speaking (the after-the-fact-removal boundary of Theorem 1).
+func (rt *Runtime) mayDrop(e *Envelope) bool {
+	if rt.faulty != nil && int(e.From) < len(rt.faulty) && rt.faulty[e.From] {
+		return true
+	}
+	if !e.honestSend {
+		return true
+	}
+	return rt.status[e.From] == types.Corrupt && rt.adv.Power() == PowerStronglyAdaptive
 }
 
 func (rt *Runtime) collect(rounds int) *Result {
@@ -319,6 +467,9 @@ func (rt *Runtime) collect(rounds int) *Result {
 		Corrupt: make([]bool, n),
 		Rounds:  rounds,
 		Metrics: rt.metrics,
+	}
+	if rt.faulty != nil {
+		res.OmissionFaulty = append([]bool(nil), rt.faulty...)
 	}
 	for i := 0; i < n; i++ {
 		bit, ok := rt.nodes[i].Output()

@@ -1,0 +1,330 @@
+// Package scenario is the declarative configuration layer of the
+// repository: it owns the execution Config, resolves protocols through a
+// builder registry (replacing the old hard-wired switch in the ccba root
+// package), resolves adversaries and network models by name, and keeps a
+// registry of named Scenarios — one declarative record of protocol ×
+// N/F/λ × adversary × network model × inputs — that the root API, the
+// experiment generators, and every cmd binary run through.
+package scenario
+
+import (
+	"fmt"
+
+	"ccba/internal/harness"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// Protocol selects which of the implemented protocols to run.
+type Protocol string
+
+// The implemented protocols.
+const (
+	// Core is the paper's primary contribution (Appendix C.2).
+	Core Protocol = "core"
+	// CoreBroadcast wraps Core in the §1.1 BB-from-BA reduction.
+	CoreBroadcast Protocol = "core-broadcast"
+	// Quadratic is the Appendix C.1 baseline.
+	Quadratic Protocol = "quadratic"
+	// PhaseKingPlain is the §3.1 warm-up.
+	PhaseKingPlain Protocol = "phaseking"
+	// PhaseKingSampled is the §3.2 sub-sampled warm-up.
+	PhaseKingSampled Protocol = "phaseking-sampled"
+	// ChenMicali is the non-bit-specific ablation (§3.2 strawman).
+	ChenMicali Protocol = "chenmicali"
+	// DolevStrong is the classic broadcast baseline.
+	DolevStrong Protocol = "dolevstrong"
+	// CommitteeEcho is the static CRS committee broadcast baseline.
+	CommitteeEcho Protocol = "committee"
+)
+
+// Broadcast reports whether the protocol solves the broadcast version
+// (designated sender) rather than the agreement version.
+func (p Protocol) Broadcast() bool {
+	switch p {
+	case DolevStrong, CommitteeEcho, CoreBroadcast:
+		return true
+	default:
+		return false
+	}
+}
+
+// CryptoMode selects the hybrid or real-crypto instantiation.
+type CryptoMode string
+
+// The crypto modes.
+const (
+	// Ideal runs in the F_mine-hybrid world of Figure 1 (and idealized
+	// leader election where applicable).
+	Ideal CryptoMode = "ideal"
+	// Real runs the Appendix D compiler: Ed25519 VRF eligibility and real
+	// signatures over a trusted PKI.
+	Real CryptoMode = "real"
+)
+
+// NetName selects a network model by name. Models are resolved per
+// execution with seeds derived from Config.Seed, so seeded models (jitter,
+// omission) stay deterministic per trial.
+type NetName string
+
+// The registered network models.
+const (
+	// NetDeltaOne is the default lockstep model: ∆ = 1, bit-identical to
+	// the pre-model engine.
+	NetDeltaOne NetName = "delta-one"
+	// NetWorstCase holds every link to the delivery bound ∆ — the
+	// adversary's classic worst-case synchronous schedule.
+	NetWorstCase NetName = "delta"
+	// NetJitter delays each link by a seeded uniform amount in [1, ∆].
+	NetJitter NetName = "jitter"
+	// NetOmission drops each link from a seeded set of omission-faulty
+	// senders with probability OmissionRate.
+	NetOmission NetName = "omission"
+	// NetPartition splits the network into two halves for PartitionRounds
+	// rounds, holding cross-partition links to ∆.
+	NetPartition NetName = "partition"
+)
+
+// InputPattern names for Config.InputPattern.
+const (
+	// InputsMixed alternates 1, 0, 1, 0, … across nodes (the default).
+	InputsMixed = "mixed"
+	// InputsUnanimous0 gives every node input 0.
+	InputsUnanimous0 = "unanimous-0"
+	// InputsUnanimous1 gives every node input 1.
+	InputsUnanimous1 = "unanimous-1"
+)
+
+// Config parameterises one execution.
+type Config struct {
+	// Protocol to run.
+	Protocol Protocol
+	// N is the node count; F the corruption budget.
+	N, F int
+	// Lambda is the expected committee size (committee-sampled protocols).
+	Lambda int
+	// Epochs is the epoch count for phase-king-style protocols (default 20).
+	Epochs int
+	// MaxIters bounds certificate-protocol iterations (default 60).
+	MaxIters int
+	// Crypto selects hybrid or real instantiation (default Ideal).
+	Crypto CryptoMode
+	// Seed makes the execution reproducible.
+	Seed [32]byte
+	// Inputs are the per-node input bits (agreement protocols). Defaults to
+	// the InputPattern (alternating bits when neither is set).
+	Inputs []types.Bit
+	// InputPattern declaratively selects the inputs when Inputs is nil:
+	// "mixed" (default), "unanimous-0", or "unanimous-1".
+	InputPattern string
+	// Sender and SenderInput configure broadcast protocols. The zero values
+	// mean sender 0 broadcasting bit 0.
+	Sender      types.NodeID
+	SenderInput types.Bit
+	// CommitteeSize configures the CommitteeEcho baseline (default 2·log₂n).
+	CommitteeSize int
+	// Erasure enables the memory-erasure model (ChenMicali only).
+	Erasure bool
+	// Adversary is the corruption strategy (nil = passive).
+	Adversary netsim.Adversary
+	// Parallel steps nodes on multiple goroutines.
+	Parallel bool
+
+	// Net selects the network model (default NetDeltaOne).
+	Net NetName
+	// Delta is the delivery bound ∆ for the delay-capable models (default
+	// 1; must stay 1 under NetDeltaOne).
+	Delta int
+	// OmissionRate is the per-link drop probability of NetOmission, in
+	// [0, 1].
+	OmissionRate float64
+	// OmissionFaulty is the number of omission-faulty senders NetOmission
+	// draws (seed-deterministically) from the node set. It spends the same
+	// budget as corruptions: the default — and the maximum — is F.
+	OmissionFaulty int
+	// PartitionRounds is how long the NetPartition split lasts (default
+	// 2·∆).
+	PartitionRounds int
+	// MaxRounds overrides the derived round budget. The default (0) derives
+	// it from the protocol's step count × ∆ — a ∆ > 1 schedule can hold
+	// every message to the bound, so a lockstep budget would cut the
+	// execution off mid-flight. Explicit values below the derived minimum
+	// are rejected.
+	MaxRounds int
+}
+
+// validate rejects configurations the simulator cannot execute
+// meaningfully. It runs on the raw Config, before defaults are applied.
+func (c *Config) validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("scenario: config N=%d; need at least one node", c.N)
+	}
+	if c.F < 0 {
+		return fmt.Errorf("scenario: config F=%d; the corruption budget cannot be negative", c.F)
+	}
+	if c.F >= c.N {
+		return fmt.Errorf("scenario: config F=%d with N=%d; need F < N so at least one node stays honest", c.F, c.N)
+	}
+	if c.Inputs != nil && !c.Protocol.Broadcast() && len(c.Inputs) != c.N {
+		return fmt.Errorf("scenario: config has %d inputs for N=%d nodes", len(c.Inputs), c.N)
+	}
+	if c.Protocol == CommitteeEcho && c.N < 2 {
+		return fmt.Errorf("scenario: committee echo needs N ≥ 2 (a sender plus at least one echoer), got N=%d", c.N)
+	}
+	switch c.InputPattern {
+	case "", InputsMixed, InputsUnanimous0, InputsUnanimous1:
+	default:
+		return fmt.Errorf("scenario: unknown input pattern %q (want %q, %q, or %q)",
+			c.InputPattern, InputsMixed, InputsUnanimous0, InputsUnanimous1)
+	}
+	if c.InputPattern != "" && c.Inputs != nil {
+		return fmt.Errorf("scenario: both Inputs and InputPattern %q set; pick one", c.InputPattern)
+	}
+	return c.validateNet()
+}
+
+// validateNet checks the network-model spec and the round budget's shape.
+// The derived-minimum check on MaxRounds happens in Run, where the
+// protocol's step count is known.
+func (c *Config) validateNet() error {
+	switch c.Net {
+	case "", NetDeltaOne, NetWorstCase, NetJitter, NetOmission, NetPartition:
+	default:
+		return fmt.Errorf("scenario: unknown net model %q (want %q, %q, %q, %q, or %q)",
+			c.Net, NetDeltaOne, NetWorstCase, NetJitter, NetOmission, NetPartition)
+	}
+	if c.Delta < 0 {
+		return fmt.Errorf("scenario: Delta=%d; the delivery bound cannot be negative", c.Delta)
+	}
+	if c.Delta > 1 && (c.Net == "" || c.Net == NetDeltaOne) {
+		return fmt.Errorf("scenario: Delta=%d under the lockstep %q model, which delivers in exactly one round; pick -net %s, %s, %s, or %s",
+			c.Delta, NetDeltaOne, NetWorstCase, NetJitter, NetOmission, NetPartition)
+	}
+	if c.OmissionRate < 0 || c.OmissionRate > 1 {
+		return fmt.Errorf("scenario: OmissionRate=%v outside [0, 1]", c.OmissionRate)
+	}
+	if c.OmissionFaulty < 0 {
+		return fmt.Errorf("scenario: OmissionFaulty=%d cannot be negative", c.OmissionFaulty)
+	}
+	if c.Net == NetOmission && c.OmissionFaulty > c.F {
+		return fmt.Errorf("scenario: OmissionFaulty=%d exceeds F=%d; omission faults spend the corruption budget", c.OmissionFaulty, c.F)
+	}
+	if c.PartitionRounds < 0 {
+		return fmt.Errorf("scenario: PartitionRounds=%d cannot be negative", c.PartitionRounds)
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("scenario: MaxRounds=%d cannot be negative", c.MaxRounds)
+	}
+	return nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.Crypto == "" {
+		c.Crypto = Ideal
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 60
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 40
+	}
+	if c.CommitteeSize == 0 {
+		n, size := c.N, 2
+		for n > 1 {
+			n >>= 1
+			size += 2
+		}
+		if size >= c.N {
+			// 2·log₂n exceeds n at small n; cap below n but never below one
+			// member (N=1 used to compute an empty committee here before
+			// validate started rejecting single-node committee echo).
+			size = c.N - 1
+			if size < 1 {
+				size = 1
+			}
+		}
+		c.CommitteeSize = size
+	}
+	if !c.Protocol.Broadcast() && c.Inputs == nil {
+		c.Inputs = make([]types.Bit, c.N)
+		for i := range c.Inputs {
+			switch c.InputPattern {
+			case InputsUnanimous0:
+				c.Inputs[i] = types.Zero
+			case InputsUnanimous1:
+				c.Inputs[i] = types.One
+			default: // "" or InputsMixed
+				c.Inputs[i] = types.BitFromBool(i%2 == 0)
+			}
+		}
+	}
+	if c.Protocol.Broadcast() && !c.SenderInput.Valid() {
+		c.SenderInput = types.Zero
+	}
+	if c.Net == "" {
+		c.Net = NetDeltaOne
+	}
+	if c.Delta == 0 {
+		c.Delta = 1
+	}
+	if c.Net == NetOmission && c.OmissionFaulty == 0 {
+		c.OmissionFaulty = c.F
+	}
+	if c.Net == NetPartition && c.PartitionRounds == 0 {
+		c.PartitionRounds = 2 * c.Delta
+	}
+}
+
+// netSeedDomain separates network-model seed derivation from every other
+// seed use.
+const netSeedDomain = "scenario/net"
+
+// netModel resolves the Config's network spec into a netsim model. It runs
+// after applyDefaults.
+func (c *Config) netModel() (netsim.NetModel, error) {
+	switch c.Net {
+	case NetDeltaOne:
+		return netsim.DeltaOne(), nil
+	case NetWorstCase:
+		return netsim.WorstCase(c.Delta), nil
+	case NetJitter:
+		return netsim.Jitter(c.Delta, harness.SeedFrom(c.Seed, netSeedDomain, string(NetJitter), 0)), nil
+	case NetOmission:
+		seed := harness.SeedFrom(c.Seed, netSeedDomain, string(NetOmission), 0)
+		faulty := sampleIDs(seed, c.N, c.OmissionFaulty)
+		return netsim.Omission(c.Delta, c.OmissionRate, faulty, seed), nil
+	case NetPartition:
+		return netsim.Partition(c.Delta, types.NodeID(c.N/2), c.PartitionRounds), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown net model %q", c.Net)
+	}
+}
+
+// sampleIDs draws k distinct node ids from [0, n) with a seed-deterministic
+// partial Fisher–Yates shuffle, driven by netsim's splitmix64 helpers.
+func sampleIDs(seed [32]byte, n, k int) []types.NodeID {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	key := netsim.FoldSeed(seed)
+	var ctr uint64
+	next := func() uint64 {
+		ctr++
+		return netsim.Mix64(key ^ ctr)
+	}
+	perm := make([]types.NodeID, n)
+	for i := range perm {
+		perm[i] = types.NodeID(i)
+	}
+	for i := 0; i < k; i++ {
+		j := i + int(next()%uint64(n-i))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:k]
+}

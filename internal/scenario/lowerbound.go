@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"ccba/internal/lowerbound/nosetup"
+	"ccba/internal/lowerbound/strongadaptive"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// VictimFactory adapts a broadcast-protocol config into the node-set
+// factory the strongly adaptive lower-bound engine (Theorem 1) drives:
+// nodes are constructed through the builder registry with the engine's
+// choice of sender input.
+func VictimFactory(cfg Config) strongadaptive.Factory {
+	return func(input types.Bit) ([]netsim.Node, error) {
+		c := cfg
+		c.SenderInput = input
+		nodes, _, _, err := Build(c)
+		return nodes, err
+	}
+}
+
+// SplitWorlds builds the node sets of the Theorem 3 Q—1—Q′ experiment and
+// returns the nosetup.Config.NewNode accessor over them: both worlds share
+// the config (and thus the CRS seed) and differ only in the sender's
+// input — 0 in Q, 1 in Q′.
+func SplitWorlds(cfg Config) (func(nosetup.World, types.NodeID) (netsim.Node, error), error) {
+	worlds := map[nosetup.World][]netsim.Node{}
+	for w, input := range map[nosetup.World]types.Bit{
+		nosetup.WorldQ: types.Zero, nosetup.WorldQPrime: types.One,
+	} {
+		c := cfg
+		c.Sender = nosetup.Sender
+		c.SenderInput = input
+		nodes, _, _, err := Build(c)
+		if err != nil {
+			return nil, err
+		}
+		worlds[w] = nodes
+	}
+	return func(w nosetup.World, id types.NodeID) (netsim.Node, error) {
+		return worlds[w][id], nil
+	}, nil
+}

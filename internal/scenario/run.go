@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// Report is the outcome of Run: the raw result plus the paper's three
+// security properties evaluated over forever-honest nodes.
+type Report struct {
+	*netsim.Result
+	// Inputs used (agreement version).
+	Inputs []types.Bit
+	// Consistency, Validity, and Termination hold the checker outcomes
+	// (nil = property held).
+	Consistency error
+	Validity    error
+	Termination error
+}
+
+// Ok reports whether all three properties held.
+func (r *Report) Ok() bool {
+	return r.Consistency == nil && r.Validity == nil && r.Termination == nil
+}
+
+// Run executes one instance and evaluates the security properties. The
+// protocol is resolved through the builder registry and message delivery
+// through the network model named by the config; the round budget is the
+// protocol's step count × ∆ unless Config.MaxRounds raises it.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	nodes, seize, steps, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// A ∆ > 1 schedule can hold every message to the bound, stretching each
+	// protocol step across up to ∆ network rounds — so the budget scales
+	// with ∆, and an explicit MaxRounds below that minimum is a
+	// configuration that cannot complete: reject it rather than report a
+	// phantom termination failure.
+	maxRounds := steps * cfg.Delta
+	if cfg.MaxRounds != 0 {
+		if cfg.MaxRounds < maxRounds {
+			return nil, fmt.Errorf(
+				"scenario: MaxRounds=%d cannot schedule protocol %q under Δ=%d: %d steps × Δ need at least %d rounds",
+				cfg.MaxRounds, cfg.Protocol, cfg.Delta, steps, maxRounds)
+		}
+		maxRounds = cfg.MaxRounds
+	}
+	net, err := cfg.netModel()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := netsim.NewRuntime(netsim.Config{
+		N: cfg.N, F: cfg.F, MaxRounds: maxRounds,
+		Seize:    seize,
+		Net:      net,
+		Parallel: cfg.Parallel,
+	}, nodes, cfg.Adversary)
+	if err != nil {
+		return nil, err
+	}
+	res := rt.Run()
+	rep := &Report{Result: res, Inputs: cfg.Inputs}
+	rep.Consistency = netsim.CheckConsistency(res)
+	rep.Termination = netsim.CheckTermination(res)
+	if cfg.Protocol.Broadcast() {
+		rep.Validity = netsim.CheckBroadcastValidity(res, cfg.Sender, cfg.SenderInput)
+	} else {
+		rep.Validity = netsim.CheckAgreementValidity(res, cfg.Inputs)
+	}
+	return rep, nil
+}
