@@ -1,0 +1,68 @@
+package ccba
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Cancelling a sweep mid-flight must abort promptly (in-flight executions
+// stop at their next round), surface context.Canceled, and leave no worker
+// goroutine behind — the contract that makes long sweeps and live cluster
+// runs safe to interrupt.
+func TestRunTrialsCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{Protocol: Core, N: 120, F: 36, Lambda: 24}
+	reported := 0
+	var once sync.Once
+	_, err := RunTrialsOpts(cfg, TrialOpts{
+		Ctx:     ctx,
+		Trials:  200,
+		Workers: 4,
+		// The factory runs at the top of every trial: cancelling from the
+		// first one aborts the sweep while trials are in flight.
+		NewAdversary: func(int) Adversary { once.Do(cancel); return nil },
+		OnReport:     func(int, *Report) { reported++ },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunTrialsOpts returned %v, want context.Canceled", err)
+	}
+	if reported != 0 {
+		t.Fatalf("OnReport ran %d times on a cancelled sweep", reported)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("%d goroutines leaked past the cancelled sweep (baseline %d)", got-base, base)
+	}
+	cancel()
+}
+
+// RunCtx on a cancelled context refuses to execute; on a live one it is
+// exactly Run.
+func TestRunCtx(t *testing.T) {
+	cfg := Config{Protocol: Core, N: 40, F: 12, Lambda: 12}
+	cfg.Seed[0] = 7
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx on cancelled ctx: %v", err)
+	}
+	rep, err := RunCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != plain.Rounds || rep.Result.Metrics != plain.Result.Metrics {
+		t.Fatalf("RunCtx diverges from Run: %+v vs %+v", rep.Result, plain.Result)
+	}
+}

@@ -38,6 +38,7 @@
 package ccba
 
 import (
+	"context"
 	"fmt"
 
 	"ccba/internal/harness"
@@ -145,6 +146,10 @@ var (
 	// Protocols resolve through the builder registry; message delivery
 	// through the network model named by the config.
 	Run = scenario.Run
+	// RunCtx is Run with cancellation: the runtime checks the context
+	// between rounds, so long executions stop promptly when the caller
+	// gives up.
+	RunCtx = scenario.RunCtx
 	// BuildNodes constructs a protocol's node set through the builder
 	// registry without executing it — for callers that drive their own
 	// runtime (the lower-bound engines, instrumented executions).
@@ -199,6 +204,10 @@ type TrialStats struct {
 
 // TrialOpts configures RunTrialsOpts.
 type TrialOpts struct {
+	// Ctx cancels the sweep: the worker pool stops picking up trials, any
+	// in-flight executions stop at their next round, and RunTrialsOpts
+	// returns the context's error. Nil means context.Background().
+	Ctx context.Context
 	// Trials is the number of independent runs (must be positive).
 	Trials int
 	// Workers sizes the trial worker pool; 0 or less means GOMAXPROCS.
@@ -245,6 +254,7 @@ func RunTrialsOpts(cfg Config, opts TrialOpts) (*TrialStats, error) {
 		Trials:   opts.Trials,
 		Workers:  opts.Workers,
 		Base:     cfg.Seed,
+		Ctx:      opts.Ctx,
 	}, func(tr harness.Trial) (*Report, error) {
 		c := cfg
 		c.Seed = tr.Seed
@@ -254,7 +264,7 @@ func RunTrialsOpts(cfg Config, opts TrialOpts) (*TrialStats, error) {
 		if opts.NewAdversary != nil {
 			c.Adversary = opts.NewAdversary(tr.Index)
 		}
-		return Run(c)
+		return RunCtx(tr.Ctx, c)
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,127 @@
+package ccba
+
+import (
+	"context"
+	"testing"
+
+	"ccba/internal/cluster"
+	"ccba/internal/netsim"
+	"ccba/internal/transport"
+	"ccba/internal/wire"
+)
+
+// The headline proof of the live runtime: for the fixed-seed goldens (core
+// ideal/real, quadratic — the same configurations determinism_test.go pins
+// at Δ=1), a chan-transport cluster run decides the same values with the
+// same per-node multicast counts as the lockstep engine. Simulator and
+// system agree bit-for-bit on the protocol-visible facts.
+
+// runClusterChan executes one golden config live on the in-process
+// transport.
+func runClusterChan(t *testing.T, cfg Config) *cluster.Report {
+	t.Helper()
+	netw, err := transport.NewChanNetwork(cfg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netw.Close()
+	rep, err := cluster.Run(context.Background(), cfg, netw, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// senderTally wraps a lockstep node to tally its own sends — the per-node
+// view of the communication accounting, which the aggregate-only engine
+// metrics cannot provide.
+type senderTally struct {
+	netsim.Node
+	n       int
+	metrics *netsim.Metrics
+}
+
+func (c *senderTally) Step(round int, delivered []netsim.Delivered) []netsim.Send {
+	sends := c.Node.Step(round, delivered)
+	for _, s := range sends {
+		c.metrics.CountSend(s.To, c.n, wire.Size(s.Msg))
+	}
+	return sends
+}
+
+func TestClusterChanMatchesGoldens(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Seed[0] = 7
+			rep := runClusterChan(t, cfg)
+			if !rep.Ok() {
+				t.Fatalf("violation: consistency=%v validity=%v termination=%v",
+					rep.Consistency, rep.Validity, rep.Termination)
+			}
+			if got := outputsDigest(rep.Report); got != tc.outputs {
+				t.Errorf("outputs digest = %s, want golden %s", got, tc.outputs)
+			}
+			if rep.Rounds != tc.rounds {
+				t.Errorf("rounds = %d, want golden %d", rep.Rounds, tc.rounds)
+			}
+			if rep.Result.Metrics != tc.metrics {
+				t.Errorf("metrics = %+v, want golden %+v", rep.Result.Metrics, tc.metrics)
+			}
+		})
+	}
+}
+
+func TestClusterChanPerNodeMulticastsMatchLockstep(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Seed[0] = 7
+
+			// Lockstep engine with a per-node send tally wrapped around each
+			// state machine.
+			norm, err := cfg.Normalized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes, _, steps, err := BuildNodes(norm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perNode := make([]netsim.Metrics, norm.N)
+			wrapped := make([]netsim.Node, norm.N)
+			for i, nd := range nodes {
+				wrapped[i] = &senderTally{Node: nd, n: norm.N, metrics: &perNode[i]}
+			}
+			rt, err := netsim.NewRuntime(netsim.Config{N: norm.N, F: norm.F, MaxRounds: steps}, wrapped, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := rt.Run()
+
+			live := runClusterChan(t, cfg)
+			for i := range perNode {
+				if live.PerNode[i].HonestMulticasts != perNode[i].HonestMulticasts {
+					t.Errorf("node %d multicasts: live %d vs lockstep %d",
+						i, live.PerNode[i].HonestMulticasts, perNode[i].HonestMulticasts)
+				}
+				if live.PerNode[i] != perNode[i] {
+					t.Errorf("node %d metrics: live %+v vs lockstep %+v", i, live.PerNode[i], perNode[i])
+				}
+				if live.Outputs[i] != res.Outputs[i] || live.Decided[i] != res.Decided[i] {
+					t.Errorf("node %d decision: live (%v,%v) vs lockstep (%v,%v)",
+						i, live.Outputs[i], live.Decided[i], res.Outputs[i], res.Decided[i])
+				}
+			}
+			// The tallies must also reconcile with the engine's aggregate —
+			// the wrapper measures what the engine measures.
+			var sum netsim.Metrics
+			for _, m := range perNode {
+				sum.Add(m)
+			}
+			if sum != res.Metrics {
+				t.Errorf("per-node tallies sum to %+v but the engine measured %+v", sum, res.Metrics)
+			}
+		})
+	}
+}

@@ -11,16 +11,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"ccba"
+	"ccba/internal/cluster"
+	"ccba/internal/transport"
 )
 
 // benchCase is one tracked benchmark configuration. AllowViolations is for
@@ -69,13 +73,35 @@ var sweepCases = []sweepCase{
 	{"TrialSweepPhaseKingSampledN400T16Wmax", ccba.Config{Protocol: ccba.PhaseKingSampled, N: 400, F: 80, Lambda: 30, Epochs: 12}, 16, 0},
 }
 
-// Result is one benchmark measurement.
+// clusterCase is one tracked live-cluster throughput configuration: the
+// same protocol executions as the simulator cases, but run on the chan
+// transport of the cluster runtime — Instances concurrent agreement
+// instances per op, each on its own in-process network.
+type clusterCase struct {
+	Name      string
+	Cfg       ccba.Config
+	Instances int
+}
+
+var clusterCases = []clusterCase{
+	{Name: "ClusterChanCoreN64", Cfg: ccba.Config{Protocol: ccba.Core, N: 64, F: 19, Lambda: 14}, Instances: 1},
+	{Name: "ClusterChanCoreN200", Cfg: ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40}, Instances: 1},
+	{Name: "ClusterChanCoreN32x8", Cfg: ccba.Config{Protocol: ccba.Core, N: 32, F: 9, Lambda: 10}, Instances: 8},
+	{Name: "ClusterChanQuadraticN31", Cfg: ccba.Config{Protocol: ccba.Quadratic, N: 31, F: 15}, Instances: 1},
+}
+
+// Result is one benchmark measurement. The cluster cases additionally
+// report throughput: agreement instances per second, and classical messages
+// per second through the transport (derived from the instances-per-sec rate
+// and a fixed-seed calibration of messages per instance).
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name            string  `json:"name"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	InstancesPerSec float64 `json:"instances_per_sec,omitempty"`
+	MsgsPerSec      float64 `json:"msgs_per_sec,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -149,6 +175,31 @@ func run(args []string) error {
 		})
 	}
 
+	for _, c := range clusterCases {
+		if *only != "" && !matches(c.Name, *only) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", c.Name)
+		msgsPerInstance, err := calibrateCluster(c.Cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+		r := measure(clusterBody(c), *benchtime)
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := Result{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     nsPerOp,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if nsPerOp > 0 {
+			res.InstancesPerSec = float64(c.Instances) * 1e9 / nsPerOp
+			res.MsgsPerSec = res.InstancesPerSec * msgsPerInstance
+		}
+		rep.Results = append(rep.Results, res)
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -184,6 +235,60 @@ func singleRunBody(cfg ccba.Config, allowViolations bool) func(i int) error {
 		}
 		if !rep.Ok() && !allowViolations {
 			return fmt.Errorf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+		}
+		return nil
+	}
+}
+
+// runCluster executes cfg once on a fresh chan-transport cluster.
+func runCluster(cfg ccba.Config) (*cluster.Report, error) {
+	netw, err := transport.NewChanNetwork(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	defer netw.Close()
+	return cluster.Run(context.Background(), cfg, netw, cluster.Options{})
+}
+
+// calibrateCluster measures the classical message count of one fixed-seed
+// instance, from which the msgs/sec rate is derived. Seed variation moves
+// the count a little between iterations; the fixed-seed figure keeps the
+// tracked rate comparable across PRs.
+func calibrateCluster(cfg ccba.Config) (float64, error) {
+	rep, err := runCluster(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return float64(rep.Result.Metrics.HonestMessages), nil
+}
+
+// clusterBody measures Instances concurrent live agreement instances per
+// iteration, each on its own chan network with per-iteration seed
+// variation.
+func clusterBody(c clusterCase) func(i int) error {
+	return func(i int) error {
+		errs := make([]error, c.Instances)
+		var wg sync.WaitGroup
+		for k := 0; k < c.Instances; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				cfg := c.Cfg
+				cfg.Seed[29] = byte(i)
+				cfg.Seed[28] = byte(i >> 8)
+				cfg.Seed[27] = byte(k)
+				rep, err := runCluster(cfg)
+				if err == nil && !rep.Ok() {
+					err = fmt.Errorf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+				}
+				errs[k] = err
+			}(k)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
 		return nil
 	}

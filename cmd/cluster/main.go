@@ -1,0 +1,290 @@
+// Command cluster runs a protocol as a live cluster of concurrent node
+// processes over a pluggable transport, instead of inside the lockstep
+// simulator — same protocols, same scenario registry, same report JSON as
+// cmd/ba, so the two can be diffed for the same seed and configuration.
+//
+// Transports:
+//
+//	-transport chan    n nodes in this process, one goroutine each, over
+//	                   in-process channels (the default)
+//	-transport tcp     a localhost (or cross-host) TCP mesh with
+//	                   length-prefixed framing; all n nodes in this process
+//	                   by default, or a single node joining a mesh with
+//	                   -node and -peers
+//
+// Examples:
+//
+//	cluster -n 200 -f 60 -lambda 40
+//	cluster -transport chan -n 32 -f 9 -json
+//	cluster -transport tcp -n 4 -f 1
+//	cluster -transport tcp -crypto real -node 0 -peers 127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703,127.0.0.1:7704
+//	cluster -scenario quadratic-n49
+//	cluster -scenarios
+//
+// The multi-process form (-node) runs the Appendix D compiler's real
+// crypto for the committee-sampled protocols: the hybrid world's F_mine
+// trusted party cannot be split across processes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ccba"
+	"ccba/internal/cluster"
+	"ccba/internal/transport"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	var (
+		protocol      = fs.String("protocol", "core", "protocol: core, core-broadcast, quadratic, phaseking, phaseking-sampled, chenmicali, dolevstrong, committee")
+		n             = fs.Int("n", 200, "number of nodes")
+		f             = fs.Int("f", 60, "corruption budget (validation only: live runs are adversary-free)")
+		lambda        = fs.Int("lambda", 40, "expected committee size")
+		epochs        = fs.Int("epochs", 20, "epochs (phase-king protocols)")
+		crypto        = fs.String("crypto", "ideal", "crypto mode: ideal (F_mine hybrid) or real (Ed25519 VRF)")
+		seed          = fs.Int64("seed", 1, "execution seed")
+		erasure       = fs.Bool("erasure", false, "memory-erasure model (chenmicali)")
+		senderInput   = fs.Int("sender-input", 0, "sender input bit (broadcast protocols)")
+		unanimous     = fs.Int("unanimous", -1, "if 0 or 1, give every node that input bit (agreement protocols)")
+		scenarioName  = fs.String("scenario", "", "run a registered scenario by name (its adversary must be none)")
+		listScenarios = fs.Bool("scenarios", false, "list the registered scenarios and exit")
+		transportName = fs.String("transport", "chan", "transport: chan (in-process channels) or tcp (length-prefixed framing)")
+		node          = fs.Int("node", -1, "run only this node index over TCP, joining the -peers mesh (-1 = all nodes in this process)")
+		peers         = fs.String("peers", "", "comma-separated list of all node addresses in node order (tcp)")
+		roundTimeout  = fs.Duration("round-timeout", 30*time.Second, "per-round barrier timeout for tcp (chan runs never need one)")
+		asJSON        = fs.Bool("json", false, "emit the outcome as JSON (same document as cmd/ba)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listScenarios {
+		for _, name := range ccba.ScenarioNames() {
+			sc, _ := ccba.LookupScenario(name)
+			fmt.Fprintf(out, "%-24s %s\n", name, sc.Description)
+		}
+		return nil
+	}
+
+	set := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+
+	cfg := ccba.Config{
+		Protocol: ccba.Protocol(*protocol),
+		N:        *n, F: *f, Lambda: *lambda, Epochs: *epochs,
+		Crypto:  ccba.CryptoMode(*crypto),
+		Erasure: *erasure,
+	}
+	if *scenarioName != "" {
+		sc, ok := ccba.LookupScenario(*scenarioName)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (registered: %v)", *scenarioName, ccba.ScenarioNames())
+		}
+		if sc.Adversary != "" && sc.Adversary != "none" {
+			return fmt.Errorf("scenario %q runs adversary %q; live clusters execute honest protocols only (use cmd/ba)", *scenarioName, sc.Adversary)
+		}
+		cfg = sc.Config
+		override := map[string]func(){
+			"protocol": func() { cfg.Protocol = ccba.Protocol(*protocol) },
+			"n":        func() { cfg.N = *n },
+			"f":        func() { cfg.F = *f },
+			"lambda":   func() { cfg.Lambda = *lambda },
+			"epochs":   func() { cfg.Epochs = *epochs },
+			"crypto":   func() { cfg.Crypto = ccba.CryptoMode(*crypto) },
+			"erasure":  func() { cfg.Erasure = *erasure },
+		}
+		for name, apply := range override {
+			if set[name] {
+				apply()
+			}
+		}
+	}
+	cfg.Seed = [32]byte{}
+	cfg.Seed[0] = byte(*seed)
+	cfg.Seed[1] = byte(*seed >> 8)
+	cfg.Seed[2] = byte(*seed >> 16)
+	if set["sender-input"] || *scenarioName == "" {
+		cfg.SenderInput = ccba.Zero
+		if *senderInput == 1 {
+			cfg.SenderInput = ccba.One
+		}
+	}
+	switch *unanimous {
+	case 0:
+		cfg.Inputs, cfg.InputPattern = nil, "unanimous-0"
+	case 1:
+		cfg.Inputs, cfg.InputPattern = nil, "unanimous-1"
+	}
+
+	opts := cluster.Options{}
+	if *transportName == "tcp" {
+		opts.RoundTimeout = *roundTimeout
+	}
+
+	var rep *cluster.Report
+	var err error
+	switch {
+	case *transportName == "chan":
+		if *node >= 0 {
+			return fmt.Errorf("-node needs -transport tcp; the chan transport always hosts the whole cluster")
+		}
+		var netw *transport.ChanNetwork
+		netw, err = transport.NewChanNetwork(cfg.N)
+		if err != nil {
+			return err
+		}
+		defer netw.Close()
+		rep, err = cluster.Run(ctx, cfg, netw, opts)
+
+	case *transportName == "tcp" && *node < 0:
+		addrs := transport.LoopbackAddrs(cfg.N)
+		if *peers != "" {
+			if addrs, err = splitPeers(*peers, cfg.N); err != nil {
+				return err
+			}
+		}
+		var netw *transport.TCPNetwork
+		netw, err = transport.NewTCPNetwork(ctx, addrs, transport.TCPOptions{})
+		if err != nil {
+			return err
+		}
+		defer netw.Close()
+		rep, err = cluster.Run(ctx, cfg, netw, opts)
+
+	case *transportName == "tcp":
+		if *peers == "" {
+			return fmt.Errorf("-node %d needs -peers with all %d node addresses in node order", *node, cfg.N)
+		}
+		var addrs []string
+		if addrs, err = splitPeers(*peers, cfg.N); err != nil {
+			return err
+		}
+		var ep *transport.TCPEndpoint
+		ep, err = transport.DialTCP(ctx, ccba.NodeID(*node), addrs, transport.TCPOptions{})
+		if err != nil {
+			return err
+		}
+		defer ep.Close()
+		rep, err = cluster.RunNode(ctx, cfg, ep, opts)
+
+	default:
+		return fmt.Errorf("unknown transport %q (want chan or tcp)", *transportName)
+	}
+	if err != nil {
+		return err
+	}
+	return report(out, cfg, rep, *seed, *transportName, *asJSON)
+}
+
+// splitPeers parses the -peers list and checks it covers the cluster.
+func splitPeers(peers string, n int) ([]string, error) {
+	addrs := strings.Split(peers, ",")
+	if len(addrs) != n {
+		return nil, fmt.Errorf("-peers lists %d addresses for a cluster of %d", len(addrs), n)
+	}
+	return addrs, nil
+}
+
+// singleRunJSON mirrors cmd/ba's document field for field, so the two
+// binaries' outputs diff clean for the same seed and configuration. A live
+// chan-transport run always executes the lockstep-equivalent ∆ = 1
+// schedule, hence the fixed net/delta fields.
+type singleRunJSON struct {
+	Protocol   string            `json:"protocol"`
+	N          int               `json:"n"`
+	F          int               `json:"f"`
+	Crypto     string            `json:"crypto"`
+	Net        string            `json:"net"`
+	Delta      int               `json:"delta"`
+	Seed       int64             `json:"seed"`
+	Rounds     int               `json:"rounds"`
+	Corrupted  int               `json:"corrupted"`
+	Metrics    ccba.Metrics      `json:"metrics"`
+	Ok         bool              `json:"ok"`
+	Violations map[string]string `json:"violations"`
+}
+
+func report(out io.Writer, cfg ccba.Config, rep *cluster.Report, seed int64, transportName string, asJSON bool) error {
+	if asJSON {
+		// Field for field and value for value what cmd/ba emits — including
+		// an empty crypto for scenarios that leave it unset — so the two
+		// documents always diff clean.
+		doc := singleRunJSON{
+			Protocol:   string(cfg.Protocol),
+			N:          cfg.N,
+			F:          cfg.F,
+			Crypto:     string(cfg.Crypto),
+			Net:        string(ccba.NetDeltaOne),
+			Delta:      1,
+			Seed:       seed,
+			Rounds:     rep.Rounds,
+			Corrupted:  rep.NumCorrupt(),
+			Metrics:    rep.Result.Metrics,
+			Ok:         rep.Ok(),
+			Violations: map[string]string{},
+		}
+		for name, err := range map[string]error{
+			"consistency": rep.Consistency, "validity": rep.Validity, "termination": rep.Termination,
+		} {
+			if err != nil {
+				doc.Violations[name] = err.Error()
+			}
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if _, err := out.Write(buf); err != nil {
+			return err
+		}
+		if !rep.Ok() {
+			return fmt.Errorf("security properties violated")
+		}
+		return nil
+	}
+
+	outputs := map[ccba.Bit]int{}
+	for i := range rep.Outputs {
+		if rep.Decided[i] {
+			outputs[rep.Outputs[i]]++
+		}
+	}
+	fmt.Fprintf(out, "protocol=%s n=%d f=%d crypto=%s transport=%s seed=%d\n",
+		cfg.Protocol, cfg.N, cfg.F, cfg.Crypto, transportName, seed)
+	fmt.Fprintf(out, "  rounds:            %d\n", rep.Rounds)
+	fmt.Fprintf(out, "  multicasts:        %d (%d bytes)\n",
+		rep.Result.Metrics.HonestMulticasts, rep.Result.Metrics.HonestMulticastBytes)
+	fmt.Fprintf(out, "  classical msgs:    %d (%d bytes)\n",
+		rep.Result.Metrics.HonestMessages, rep.Result.Metrics.HonestMessageBytes)
+	fmt.Fprintf(out, "  honest outputs:    %v\n", outputs)
+	fmt.Fprintf(out, "  consistency:       %v\n", errString(rep.Consistency))
+	fmt.Fprintf(out, "  validity:          %v\n", errString(rep.Validity))
+	fmt.Fprintf(out, "  termination:       %v\n", errString(rep.Termination))
+	if !rep.Ok() {
+		return fmt.Errorf("security properties violated")
+	}
+	return nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return "VIOLATED: " + err.Error()
+}

@@ -13,6 +13,7 @@ import (
 	"ccba/internal/netsim"
 	"ccba/internal/phaseking"
 	"ccba/internal/quadratic"
+	"ccba/internal/transport"
 	"ccba/internal/types"
 	"ccba/internal/wire"
 )
@@ -181,5 +182,99 @@ func TestDecodeEncodeCanonical(t *testing.T) {
 		if got := wire.Marshal(dec); string(got) != string(buf) {
 			t.Fatalf("sample %d not canonical: % x vs % x", i, got, buf)
 		}
+	}
+}
+
+// The TCP transport's length-prefixed frame decoder faces raw network
+// bytes, so it must treat arbitrary input as data: parse exactly one frame
+// or fail cleanly — no panic, no over-read, no unbounded allocation from a
+// hostile length prefix.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(transport.AppendFrame(nil, []byte("payload")))
+	f.Add(transport.AppendFrame(nil, wire.Marshal(core.VoteMsg{Iter: 3, B: One})))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}) // hostile length prefix
+	f.Add([]byte{0, 0, 0, 9, 1, 2, 3})             // truncated body
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		payload, rest, err := transport.ParseFrame(buf)
+		if err != nil {
+			// Failed parses must not consume input.
+			if len(rest) != len(buf) {
+				t.Fatalf("failed parse consumed %d bytes", len(buf)-len(rest))
+			}
+			return
+		}
+		// A successful parse consumes exactly prefix+payload and no more.
+		if len(payload) > transport.MaxFrame {
+			t.Fatalf("oversized payload accepted: %d bytes", len(payload))
+		}
+		if 4+len(payload)+len(rest) != len(buf) {
+			t.Fatalf("over-read: %d payload + %d rest from %d input", len(payload), len(rest), len(buf))
+		}
+		// Re-framing the payload reproduces the consumed bytes.
+		if reframed := transport.AppendFrame(nil, payload); !bytes.Equal(reframed, buf[:4+len(payload)]) {
+			t.Fatalf("frame not canonical")
+		}
+	})
+}
+
+// Cluster envelopes also cross the trust boundary; their decoder gets the
+// same treatment, plus the canonical round-trip property on valid input.
+func FuzzEnvelopeDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(transport.AppendEnvelope(nil, transport.Envelope{Kind: transport.EnvSync, From: 3, Round: 7, Halted: true}))
+	f.Add(transport.AppendEnvelope(nil, transport.Envelope{
+		Kind: transport.EnvData, From: 1, Round: 2, Seq: 5,
+		Payload: wire.Marshal(core.VoteMsg{Iter: 3, B: One, Elig: []byte{9}}),
+	}))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		env, err := transport.DecodeEnvelope(buf)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(transport.AppendEnvelope(nil, env), buf) {
+			t.Fatalf("envelope decode of % x not canonical", buf)
+		}
+	})
+}
+
+// Exact-size frames of every protocol's messages round-trip through the
+// frame + envelope layers byte for byte — the property the TCP transport's
+// metrics and golden equivalence rest on.
+func TestFrameEnvelopeRoundTripProtocolMessages(t *testing.T) {
+	msgs := []wire.Message{
+		core.VoteMsg{Iter: 5, B: One, Elig: []byte{1, 2}, Leader: 9, LeaderElig: []byte{3}},
+		quadratic.VoteMsg{Iter: 5, B: Zero, Sig: []byte{4}, LeaderSig: []byte{5}},
+		phaseking.AckMsg{Epoch: 2, B: One, Elig: []byte{6}},
+		chenmicali.AckMsg{Epoch: 2, B: Zero, Elig: []byte{7}, Sig: []byte{8}},
+		committee.EchoMsg{B: One},
+		broadcast.InputMsg{B: Zero},
+	}
+	var stream []byte
+	for i, m := range msgs {
+		env := transport.Envelope{
+			Kind: transport.EnvData, From: types.NodeID(i), Round: uint32(i), Seq: uint32(i),
+			Payload: wire.Marshal(m),
+		}
+		stream = transport.AppendFrame(stream, transport.AppendEnvelope(nil, env))
+	}
+	for i, m := range msgs {
+		var frame []byte
+		var err error
+		frame, stream, err = transport.ParseFrame(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := transport.DecodeEnvelope(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.From != types.NodeID(i) || !bytes.Equal(env.Payload, wire.Marshal(m)) {
+			t.Fatalf("message %d did not survive framing", i)
+		}
+	}
+	if len(stream) != 0 {
+		t.Fatalf("%d trailing bytes", len(stream))
 	}
 }

@@ -1,0 +1,221 @@
+// Package cluster is the live execution layer: it drives the same
+// sans-I/O netsim.Node state machines the lockstep simulator runs, but as
+// concurrent node processes exchanging wire-encoded envelopes over a
+// pluggable transport — one goroutine per node over in-process channels, or
+// one OS process per node over a TCP mesh.
+//
+// The simulator stays the oracle. A cluster execution must agree with the
+// lockstep engine on every protocol-visible fact — each node's decision,
+// the round count, and the per-node communication metrics — for the same
+// scenario.Config and seed. The round synchronizer makes that possible
+// without a central coordinator:
+//
+//   - Every protocol message travels as a round-tagged, per-sender
+//     sequence-numbered envelope whose payload is the message's canonical
+//     wire encoding.
+//   - After transmitting its round-r sends, each node multicasts a sync
+//     marker carrying its halted flag. A node enters round r+1 only after
+//     collecting all n round-r sync markers — the per-round barrier that
+//     realises the paper's synchronous model (every round-r message is
+//     delivered before any round-r+1 computation) with no wall-clock
+//     timeouts in the in-process case. Over TCP, Options.RoundTimeout
+//     bounds the barrier wait so a dead peer fails the run instead of
+//     hanging it.
+//   - Each round's traffic is re-sorted into (sender, sequence) order
+//     before delivery, reproducing the deterministic envelope order of the
+//     lockstep engine's delivery merge — this is what makes live runs
+//     bit-compatible with the simulator despite arbitrary goroutine and
+//     network interleaving.
+//   - When every node's halted flag is up (or the round budget is
+//     exhausted), nodes exchange result records, so every participant —
+//     including a single TCP process in a multi-machine mesh — assembles
+//     the complete Result and evaluates the paper's three security
+//     properties locally.
+//
+// The runtime executes honest protocols only: the simulator's adversary
+// interface is an omniscient round-scoped window over all in-flight
+// envelopes, which no distributed runtime can offer, so configs carrying an
+// adversary (and scenarios naming one) are rejected — attack experiments
+// belong to the simulator. Likewise only the lockstep ∆ = 1 network model
+// runs live; the simulated-delay models (worst-case, jitter, omission,
+// partition) are schedule injection, which the synchronizer exists to
+// prevent.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ccba/internal/netsim"
+	"ccba/internal/scenario"
+	"ccba/internal/transport"
+	"ccba/internal/types"
+)
+
+// Options tunes a live run.
+type Options struct {
+	// RoundTimeout bounds how long a node waits at one round barrier (and
+	// the result exchange) before failing the run. Zero means no timeout —
+	// correct for the in-process transport, where the barrier can only
+	// stall if a node goroutine died, which cancels the run anyway. TCP
+	// meshes should set it: a dead peer then yields an error instead of a
+	// hang.
+	RoundTimeout time.Duration
+}
+
+// Report is the outcome of a live run: the same scenario.Report the
+// simulator produces (result, inputs, property checkers) plus the per-node
+// communication metrics the distributed accounting naturally yields —
+// summed, they equal the simulator's aggregate Metrics.
+type Report struct {
+	*scenario.Report
+	// PerNode[i] holds the messages node i itself sent. HonestMulticasts is
+	// node i's multicast count; the aggregate Report.Metrics is the
+	// column-wise sum.
+	PerNode []netsim.Metrics
+}
+
+// Run executes cfg live over a full transport network (one endpoint per
+// node, e.g. transport.NewChanNetwork or transport.NewTCPNetwork), driving
+// every node in its own goroutine. All nodes assemble identical reports;
+// the returned one is node 0's.
+func Run(ctx context.Context, cfg scenario.Config, net transport.Network, opts Options) (*Report, error) {
+	plan, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if net.N() != plan.cfg.N {
+		return nil, fmt.Errorf("cluster: config N=%d but the transport network has %d endpoints", plan.cfg.N, net.N())
+	}
+	eps := net.Endpoints()
+
+	// One goroutine per node. The first failure cancels the shared context
+	// so peers blocked at a barrier unwind instead of waiting for traffic
+	// that will never come.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	reports := make([]*Report, plan.cfg.N)
+	errs := make([]error, plan.cfg.N)
+	var wg sync.WaitGroup
+	for i := 0; i < plan.cfg.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = plan.runNode(runCtx, types.NodeID(i), eps[i], opts)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// The first failure cancelled everyone else, so most errs are the
+	// induced context.Canceled; report the root cause, not the fallout.
+	var induced error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			if induced == nil {
+				induced = fmt.Errorf("cluster: node %d: %w", i, err)
+			}
+			continue
+		}
+		return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+	}
+	if induced != nil {
+		return nil, induced
+	}
+	return reports[0], nil
+}
+
+// RunNode executes one node of a multi-process cluster over its endpoint
+// (e.g. transport.DialTCP). Every process runs the same cfg — node sets are
+// deterministic in the seed, so each process rebuilds the full PKI and
+// committee structure and animates only tr.Self(). The result exchange at
+// the end hands every process the complete outcome, so the returned Report
+// equals the one a single-process run would produce.
+func RunNode(ctx context.Context, cfg scenario.Config, tr transport.Transport, opts Options) (*Report, error) {
+	if err := checkMultiProcess(cfg); err != nil {
+		return nil, err
+	}
+	plan, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tr.N() != plan.cfg.N {
+		return nil, fmt.Errorf("cluster: config N=%d but the transport is a %d-node mesh", plan.cfg.N, tr.N())
+	}
+	rep, err := plan.runNode(ctx, tr.Self(), tr, opts)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d: %w", tr.Self(), err)
+	}
+	return rep, nil
+}
+
+// checkMultiProcess rejects configs that only execute correctly when every
+// node shares one in-process crypto suite. The F_mine hybrid world (Figure
+// 1) is built around a trusted party: its Verify answers only for tickets
+// actually mined *on that instance*, so two processes rebuilding the
+// functionality from the same seed still cannot verify each other's
+// tickets — by design, that secrecy rule is what the ideal functionality
+// models. A single-process cluster (Run) legitimately hosts the trusted
+// party and may run the hybrid world; a multi-process mesh must run the
+// Appendix D compiler (Crypto: Real), whose VRF tickets are publicly
+// verifiable against the shared PKI — removing exactly this trusted party
+// is what the compiler is for.
+func checkMultiProcess(cfg scenario.Config) error {
+	crypto := cfg.Crypto
+	if crypto == "" {
+		crypto = scenario.Ideal
+	}
+	switch cfg.Protocol {
+	case scenario.Core, scenario.CoreBroadcast, scenario.PhaseKingSampled, scenario.ChenMicali:
+		if crypto == scenario.Ideal {
+			return fmt.Errorf("cluster: protocol %q in the hybrid F_mine world needs its trusted party in-process; run the whole cluster in one process, or use Crypto: Real (the Appendix D compiler exists to remove the trusted party)", cfg.Protocol)
+		}
+	}
+	return nil
+}
+
+// plan is a validated, normalized execution: the defaulted config, the full
+// node set, the protocol decoder, and the round budget.
+type plan struct {
+	cfg       scenario.Config
+	nodes     []netsim.Node
+	decode    scenario.Decoder
+	maxRounds int
+}
+
+// prepare validates cfg for live execution and resolves everything the
+// runners need. The rejections are structural, not temporary gaps: see the
+// package comment.
+func prepare(cfg scenario.Config) (*plan, error) {
+	if cfg.Adversary != nil {
+		return nil, fmt.Errorf("cluster: live runs execute honest protocols only; the adversary interface needs the simulator's omniscient envelope window (run this config through ccba.Run instead)")
+	}
+	if cfg.Net != "" && cfg.Net != scenario.NetDeltaOne {
+		return nil, fmt.Errorf("cluster: net model %q is simulated message scheduling; live runs deliver at ∆=1 through the round synchronizer (run this config through ccba.Run instead)", cfg.Net)
+	}
+	cfg.Parallel = false // node-level parallelism is the cluster itself
+	normalized, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	nodes, _, steps, err := scenario.Build(normalized)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds, err := normalized.RoundBudget(steps)
+	if err != nil {
+		return nil, err
+	}
+	decode, err := scenario.DecoderFor(normalized.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	return &plan{cfg: normalized, nodes: nodes, decode: decode, maxRounds: maxRounds}, nil
+}

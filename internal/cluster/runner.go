@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"ccba/internal/netsim"
+	"ccba/internal/scenario"
+	"ccba/internal/transport"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// runNode animates one node of the plan over its transport endpoint: the
+// round-synchronized execution loop followed by the result exchange.
+func (p *plan) runNode(ctx context.Context, self types.NodeID, tr transport.Transport, opts Options) (*Report, error) {
+	r := &runner{
+		plan: p,
+		self: self,
+		node: p.nodes[self],
+		tr:   tr,
+		opts: opts,
+		// Traffic can run at most one round ahead of the local node (a peer
+		// needs our round-r sync to finish round r), so two pending rounds
+		// of buffers suffice; maps keep the invariant honest.
+		pending: map[uint32][]transport.Envelope{},
+		syncs:   map[uint32]int{},
+		halts:   map[uint32]int{},
+	}
+	rounds, err := r.runRounds(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r.exchangeResults(ctx, rounds)
+}
+
+// runner is the per-node execution state.
+type runner struct {
+	*plan
+	self types.NodeID
+	node netsim.Node
+	tr   transport.Transport
+	opts Options
+
+	metrics netsim.Metrics // this node's own sends (Definitions 6 and 7)
+
+	pending map[uint32][]transport.Envelope // round-tagged data awaiting delivery
+	syncs   map[uint32]int                  // sync markers received per round
+	halts   map[uint32]int                  // halted flags among those markers
+	results []transport.Envelope            // early result records (see below)
+}
+
+// runRounds executes the synchronized round loop and returns the round
+// count — exactly the simulator's: the round after the one in which every
+// node reported halted, or the budget if that never happens.
+func (r *runner) runRounds(ctx context.Context) (int, error) {
+	n := r.cfg.N
+	var delivered []netsim.Delivered
+	for round := 0; round < r.maxRounds; round++ {
+		// 1. Step the state machine (halted nodes stay silent but keep the
+		// barrier alive for peers still running).
+		var sends []netsim.Send
+		if !r.node.Halted() {
+			sends = r.node.Step(round, delivered)
+		}
+		halted := r.node.Halted()
+
+		// 2. Transmit this round's sends as round-tagged, sequence-numbered
+		// envelopes, accounting communication as we go. A multicast reaches
+		// every node including the sender — the simulator's rule, so quorum
+		// counting treats one's own vote uniformly — and shares one payload
+		// encoding across all copies.
+		for seq, s := range sends {
+			payload := wire.Marshal(s.Msg)
+			env := transport.Envelope{
+				Kind: transport.EnvData, From: r.self,
+				Round: uint32(round), Seq: uint32(seq), Payload: payload,
+			}
+			r.metrics.CountSend(s.To, n, len(payload))
+			if s.To == types.Broadcast {
+				if err := r.tr.Multicast(env); err != nil {
+					return 0, fmt.Errorf("round %d: multicast: %w", round, err)
+				}
+			} else if int(s.To) >= 0 && int(s.To) < n {
+				if err := r.tr.Send(s.To, env); err != nil {
+					return 0, fmt.Errorf("round %d: unicast to %d: %w", round, s.To, err)
+				}
+			}
+		}
+
+		// 3. Barrier: announce end-of-round (with our halted flag), then
+		// collect everyone's announcements. Per-link FIFO guarantees all
+		// round-r data precedes a peer's round-r sync, so once n markers
+		// are in, the round's traffic is complete — Δ-bounded delivery
+		// realised by acknowledgement instead of a clock.
+		sync := transport.Envelope{
+			Kind: transport.EnvSync, From: r.self,
+			Round: uint32(round), Halted: halted,
+		}
+		if err := r.tr.Multicast(sync); err != nil {
+			return 0, fmt.Errorf("round %d: sync: %w", round, err)
+		}
+		if err := r.collectBarrier(ctx, uint32(round)); err != nil {
+			return 0, err
+		}
+
+		// 4. Deliver: this round's traffic, re-sorted into the (sender,
+		// sequence) order of the lockstep engine's envelope list, decoded
+		// from canonical bytes back into the values the state machines
+		// switch on.
+		envs := r.pending[uint32(round)]
+		delete(r.pending, uint32(round))
+		allHalted := r.halts[uint32(round)] == n
+		delete(r.syncs, uint32(round))
+		delete(r.halts, uint32(round))
+		if allHalted {
+			return round + 1, nil
+		}
+		if halted {
+			// This node never steps again; it only keeps the barrier alive
+			// for peers still running. Decoding its inbox would be work the
+			// state machine will never see.
+			delivered = delivered[:0]
+			continue
+		}
+		sort.SliceStable(envs, func(i, j int) bool {
+			if envs[i].From != envs[j].From {
+				return envs[i].From < envs[j].From
+			}
+			return envs[i].Seq < envs[j].Seq
+		})
+		delivered = delivered[:0]
+		for _, env := range envs {
+			msg, err := r.decode(env.Payload)
+			if err != nil {
+				return 0, fmt.Errorf("round %d: message %d/%d from node %d: %w",
+					round, env.Round, env.Seq, env.From, err)
+			}
+			delivered = append(delivered, netsim.Delivered{From: env.From, Msg: msg})
+		}
+	}
+	return r.maxRounds, nil
+}
+
+// collectBarrier consumes incoming envelopes until all n round-round sync
+// markers have arrived, buffering data for this and the next round as it
+// goes.
+func (r *runner) collectBarrier(ctx context.Context, round uint32) error {
+	ctx, cancel := r.barrierCtx(ctx)
+	defer cancel()
+	n := r.cfg.N
+	for r.syncs[round] < n {
+		env, err := r.tr.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("round %d barrier (%d/%d peers): %w", round, r.syncs[round], n, err)
+		}
+		if int(env.From) < 0 || int(env.From) >= n {
+			return fmt.Errorf("round %d: envelope from unknown node %d", round, env.From)
+		}
+		switch env.Kind {
+		case transport.EnvData:
+			r.pending[env.Round] = append(r.pending[env.Round], env)
+		case transport.EnvSync:
+			r.syncs[env.Round]++
+			if env.Halted {
+				r.halts[env.Round]++
+			}
+		case transport.EnvResult:
+			// Legitimate one-round skew at the end of the run: a peer that
+			// already holds all n final-round sync markers exits the loop
+			// and multicasts its result while we are still waiting on a
+			// third party's marker for the same round. Buffer it for the
+			// result exchange.
+			r.results = append(r.results, env)
+		default:
+			return fmt.Errorf("round %d: unexpected %d-kind envelope from node %d", round, env.Kind, env.From)
+		}
+	}
+	return nil
+}
+
+// barrierCtx applies the per-round timeout, when one is configured.
+func (r *runner) barrierCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if r.opts.RoundTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, r.opts.RoundTimeout)
+}
+
+// ---------------------------------------------------------------------------
+// Result exchange.
+
+// resultRecord is one node's contribution to the final Result, multicast
+// once the round loop has ended. Every node assembles all n records into
+// the same Result a lockstep run would produce.
+type resultRecord struct {
+	output  types.Bit
+	decided bool
+	halted  bool
+	metrics netsim.Metrics
+}
+
+func encodeResult(rec resultRecord) []byte {
+	w := wire.Writer{}
+	w.Bit(rec.output)
+	w.U8(b2u(rec.decided))
+	w.U8(b2u(rec.halted))
+	w.U64(uint64(rec.metrics.HonestMulticasts))
+	w.U64(uint64(rec.metrics.HonestMulticastBytes))
+	w.U64(uint64(rec.metrics.HonestMessages))
+	w.U64(uint64(rec.metrics.HonestMessageBytes))
+	return w.Buf
+}
+
+func decodeResult(buf []byte) (resultRecord, error) {
+	r := wire.NewReader(buf)
+	rec := resultRecord{}
+	bit := r.Bit()
+	rec.decided = r.U8() != 0
+	rec.halted = r.U8() != 0
+	rec.metrics.HonestMulticasts = int(r.U64())
+	rec.metrics.HonestMulticastBytes = int(r.U64())
+	rec.metrics.HonestMessages = int(r.U64())
+	rec.metrics.HonestMessageBytes = int(r.U64())
+	if err := r.Finish(); err != nil {
+		return resultRecord{}, err
+	}
+	rec.output = bit
+	return rec, nil
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// exchangeResults multicasts this node's record, collects everyone's, and
+// assembles the full Report. rounds is the agreed round count (identical on
+// every node: it is a deterministic function of the halted flags all nodes
+// collected through the same barriers).
+func (r *runner) exchangeResults(ctx context.Context, rounds int) (*Report, error) {
+	n := r.cfg.N
+	out, decided := r.node.Output()
+	if !decided {
+		out = types.NoBit
+	}
+	rec := resultRecord{output: out, decided: decided, halted: r.node.Halted(), metrics: r.metrics}
+	env := transport.Envelope{
+		Kind: transport.EnvResult, From: r.self,
+		Round: uint32(rounds), Payload: encodeResult(rec),
+	}
+	if err := r.tr.Multicast(env); err != nil {
+		return nil, fmt.Errorf("result exchange: %w", err)
+	}
+
+	collectCtx, cancel := r.barrierCtx(ctx)
+	defer cancel()
+	res := &netsim.Result{
+		Outputs: make([]types.Bit, n),
+		Decided: make([]bool, n),
+		Halted:  make([]bool, n),
+		Corrupt: make([]bool, n), // live runs are adversary-free
+		Rounds:  rounds,
+	}
+	perNode := make([]netsim.Metrics, n)
+	seen := make([]bool, n)
+	for got := 0; got < n; {
+		var env transport.Envelope
+		if len(r.results) > 0 {
+			// Results buffered by the final barrier (fast peers run one
+			// round of skew ahead) come first.
+			env, r.results = r.results[0], r.results[1:]
+		} else {
+			var err error
+			env, err = r.tr.Recv(collectCtx)
+			if err != nil {
+				return nil, fmt.Errorf("result exchange (%d/%d nodes): %w", got, n, err)
+			}
+		}
+		if env.Kind != transport.EnvResult || int(env.From) < 0 || int(env.From) >= n || seen[env.From] {
+			continue // stragglers from the final barrier are harmless
+		}
+		rec, err := decodeResult(env.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("result from node %d: %w", env.From, err)
+		}
+		seen[env.From] = true
+		got++
+		res.Outputs[env.From] = rec.output
+		res.Decided[env.From] = rec.decided
+		res.Halted[env.From] = rec.halted
+		perNode[env.From] = rec.metrics
+		res.Metrics.Add(rec.metrics)
+	}
+	return &Report{Report: scenario.Evaluate(r.cfg, res), PerNode: perNode}, nil
+}

@@ -18,6 +18,7 @@
 package harness
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -71,6 +72,11 @@ type Options struct {
 	Workers int
 	// Base is an optional caller seed folded into every trial seed.
 	Base [32]byte
+	// Ctx cancels the batch: workers stop picking up trials once it is
+	// done, the pool drains, and Run returns the context's error. Nil means
+	// context.Background(). The trial function receives the same context
+	// through Trial.Ctx so in-flight trials can stop mid-run too.
+	Ctx context.Context
 }
 
 // Trial identifies one run handed to the trial function, with its derived
@@ -82,6 +88,9 @@ type Trial struct {
 	Scenario string
 	Index    int
 	Seed     [32]byte
+	// Ctx is the batch context (never nil); trial functions running long
+	// executions should pass it down so cancellation reaches mid-trial.
+	Ctx context.Context
 }
 
 // Run executes fn for trials 0..Trials−1 on a worker pool and returns the
@@ -91,6 +100,10 @@ type Trial struct {
 func Run[T any](opts Options, fn func(Trial) (T, error)) ([]T, error) {
 	if opts.Trials <= 0 {
 		return nil, fmt.Errorf("harness: trials=%d, need at least 1", opts.Trials)
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -111,7 +124,7 @@ func Run[T any](opts Options, fn func(Trial) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				t := int(next.Add(1)) - 1
-				if t >= opts.Trials || failed.Load() {
+				if t >= opts.Trials || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				tr := Trial{
@@ -119,6 +132,7 @@ func Run[T any](opts Options, fn func(Trial) (T, error)) ([]T, error) {
 					Scenario: opts.Scenario,
 					Index:    t,
 					Seed:     SeedFrom(opts.Base, opts.Name, opts.Scenario, t),
+					Ctx:      ctx,
 				}
 				results[t], errs[t] = fn(tr)
 				if errs[t] != nil {
@@ -128,6 +142,12 @@ func Run[T any](opts Options, fn func(Trial) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	// A cancelled batch reports the cancellation, not whichever per-trial
+	// error the cancellation induced first — workers have already drained
+	// by the Wait above, so no goroutine outlives the return.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", opts.Name, opts.Scenario, err)
+	}
 	for t, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s/%s trial %d: %w", opts.Name, opts.Scenario, t, err)

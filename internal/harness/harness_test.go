@@ -2,11 +2,15 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestSeedUniqueness enumerates (name, scenario, trial) coordinates —
@@ -274,5 +278,55 @@ func TestAggAccessorsMissing(t *testing.T) {
 	}
 	if _, ok := a.Event("nope"); ok {
 		t.Fatal("missing event reported present")
+	}
+}
+
+// Cancelling the batch context must stop workers from picking up new
+// trials, drain the pool completely (no goroutine outlives Run), and
+// surface the cancellation as the batch error.
+func TestRunCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	_, err := Run(Options{Name: "cancel", Trials: 64, Workers: 4, Ctx: ctx}, func(tr Trial) (int, error) {
+		once.Do(func() { close(started); cancel() })
+		// Trials that are already in flight observe the cancellation through
+		// their Trial.Ctx.
+		select {
+		case <-tr.Ctx.Done():
+			return 0, tr.Ctx.Err()
+		case <-time.After(5 * time.Second):
+			return 0, fmt.Errorf("trial never saw the cancellation")
+		}
+	})
+	<-started
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	// The pool must have drained: give the scheduler a beat, then check no
+	// worker goroutine is left behind.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("%d goroutines leaked past Run (baseline %d)", got-base, base)
+	}
+}
+
+// A nil context keeps the old behaviour exactly.
+func TestRunNilContext(t *testing.T) {
+	got, err := Run(Options{Name: "nilctx", Trials: 3}, func(tr Trial) (int, error) {
+		if tr.Ctx == nil {
+			return 0, fmt.Errorf("trial %d: nil Trial.Ctx", tr.Index)
+		}
+		return tr.Index, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("results: %v", got)
 	}
 }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -169,6 +170,15 @@ func (r *Result) NumCorrupt() int {
 // Run executes rounds until every forever-honest node halts or MaxRounds is
 // reached, and returns the result.
 func (rt *Runtime) Run() *Result {
+	res, _ := rt.RunCtx(context.Background())
+	return res
+}
+
+// RunCtx is Run with cancellation: ctx is checked between rounds, and a
+// cancelled execution returns ctx's error instead of a result. Per-round
+// granularity keeps the hot path untouched — a round is the natural
+// preemption point of a lockstep engine.
+func (rt *Runtime) RunCtx(ctx context.Context) (*Result, error) {
 	setupCtx := rt.newCtx(-1, nil)
 	rt.adv.Setup(setupCtx)
 
@@ -179,12 +189,15 @@ func (rt *Runtime) Run() *Result {
 
 	round := 0
 	for ; round < rt.cfg.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if rt.stepRound(round) {
 			round++
 			break
 		}
 	}
-	return rt.collect(round)
+	return rt.collect(round), nil
 }
 
 // stepOne advances node i in the current round; it is the worker-pool task
@@ -261,15 +274,7 @@ func (rt *Runtime) stepRound(round int) (done bool) {
 		if !e.honestSend {
 			continue
 		}
-		if e.To == types.Broadcast {
-			rt.metrics.HonestMulticasts++
-			rt.metrics.HonestMulticastBytes += e.size
-			rt.metrics.HonestMessages += n
-			rt.metrics.HonestMessageBytes += n * e.size
-		} else {
-			rt.metrics.HonestMessages++
-			rt.metrics.HonestMessageBytes += e.size
-		}
+		rt.metrics.CountSend(e.To, n, e.size)
 	}
 
 	// 5. Deliver: multicasts reach every node (including the sender, so
@@ -494,6 +499,32 @@ type Metrics struct {
 	// complexity): a multicast counts as n pairwise messages.
 	HonestMessages     int
 	HonestMessageBytes int
+}
+
+// CountSend accounts one honest send of an encoded size in a network of n
+// nodes, per Definitions 6 and 7: a multicast is one multicast plus n
+// pairwise messages; a unicast is one pairwise message. Every accounting
+// site — the lockstep engine, the live cluster runtime, and the
+// equivalence tests — goes through this one rule so the definitions cannot
+// drift apart.
+func (m *Metrics) CountSend(to types.NodeID, n, size int) {
+	if to == types.Broadcast {
+		m.HonestMulticasts++
+		m.HonestMulticastBytes += size
+		m.HonestMessages += n
+		m.HonestMessageBytes += n * size
+	} else {
+		m.HonestMessages++
+		m.HonestMessageBytes += size
+	}
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.HonestMulticasts += other.HonestMulticasts
+	m.HonestMulticastBytes += other.HonestMulticastBytes
+	m.HonestMessages += other.HonestMessages
+	m.HonestMessageBytes += other.HonestMessageBytes
 }
 
 // workerPool is a persistent pool of stepping goroutines. The previous

@@ -278,6 +278,37 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// Normalized validates the config and returns a copy with every default
+// applied — the exact config Run would execute. Alternative runtimes (the
+// live cluster) normalize once up front so their checkers, input slices,
+// and derived parameters match the simulator's bit for bit.
+func (c Config) Normalized() (Config, error) {
+	if err := c.validate(); err != nil {
+		return Config{}, err
+	}
+	c.applyDefaults()
+	return c, nil
+}
+
+// RoundBudget derives the execution's round budget from a protocol's step
+// count: steps × ∆ by default — a ∆ > 1 schedule can hold every message to
+// the bound, stretching each protocol step across up to ∆ network rounds —
+// overridable upward by Config.MaxRounds. An explicit MaxRounds below the
+// derived minimum is a configuration that cannot complete: it is rejected
+// rather than reported as a phantom termination failure.
+func (c *Config) RoundBudget(steps int) (int, error) {
+	maxRounds := steps * c.Delta
+	if c.MaxRounds == 0 {
+		return maxRounds, nil
+	}
+	if c.MaxRounds < maxRounds {
+		return 0, fmt.Errorf(
+			"scenario: MaxRounds=%d cannot schedule protocol %q under Δ=%d: %d steps × Δ need at least %d rounds",
+			c.MaxRounds, c.Protocol, c.Delta, steps, maxRounds)
+	}
+	return c.MaxRounds, nil
+}
+
 // netSeedDomain separates network-model seed derivation from every other
 // seed use.
 const netSeedDomain = "scenario/net"

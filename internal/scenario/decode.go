@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"ccba/internal/broadcast"
+	"ccba/internal/chenmicali"
+	"ccba/internal/committee"
+	"ccba/internal/core"
+	"ccba/internal/dolevstrong"
+	"ccba/internal/phaseking"
+	"ccba/internal/quadratic"
+	"ccba/internal/wire"
+)
+
+// Decoder parses one marshalled protocol message (kind tag included) back
+// into the concrete message value the protocol's state machine switches on.
+// The simulator never needs one — it hands messages between nodes as Go
+// values — but the live cluster runtime does: envelopes cross a transport
+// as canonical wire bytes and must decode to values indistinguishable from
+// the originals, or the cluster could not reproduce the simulator's
+// decisions.
+type Decoder func([]byte) (wire.Message, error)
+
+var decoders = map[Protocol]Decoder{}
+
+// RegisterDecoder adds a protocol's message decoder to the registry.
+// Registering a duplicate panics, like the builder registry: both are
+// assembled at init time.
+func RegisterDecoder(p Protocol, d Decoder) {
+	if p == "" || d == nil {
+		panic("scenario: RegisterDecoder with empty protocol or nil decoder")
+	}
+	if _, dup := decoders[p]; dup {
+		panic(fmt.Sprintf("scenario: decoder for %q registered twice", p))
+	}
+	decoders[p] = d
+}
+
+// DecoderFor returns the named protocol's message decoder.
+func DecoderFor(p Protocol) (Decoder, error) {
+	d, ok := decoders[p]
+	if !ok {
+		return nil, fmt.Errorf("scenario: protocol %q has no registered decoder (registered: %v)", p, decoderNames())
+	}
+	return d, nil
+}
+
+func decoderNames() []Protocol {
+	out := make([]Protocol, 0, len(decoders))
+	for p := range decoders {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func init() {
+	RegisterDecoder(Core, core.Decode)
+	RegisterDecoder(Quadratic, quadratic.Decode)
+	RegisterDecoder(PhaseKingPlain, phaseking.Decode)
+	RegisterDecoder(PhaseKingSampled, phaseking.Decode)
+	RegisterDecoder(ChenMicali, chenmicali.Decode)
+	RegisterDecoder(DolevStrong, dolevstrong.Decode)
+	RegisterDecoder(CommitteeEcho, committee.Decode)
+	// The broadcast wrapper shares the stream with its inner protocol. Kind
+	// tags are protocol-local, so broadcast.KindInput (1) collides with
+	// core.KindStatus (1) — but the wrapper's InputMsg is exactly 2 bytes
+	// and no core message is, so length disambiguates: try the wrapper's
+	// decoder first, fall back to core's.
+	RegisterDecoder(CoreBroadcast, func(buf []byte) (wire.Message, error) {
+		if m, err := broadcast.Decode(buf); err == nil {
+			return m, nil
+		}
+		return core.Decode(buf)
+	})
+}

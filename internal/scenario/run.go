@@ -1,7 +1,7 @@
 package scenario
 
 import (
-	"fmt"
+	"context"
 
 	"ccba/internal/netsim"
 	"ccba/internal/types"
@@ -30,6 +30,13 @@ func (r *Report) Ok() bool {
 // through the network model named by the config; the round budget is the
 // protocol's step count × ∆ unless Config.MaxRounds raises it.
 func Run(cfg Config) (*Report, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: the runtime checks ctx between rounds,
+// so long executions (and the sweeps and live clusters built on them) stop
+// promptly when the caller gives up.
+func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -38,19 +45,9 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	// A ∆ > 1 schedule can hold every message to the bound, stretching each
-	// protocol step across up to ∆ network rounds — so the budget scales
-	// with ∆, and an explicit MaxRounds below that minimum is a
-	// configuration that cannot complete: reject it rather than report a
-	// phantom termination failure.
-	maxRounds := steps * cfg.Delta
-	if cfg.MaxRounds != 0 {
-		if cfg.MaxRounds < maxRounds {
-			return nil, fmt.Errorf(
-				"scenario: MaxRounds=%d cannot schedule protocol %q under Δ=%d: %d steps × Δ need at least %d rounds",
-				cfg.MaxRounds, cfg.Protocol, cfg.Delta, steps, maxRounds)
-		}
-		maxRounds = cfg.MaxRounds
+	maxRounds, err := cfg.RoundBudget(steps)
+	if err != nil {
+		return nil, err
 	}
 	net, err := cfg.netModel()
 	if err != nil {
@@ -65,7 +62,18 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := rt.Run()
+	res, err := rt.RunCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return Evaluate(cfg, res), nil
+}
+
+// Evaluate runs the paper's three security checkers over a completed
+// result. Run calls it on the simulator's output; the cluster runtime calls
+// it on the result a live execution assembled, so both judge executions by
+// the identical standard.
+func Evaluate(cfg Config, res *netsim.Result) *Report {
 	rep := &Report{Result: res, Inputs: cfg.Inputs}
 	rep.Consistency = netsim.CheckConsistency(res)
 	rep.Termination = netsim.CheckTermination(res)
@@ -74,5 +82,5 @@ func Run(cfg Config) (*Report, error) {
 	} else {
 		rep.Validity = netsim.CheckAgreementValidity(res, cfg.Inputs)
 	}
-	return rep, nil
+	return rep
 }

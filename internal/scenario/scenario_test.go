@@ -1,12 +1,17 @@
 package scenario
 
 import (
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 
+	"ccba/internal/broadcast"
 	"ccba/internal/chenmicali"
+	"ccba/internal/core"
 	"ccba/internal/netsim"
 	"ccba/internal/types"
+	"ccba/internal/wire"
 )
 
 // The protocol switch is gone: every protocol must resolve through the
@@ -354,4 +359,73 @@ func makeIdle(n int) []netsim.Node {
 		nodes[i] = idleNode{}
 	}
 	return nodes
+}
+
+// Registry listings feed CLI output (-scenarios) and docs, so they must be
+// deterministic: sorted, and stable across repeated calls despite map
+// iteration order.
+func TestRegistryListingsSorted(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for i := 0; i < 8; i++ {
+		if again := Names(); !slices.Equal(again, names) {
+			t.Fatalf("Names() unstable: %v vs %v", again, names)
+		}
+	}
+	advs := Adversaries()
+	if !sort.StringsAreSorted(advs) {
+		t.Fatalf("Adversaries() not sorted: %v", advs)
+	}
+	protos := Protocols()
+	if !sort.SliceIsSorted(protos, func(i, j int) bool { return protos[i] < protos[j] }) {
+		t.Fatalf("Protocols() not sorted: %v", protos)
+	}
+}
+
+// Every registered protocol must have a message decoder — the live cluster
+// runtime depends on it — and each decoder must reproduce a protocol
+// message from its canonical bytes.
+func TestDecoderRegistryCoversAllProtocols(t *testing.T) {
+	for _, p := range Protocols() {
+		if strings.HasPrefix(string(p), "cluster-test-") {
+			continue // registered by another package's tests
+		}
+		if _, err := DecoderFor(p); err != nil {
+			t.Errorf("protocol %q: %v", p, err)
+		}
+	}
+	if _, err := DecoderFor("no-such-protocol"); err == nil {
+		t.Error("unknown protocol resolved a decoder")
+	}
+}
+
+// The core-broadcast decoder must disambiguate the wrapper's kind-1
+// InputMsg from core's kind-1 StatusMsg (length does it: InputMsg is
+// exactly two bytes).
+func TestCoreBroadcastDecoderDisambiguates(t *testing.T) {
+	d, err := DecoderFor(CoreBroadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := broadcast.InputMsg{B: types.One}
+	got, err := d(wire.Marshal(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.(broadcast.InputMsg); !ok {
+		t.Fatalf("decoded %T, want broadcast.InputMsg", got)
+	}
+	status := core.StatusMsg{Iter: 3, B: types.One, Elig: []byte{1, 2, 3}}
+	got, err = d(wire.Marshal(status))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.(core.StatusMsg); !ok {
+		t.Fatalf("decoded %T, want core.StatusMsg", got)
+	}
 }

@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+
+	"ccba/internal/types"
+)
+
+// ChanNetwork is the in-process transport: n endpoints, one unbounded
+// mailbox each, no sockets. Envelopes are handed over as values (payload
+// bytes shared, never copied), so the only cost per link is a queue append —
+// the transport itself adds no scheduling freedom beyond goroutine
+// interleaving, which the cluster synchronizer already absorbs.
+type ChanNetwork struct {
+	eps []Transport
+}
+
+// NewChanNetwork builds the in-process network for an n-node cluster.
+func NewChanNetwork(n int) (*ChanNetwork, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: chan network needs n ≥ 1, got %d", n)
+	}
+	boxes := make([]*mailbox, n)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	net := &ChanNetwork{eps: make([]Transport, n)}
+	for i := range net.eps {
+		net.eps[i] = &chanEndpoint{self: types.NodeID(i), boxes: boxes}
+	}
+	return net, nil
+}
+
+// N implements Network.
+func (c *ChanNetwork) N() int { return len(c.eps) }
+
+// Endpoints implements Network.
+func (c *ChanNetwork) Endpoints() []Transport { return c.eps }
+
+// Close implements Network.
+func (c *ChanNetwork) Close() error {
+	for _, ep := range c.eps {
+		ep.Close()
+	}
+	return nil
+}
+
+// chanEndpoint is one node's view of a ChanNetwork.
+type chanEndpoint struct {
+	self  types.NodeID
+	boxes []*mailbox
+}
+
+var _ Transport = (*chanEndpoint)(nil)
+
+// Self implements Transport.
+func (e *chanEndpoint) Self() types.NodeID { return e.self }
+
+// N implements Transport.
+func (e *chanEndpoint) N() int { return len(e.boxes) }
+
+// Send implements Transport.
+func (e *chanEndpoint) Send(to types.NodeID, env Envelope) error {
+	if err := checkAddr(to, len(e.boxes)); err != nil {
+		return err
+	}
+	if !e.boxes[to].push(env) {
+		return fmt.Errorf("%w: node %d", ErrClosed, to)
+	}
+	return nil
+}
+
+// Multicast implements Transport. Every recipient's queue entry shares the
+// same payload slice; nothing is encoded or copied.
+func (e *chanEndpoint) Multicast(env Envelope) error {
+	for to := range e.boxes {
+		if !e.boxes[to].push(env) {
+			return fmt.Errorf("%w: node %d", ErrClosed, to)
+		}
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (e *chanEndpoint) Recv(ctx context.Context) (Envelope, error) {
+	return e.boxes[e.self].pop(ctx)
+}
+
+// Close implements Transport.
+func (e *chanEndpoint) Close() error {
+	e.boxes[e.self].close()
+	return nil
+}

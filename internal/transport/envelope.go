@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Envelope encoding: kind u8 | from u32 | round u32 | seq u32 | flags u8 |
+// payload (length-prefixed bytes), all through the repository's wire codec.
+// envelopeHeader is the fixed part; the 4-byte payload length prefix makes
+// the minimum encoding envelopeHeader+4 bytes.
+const envelopeHeader = 1 + 4 + 4 + 4 + 1
+
+const flagHalted = 1
+
+// EncodedSize returns the exact encoded size of e in bytes.
+func (e Envelope) EncodedSize() int {
+	return envelopeHeader + wire.BytesSize(e.Payload)
+}
+
+// AppendEnvelope appends the canonical encoding of e to dst.
+func AppendEnvelope(dst []byte, e Envelope) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U8(uint8(e.Kind))
+	w.NodeID(e.From)
+	w.U32(e.Round)
+	w.U32(e.Seq)
+	flags := uint8(0)
+	if e.Halted {
+		flags |= flagHalted
+	}
+	w.U8(flags)
+	w.Bytes(e.Payload)
+	return w.Buf
+}
+
+// DecodeEnvelope parses one encoded envelope. The returned payload aliases
+// buf; callers that retain envelopes across buffer reuse must copy.
+func DecodeEnvelope(buf []byte) (Envelope, error) {
+	r := wire.NewReader(buf)
+	e := Envelope{
+		Kind:  EnvKind(r.U8()),
+		From:  r.NodeID(),
+		Round: r.U32(),
+		Seq:   r.U32(),
+	}
+	flags := r.U8()
+	e.Payload = r.Bytes()
+	r.Expect(e.Kind >= EnvData && e.Kind <= EnvHello, "envelope kind")
+	r.Expect(flags&^flagHalted == 0, "envelope flags")
+	if err := r.Finish(); err != nil {
+		return Envelope{}, fmt.Errorf("transport: envelope: %w", err)
+	}
+	e.Halted = flags&flagHalted != 0
+	if len(e.Payload) == 0 {
+		e.Payload = nil
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// Length-prefixed framing (the TCP wire format).
+
+// MaxFrame bounds a frame's payload so a corrupt or hostile length prefix
+// cannot make a reader allocate or block for gigabytes. Protocol messages
+// are far smaller (the largest — quadratic certificates at n=1000 — stay
+// under 100 KiB).
+const MaxFrame = 1 << 20
+
+// ErrFrameTooLarge reports a frame whose length prefix exceeds MaxFrame.
+var ErrFrameTooLarge = fmt.Errorf("transport: frame exceeds %d bytes", MaxFrame)
+
+// AppendFrame appends a length-prefixed frame holding payload to dst: a
+// big-endian u32 length followed by exactly that many payload bytes.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// ParseFrame parses one length-prefixed frame from the front of buf,
+// returning the payload and the remaining bytes. It never over-reads: the
+// payload aliases buf and extends exactly the prefixed length. Incomplete
+// input returns wire.ErrTruncated (retry with more bytes); a length prefix
+// over MaxFrame returns ErrFrameTooLarge and is not recoverable.
+func ParseFrame(buf []byte) (payload, rest []byte, err error) {
+	if len(buf) < 4 {
+		return nil, buf, wire.ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if n > MaxFrame {
+		return nil, buf, ErrFrameTooLarge
+	}
+	if uint32(len(buf)-4) < n {
+		return nil, buf, wire.ErrTruncated
+	}
+	return buf[4 : 4+n], buf[4+n:], nil
+}
+
+// readFrame reads one frame from a stream, enforcing the same MaxFrame
+// bound before allocating.
+func readFrame(r io.Reader) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// marshalFrame encodes e and wraps it in a frame, sized exactly.
+func marshalFrame(e Envelope) []byte {
+	buf := make([]byte, 0, 4+e.EncodedSize())
+	buf = binary.BigEndian.AppendUint32(buf, uint32(e.EncodedSize()))
+	return AppendEnvelope(buf, e)
+}
+
+// helloEnvelope builds the handshake envelope a dialing node opens its
+// connection with.
+func helloEnvelope(self types.NodeID) Envelope {
+	return Envelope{Kind: EnvHello, From: self}
+}

@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ccba/internal/types"
+)
+
+// Every envelope sent must arrive, exactly once, FIFO per link.
+func TestTCPNoLoss(t *testing.T) {
+	const n, msgs = 4, 500
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	netw, err := NewTCPNetwork(ctx, LoopbackAddrs(n), TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netw.Close()
+	eps := netw.Endpoints()
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for s := 0; s < msgs; s++ {
+				env := Envelope{Kind: EnvData, From: types.NodeID(i), Seq: uint32(s), Payload: []byte{byte(s)}}
+				for j := 0; j < n; j++ {
+					if err := eps[i].Send(types.NodeID(j), env); err != nil {
+						panic(fmt.Sprintf("send: %v", err))
+					}
+				}
+			}
+		}(i)
+	}
+	recvErr := make([]error, n)
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			next := make([]uint32, n)
+			for k := 0; k < n*msgs; k++ {
+				env, err := eps[j].Recv(ctx)
+				if err != nil {
+					recvErr[j] = fmt.Errorf("recv %d: %v", k, err)
+					return
+				}
+				if env.Seq != next[env.From] {
+					recvErr[j] = fmt.Errorf("from %d: seq %d want %d", env.From, env.Seq, next[env.From])
+					return
+				}
+				next[env.From]++
+			}
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range recvErr {
+		if err != nil {
+			t.Fatalf("receiver %d: %v", j, err)
+		}
+	}
+}

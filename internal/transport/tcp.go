@@ -1,0 +1,398 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ccba/internal/types"
+)
+
+// TCPOptions tunes TCP endpoint setup.
+type TCPOptions struct {
+	// DialTimeout bounds how long Connect keeps retrying each peer while the
+	// mesh comes up (peers of a multi-process cluster start asynchronously).
+	// Zero means 10 seconds.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write. A frozen peer with a full
+	// socket buffer would otherwise block conn.Write forever — before the
+	// sender ever reaches its round barrier, where the cluster's round
+	// timeout applies — hanging the run instead of failing it. Zero means
+	// 30 seconds; negative disables the deadline.
+	WriteTimeout time.Duration
+}
+
+func (o TCPOptions) dialTimeout() time.Duration {
+	if o.DialTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return o.DialTimeout
+}
+
+func (o TCPOptions) writeTimeout() time.Duration {
+	if o.WriteTimeout == 0 {
+		return 30 * time.Second
+	}
+	if o.WriteTimeout < 0 {
+		return 0
+	}
+	return o.WriteTimeout
+}
+
+// TCPEndpoint is one node's live endpoint: a listener accepting inbound
+// peer connections (each opened by a hello frame identifying the dialer)
+// and one outbound connection per peer for this node's sends. Frames are
+// the length-prefixed envelope encoding of envelope.go.
+type TCPEndpoint struct {
+	self types.NodeID
+	n    int
+	opts TCPOptions
+
+	ls  net.Listener
+	box *mailbox
+
+	mu      sync.Mutex
+	out     []net.Conn   // outbound conns, indexed by peer (nil for self)
+	outMu   []sync.Mutex // per-conn write locks
+	in      []net.Conn   // accepted conns, closed on shutdown
+	closed  bool
+	closeWG sync.WaitGroup
+}
+
+var _ Transport = (*TCPEndpoint)(nil)
+
+// ListenTCP binds the local endpoint for node self of an n-node mesh on
+// addr (which may use port 0 to auto-assign; see Addr). The endpoint
+// accepts inbound connections immediately; call Connect to dial the peers
+// before the first Send.
+func ListenTCP(self types.NodeID, n int, addr string, opts TCPOptions) (*TCPEndpoint, error) {
+	if n <= 0 || int(self) < 0 || int(self) >= n {
+		return nil, fmt.Errorf("transport: tcp endpoint self=%d n=%d out of range", self, n)
+	}
+	ls, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		self:  self,
+		n:     n,
+		opts:  opts,
+		ls:    ls,
+		box:   newMailbox(),
+		out:   make([]net.Conn, n),
+		outMu: make([]sync.Mutex, n),
+	}
+	e.closeWG.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// DialTCP builds the complete endpoint for one node of a multi-process
+// mesh: it listens on peers[self] and dials every other entry. peers lists
+// the full cluster in node order, own address included.
+func DialTCP(ctx context.Context, self types.NodeID, peers []string, opts TCPOptions) (*TCPEndpoint, error) {
+	if int(self) < 0 || int(self) >= len(peers) {
+		return nil, fmt.Errorf("transport: node %d not in a %d-address peer list", self, len(peers))
+	}
+	e, err := ListenTCP(self, len(peers), peers[self], opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Connect(ctx, peers); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Addr returns the endpoint's actual listen address (useful with port 0).
+func (e *TCPEndpoint) Addr() string { return e.ls.Addr().String() }
+
+// Connect dials every peer in the address list (own entry skipped) and
+// opens each connection with a hello frame. It retries while the mesh comes
+// up, bounded by ctx and the dial timeout.
+func (e *TCPEndpoint) Connect(ctx context.Context, peers []string) error {
+	if len(peers) != e.n {
+		return fmt.Errorf("transport: %d peer addresses for a cluster of %d", len(peers), e.n)
+	}
+	hello := marshalFrame(helloEnvelope(e.self))
+	deadline := time.Now().Add(e.opts.dialTimeout())
+	for j, addr := range peers {
+		if types.NodeID(j) == e.self {
+			continue
+		}
+		conn, err := dialRetry(ctx, addr, deadline)
+		if err != nil {
+			return fmt.Errorf("transport: node %d dialing peer %d at %s: %w", e.self, j, addr, err)
+		}
+		if _, err := conn.Write(hello); err != nil {
+			conn.Close()
+			return fmt.Errorf("transport: node %d hello to peer %d: %w", e.self, j, err)
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return ErrClosed
+		}
+		e.out[j] = conn
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// dialRetry dials addr until it succeeds, ctx is cancelled, or the deadline
+// passes — peers of a live mesh bind their listeners at their own pace.
+func dialRetry(ctx context.Context, addr string, deadline time.Time) (net.Conn, error) {
+	var d net.Dialer
+	var lastErr error
+	for {
+		attemptCtx, cancel := context.WithDeadline(ctx, deadline)
+		conn, err := d.DialContext(attemptCtx, "tcp", addr)
+		cancel()
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !time.Now().Before(deadline) {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// acceptLoop admits inbound peer connections for the endpoint's lifetime.
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.closeWG.Done()
+	for {
+		conn, err := e.ls.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.in = append(e.in, conn)
+		e.closeWG.Add(1)
+		e.mu.Unlock()
+		go e.readLoop(conn)
+	}
+}
+
+// readLoop drains one inbound connection into the mailbox. The first frame
+// must be a hello identifying the dialing peer; every later frame is a
+// cluster envelope from that peer. Any framing or identity violation drops
+// the connection — the mesh is a closed set of known nodes, not a public
+// listener.
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer e.closeWG.Done()
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	frame, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	hello, err := DecodeEnvelope(frame)
+	if err != nil || hello.Kind != EnvHello || int(hello.From) < 0 || int(hello.From) >= e.n {
+		return
+	}
+	from := hello.From
+	for {
+		frame, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		env, err := DecodeEnvelope(frame)
+		if err != nil || env.Kind == EnvHello || env.From != from {
+			return
+		}
+		if !e.box.push(env) {
+			return
+		}
+	}
+}
+
+// Self implements Transport.
+func (e *TCPEndpoint) Self() types.NodeID { return e.self }
+
+// N implements Transport.
+func (e *TCPEndpoint) N() int { return e.n }
+
+// Send implements Transport. Self-sends loop back through the local
+// mailbox without touching a socket, mirroring the simulator's rule that a
+// node's message to itself never crosses the network.
+func (e *TCPEndpoint) Send(to types.NodeID, env Envelope) error {
+	if err := checkAddr(to, e.n); err != nil {
+		return err
+	}
+	if to == e.self {
+		if !e.box.push(env) {
+			return ErrClosed
+		}
+		return nil
+	}
+	return e.writeFrame(to, marshalFrame(env))
+}
+
+// Multicast implements Transport: the frame is encoded once and written to
+// every peer connection, so an n-node fan-out pays one marshal instead of n.
+func (e *TCPEndpoint) Multicast(env Envelope) error {
+	frame := marshalFrame(env)
+	for j := 0; j < e.n; j++ {
+		to := types.NodeID(j)
+		if to == e.self {
+			if !e.box.push(env) {
+				return ErrClosed
+			}
+			continue
+		}
+		if err := e.writeFrame(to, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFrame writes one already-encoded frame to the outbound connection
+// for peer to, serialized per connection.
+func (e *TCPEndpoint) writeFrame(to types.NodeID, frame []byte) error {
+	e.mu.Lock()
+	conn := e.out[to]
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if conn == nil {
+		return fmt.Errorf("transport: node %d has no connection to peer %d (Connect not run?)", e.self, to)
+	}
+	e.outMu[to].Lock()
+	if wt := e.opts.writeTimeout(); wt > 0 {
+		conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	_, err := conn.Write(frame)
+	e.outMu[to].Unlock()
+	if err != nil {
+		return fmt.Errorf("transport: node %d send to peer %d: %w", e.self, to, err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (e *TCPEndpoint) Recv(ctx context.Context) (Envelope, error) {
+	return e.box.pop(ctx)
+}
+
+// Close implements Transport: it stops the listener, closes every
+// connection, and wakes blocked Recv calls.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	ins := append([]net.Conn(nil), e.in...)
+	outs := append([]net.Conn(nil), e.out...)
+	e.mu.Unlock()
+
+	e.ls.Close()
+	for _, c := range ins {
+		c.Close()
+	}
+	for _, c := range outs {
+		if c != nil {
+			c.Close()
+		}
+	}
+	e.box.close()
+	e.closeWG.Wait()
+	return nil
+}
+
+// TCPNetwork assembles a full TCP mesh inside one process — real sockets,
+// loopback or otherwise, with every endpoint in hand. Tests and the CI
+// smoke runs use it; multi-process deployments use DialTCP per process.
+type TCPNetwork struct {
+	eps []Transport
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// NewTCPNetwork listens on every address (port 0 auto-assigns) and then
+// completes the dial mesh among all endpoints.
+func NewTCPNetwork(ctx context.Context, addrs []string, opts TCPOptions) (*TCPNetwork, error) {
+	n := len(addrs)
+	if n == 0 {
+		return nil, fmt.Errorf("transport: tcp network needs at least one address")
+	}
+	eps := make([]*TCPEndpoint, n)
+	closeAll := func() {
+		for _, ep := range eps {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+	}
+	actual := make([]string, n)
+	for i, addr := range addrs {
+		ep, err := ListenTCP(types.NodeID(i), n, addr, opts)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		eps[i] = ep
+		actual[i] = ep.Addr()
+	}
+	for _, ep := range eps {
+		if err := ep.Connect(ctx, actual); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	net := &TCPNetwork{eps: make([]Transport, n)}
+	for i, ep := range eps {
+		net.eps[i] = ep
+	}
+	return net, nil
+}
+
+// LoopbackAddrs returns n auto-assigning localhost addresses — the usual
+// argument to NewTCPNetwork in tests.
+func LoopbackAddrs(n int) []string {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	return addrs
+}
+
+// N implements Network.
+func (t *TCPNetwork) N() int { return len(t.eps) }
+
+// Endpoints implements Network.
+func (t *TCPNetwork) Endpoints() []Transport { return t.eps }
+
+// Close implements Network.
+func (t *TCPNetwork) Close() error {
+	var wg sync.WaitGroup
+	for _, ep := range t.eps {
+		wg.Add(1)
+		go func(ep Transport) { defer wg.Done(); ep.Close() }(ep)
+	}
+	wg.Wait()
+	return nil
+}

@@ -1,0 +1,215 @@
+// Package transport carries wire-encoded cluster envelopes between live
+// protocol nodes.
+//
+// The lockstep simulator in internal/netsim hands messages between state
+// machines as Go values inside one goroutine; this package is the other half
+// of the bridge internal/cluster builds: each node runs concurrently (a
+// goroutine, or a whole process) and exchanges Envelopes — round-tagged,
+// sequence-numbered frames whose payload is the canonical wire encoding of a
+// protocol message — over a Transport addressed by node index.
+//
+// Two implementations are provided:
+//
+//   - the in-process channel transport (NewChanNetwork): one unbounded
+//     mailbox per node, per-sender FIFO, no sockets. It is the reference
+//     transport the cluster runtime is cross-validated on — a chan-transport
+//     run must agree bit-for-bit with the lockstep engine on every
+//     protocol-visible fact.
+//   - the TCP transport (ListenTCP/NewTCPNetwork): length-prefixed framing
+//     of the same envelope encoding over a dial-mesh of localhost or
+//     cross-host connections, with a hello handshake identifying the sender
+//     and graceful shutdown via context.
+//
+// Both preserve the only ordering property the cluster round synchronizer
+// needs: envelopes from one sender arrive at one recipient in send order
+// (per-link FIFO). Cross-sender interleaving is arbitrary; the synchronizer
+// re-sorts each round's traffic into the deterministic lockstep order.
+//
+// The paper assumes authenticated point-to-point channels throughout; like
+// the simulator, the transports implement that assumption rather than
+// enforce it cryptographically — Envelope.From is trusted. Signatures inside
+// the payloads (the real-crypto mode) are still verified by the protocols
+// themselves.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ccba/internal/types"
+)
+
+// EnvKind tags the role of an envelope inside the cluster protocol.
+type EnvKind uint8
+
+// The envelope kinds.
+const (
+	// EnvData carries one wire-encoded protocol message.
+	EnvData EnvKind = 1
+	// EnvSync is the round barrier marker: the sender has finished
+	// transmitting its round-Round traffic. Halted reports whether the
+	// sender's state machine has terminated.
+	EnvSync EnvKind = 2
+	// EnvResult carries the sender's final per-node result record once the
+	// run has ended.
+	EnvResult EnvKind = 3
+	// EnvHello opens a TCP connection: it identifies the dialing node. It
+	// never reaches the cluster runtime.
+	EnvHello EnvKind = 4
+)
+
+// Envelope is the unit a Transport carries: one protocol message (or
+// synchronizer marker) tagged with its sender, round, and per-sender send
+// sequence. The (From, Round, Seq) triple is what lets the cluster runtime
+// reassemble the deterministic delivery order of the lockstep engine from
+// arbitrarily interleaved live traffic.
+type Envelope struct {
+	// Kind is the envelope's role.
+	Kind EnvKind
+	// From is the sending node's index (trusted; see the package comment).
+	From types.NodeID
+	// Round is the protocol round the envelope belongs to.
+	Round uint32
+	// Seq numbers the sender's data envelopes within the round, in the order
+	// the state machine produced the sends.
+	Seq uint32
+	// Halted is meaningful on EnvSync envelopes: whether the sender's state
+	// machine has terminated as of this round.
+	Halted bool
+	// Payload is the canonical wire encoding (wire.Marshal) of a protocol
+	// message for EnvData, a result record for EnvResult, and empty for the
+	// marker kinds. Receivers must treat it as read-only: a multicast shares
+	// one payload slice across all in-process recipients.
+	Payload []byte
+}
+
+// Transport is one node's endpoint into the cluster: Send and Recv of
+// envelopes addressed by node index. Send must be safe for use by the
+// node's goroutine while Recv blocks; Recv is single-consumer.
+type Transport interface {
+	// Self returns the node index this endpoint belongs to.
+	Self() types.NodeID
+	// N returns the cluster size.
+	N() int
+	// Send delivers env to node to (to == Self() loops back locally).
+	Send(to types.NodeID, env Envelope) error
+	// Multicast delivers env to every node, the sender included —
+	// equivalent to n Sends, but lets the transport pay per-envelope costs
+	// (TCP frame encoding) once instead of once per recipient.
+	Multicast(env Envelope) error
+	// Recv blocks until an envelope arrives, the context is cancelled, or
+	// the endpoint is closed.
+	Recv(ctx context.Context) (Envelope, error)
+	// Close releases the endpoint; blocked Recv calls return ErrClosed.
+	Close() error
+}
+
+// Network is a full set of cluster endpoints, one per node — what
+// cluster.Run drives. The chan network always holds all n endpoints; the
+// TCP network does too when assembled in one process (tests, smoke runs),
+// while a multi-process mesh uses ListenTCP for its single local endpoint
+// and cluster.RunNode instead.
+type Network interface {
+	// N returns the cluster size.
+	N() int
+	// Endpoints returns the n per-node endpoints, indexed by node.
+	Endpoints() []Transport
+	// Close closes every endpoint.
+	Close() error
+}
+
+// Errors returned by transports.
+var (
+	// ErrClosed reports a Send or Recv on a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrUnknownNode reports a Send to an out-of-range node index.
+	ErrUnknownNode = errors.New("transport: unknown node")
+)
+
+// mailbox is an unbounded multi-producer single-consumer envelope queue.
+// Unbounded is a correctness choice, not a convenience: a bounded inbox
+// could deadlock the round barrier (every node blocked sending into every
+// other node's full inbox), and the synchronizer bounds the backlog anyway —
+// a peer can run at most one round ahead of the slowest node, so at most two
+// rounds of traffic are ever in flight.
+type mailbox struct {
+	mu     sync.Mutex
+	q      []Envelope
+	head   int
+	closed bool
+	// signal has capacity 1: a push makes at most one pending wakeup, and
+	// the consumer re-checks the queue under the lock after every wakeup.
+	signal chan struct{}
+	done   chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{signal: make(chan struct{}, 1), done: make(chan struct{})}
+}
+
+// push enqueues env; it reports false when the mailbox is closed.
+func (b *mailbox) push(env Envelope) bool {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false
+	}
+	b.q = append(b.q, env)
+	b.mu.Unlock()
+	select {
+	case b.signal <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// pop dequeues the next envelope, blocking until one arrives, ctx is
+// cancelled, or the mailbox closes.
+func (b *mailbox) pop(ctx context.Context) (Envelope, error) {
+	for {
+		b.mu.Lock()
+		if b.head < len(b.q) {
+			env := b.q[b.head]
+			b.q[b.head] = Envelope{} // release payload references
+			b.head++
+			if b.head == len(b.q) {
+				b.q = b.q[:0]
+				b.head = 0
+			}
+			b.mu.Unlock()
+			return env, nil
+		}
+		closed := b.closed
+		b.mu.Unlock()
+		if closed {
+			return Envelope{}, ErrClosed
+		}
+		select {
+		case <-b.signal:
+		case <-b.done:
+		case <-ctx.Done():
+			return Envelope{}, ctx.Err()
+		}
+	}
+}
+
+// close marks the mailbox closed and wakes the consumer. Already-queued
+// envelopes remain readable until drained.
+func (b *mailbox) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.done)
+	}
+	b.mu.Unlock()
+}
+
+// checkAddr validates a destination index against the cluster size.
+func checkAddr(to types.NodeID, n int) error {
+	if int(to) < 0 || int(to) >= n {
+		return fmt.Errorf("%w: send to node %d in a cluster of %d", ErrUnknownNode, to, n)
+	}
+	return nil
+}

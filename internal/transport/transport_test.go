@@ -1,0 +1,282 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	f := func(kind uint8, from, round, seq uint32, halted bool, payload []byte) bool {
+		k := EnvKind(kind%4) + EnvData
+		e := Envelope{
+			Kind: k, From: types.NodeID(from), Round: round, Seq: seq,
+			Halted: halted, Payload: payload,
+		}
+		buf := AppendEnvelope(nil, e)
+		if len(buf) != e.EncodedSize() {
+			t.Fatalf("EncodedSize %d but encoding is %d bytes", e.EncodedSize(), len(buf))
+		}
+		got, err := DecodeEnvelope(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Kind != e.Kind || got.From != e.From || got.Round != e.Round ||
+			got.Seq != e.Seq || got.Halted != e.Halted || !bytes.Equal(got.Payload, e.Payload) {
+			t.Fatalf("round trip: sent %+v got %+v", e, got)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEnvelopeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0}, // kind 0 invalid
+		{9, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},     // kind 9 invalid
+		{1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF},              // bad flags, truncated payload
+		AppendEnvelope(nil, Envelope{Kind: EnvData})[:5],           // truncated header
+		append(AppendEnvelope(nil, Envelope{Kind: EnvData}), 0xAB), // trailing byte
+	}
+	for i, buf := range cases {
+		if _, err := DecodeEnvelope(buf); err == nil {
+			t.Errorf("case %d: decode of % x succeeded", i, buf)
+		}
+	}
+}
+
+func TestParseFrame(t *testing.T) {
+	payload := []byte("round-tagged envelope bytes")
+	buf := AppendFrame(nil, payload)
+	buf = AppendFrame(buf, nil) // empty frame is legal at the framing layer
+	got, rest, err := ParseFrame(buf)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("ParseFrame: %v, payload % x", err, got)
+	}
+	got, rest, err = ParseFrame(rest)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: %v, payload % x", err, got)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+
+	// Truncated prefixes and bodies are retryable, oversized is fatal.
+	if _, _, err := ParseFrame(buf[:3]); !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("short prefix: %v", err)
+	}
+	if _, _, err := ParseFrame(buf[:len(payload)]); !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("short body: %v", err)
+	}
+	huge := AppendFrame(nil, nil)
+	huge[0], huge[1] = 0xFF, 0xFF
+	if _, _, err := ParseFrame(huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized: %v", err)
+	}
+}
+
+func TestChanNetworkPerLinkFIFO(t *testing.T) {
+	const n, msgs = 4, 100
+	netw, err := NewChanNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netw.Close()
+	eps := netw.Endpoints()
+
+	// Every node sends a numbered stream to node 0 concurrently.
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for s := 0; s < msgs; s++ {
+				env := Envelope{Kind: EnvData, From: types.NodeID(i), Seq: uint32(s)}
+				if err := eps[i].Send(0, env); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	next := make([]uint32, n)
+	for k := 0; k < (n-1)*msgs; k++ {
+		env, err := eps[0].Recv(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Seq != next[env.From] {
+			t.Fatalf("sender %d: got seq %d, want %d (FIFO per link)", env.From, env.Seq, next[env.From])
+		}
+		next[env.From]++
+	}
+}
+
+func TestChanNetworkRecvCancellation(t *testing.T) {
+	netw, err := NewChanNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netw.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := netw.Endpoints()[0].Recv(ctx)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Recv returned %v, want context.Canceled", err)
+	}
+}
+
+func TestChanNetworkCloseDrainsThenErrClosed(t *testing.T) {
+	netw, err := NewChanNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := netw.Endpoints()[0]
+	if err := netw.Endpoints()[1].Send(0, Envelope{Kind: EnvData, From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	netw.Close()
+	// Queued envelopes remain readable after close; then ErrClosed.
+	if _, err := ep.Recv(context.Background()); err != nil {
+		t.Fatalf("drain after close: %v", err)
+	}
+	if _, err := ep.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-drain Recv: %v, want ErrClosed", err)
+	}
+	if err := ep.Send(1, Envelope{Kind: EnvData}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send to closed: %v, want ErrClosed", err)
+	}
+}
+
+func TestChanNetworkUnknownNode(t *testing.T) {
+	netw, err := NewChanNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netw.Close()
+	if err := netw.Endpoints()[0].Send(7, Envelope{}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Send(7) = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestTCPNetworkMeshExchange(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	netw, err := NewTCPNetwork(ctx, LoopbackAddrs(3), TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netw.Close()
+	eps := netw.Endpoints()
+
+	// Each node multicasts one payload (self included) and a unicast chain
+	// i → (i+1)%3; everyone must receive exactly 3 multicast copies + 1
+	// unicast, with payload bytes intact.
+	for i, ep := range eps {
+		payload := []byte(fmt.Sprintf("mcast-from-%d", i))
+		for j := range eps {
+			env := Envelope{Kind: EnvData, From: types.NodeID(i), Round: 1, Seq: 0, Payload: payload}
+			if err := ep.Send(types.NodeID(j), env); err != nil {
+				t.Fatal(err)
+			}
+		}
+		uni := Envelope{Kind: EnvData, From: types.NodeID(i), Round: 1, Seq: 1,
+			Payload: []byte(fmt.Sprintf("uni-from-%d", i))}
+		if err := ep.Send(types.NodeID((i+1)%3), uni); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j, ep := range eps {
+		got := map[string]int{}
+		for k := 0; k < 4; k++ {
+			env, err := ep.Recv(ctx)
+			if err != nil {
+				t.Fatalf("node %d recv %d: %v", j, k, err)
+			}
+			got[string(env.Payload)]++
+		}
+		for i := 0; i < 3; i++ {
+			if got[fmt.Sprintf("mcast-from-%d", i)] != 1 {
+				t.Fatalf("node %d multicast copies: %v", j, got)
+			}
+		}
+		if got[fmt.Sprintf("uni-from-%d", (j+2)%3)] != 1 {
+			t.Fatalf("node %d unicast: %v", j, got)
+		}
+	}
+}
+
+func TestTCPRejectsBogusInbound(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	netw, err := NewTCPNetwork(ctx, LoopbackAddrs(2), TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netw.Close()
+	ep := netw.Endpoints()[0].(*TCPEndpoint)
+
+	// A connection that opens with garbage instead of a hello is dropped
+	// without disturbing the mesh.
+	conn, err := net.Dial("tcp", ep.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 1, 2, 3})
+	conn.Close()
+
+	if err := netw.Endpoints()[1].Send(0, Envelope{Kind: EnvSync, From: 1, Round: 9}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ep.Recv(ctx)
+	if err != nil || env.Round != 9 || env.From != 1 {
+		t.Fatalf("mesh disturbed: %+v, %v", env, err)
+	}
+}
+
+func TestTCPSendWithoutConnect(t *testing.T) {
+	ep, err := ListenTCP(0, 2, "127.0.0.1:0", TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if err := ep.Send(1, Envelope{Kind: EnvData, From: 0}); err == nil {
+		t.Fatal("Send before Connect succeeded")
+	}
+	// Self-sends need no connection.
+	if err := ep.Send(0, Envelope{Kind: EnvData, From: 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPDialRetryTimesOut(t *testing.T) {
+	ep, err := ListenTCP(0, 2, "127.0.0.1:0", TCPOptions{DialTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	// Nobody listens on the second address; Connect must give up quickly.
+	err = ep.Connect(context.Background(), []string{ep.Addr(), "127.0.0.1:1"})
+	if err == nil {
+		t.Fatal("Connect to a dead peer succeeded")
+	}
+}
