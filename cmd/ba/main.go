@@ -17,6 +17,8 @@
 //	ba -protocol core -n 200 -f 60 -trials 100 -workers 8 -json
 //	ba -net delta -delta 3 -trials 8 -workers 4 -json
 //	ba -net omission -omission-rate 0.25 -n 100 -f 30
+//	ba -sparse -n 100000 -f 30000 -lambda 40       # large-N engine path
+//	ba -scenario core-sparse-n100k
 //	ba -scenario core-delta3-n200
 //	ba -scenarios
 package main
@@ -62,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		trials        = fs.Int("trials", 1, "number of runs (aggregated when > 1)")
 		workers       = fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS); aggregates are identical for every value")
 		parallel      = fs.Bool("parallel", false, "step nodes on multiple goroutines")
+		sparse        = fs.Bool("sparse", false, "memory-lean large-N engine path (delta-one, passive adversary, serial); use for n ≥ ~10⁵")
 		asJSON        = fs.Bool("json", false, "emit the outcome as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +88,7 @@ func run(args []string, out io.Writer) error {
 		Crypto:       ccba.CryptoMode(*crypto),
 		Erasure:      *erasure,
 		Parallel:     *parallel,
+		Sparse:       *sparse,
 		Net:          ccba.NetName(*net),
 		Delta:        *delta,
 		OmissionRate: *omissionRate,
@@ -97,6 +101,9 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg = sc.Config
 		cfg.Parallel = *parallel
+		if set["sparse"] {
+			cfg.Sparse = *sparse
+		}
 		if !set["adversary"] {
 			advName = sc.Adversary
 			if advName == "" {

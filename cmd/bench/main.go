@@ -44,9 +44,17 @@ type benchCase struct {
 // DeltaOne must keep the PR1 zero-allocation fast path (allocs/op on par
 // with CoreIdealN1000), while delta=3 worst-case runs the general
 // per-link scheduler at full fan-out to iteration exhaustion.
+// The three CoreIdeal*Sparse cases track the large-N engine path:
+// N1000Sparse sits next to CoreIdealN1000 so the sparse path's overhead at
+// ordinary sizes stays visible, N10k/N100k are the scaling points the E13
+// experiment sweeps — the dense engine has no tracked cases there because
+// the sparse path is the supported way to run them.
 var cases = []benchCase{
 	{Name: "CoreIdealN200", Cfg: ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40}},
 	{Name: "CoreIdealN1000", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40}},
+	{Name: "CoreIdealN1000Sparse", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40, Sparse: true}},
+	{Name: "CoreIdealN10kSparse", Cfg: ccba.Config{Protocol: ccba.Core, N: 10_000, F: 3_000, Lambda: 40, Sparse: true}},
+	{Name: "CoreIdealN100kSparse", Cfg: ccba.Config{Protocol: ccba.Core, N: 100_000, F: 30_000, Lambda: 40, Sparse: true}},
 	{Name: "CoreIdealN1000DeltaOne", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40, Net: ccba.NetDeltaOne, Delta: 1}},
 	{Name: "CoreIdealN1000Delta3Worst", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40, MaxIters: 12, Net: ccba.NetWorstCase, Delta: 3}, AllowViolations: true},
 	{Name: "CoreIdealN200Omission25", Cfg: ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40, Net: ccba.NetOmission, OmissionRate: 0.25}, AllowViolations: true},

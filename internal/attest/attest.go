@@ -1,13 +1,3 @@
-// Package attest provides the quorum-certificate machinery shared by the
-// protocols in this repository.
-//
-// Both the quadratic protocol of Appendix C.1 (f+1 signed votes form a
-// certificate) and the subquadratic protocols (λ/2 mined votes form a
-// certificate) collect attestations — (node, proof) pairs over a common
-// message tag — and compare collections against a threshold. Proof
-// verification is protocol-specific (Ed25519 signatures, F_mine tickets, or
-// VRF proofs), so every operation takes a verification closure rather than
-// binding to a concrete scheme.
 package attest
 
 import (
@@ -109,6 +99,12 @@ func (s *Set) Contains(id types.NodeID) bool {
 
 // Count returns the number of distinct attesters.
 func (s *Set) Count() int { return len(s.atts) }
+
+// Reset empties the set while keeping its backing array, so long-lived
+// nodes (the compact large-N representations) can recycle one set per
+// epoch or iteration instead of allocating a fresh one. Attestation slices
+// previously returned by Attestations are unaffected — they are copies.
+func (s *Set) Reset() { s.atts = s.atts[:0] }
 
 // Attestations returns the collected attestations in insertion order. The
 // returned slice is freshly allocated (the set keeps growing after

@@ -1,0 +1,13 @@
+// Package attest provides the quorum-certificate machinery shared by the
+// protocols in this repository.
+//
+// Both the quadratic protocol of Appendix C.1 (f+1 signed votes form a
+// certificate) and the subquadratic protocols (λ/2 mined votes form a
+// certificate) collect attestations — (node, proof) pairs over a common
+// message tag — and compare collections against a threshold. Proof
+// verification is protocol-specific (Ed25519 signatures, F_mine tickets, or
+// VRF proofs), so every operation takes a verification closure rather than
+// binding to a concrete scheme.
+//
+// Architecture: DESIGN.md §1 — quorum-certificate machinery shared by the protocols.
+package attest

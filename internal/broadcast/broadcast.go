@@ -1,15 +1,3 @@
-// Package broadcast builds Byzantine Broadcast from Byzantine Agreement via
-// the communication-preserving reduction of §1.1 of the paper:
-//
-//	"given an adaptively secure BA protocol (agreement version), one can
-//	 construct an adaptively secure Byzantine Broadcast protocol by first
-//	 having the designated sender multicast its input to everyone, and then
-//	 having everyone invoke the BA instance."
-//
-// The wrapper adds exactly one round and one multicast, so a BA protocol
-// with sublinear multicast complexity yields a BB protocol with sublinear
-// multicast complexity — which is why the paper states its upper bounds for
-// BA and its lower bounds for BB.
 package broadcast
 
 import (

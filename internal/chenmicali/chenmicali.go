@@ -1,22 +1,3 @@
-// Package chenmicali implements the strawman design of §3.2 — the
-// Chen–Micali / Algorand-style committee protocol in which eligibility is
-// *not* bit-specific — as the ablation for the paper's key insight.
-//
-// Structure is the sub-sampled phase-king of §3.2, but a node's epoch-r ACK
-// ticket is mined for (ACK, r) alone; the bit is bound by a separate
-// signature under an ephemeral per-epoch key (Chen–Micali's "ephemeral
-// keys"). The consequence is the exact vulnerability the paper's §3.3
-// Remark describes: an adversary that sees node i ACK bit b in round r can
-// corrupt i and reuse i's still-valid (ACK, r) ticket to sign an ACK for
-// 1−b in the same round, converting a b-quorum into a (1−b)-quorum.
-//
-// Chen–Micali's fix is the memory-erasure model: the ephemeral key for round
-// r is erased immediately after signing, so the corrupted node cannot sign a
-// second epoch-r ACK. The Erasure flag enables that behaviour; package core
-// is the paper's alternative fix (bit-specific tickets, no erasure needed).
-// Forward security is modelled behaviourally — the EphemeralSigner refuses
-// to sign twice for an erased epoch — which preserves exactly the property
-// the stochastic analysis uses.
 package chenmicali
 
 import (

@@ -1,45 +1,3 @@
-// Package cluster is the live execution layer: it drives the same
-// sans-I/O netsim.Node state machines the lockstep simulator runs, but as
-// concurrent node processes exchanging wire-encoded envelopes over a
-// pluggable transport — one goroutine per node over in-process channels, or
-// one OS process per node over a TCP mesh.
-//
-// The simulator stays the oracle. A cluster execution must agree with the
-// lockstep engine on every protocol-visible fact — each node's decision,
-// the round count, and the per-node communication metrics — for the same
-// scenario.Config and seed. The round synchronizer makes that possible
-// without a central coordinator:
-//
-//   - Every protocol message travels as a round-tagged, per-sender
-//     sequence-numbered envelope whose payload is the message's canonical
-//     wire encoding.
-//   - After transmitting its round-r sends, each node multicasts a sync
-//     marker carrying its halted flag. A node enters round r+1 only after
-//     collecting all n round-r sync markers — the per-round barrier that
-//     realises the paper's synchronous model (every round-r message is
-//     delivered before any round-r+1 computation) with no wall-clock
-//     timeouts in the in-process case. Over TCP, Options.RoundTimeout
-//     bounds the barrier wait so a dead peer fails the run instead of
-//     hanging it.
-//   - Each round's traffic is re-sorted into (sender, sequence) order
-//     before delivery, reproducing the deterministic envelope order of the
-//     lockstep engine's delivery merge — this is what makes live runs
-//     bit-compatible with the simulator despite arbitrary goroutine and
-//     network interleaving.
-//   - When every node's halted flag is up (or the round budget is
-//     exhausted), nodes exchange result records, so every participant —
-//     including a single TCP process in a multi-machine mesh — assembles
-//     the complete Result and evaluates the paper's three security
-//     properties locally.
-//
-// The runtime executes honest protocols only: the simulator's adversary
-// interface is an omniscient round-scoped window over all in-flight
-// envelopes, which no distributed runtime can offer, so configs carrying an
-// adversary (and scenarios naming one) are rejected — attack experiments
-// belong to the simulator. Likewise only the lockstep ∆ = 1 network model
-// runs live; the simulated-delay models (worst-case, jitter, omission,
-// partition) are schedule injection, which the synchronizer exists to
-// prevent.
 package cluster
 
 import (
@@ -199,6 +157,9 @@ func prepare(cfg scenario.Config) (*plan, error) {
 	}
 	if cfg.Net != "" && cfg.Net != scenario.NetDeltaOne {
 		return nil, fmt.Errorf("cluster: net model %q is simulated message scheduling; live runs deliver at ∆=1 through the round synchronizer (run this config through ccba.Run instead)", cfg.Net)
+	}
+	if cfg.Sparse {
+		return nil, fmt.Errorf("cluster: Sparse is the simulator's large-N delivery path; a live cluster already holds only per-node state per process (run this config through ccba.Run instead)")
 	}
 	cfg.Parallel = false // node-level parallelism is the cluster itself
 	normalized, err := cfg.Normalized()

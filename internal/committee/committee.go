@@ -1,25 +1,3 @@
-// Package committee implements the committee-based Byzantine Broadcast
-// sketched in the paper's introduction: a common random string selects a
-// small committee; the designated sender multicasts its bit; committee
-// members echo it; everyone outputs the majority echo.
-//
-// This protocol exists to be attacked. It is:
-//
-//   - communication-efficient (1 + |committee| multicasts — sublinear, the
-//     shape the intro's CRS argument promises under *static* corruption);
-//   - secure against a static adversary whose corruption choices are
-//     independent of the CRS;
-//   - trivially broken by an adaptive adversary that corrupts the (public)
-//     committee — the intro's "observe what nodes are on the committee,
-//     then corrupt them" attack;
-//   - the canonical victim of the Theorem 1 (Dolev–Reischuk-style) harness:
-//     any of its receivers hears at most 1+|committee| ≤ f/2 senders, so a
-//     strongly adaptive adversary erases exactly those messages and isolates
-//     it — and of the Theorem 3 harness, since it uses no PKI (the lower
-//     bound holds even with a CRS).
-//
-// No signatures are used: no message is ever relayed, so the authenticated
-// channels of the execution model carry the sender identity.
 package committee
 
 import (

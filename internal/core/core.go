@@ -1,27 +1,3 @@
-// Package core implements the paper's primary contribution: the synchronous
-// subquadratic Byzantine Agreement protocol of Appendix C.2, obtained from
-// the quadratic protocol of Appendix C.1 by vote-specific eligibility.
-//
-// Structure per iteration (four rounds — Status, Propose, Vote, Commit —
-// with iteration 1 skipping straight to Vote):
-//
-//   - every multicast becomes a *conditional* multicast: node i sends
-//     (T, r, b) only if it mines an F_mine ticket for (T, r, b), at
-//     difficulty λ/n for committee messages and 1/(2n) for proposals;
-//   - every f+1 threshold becomes ⌈λ/2⌉;
-//   - every received message's ticket is verified against F_mine (hybrid
-//     world) or the VRF (real world).
-//
-// The key point — the reason this protocol is adaptively secure without
-// memory erasure while Chen–Micali-style designs are not — is that the
-// ticket binds the *bit*: seeing node i's Vote for b reveals nothing about
-// whether i may vote 1−b, so corrupting i after it speaks is no more useful
-// than corrupting a random node (§3.2, "our key insight").
-//
-// As in package quadratic, a Vote for b after iteration 1 attaches the
-// proposal that justifies it — here the proposing leader's (Propose, r, b)
-// ticket — so corrupt nodes cannot block the commit rule by voting 1−b
-// without a leader having provably proposed 1−b.
 package core
 
 import (
@@ -102,6 +78,15 @@ type Config struct {
 	MaxIters int
 	// Suite provides eligibility election (F_mine or the VRF compiler).
 	Suite fmine.Suite
+	// Compact selects the memory-lean node representation of the large-N
+	// engine path (DESIGN.md §6): the per-iteration vote/commit attestation
+	// maps are replaced by a two-slot sliding window whose sets are recycled
+	// across iterations, so a node's footprint is bounded by the committee
+	// size instead of growing with every iteration executed. Valid only
+	// under the sparse path's delivery regime (lockstep Δ = 1, passive
+	// adversary), where protocol traffic only ever touches the current and
+	// previous iteration; traffic beyond the window is ignored.
+	Compact bool
 }
 
 // Validate checks the configuration.
@@ -149,6 +134,13 @@ func PhaseOf(round int) (uint32, Phase) {
 	return uint32(q + 2), PhaseStatus + Phase(rem)
 }
 
+// iterSets is one window slot of the compact representation: the per-bit
+// attestation sets of one iteration.
+type iterSets struct {
+	iter uint32
+	sets [2]attest.Set
+}
+
 // proposal is a received, validated leader proposal.
 type proposal struct {
 	leader types.NodeID
@@ -168,6 +160,15 @@ type Node struct {
 	bestCert [2]attest.Certificate
 	votes    map[uint32]*[2]attest.Set
 	commits  map[uint32]*[2]attest.Set
+
+	// Compact-mode replacements for the maps above (Config.Compact): a
+	// two-slot iteration window per collection, plus a scratch pair that
+	// absorbs — and discards — traffic for iterations older than the
+	// window. Certificates cut from window sets are unaffected by slot
+	// recycling: Attestations() copies.
+	voteWin   [2]iterSets
+	commitWin [2]iterSets
+	staleSets [2]attest.Set
 
 	// Proposals for the current iteration, keyed by bit; among valid
 	// proposals for the same bit the lowest ticket hash wins, so all honest
@@ -190,15 +191,18 @@ func New(cfg Config, id types.NodeID, input types.Bit) (*Node, error) {
 	if !input.Valid() {
 		return nil, fmt.Errorf("core: invalid input %v", input)
 	}
-	return &Node{
-		cfg:     cfg,
-		id:      id,
-		input:   input,
-		miner:   cfg.Suite.Miner(id),
-		verif:   cfg.Suite.Verifier(),
-		votes:   make(map[uint32]*[2]attest.Set),
-		commits: make(map[uint32]*[2]attest.Set),
-	}, nil
+	n := &Node{
+		cfg:   cfg,
+		id:    id,
+		input: input,
+		miner: cfg.Suite.Miner(id),
+		verif: cfg.Suite.Verifier(),
+	}
+	if !cfg.Compact {
+		n.votes = make(map[uint32]*[2]attest.Set)
+		n.commits = make(map[uint32]*[2]attest.Set)
+	}
+	return n, nil
 }
 
 // NewNodes constructs all n state machines for one execution.
@@ -303,6 +307,9 @@ func (n *Node) absorbCert(c attest.Certificate, b types.Bit) bool {
 }
 
 func (n *Node) voteSet(iter uint32) *[2]attest.Set {
+	if n.cfg.Compact {
+		return n.windowSet(&n.voteWin, iter)
+	}
 	s := n.votes[iter]
 	if s == nil {
 		s = &[2]attest.Set{}
@@ -312,12 +319,46 @@ func (n *Node) voteSet(iter uint32) *[2]attest.Set {
 }
 
 func (n *Node) commitSet(iter uint32) *[2]attest.Set {
+	if n.cfg.Compact {
+		return n.windowSet(&n.commitWin, iter)
+	}
 	s := n.commits[iter]
 	if s == nil {
 		s = &[2]attest.Set{}
 		n.commits[iter] = s
 	}
 	return s
+}
+
+// windowSet resolves an iteration's attestation sets in the compact
+// two-slot window. Under the sparse delivery regime (Δ = 1, passive) an
+// iteration-I message only ever arrives while the node is executing
+// iteration I or I+1 — votes are delivered within their own iteration,
+// commits one phase later — so a {current, previous} window is exactly
+// sufficient and a slot is only reclaimed once its iteration can no longer
+// receive traffic. Requests older than the window (impossible under the
+// sparse preconditions, defensive otherwise) get a scratch pair that is
+// reset on every access: their traffic is observed and discarded.
+func (n *Node) windowSet(w *[2]iterSets, iter uint32) *[2]attest.Set {
+	if w[0].iter == iter {
+		return &w[0].sets
+	}
+	if w[1].iter == iter {
+		return &w[1].sets
+	}
+	old := 0
+	if w[1].iter < w[0].iter {
+		old = 1
+	}
+	if iter < w[old].iter {
+		n.staleSets[0].Reset()
+		n.staleSets[1].Reset()
+		return &n.staleSets
+	}
+	w[old].iter = iter
+	w[old].sets[0].Reset()
+	w[old].sets[1].Reset()
+	return &w[old].sets
 }
 
 func (n *Node) ingest(delivered []netsim.Delivered) {

@@ -1,0 +1,27 @@
+// Package core implements the paper's primary contribution: the synchronous
+// subquadratic Byzantine Agreement protocol of Appendix C.2, obtained from
+// the quadratic protocol of Appendix C.1 by vote-specific eligibility.
+//
+// Structure per iteration (four rounds — Status, Propose, Vote, Commit —
+// with iteration 1 skipping straight to Vote):
+//
+//   - every multicast becomes a *conditional* multicast: node i sends
+//     (T, r, b) only if it mines an F_mine ticket for (T, r, b), at
+//     difficulty λ/n for committee messages and 1/(2n) for proposals;
+//   - every f+1 threshold becomes ⌈λ/2⌉;
+//   - every received message's ticket is verified against F_mine (hybrid
+//     world) or the VRF (real world).
+//
+// The key point — the reason this protocol is adaptively secure without
+// memory erasure while Chen–Micali-style designs are not — is that the
+// ticket binds the *bit*: seeing node i's Vote for b reveals nothing about
+// whether i may vote 1−b, so corrupting i after it speaks is no more useful
+// than corrupting a random node (§3.2, "our key insight").
+//
+// As in package quadratic, a Vote for b after iteration 1 attaches the
+// proposal that justifies it — here the proposing leader's (Propose, r, b)
+// ticket — so corrupt nodes cannot block the commit rule by voting 1−b
+// without a leader having provably proposed 1−b.
+//
+// Architecture: DESIGN.md §1 — Appendix C.2 subquadratic protocol.
+package core

@@ -1,0 +1,13 @@
+// Package commit implements a non-interactive commitment scheme.
+//
+// The paper (Appendix D.2) requires a commitment that is perfectly binding
+// and computationally hiding under selective opening, instantiated from
+// bilinear-group assumptions. The stdlib has no pairings, so this package
+// substitutes the standard hash commitment C = H(domain ‖ value ‖ randomness):
+// binding under collision resistance of SHA-256 and hiding in the
+// random-oracle model. The substitution is recorded in DESIGN.md §4; the
+// commitment's role in the protocol — binding a node's PKI entry to its PRF
+// secret key — is preserved exactly.
+//
+// Architecture: DESIGN.md §4 — commitment substitution of the compiler.
+package commit

@@ -1,0 +1,16 @@
+// Package pki implements the trusted-setup public-key infrastructure the
+// paper's upper bound assumes (Theorem 2: "assuming the existence of a PKI").
+//
+// Setup mirrors Appendix D.4's trusted setup: a trusted party generates, for
+// every node, a signing key pair, a VRF key pair, and a PRF key whose
+// commitment is published (the paper's "public key is a commitment of sk_i").
+// The commitment material is carried so the real-world compiler's structure
+// is visible even though the NIZK layer is substituted by the Ed25519 VRF
+// (see package vrf and DESIGN.md §4).
+//
+// Theorem 3 of the paper proves some setup assumption is *necessary* for
+// sublinear multicast BA; the no-setup lower-bound harness
+// (internal/lowerbound/nosetup) runs protocols that do not use this package.
+//
+// Architecture: DESIGN.md §4 — trusted-setup key registry.
+package pki

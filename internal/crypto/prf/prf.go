@@ -1,10 +1,3 @@
-// Package prf implements the pseudorandom function family used throughout
-// the repository (the PRF building block of Appendix D.4 in the paper).
-//
-// The construction is HMAC-SHA256, which is a PRF under standard assumptions
-// about SHA-256's compression function. Outputs are 32 bytes; helpers
-// interpret a prefix of the output as a uniform 64-bit fraction, which is how
-// eligibility thresholds ("ρ < D_p") are evaluated.
 package prf
 
 import (

@@ -1,0 +1,11 @@
+// Package sig wraps Ed25519 signing for the protocols that require digital
+// signatures: the quadratic BA of Appendix C.1 ("all messages are signed")
+// and the Dolev–Strong baseline, whose signature chains are defined here as
+// well.
+//
+// Key generation is deterministic from a seed so that whole simulated
+// deployments are reproducible; the trusted-setup story (who generates keys
+// and publishes them) lives in package pki.
+//
+// Architecture: DESIGN.md §4 — Ed25519 signatures and the sharded verify cache.
+package sig

@@ -1,11 +1,3 @@
-// Package sig wraps Ed25519 signing for the protocols that require digital
-// signatures: the quadratic BA of Appendix C.1 ("all messages are signed")
-// and the Dolev–Strong baseline, whose signature chains are defined here as
-// well.
-//
-// Key generation is deterministic from a seed so that whole simulated
-// deployments are reproducible; the trusted-setup story (who generates keys
-// and publishes them) lives in package pki.
 package sig
 
 import (

@@ -1,0 +1,25 @@
+// Package vrf implements a verifiable random function from deterministic
+// Ed25519 signatures.
+//
+// The paper (Appendix D) realises an adaptively secure VRF from a PRF, a
+// perfectly binding commitment, and a bilinear-group NIZK: the PKI publishes
+// a commitment to each node's PRF key, and a NIZK proves that ρ = PRF_sk(m)
+// is consistent with the committed key. The stdlib has no pairing groups, so
+// this package substitutes the classical "unique signature → VRF"
+// construction (Micali–Rabin–Vadhan; also used by Algorand):
+//
+//	proof  = Ed25519-Sign(sk, "ccba/vrf/v1" ‖ m)   (RFC 8032, deterministic)
+//	output = SHA-256("ccba/vrf/out" ‖ proof)
+//
+// Verification checks the signature under the node's PKI key and recomputes
+// the output. The properties the protocol analysis needs are preserved:
+// the output is pseudorandom to anyone without sk, only the key holder can
+// evaluate, anyone can verify, and the evaluation binds (node, message) —
+// in particular it binds the *bit* inside the message, which is the paper's
+// key "vote-specific eligibility" insight. The substitution and its caveats
+// (Ed25519 is unique only for honestly generated keys; the trusted PKI setup
+// in package pki enforces honest key generation, matching the paper's
+// trusted-setup assumption) are recorded in DESIGN.md §4.
+//
+// Architecture: DESIGN.md §4 — VRF standing in for the NIZK layer.
+package vrf

@@ -1,22 +1,3 @@
-// Package dolevstrong implements the classic Dolev–Strong authenticated
-// Byzantine Broadcast protocol [13 in the paper]: f+1 rounds, signature
-// chains, tolerating any f < n corruptions under a PKI.
-//
-// It serves two roles in this reproduction:
-//
-//   - the canonical example of a "natural Ω(n²)-communication protocol
-//     secure against a strongly adaptive adversary" (§1): every honest node
-//     relays each extracted bit to everyone, so isolating a victim requires
-//     corrupting more senders than the budget allows — the Theorem 1 harness
-//     uses it as the survives-the-attack contrast;
-//   - a baseline for the communication-complexity comparison (E9).
-//
-// Protocol: in round 0 the designated sender signs its bit and multicasts
-// the 1-link chain. A node that, in round i, receives a valid chain with at
-// least i signatures for a bit it has not yet extracted, extracts the bit
-// and (if i ≤ f) appends its own signature and multicasts the extended
-// chain. After round f+1, a node outputs the unique extracted bit, or the
-// default 0 if it extracted zero or two bits.
 package dolevstrong
 
 import (

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccba/internal/harness"
+	"ccba/internal/scenario"
+	"ccba/internal/stats"
+	"ccba/internal/table"
+)
+
+// E13Row is one protocol × n point of the scaling-law experiment.
+type E13Row struct {
+	Protocol     string
+	N, F, Lambda int
+	Trials       int
+	TotalMsgs    float64 // mean Definition 6 (classical) message count
+	TotalBytes   float64 // mean Definition 6 (classical) bytes over the run
+	PerNodeBytes float64 // TotalBytes / n
+	Multicasts   float64
+	Rounds       float64
+	Violations   int
+}
+
+// E13Fit is a fitted power law y ≈ Coeff · n^Exponent over one protocol's
+// sweep (NaN with fewer than two points).
+type E13Fit struct {
+	Exponent, Coeff float64
+	Points          int
+}
+
+// E13Result is the headline-separation experiment the sparse large-N
+// engine path exists for: the paper's Theorem 2 says committee-sampled BA
+// costs Õ(n·polylog) bits where Dolev–Reischuk-style baselines cost
+// Θ(n²), and this sweep measures both growth curves empirically — core at
+// n up to 10⁵–10⁶ on the sparse path, the quadratic baseline over the
+// range it can afford — and fits the log-log slope of total communication
+// against n. The core fit must come out strictly sub-quadratic (in
+// practice ≈1, the linear fan-out of O(λ²) multicasts); the quadratic
+// baseline's ≈2.
+// Two fits per protocol: classical message count — the Dolev–Reischuk
+// Θ(n²)-messages axis, where the baseline lands at exactly 2 — and total
+// bytes, where the baseline is even steeper (≈n³: n² messages each
+// carrying an O(n)-attestation certificate) while core stays ≈linear.
+type E13Result struct {
+	Lambda      int
+	Rows        []E13Row
+	CoreMsgFit  E13Fit
+	QuadMsgFit  E13Fit
+	CoreByteFit E13Fit
+	QuadByteFit E13Fit
+	Artifacts
+}
+
+// e13CorePoints and e13QuadPoints are the sweeps, filtered by the caller's
+// maxN. The quadratic baseline stops at n=801: its per-round cost is n²
+// message ingests with f+1-attestation certificates attached, so the
+// points above that buy no extra fit precision for their minutes of run
+// time — the ≈n² slope is already unambiguous over an 8× span.
+var (
+	e13CorePoints = []int{1_000, 10_000, 100_000, 1_000_000}
+	e13QuadPoints = []int{101, 201, 401, 801}
+)
+
+// e13SerialN is the point size from which trials run serially rather than
+// on the worker pool, bounding peak heap to a single large trial.
+const e13SerialN = 50_000
+
+// E13ScalingLaw runs the experiment. Core points are swept up to maxN
+// (10⁵ by default in cmd/experiments; 10⁶ is the stretch setting), each on
+// the sparse engine path with the lean F_mine table and compact node
+// state, so the largest points fit in ordinary memory.
+func E13ScalingLaw(o Opts, maxN int) (*E13Result, error) {
+	const lambda = 40
+	res := &E13Result{Lambda: lambda}
+	res.Table = table.New(
+		fmt.Sprintf("E13 (Theorem 2 at scale) — total communication vs n: core (sparse engine, λ=%d) vs quadratic baseline", lambda),
+		"protocol", "n", "f", "λ", "trials", "classical msgs", "total MB (Def. 6)", "B/node", "multicasts", "rounds", "violations",
+	)
+	res.Sweep = harness.NewSweep("e13")
+
+	run := func(label, key string, row E13Row, sc scenario.Scenario) error {
+		opts := o.options("e13", key)
+		if row.N >= e13SerialN {
+			// One n=10⁵ trial peaks near a gigabyte of heap and the 10⁶
+			// stretch point near eleven; the default worker pool would run
+			// min(trials, GOMAXPROCS) of them concurrently and multiply
+			// that peak. Large points therefore run their trials serially
+			// — peak heap stays one trial's, and aggregates are identical
+			// for every worker count anyway.
+			opts.Workers = 1
+		}
+		agg, err := harness.Collect(opts, func(tr harness.Trial) (*harness.Obs, error) {
+			// sc.Run, not o.run: the sparse path is delta-one by
+			// construction, so the global -net override does not apply.
+			rep, err := sc.Run(tr.Seed, tr.Index)
+			if err != nil {
+				return nil, err
+			}
+			m := rep.Result.Metrics
+			return harness.NewObs().
+				Event("violation", checkReport(rep).any()).
+				Value("total_msgs", float64(m.HonestMessages)).
+				Value("total_msg_bytes", float64(m.HonestMessageBytes)).
+				Value("per_node_msg_bytes", float64(m.HonestMessageBytes)/float64(row.N)).
+				Value("multicasts", float64(m.HonestMulticasts)).
+				Value("rounds", float64(rep.Rounds)), nil
+		})
+		if err != nil {
+			return err
+		}
+		res.Sweep.Add(agg)
+		row.Protocol = label
+		row.Trials = o.Trials
+		row.TotalMsgs = agg.Mean("total_msgs")
+		row.TotalBytes = agg.Mean("total_msg_bytes")
+		row.PerNodeBytes = agg.Mean("per_node_msg_bytes")
+		row.Multicasts = agg.Mean("multicasts")
+		row.Rounds = agg.Mean("rounds")
+		row.Violations = agg.Count("violation")
+		res.Rows = append(res.Rows, row)
+		lam := any(row.Lambda)
+		if row.Lambda == 0 {
+			lam = "-"
+		}
+		res.Table.Add(row.Protocol, row.N, row.F, lam, row.Trials,
+			fmt.Sprintf("%.0f", row.TotalMsgs),
+			fmt.Sprintf("%.2f", row.TotalBytes/(1<<20)), fmt.Sprintf("%.0f", row.PerNodeBytes),
+			row.Multicasts, row.Rounds, row.Violations)
+		return nil
+	}
+
+	for _, n := range e13CorePoints {
+		if n > maxN {
+			break
+		}
+		f := (3 * n) / 10
+		err := run("core (sparse engine)", fmt.Sprintf("core/n=%d", n),
+			E13Row{N: n, F: f, Lambda: lambda},
+			scenario.Scenario{Config: scenario.Config{
+				Protocol: scenario.Core, N: n, F: f, Lambda: lambda, Sparse: true,
+			}})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range e13QuadPoints {
+		if n > maxN {
+			break
+		}
+		f := (n - 1) / 2
+		err := run("quadratic (baseline)", fmt.Sprintf("quadratic/n=%d", n),
+			E13Row{N: n, F: f},
+			scenario.Scenario{Config: scenario.Config{
+				Protocol: scenario.Quadratic, N: n, F: f, MaxIters: 40, Sparse: true,
+			}})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	const coreLabel, quadLabel = "core (sparse engine)", "quadratic (baseline)"
+	res.CoreMsgFit = e13Fit(res.Rows, coreLabel, func(r E13Row) float64 { return r.TotalMsgs })
+	res.QuadMsgFit = e13Fit(res.Rows, quadLabel, func(r E13Row) float64 { return r.TotalMsgs })
+	res.CoreByteFit = e13Fit(res.Rows, coreLabel, func(r E13Row) float64 { return r.TotalBytes })
+	res.QuadByteFit = e13Fit(res.Rows, quadLabel, func(r E13Row) float64 { return r.TotalBytes })
+	res.Table.Note = fmt.Sprintf(
+		"Fitted y ≈ c·n^k (log-log least squares) — classical messages: core k=%.2f (%d points) vs quadratic k=%.2f (%d points); "+
+			"total bytes: core k=%.2f vs quadratic k=%.2f. The paper's separation made measurable: core's message count grows "+
+			"≈linearly (Õ(n·polylog)) and stays strictly sub-quadratic, the Dolev–Reischuk-style baseline sits at ≈n² messages "+
+			"(≈n³ bytes — each of its n² messages carries an O(n)-attestation certificate).",
+		res.CoreMsgFit.Exponent, res.CoreMsgFit.Points, res.QuadMsgFit.Exponent, res.QuadMsgFit.Points,
+		res.CoreByteFit.Exponent, res.QuadByteFit.Exponent)
+	return res, nil
+}
+
+// e13Fit fits the power law over one protocol's rows.
+func e13Fit(rows []E13Row, label string, y func(E13Row) float64) E13Fit {
+	var xs, ys []float64
+	for _, r := range rows {
+		if r.Protocol != label {
+			continue
+		}
+		xs = append(xs, float64(r.N))
+		ys = append(ys, y(r))
+	}
+	exp, coeff := stats.PowerFit(xs, ys)
+	return E13Fit{Exponent: exp, Coeff: coeff, Points: len(xs)}
+}

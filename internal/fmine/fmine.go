@@ -1,24 +1,3 @@
-// Package fmine implements the paper's eligibility election: the F_mine
-// ideal functionality of Figure 1 and its real-world instantiation via a VRF
-// (the Appendix D compiler).
-//
-// A node "mines" a ticket for a tag (message type, iteration, bit); the
-// functionality flips a memoised Bernoulli coin with a tag-dependent success
-// probability, and anyone can later verify a successful attempt. The tag
-// includes the *bit* being endorsed — the paper's key "vote-specific
-// eligibility" insight (§3.2): seeing a node's ticket for bit b reveals
-// nothing about its eligibility for 1−b, so adaptively corrupting committee
-// members after they speak buys the adversary nothing.
-//
-// Two implementations sit behind one Suite interface:
-//
-//   - Ideal: F_mine exactly as Figure 1. Coins are derived lazily from a
-//     hidden PRF key (equivalent to memoised fresh coins), Verify answers
-//     only for attempts that were actually mined, and tickets are secret
-//     until mined.
-//   - Real: the VRF compiler. Mining evaluates the node's VRF on the tag and
-//     succeeds iff the output clears the difficulty; the proof is publicly
-//     verifiable against the PKI.
 package fmine
 
 import (
@@ -149,6 +128,7 @@ const IdealProofSize = prf.OutputSize
 // HMAC construction and tag encoding).
 type Ideal struct {
 	prob ProbFunc
+	lean bool // store only successful coins (see NewIdealLean)
 
 	mu    sync.RWMutex
 	coins map[coinKey]coinEntry
@@ -183,6 +163,26 @@ func NewIdeal(seed [32]byte, prob ProbFunc) *Ideal {
 	}
 }
 
+// NewIdealLean is NewIdeal with the memory-lean coin table of the large-N
+// engine path (DESIGN.md §6): only *successful* mining attempts are
+// stored. In a large simulation every node attempts to mine every round,
+// so the full table of Figure 1 grows as O(n · rounds) — at n = 100,000
+// that is the dominant heap term — while successes number only
+// O(committee) per round.
+//
+// Dropping failed attempts is unobservable. The coin for (tag, id) is
+// derived deterministically from the hidden PRF key, so Mine returns the
+// identical answer with or without the memo; and verify(tag, id, proof) is
+// (mined ∧ coin-below-difficulty ∧ proof-matches) — for a failed attempt
+// the difficulty conjunct is false whether or not an entry records the
+// attempt, so both tables answer false. The equivalence is pinned by
+// TestIdealLeanEquivalence.
+func NewIdealLean(seed [32]byte, prob ProbFunc) *Ideal {
+	f := NewIdeal(seed, prob)
+	f.lean = true
+	return f
+}
+
 // evalCoin computes the Bernoulli coin for (tag, id). Deriving it from a
 // hidden PRF key is equivalent to flipping and storing a fresh coin on first
 // use, and keeps executions reproducible. The coin input is the canonical
@@ -209,6 +209,12 @@ func (f *Ideal) mine(tag Tag, id types.NodeID) ([]byte, bool) {
 		// Concurrent misses on the same key would both evaluate, but the
 		// PRF is deterministic, so the duplicate store is identical.
 		e.out = f.evalCoin(tag, id)
+		if f.lean && !e.out.Below(f.prob(tag)) {
+			// Lean table: a failed attempt is not remembered — verify
+			// answers false for it with or without the entry, and the
+			// coin re-derives identically on a repeat attempt.
+			return nil, false
+		}
 	}
 	if !e.mined {
 		e.mined = true // Figure 1: coins are stored, attempts are remembered

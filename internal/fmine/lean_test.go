@@ -1,0 +1,98 @@
+package fmine
+
+import (
+	"testing"
+
+	"ccba/internal/types"
+)
+
+// The lean coin table must be observationally equivalent to the full
+// Figure 1 table: identical Mine results (including repeats of failed
+// attempts) and identical Verify answers for genuine tickets, failed
+// attempts, unmined coins, and forged proof bytes.
+func TestIdealLeanEquivalence(t *testing.T) {
+	prob := func(tag Tag) float64 {
+		// A mix of difficulties so the corpus has successes and failures.
+		switch tag.Type {
+		case 1:
+			return 0.5
+		case 2:
+			return 0.05
+		default:
+			return 0
+		}
+	}
+	seed := [32]byte{9}
+	full := NewIdeal(seed, prob)
+	lean := NewIdealLean(seed, prob)
+
+	var tags []Tag
+	for _, typ := range []uint8{1, 2, 3} {
+		for iter := uint32(1); iter <= 4; iter++ {
+			for _, b := range []types.Bit{types.Zero, types.One} {
+				tags = append(tags, Tag{Domain: "lean-test", Type: typ, Iter: iter, Bit: b})
+			}
+		}
+	}
+
+	const n = 32
+	type mined struct {
+		tag   Tag
+		id    types.NodeID
+		proof []byte
+	}
+	var successes []mined
+	for id := types.NodeID(0); id < n; id++ {
+		fm, lm := full.Miner(id), lean.Miner(id)
+		for _, tag := range tags {
+			// Mine twice: the memoised repeat must answer identically too.
+			for rep := 0; rep < 2; rep++ {
+				fp, fok := fm.Mine(tag)
+				lp, lok := lm.Mine(tag)
+				if fok != lok || string(fp) != string(lp) {
+					t.Fatalf("Mine(%v, %d) rep %d: full (%x, %v) vs lean (%x, %v)", tag, id, rep, fp, fok, lp, lok)
+				}
+				if fok && rep == 0 {
+					successes = append(successes, mined{tag: tag, id: id, proof: fp})
+				}
+			}
+		}
+	}
+	if len(successes) == 0 {
+		t.Fatal("corpus produced no successful tickets; raise the difficulty schedule")
+	}
+
+	fv, lv := full.Verifier(), lean.Verifier()
+	for id := types.NodeID(0); id < n; id++ {
+		for _, tag := range tags {
+			// Probe with every successful proof (right and wrong owners),
+			// plus garbage bytes.
+			for _, m := range successes[:min(len(successes), 8)] {
+				if got, want := lv.Verify(tag, id, m.proof), fv.Verify(tag, id, m.proof); got != want {
+					t.Fatalf("Verify(%v, %d, proof-of-%d/%v): lean %v, full %v", tag, id, m.id, m.tag, got, want)
+				}
+			}
+			junk := []byte("definitely-not-a-coin")
+			if got, want := lv.Verify(tag, id, junk), fv.Verify(tag, id, junk); got != want {
+				t.Fatalf("Verify(%v, %d, junk): lean %v, full %v", tag, id, got, want)
+			}
+		}
+	}
+
+	// Unmined coins verify false on both, even for would-be successes.
+	fresh := Tag{Domain: "lean-test", Type: 1, Iter: 99, Bit: types.One}
+	for id := types.NodeID(0); id < n; id++ {
+		if fv.Verify(fresh, id, nil) || lv.Verify(fresh, id, nil) {
+			t.Fatalf("unmined tag verified true for node %d", id)
+		}
+	}
+
+	// The lean table must actually be lean: entries only for successes.
+	fullEntries, leanEntries := len(full.coins), len(lean.coins)
+	if leanEntries >= fullEntries {
+		t.Errorf("lean table has %d entries, full has %d; lean should be strictly smaller on this corpus", leanEntries, fullEntries)
+	}
+	if leanEntries != len(successes) {
+		t.Errorf("lean table has %d entries, want one per successful attempt (%d)", leanEntries, len(successes))
+	}
+}

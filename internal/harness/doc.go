@@ -1,0 +1,20 @@
+// Package harness is the deterministic parallel trial engine every
+// repeated-run loop in the repository executes on.
+//
+// The paper's guarantees are probabilistic — expected O(1) rounds, per-epoch
+// exp(−Ω(ε²λ)) failure terms — so the repository's evidence is only as good
+// as many independent trials. The harness makes those trials cheap and
+// trustworthy:
+//
+//   - Seeds are derived by hashing (base seed, experiment name, scenario key,
+//     trial index) with SHA-256, so distinct trials can never collide the way
+//     the old XOR-two-bytes and prefix-copy derivations could.
+//   - Per-trial state is built inside the trial function from the Trial it
+//     receives; nothing is shared between trials, so a stateful adversary or
+//     a mutated input slice cannot leak across runs.
+//   - Trials run on a worker pool, but results are reassembled in trial order
+//     before any aggregation, so every aggregate is bit-identical to the
+//     serial schedule regardless of worker count.
+//
+// Architecture: DESIGN.md §5 — deterministic parallel trial engine.
+package harness

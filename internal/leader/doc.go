@@ -1,0 +1,15 @@
+// Package leader implements the idealized random leader-election oracle the
+// warm-up protocols assume ("for the time being, assume a random leader
+// election oracle that elects and announces a random leader at the beginning
+// of every epoch", §3.1 and Appendix C.1).
+//
+// The oracle derives each iteration's leader from a hidden seed. By harness
+// convention the adversary queries Reveal only for iterations whose propose
+// round has started — mirroring Abraham et al. [1], where the leader is
+// revealed by its own proposal message, so a weakly adaptive adversary
+// (no after-the-fact removal) learns the identity only after the proposal is
+// already on the wire. The subquadratic protocols replace this oracle with
+// F_mine-based self-election and need no such convention.
+//
+// Architecture: DESIGN.md §1 — idealized leader oracle of the C.1 exposition.
+package leader

@@ -1,0 +1,27 @@
+// Package nosetup implements the Theorem 3 lower-bound harness: the
+// hypothetical experiment of §4 / Appendix B showing that without setup
+// assumptions (plain authenticated channels; a CRS or random oracle does not
+// help), no multicast-based Byzantine Broadcast with sublinear multicast
+// complexity C tolerates C adaptive corruptions.
+//
+// The experiment wires 2n−1 honest protocol instances into the topology
+//
+//	(input: 0)  Q —— 1 —— Q′  (input: 1)
+//
+// where node 0 (the paper's "node 1") is shared between two complete
+// executions: Q holds instances 1..n−1 with designated sender 1 receiving
+// input 0; Q′ holds instances 1′..(n−1)′ with sender 1′ receiving input 1.
+// Multicasts by a Q-instance reach all of Q and the shared node; likewise
+// for Q′; the shared node's multicasts reach both sides, and it cannot tell
+// whether a message from identity i originated in Q or Q′ — without a PKI,
+// identity is only channel-deep, and the channel says "i" either way.
+//
+// Interpreting the run with Q′ real and Q simulated by the adversary (or
+// vice versa): validity forces Q to output 0 and Q′ to output 1; the
+// adversary needs one corruption per *speaking* simulated instance — at
+// most the protocol's multicast complexity. The shared node must agree with
+// both sides by consistency, which is impossible: whichever side it
+// contradicts witnesses the violation.
+//
+// Architecture: DESIGN.md §1 — Theorem 3 split-world engine.
+package nosetup

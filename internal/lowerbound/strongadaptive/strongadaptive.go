@@ -1,30 +1,3 @@
-// Package strongadaptive implements the Theorem 1/4 lower-bound harness: the
-// randomized Dolev–Reischuk-style attack of §2 of the paper, executable
-// against any Byzantine Broadcast protocol expressed as netsim nodes.
-//
-// The attack comes in the paper's two flavours:
-//
-//   - Adversary A corrupts a set V of f/2 nodes (excluding the designated
-//     sender) whose silent output — the bit a node decides when it receives
-//     no messages at all — is β. Members of V behave like honest nodes,
-//     except that each ignores the first f/2 messages sent to it and none
-//     sends messages to other members of V. A is an omission-style, static
-//     adversary; under it, validity forces all of U to output the sender's
-//     input 1−β.
-//
-//   - Adversary A′ picks p ∈ V uniformly, corrupts V∖{p}, and whenever some
-//     node s ∉ V sends a message to p, corrupts s (budget permitting) and
-//     performs after-the-fact removal of exactly that message; s otherwise
-//     continues to behave correctly. If p's senders number at most f/2, the
-//     budget suffices, p receives nothing, outputs β, and consistency
-//     breaks against U∖S(p) — which saw an execution identical to A's.
-//
-// The harness probes the silent output, runs both adversaries, and reports
-// the quantities the theorem bounds: messages addressed to V, |S(p)|,
-// corruptions used, and whether validity (under A) or consistency (under
-// A′) was violated. Protocols whose every receiver hears more than f/2
-// senders — Dolev–Strong, or anything Ω(f²) — exhaust the budget and
-// survive; protocols below the (εf/2)² message bound do not.
 package strongadaptive
 
 import (

@@ -29,6 +29,15 @@ type Config struct {
 	// round. Protocol state machines are independent, so this is safe; it
 	// trades determinism of memory-allocation patterns, not of results.
 	Parallel bool
+	// Sparse selects the memory-lean large-N engine path (DESIGN.md §6):
+	// per-round state is sized by actual traffic — the shared multicast
+	// list plus the few unicast extras — instead of O(n) per-node buffers,
+	// so executions with hundreds of thousands of nodes fit comfortably in
+	// memory. Restricted to the delta-one lockstep model with a passive
+	// adversary and serial stepping; NewRuntime rejects anything else. On
+	// the configurations it accepts the path is observationally equivalent
+	// to the dense engine (same deliveries, metrics, rounds, outputs).
+	Sparse bool
 }
 
 // Runtime executes one protocol instance under one adversary.
@@ -64,6 +73,11 @@ type Runtime struct {
 	// Scheduled-delivery state (non-lockstep models): a ring of ∆+1 future
 	// rounds, each holding per-node delivery lists reused across laps.
 	buckets [][][]Delivered
+
+	// sparse is the traffic-sized delivery engine of the large-N path
+	// (non-nil when Config.Sparse); when set, none of the per-node buffer
+	// arrays above are allocated.
+	sparse *sparseState
 
 	pool     *workerPool
 	curRound int // round currently being stepped, read by pool workers
@@ -105,19 +119,34 @@ func NewRuntime(cfg Config, nodes []Node, adv Adversary) (*Runtime, error) {
 	}
 	_, lockstep := cfg.Net.(deltaOne)
 	rt := &Runtime{
-		cfg:       cfg,
-		nodes:     nodes,
-		status:    make([]types.Status, cfg.N),
-		corruptAt: make([]int, cfg.N),
-		adv:       adv,
-		net:       cfg.Net,
-		lockstep:  lockstep,
-		faulty:    faulty,
-		inboxes:   make([][]Delivered, cfg.N),
-		sends:     make([][]Send, cfg.N),
-		extras:    make([]extraList, cfg.N),
-		merged:    make([][]Delivered, cfg.N),
+		cfg:      cfg,
+		nodes:    nodes,
+		adv:      adv,
+		net:      cfg.Net,
+		lockstep: lockstep,
+		faulty:   faulty,
 	}
+	if cfg.Sparse {
+		if !lockstep {
+			return nil, ErrSparseNet
+		}
+		if _, passive := adv.(Passive); !passive {
+			return nil, ErrSparseAdversary
+		}
+		if cfg.Parallel {
+			return nil, ErrSparseParallel
+		}
+		// No per-node buffers, no status/corruption bookkeeping: the
+		// passive-only contract means every node is forever honest.
+		rt.sparse = newSparseState()
+		return rt, nil
+	}
+	rt.status = make([]types.Status, cfg.N)
+	rt.corruptAt = make([]int, cfg.N)
+	rt.inboxes = make([][]Delivered, cfg.N)
+	rt.sends = make([][]Send, cfg.N)
+	rt.extras = make([]extraList, cfg.N)
+	rt.merged = make([][]Delivered, cfg.N)
 	for i := range rt.status {
 		rt.status[i] = types.Honest
 		rt.corruptAt[i] = -1
@@ -143,6 +172,9 @@ type Result struct {
 	// Rounds is the number of rounds executed.
 	Rounds  int
 	Metrics Metrics
+	// Sparse carries the large-N path's online telemetry; nil on the dense
+	// engine, so dense results are byte-for-byte what they always were.
+	Sparse *SparseStats
 }
 
 // ForeverHonest returns the IDs of nodes that were never corrupted.
@@ -179,8 +211,13 @@ func (rt *Runtime) Run() *Result {
 // granularity keeps the hot path untouched — a round is the natural
 // preemption point of a lockstep engine.
 func (rt *Runtime) RunCtx(ctx context.Context) (*Result, error) {
-	setupCtx := rt.newCtx(-1, nil)
-	rt.adv.Setup(setupCtx)
+	if rt.sparse == nil {
+		// The sparse path skips the setup window: its adversary is
+		// validated passive, and a Ctx needs the status bookkeeping the
+		// sparse runtime never allocates.
+		setupCtx := rt.newCtx(-1, nil)
+		rt.adv.Setup(setupCtx)
+	}
 
 	if rt.cfg.Parallel {
 		rt.pool = newWorkerPool(runtime.GOMAXPROCS(0), rt.stepOne)
@@ -209,6 +246,9 @@ func (rt *Runtime) stepOne(i int) {
 // stepRound executes one round; it returns true when all so-far-honest
 // nodes have halted.
 func (rt *Runtime) stepRound(round int) (done bool) {
+	if rt.sparse != nil {
+		return rt.sparseStepRound(round)
+	}
 	n := rt.cfg.N
 
 	// 1. So-far-honest, non-halted nodes produce their sends for this round.
@@ -484,7 +524,12 @@ func (rt *Runtime) collect(rounds int) *Result {
 		res.Outputs[i] = bit
 		res.Decided[i] = ok
 		res.Halted[i] = rt.nodes[i].Halted()
-		res.Corrupt[i] = rt.status[i] == types.Corrupt
+		// The sparse path allocates no status array: its adversary is
+		// validated passive, so every node is forever honest.
+		res.Corrupt[i] = rt.status != nil && rt.status[i] == types.Corrupt
+	}
+	if rt.sparse != nil {
+		res.Sparse = &SparseStats{SendsPerRound: rt.sparse.traffic.Summary()}
 	}
 	return res
 }

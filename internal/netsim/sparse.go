@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"errors"
+
+	"ccba/internal/stats"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// This file is the sparse large-N engine path (DESIGN.md §6): the delivery
+// loop Config.Sparse selects when a simulation must scale to hundreds of
+// thousands or millions of nodes.
+//
+// The dense lockstep engine keeps four n-sized per-node buffer arrays
+// (sends, inboxes, extras, merge buffers) plus the adversary's envelope
+// window. None of that content is O(n) — the shared multicast list is
+// aliased, not copied — but the buffers themselves are per-node, so an
+// idle million-node network still pays ~100 bytes of slice headers per
+// node per data structure. The sparse path drops every per-node buffer:
+// per-round state is exactly the traffic — one shared multicast list, a
+// map of the (few) recipients that got unicasts, and a single reused merge
+// scratch. Memory is dominated by what was actually sent (O(committee)
+// messages per round for the subquadratic protocols), not by n.
+//
+// The price is generality, enforced at construction:
+//
+//   - delta-one lockstep only (the Δ-scheduling ring keeps n delivery
+//     lists per future round, which is exactly the shape being avoided);
+//   - passive adversary only (the envelope window hands the adversary a
+//     materialised view of every in-flight message; sparse rounds never
+//     build one);
+//   - serial stepping only (Parallel's per-node send slots are an n-sized
+//     buffer; the serial loop appends each node's sends directly into the
+//     next round's delivery lists).
+//
+// Within that regime the path is observationally equivalent to the dense
+// engine: same per-node delivery slices in the same order, same metrics,
+// same round count, same outputs. The equivalence is pinned by the golden
+// tests in sparse_test.go and at the repository root.
+
+// Sparse-mode construction errors.
+var (
+	ErrSparseNet       = errors.New("netsim: sparse engine requires the delta-one lockstep model")
+	ErrSparseAdversary = errors.New("netsim: sparse engine requires a passive adversary (the envelope window would materialise per-round state)")
+	ErrSparseParallel  = errors.New("netsim: sparse engine steps nodes serially; Parallel is not supported")
+)
+
+// SparseStats is the sparse path's online execution telemetry, accumulated
+// through stats.Stream so no per-round history is ever materialised.
+type SparseStats struct {
+	// SendsPerRound summarises the number of messages sent per round
+	// (multicasts and unicasts each counted once, before fan-out).
+	SendsPerRound stats.StreamSummary `json:"sends_per_round"`
+}
+
+// sparseState is the whole per-execution state of the sparse delivery
+// engine. Everything here is sized by traffic, not by n.
+type sparseState struct {
+	// curShared is the multicast list every node's round-r inbox aliases;
+	// nextShared accumulates round r's sends for delivery at r+1. The two
+	// swap at each round boundary and are reused across rounds.
+	curShared, nextShared []Delivered
+	// curExtras/nextExtras hold per-recipient unicast deliveries, keyed by
+	// the (few) recipients that have any; extraEntry.at positions them
+	// against the shared list exactly as the dense merge does.
+	curExtras, nextExtras map[types.NodeID]extraList
+	// merge is the single scratch buffer recipients with extras are merged
+	// into; inbox slices are only valid during the round they belong to
+	// (the documented Node contract), so one buffer serves all nodes.
+	merge []Delivered
+	// traffic streams the per-round send counts behind SparseStats.
+	traffic stats.Stream
+}
+
+func newSparseState() *sparseState {
+	return &sparseState{
+		curExtras:  make(map[types.NodeID]extraList),
+		nextExtras: make(map[types.NodeID]extraList),
+	}
+}
+
+// sparseStepRound executes one round on the sparse path; like the dense
+// stepRound it returns true when every node has halted. Nodes are stepped
+// in id order — the same order the dense engine wraps sends into the
+// envelope list — so delivery order, metrics, and decisions match the
+// dense path exactly.
+func (rt *Runtime) sparseStepRound(round int) (done bool) {
+	n := rt.cfg.N
+	s := rt.sparse
+	sent := 0
+	done = true
+	for i := 0; i < n; i++ {
+		if rt.nodes[i].Halted() {
+			continue
+		}
+		inbox := s.curShared
+		if ex, ok := s.curExtras[types.NodeID(i)]; ok {
+			inbox = s.mergeInbox(ex)
+		}
+		sends := rt.nodes[i].Step(round, inbox)
+		sent += len(sends)
+		for _, send := range sends {
+			rt.metrics.CountSend(send.To, n, wire.Size(send.Msg))
+			d := Delivered{From: types.NodeID(i), Msg: send.Msg}
+			if send.To == types.Broadcast {
+				s.nextShared = append(s.nextShared, d)
+			} else if int(send.To) >= 0 && int(send.To) < n {
+				s.nextExtras[send.To] = append(s.nextExtras[send.To],
+					extraEntry{at: len(s.nextShared), d: d})
+			}
+		}
+		if !rt.nodes[i].Halted() {
+			done = false
+		}
+	}
+	s.traffic.Add(float64(sent))
+
+	// Round boundary: this round's deliveries were consumed by the Step
+	// calls above; swap the buffers so next round reads what was just
+	// accumulated, and recycle the consumed ones.
+	s.curShared, s.nextShared = s.nextShared, s.curShared[:0]
+	clear(s.curExtras)
+	s.curExtras, s.nextExtras = s.nextExtras, s.curExtras
+	return done
+}
+
+// mergeInbox interleaves a recipient's extras into the shared multicast
+// list at their recorded positions — the same merge the dense engine runs
+// per recipient, here into the one shared scratch buffer.
+func (s *sparseState) mergeInbox(ex extraList) []Delivered {
+	buf := s.merge[:0]
+	si := 0
+	for _, en := range ex {
+		buf = append(buf, s.curShared[si:en.at]...)
+		si = en.at
+		buf = append(buf, en.d)
+	}
+	buf = append(buf, s.curShared[si:]...)
+	s.merge = buf
+	return buf
+}

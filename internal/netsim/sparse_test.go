@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"ccba/internal/types"
+)
+
+// The tests in this file pin the sparse large-N engine (DESIGN.md §6) to
+// the dense reference semantics: on every configuration the sparse path
+// accepts, deliveries (content and order), metrics, round counts, and
+// outputs must be indistinguishable from the dense engine's.
+
+// runScriptSparse mirrors runScript on the sparse path.
+func runScriptSparse(t *testing.T, n int, scripts map[int][]Send) ([]*scriptNode, *Result) {
+	t.Helper()
+	nodes := make([]Node, n)
+	sn := make([]*scriptNode, n)
+	for i := range nodes {
+		sn[i] = &scriptNode{script: scripts[i], rounds: 1}
+		nodes[i] = sn[i]
+	}
+	rt, err := NewRuntime(Config{N: n, F: 2, MaxRounds: 5, Sparse: true}, nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sn, rt.Run()
+}
+
+// Sparse and dense must produce identical per-recipient delivery sequences
+// for a hostile mix of multicasts, unicasts (including to self and to
+// out-of-range recipients), interleaved across senders — the exact
+// envelope-order merge semantics the dense path documents.
+func TestSparseMatchesDenseDelivery(t *testing.T) {
+	const n = 5
+	scripts := map[int][]Send{
+		0: {
+			Multicast(markMsg{Tag: 10}),
+			Unicast(2, markMsg{Tag: 11}),
+			Multicast(markMsg{Tag: 12}),
+		},
+		1: {
+			Unicast(1, markMsg{Tag: 20}),  // self-unicast
+			Unicast(17, markMsg{Tag: 21}), // out of range: dropped, still counted
+			Unicast(types.NodeID(-3), markMsg{Tag: 22}),
+		},
+		3: {
+			Unicast(2, markMsg{Tag: 30}),
+			Multicast(markMsg{Tag: 31}),
+		},
+	}
+	dense, denseRes := runScript(t, n, scripts, nil)
+	sparse, sparseRes := runScriptSparse(t, n, scripts)
+
+	for i := 0; i < n; i++ {
+		if d, s := tags(dense[i].got), tags(sparse[i].got); !equalU32(d, s) {
+			t.Errorf("node %d: dense delivered %v, sparse delivered %v", i, d, s)
+		}
+	}
+	if denseRes.Metrics != sparseRes.Metrics {
+		t.Errorf("metrics: dense %+v, sparse %+v", denseRes.Metrics, sparseRes.Metrics)
+	}
+	if denseRes.Rounds != sparseRes.Rounds {
+		t.Errorf("rounds: dense %d, sparse %d", denseRes.Rounds, sparseRes.Rounds)
+	}
+}
+
+// A multi-round protocol (every node multicasting every round, then
+// deciding) must agree between the engines on outputs, decisions, rounds,
+// and metrics.
+func TestSparseMatchesDenseMultiRound(t *testing.T) {
+	input := func(i int) types.Bit { return types.BitFromBool(i%3 != 0) }
+	run := func(sparse bool) *Result {
+		rt, err := NewRuntime(Config{N: 40, F: 5, MaxRounds: 20, Sparse: sparse}, echoNodes(40, 4, input), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Run()
+	}
+	d, s := run(false), run(true)
+	if d.Rounds != s.Rounds || d.Metrics != s.Metrics {
+		t.Fatalf("rounds/metrics differ: dense %d %+v, sparse %d %+v", d.Rounds, d.Metrics, s.Rounds, s.Metrics)
+	}
+	for i := range d.Outputs {
+		if d.Outputs[i] != s.Outputs[i] || d.Decided[i] != s.Decided[i] || d.Halted[i] != s.Halted[i] || d.Corrupt[i] != s.Corrupt[i] {
+			t.Fatalf("node %d: dense (%v,%v,%v,%v) sparse (%v,%v,%v,%v)", i,
+				d.Outputs[i], d.Decided[i], d.Halted[i], d.Corrupt[i],
+				s.Outputs[i], s.Decided[i], s.Halted[i], s.Corrupt[i])
+		}
+	}
+	if d.Sparse != nil {
+		t.Errorf("dense result unexpectedly carries sparse telemetry")
+	}
+	if s.Sparse == nil {
+		t.Fatalf("sparse result missing telemetry")
+	}
+	if got := s.Sparse.SendsPerRound.N; got != s.Rounds {
+		t.Errorf("SendsPerRound tracked %d rounds, executed %d", got, s.Rounds)
+	}
+	// Every node multicasts once per round until it halts in round 4: 40
+	// sends per round for rounds 0–3, none in the final round.
+	if s.Sparse.SendsPerRound.Max != 40 || s.Sparse.SendsPerRound.Min != 0 {
+		t.Errorf("SendsPerRound min/max = %v/%v, want 0/40",
+			s.Sparse.SendsPerRound.Min, s.Sparse.SendsPerRound.Max)
+	}
+}
+
+// The sparse engine only supports the regime it documents; everything else
+// must be rejected at construction with the specific error.
+func TestSparseRejections(t *testing.T) {
+	nodes := func() []Node { return echoNodes(4, 2, allZero) }
+	cases := []struct {
+		name string
+		cfg  Config
+		adv  Adversary
+		want error
+	}{
+		{"parallel", Config{N: 4, F: 1, Sparse: true, Parallel: true}, nil, ErrSparseParallel},
+		{"worst-case net", Config{N: 4, F: 1, Sparse: true, Net: WorstCase(2)}, nil, ErrSparseNet},
+		{"adversary", Config{N: 4, F: 1, Sparse: true}, &lateStatic{}, ErrSparseAdversary},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewRuntime(tc.cfg, nodes(), tc.adv)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// The explicit DeltaOne model and a nil adversary are the accepted
+	// regime.
+	if _, err := NewRuntime(Config{N: 4, F: 1, Sparse: true, Net: DeltaOne()}, nodes(), Passive{}); err != nil {
+		t.Fatalf("explicit delta-one + passive rejected: %v", err)
+	}
+}

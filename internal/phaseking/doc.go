@@ -1,0 +1,26 @@
+// Package phaseking implements the warm-up synchronous BA protocol of §3.1
+// of the paper (a Phase-King-style protocol tolerating f < n/3) and its
+// communication-efficient variant of §3.2, which replaces "everyone
+// multicasts" with bit-specific committee eligibility.
+//
+// Plain mode (§3.1): epochs r = 0..R−1, two rounds each. The epoch-r leader
+// (node r mod n) flips a private coin and multicasts a proposal; every node
+// then multicasts an ACK for either its previous belief (if its sticky flag
+// is set or no proposal arrived) or the leader's bit; a node that sees
+// "ample" ACKs (≥ 2n/3 from distinct nodes) for one bit adopts it and sets
+// its sticky flag. The paper's "all messages are signed" is subsumed by the
+// simulator's authenticated channels: no phase-king message is ever relayed,
+// so the sender identity on the channel carries the same guarantee.
+//
+// Sampled mode (§3.2): identical logic, but a node multicasts an ACK for bit
+// b in epoch r only if it mines an F_mine ticket for (ACK, r, b) — the
+// paper's key vote-specific eligibility — and the leader is elected by
+// mining (Propose, r, b) at difficulty 1/(2n) instead of by the round-robin
+// oracle. The ample threshold becomes 2λ/3 where λ is the expected committee
+// size. Non-eligible nodes output their current belief at the end of R
+// epochs (§3.2 leaves silent nodes' outputs unspecified; the belief is the
+// value the ample-ACK rule maintains, and Appendix C's full protocol
+// replaces this sketch anyway).
+//
+// Architecture: DESIGN.md §1 — §3.1–§3.2 warm-ups.
+package phaseking

@@ -1,0 +1,25 @@
+// Package quadratic implements the warm-up synchronous Byzantine Agreement
+// protocol of Appendix C.1 (Abraham et al. [1]): f < n/2 resilience,
+// expected O(1) rounds, quadratic communication.
+//
+// The protocol proceeds in iterations of four synchronous rounds — Status,
+// Propose, Vote, Commit — plus an any-time Terminate step. An iteration-r
+// certificate for bit b is a collection of f+1 signed iteration-r Vote
+// messages for b from distinct nodes; leaders propose the bit backed by the
+// highest certificate they have seen, and nodes vote for a proposal unless
+// they have observed a strictly higher certificate for the opposite bit.
+// A node that gathers f+1 votes for b (and no conflicting vote) commits;
+// f+1 commits justify termination, and the Terminate message carries those
+// commits so one honest terminator pulls everyone else along one round
+// later.
+//
+// Iteration 1 skips Status and Propose: every node votes its input bit.
+//
+// Leader election uses the idealized oracle of package leader, as in the
+// paper's exposition. Votes and commits carry real Ed25519 signatures
+// because they are relayed inside certificates and Terminate messages;
+// Status and Propose messages are never relayed, so the simulator's
+// authenticated channels subsume their signatures.
+//
+// Architecture: DESIGN.md §1 — Appendix C.1 baseline.
+package quadratic

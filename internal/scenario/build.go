@@ -81,7 +81,7 @@ func coreSuite(cfg Config) (fmine.Suite, func(types.NodeID) any, error) {
 	var suite fmine.Suite
 	switch cfg.Crypto {
 	case Ideal:
-		suite = fmine.NewIdeal(cfg.Seed, probs)
+		suite = newIdeal(cfg, probs)
 	case Real:
 		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
 		suite = fmine.NewReal(pub, secrets, probs)
@@ -91,13 +91,24 @@ func coreSuite(cfg Config) (fmine.Suite, func(types.NodeID) any, error) {
 	return suite, func(id types.NodeID) any { return suite.Miner(id) }, nil
 }
 
+// newIdeal builds the F_mine ideal functionality for a config: the lean
+// coin table (successful attempts only) on the sparse large-N path, the
+// full table of Figure 1 — whose allocation profile the tracked dense
+// benchmarks pin — otherwise. The two answer mine/verify identically.
+func newIdeal(cfg Config, probs fmine.ProbFunc) *fmine.Ideal {
+	if cfg.Sparse {
+		return fmine.NewIdealLean(cfg.Seed, probs)
+	}
+	return fmine.NewIdeal(cfg.Seed, probs)
+}
+
 func init() {
 	RegisterProtocol(Core, func(cfg Config) ([]netsim.Node, func(types.NodeID) any, int, error) {
 		suite, seize, err := coreSuite(cfg)
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		ccfg := core.Config{N: cfg.N, F: cfg.F, Lambda: cfg.Lambda, MaxIters: cfg.MaxIters, Suite: suite}
+		ccfg := core.Config{N: cfg.N, F: cfg.F, Lambda: cfg.Lambda, MaxIters: cfg.MaxIters, Suite: suite, Compact: cfg.Sparse}
 		nodes, err := core.NewNodes(ccfg, cfg.Inputs)
 		return nodes, seize, ccfg.Rounds(), err
 	})
@@ -107,7 +118,7 @@ func init() {
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		ccfg := core.Config{N: cfg.N, F: cfg.F, Lambda: cfg.Lambda, MaxIters: cfg.MaxIters, Suite: suite}
+		ccfg := core.Config{N: cfg.N, F: cfg.F, Lambda: cfg.Lambda, MaxIters: cfg.MaxIters, Suite: suite, Compact: cfg.Sparse}
 		nodes, err := broadcast.NewNodes(cfg.N, cfg.Sender, cfg.SenderInput,
 			func(id types.NodeID, input types.Bit) (netsim.Node, error) { return core.New(ccfg, id, input) })
 		return nodes, seize, ccfg.Rounds() + 1, err
@@ -124,20 +135,20 @@ func init() {
 	})
 
 	RegisterProtocol(PhaseKingPlain, func(cfg Config) ([]netsim.Node, func(types.NodeID) any, int, error) {
-		pcfg := phaseking.Config{N: cfg.N, Epochs: cfg.Epochs, CoinSeed: cfg.Seed}
+		pcfg := phaseking.Config{N: cfg.N, Epochs: cfg.Epochs, CoinSeed: cfg.Seed, Compact: cfg.Sparse}
 		nodes, err := phaseking.NewNodes(pcfg, cfg.Inputs)
 		return nodes, nil, pcfg.Rounds() + 1, err
 	})
 
 	RegisterProtocol(PhaseKingSampled, func(cfg Config) ([]netsim.Node, func(types.NodeID) any, int, error) {
-		suite := fmine.Suite(fmine.NewIdeal(cfg.Seed, phaseking.Probabilities(cfg.N, cfg.Lambda)))
+		suite := fmine.Suite(newIdeal(cfg, phaseking.Probabilities(cfg.N, cfg.Lambda)))
 		if cfg.Crypto == Real {
 			pub, secrets := pki.Setup(cfg.N, cfg.Seed)
 			suite = fmine.NewReal(pub, secrets, phaseking.Probabilities(cfg.N, cfg.Lambda))
 		}
 		pcfg := phaseking.Config{
 			N: cfg.N, Epochs: cfg.Epochs, Sampled: true, Lambda: cfg.Lambda,
-			Suite: suite, CoinSeed: cfg.Seed,
+			Suite: suite, CoinSeed: cfg.Seed, Compact: cfg.Sparse,
 		}
 		nodes, err := phaseking.NewNodes(pcfg, cfg.Inputs)
 		return nodes, func(id types.NodeID) any { return suite.Miner(id) }, pcfg.Rounds() + 1, err

@@ -1,10 +1,3 @@
-// Package scenario is the declarative configuration layer of the
-// repository: it owns the execution Config, resolves protocols through a
-// builder registry (replacing the old hard-wired switch in the ccba root
-// package), resolves adversaries and network models by name, and keeps a
-// registry of named Scenarios — one declarative record of protocol ×
-// N/F/λ × adversary × network model × inputs — that the root API, the
-// experiment generators, and every cmd binary run through.
 package scenario
 
 import (
@@ -129,6 +122,15 @@ type Config struct {
 	Adversary netsim.Adversary
 	// Parallel steps nodes on multiple goroutines.
 	Parallel bool
+	// Sparse selects the memory-lean large-N engine path (DESIGN.md §6):
+	// traffic-sized per-round delivery state in netsim, the lean F_mine
+	// coin table, and the compact node representations of the
+	// committee-sampled protocols, so executions with N in the 10⁵–10⁶
+	// range fit comfortably in memory. Observationally equivalent to the
+	// dense engine on the configurations it accepts; restricted to the
+	// delta-one lockstep model with a passive adversary and serial
+	// stepping (validate rejects anything else).
+	Sparse bool
 
 	// Net selects the network model (default NetDeltaOne).
 	Net NetName
@@ -179,6 +181,17 @@ func (c *Config) validate() error {
 	}
 	if c.InputPattern != "" && c.Inputs != nil {
 		return fmt.Errorf("scenario: both Inputs and InputPattern %q set; pick one", c.InputPattern)
+	}
+	if c.Sparse {
+		if c.Net != "" && c.Net != NetDeltaOne {
+			return fmt.Errorf("scenario: Sparse requires the %q lockstep model, got net %q (the Δ-scheduling ring is per-node state the sparse path exists to avoid)", NetDeltaOne, c.Net)
+		}
+		if c.Adversary != nil {
+			return fmt.Errorf("scenario: Sparse requires a passive adversary (the envelope window would materialise per-round state)")
+		}
+		if c.Parallel {
+			return fmt.Errorf("scenario: Sparse steps nodes serially; drop Parallel")
+		}
 	}
 	return c.validateNet()
 }

@@ -1,0 +1,10 @@
+// Package scenario is the declarative configuration layer of the
+// repository: it owns the execution Config, resolves protocols through a
+// builder registry (replacing the old hard-wired switch in the ccba root
+// package), resolves adversaries and network models by name, and keeps a
+// registry of named Scenarios — one declarative record of protocol ×
+// N/F/λ × adversary × network model × inputs — that the root API, the
+// experiment generators, and every cmd binary run through.
+//
+// Architecture: DESIGN.md §5 — declarative configuration and registry layer.
+package scenario

@@ -242,6 +242,11 @@ func init() {
 		Config:      Config{Protocol: Core, N: 200, F: 60, Lambda: 40, MaxIters: 12, Net: NetPartition, Delta: 3},
 	})
 	MustRegister(Scenario{
+		Name:        "core-sparse-n100k",
+		Description: "core protocol on the sparse large-N engine path, n=100,000 f=30,000 λ=40",
+		Config:      Config{Protocol: Core, N: 100_000, F: 30_000, Lambda: 40, Sparse: true},
+	})
+	MustRegister(Scenario{
 		Name:        "quadratic-n49",
 		Description: "quadratic baseline (Appendix C.1), n=49 f=24",
 		Config:      Config{Protocol: Quadratic, N: 49, F: 24, MaxIters: 40},

@@ -1,0 +1,7 @@
+// Package stats provides the small statistical toolkit the experiment
+// harnesses use: summaries, binomial confidence intervals, and the Chernoff
+// bounds the paper's lemmas are stated in, so measured failure rates can be
+// printed next to the analytic guarantees they must sit under.
+//
+// Architecture: DESIGN.md §5 — statistical toolkit under the trial harness.
+package stats

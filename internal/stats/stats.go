@@ -1,7 +1,3 @@
-// Package stats provides the small statistical toolkit the experiment
-// harnesses use: summaries, binomial confidence intervals, and the Chernoff
-// bounds the paper's lemmas are stated in, so measured failure rates can be
-// printed next to the analytic guarantees they must sit under.
 package stats
 
 import (

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamMatchesSummarize(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{42},
+		{3, 3, 3, 3},
+		{1, 2, 3, 4, 5, 6, 7},
+		{-5, 12.5, 0, 99.25, -17, 3},
+	}
+	for _, xs := range cases {
+		var st Stream
+		for _, x := range xs {
+			st.Add(x)
+		}
+		want := Summarize(xs)
+		got := st.Summary()
+		if got.N != want.N {
+			t.Errorf("%v: n = %d, want %d", xs, got.N, want.N)
+		}
+		approx := func(name string, g, w float64) {
+			if math.Abs(g-w) > 1e-9 {
+				t.Errorf("%v: %s = %v, want %v", xs, name, g, w)
+			}
+		}
+		approx("mean", got.Mean, want.Mean)
+		approx("std", got.Std, want.Std)
+		if len(xs) > 0 {
+			approx("min", got.Min, want.Min)
+			approx("max", got.Max, want.Max)
+		} else if got.Min != 0 || got.Max != 0 {
+			t.Errorf("empty stream min/max = %v/%v, want zeros", got.Min, got.Max)
+		}
+	}
+}
+
+func TestStreamIncremental(t *testing.T) {
+	// A long stream stays numerically close to the batch computation.
+	var st Stream
+	xs := make([]float64, 0, 10_000)
+	v := 17.0
+	for i := 0; i < 10_000; i++ {
+		// Deterministic pseudo-noise without math/rand.
+		v = math.Mod(v*1103515245+12345, 1024)
+		xs = append(xs, v)
+		st.Add(v)
+	}
+	want := Summarize(xs)
+	if math.Abs(st.Mean()-want.Mean) > 1e-6 || math.Abs(st.Std()-want.Std) > 1e-6 {
+		t.Errorf("stream mean/std = %v/%v, want %v/%v", st.Mean(), st.Std(), want.Mean, want.Std)
+	}
+}
+
+func TestPowerFit(t *testing.T) {
+	tests := []struct {
+		name     string
+		exp, c   float64
+		xs       []float64
+		wantExp  float64
+		wantCoef float64
+	}{
+		{"linear", 1, 3, []float64{10, 100, 1000, 10000}, 1, 3},
+		{"quadratic", 2, 0.5, []float64{101, 251, 501, 1001}, 2, 0.5},
+		{"polylog-ish", 1.1, 7, []float64{1000, 10000, 100000}, 1.1, 7},
+	}
+	for _, tc := range tests {
+		ys := make([]float64, len(tc.xs))
+		for i, x := range tc.xs {
+			ys[i] = tc.c * math.Pow(x, tc.exp)
+		}
+		gotExp, gotCoef := PowerFit(tc.xs, ys)
+		if math.Abs(gotExp-tc.wantExp) > 1e-9 {
+			t.Errorf("%s: exponent = %v, want %v", tc.name, gotExp, tc.wantExp)
+		}
+		if math.Abs(gotCoef-tc.wantCoef)/tc.wantCoef > 1e-9 {
+			t.Errorf("%s: coeff = %v, want %v", tc.name, gotCoef, tc.wantCoef)
+		}
+	}
+}
+
+func TestPowerFitDegenerate(t *testing.T) {
+	if e, c := PowerFit([]float64{1, 2}, []float64{1}); !math.IsNaN(e) || !math.IsNaN(c) {
+		t.Errorf("mismatched lengths: got %v/%v, want NaNs", e, c)
+	}
+	if e, _ := PowerFit([]float64{5}, []float64{25}); !math.IsNaN(e) {
+		t.Errorf("single point: got exponent %v, want NaN", e)
+	}
+	if e, _ := PowerFit([]float64{-1, 0, 3}, []float64{1, 1, 9}); !math.IsNaN(e) {
+		// Only one usable point survives the positivity filter.
+		t.Errorf("filtered to one point: got exponent %v, want NaN", e)
+	}
+	// Identical x-coordinates cannot determine a slope.
+	if e, _ := PowerFit([]float64{4, 4}, []float64{2, 8}); !math.IsNaN(e) {
+		t.Errorf("vertical data: got exponent %v, want NaN", e)
+	}
+}

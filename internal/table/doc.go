@@ -1,0 +1,4 @@
+// Package table renders plain-text tables for the experiment harnesses.
+//
+// Architecture: DESIGN.md §5 — text tables the experiment generators render.
+package table

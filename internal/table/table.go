@@ -1,4 +1,3 @@
-// Package table renders plain-text tables for the experiment harnesses.
 package table
 
 import (

@@ -1,35 +1,3 @@
-// Package transport carries wire-encoded cluster envelopes between live
-// protocol nodes.
-//
-// The lockstep simulator in internal/netsim hands messages between state
-// machines as Go values inside one goroutine; this package is the other half
-// of the bridge internal/cluster builds: each node runs concurrently (a
-// goroutine, or a whole process) and exchanges Envelopes — round-tagged,
-// sequence-numbered frames whose payload is the canonical wire encoding of a
-// protocol message — over a Transport addressed by node index.
-//
-// Two implementations are provided:
-//
-//   - the in-process channel transport (NewChanNetwork): one unbounded
-//     mailbox per node, per-sender FIFO, no sockets. It is the reference
-//     transport the cluster runtime is cross-validated on — a chan-transport
-//     run must agree bit-for-bit with the lockstep engine on every
-//     protocol-visible fact.
-//   - the TCP transport (ListenTCP/NewTCPNetwork): length-prefixed framing
-//     of the same envelope encoding over a dial-mesh of localhost or
-//     cross-host connections, with a hello handshake identifying the sender
-//     and graceful shutdown via context.
-//
-// Both preserve the only ordering property the cluster round synchronizer
-// needs: envelopes from one sender arrive at one recipient in send order
-// (per-link FIFO). Cross-sender interleaving is arbitrary; the synchronizer
-// re-sorts each round's traffic into the deterministic lockstep order.
-//
-// The paper assumes authenticated point-to-point channels throughout; like
-// the simulator, the transports implement that assumption rather than
-// enforce it cryptographically — Envelope.From is trusted. Signatures inside
-// the payloads (the real-crypto mode) are still verified by the protocols
-// themselves.
 package transport
 
 import (

@@ -1,0 +1,7 @@
+// Package types defines the identifiers and primitive values shared by every
+// protocol and substrate in this repository: node identities, binary
+// consensus values, and the corruption bookkeeping used by the execution
+// model of Abraham et al. (PODC 2019), Appendix A.1.
+//
+// Architecture: DESIGN.md §5 — shared vocabulary of the determinism layer.
+package types

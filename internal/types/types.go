@@ -1,7 +1,3 @@
-// Package types defines the identifiers and primitive values shared by every
-// protocol and substrate in this repository: node identities, binary
-// consensus values, and the corruption bookkeeping used by the execution
-// model of Abraham et al. (PODC 2019), Appendix A.1.
 package types
 
 import (

@@ -1,12 +1,3 @@
-// Package wire provides the compact binary codec used by every protocol
-// message in this repository.
-//
-// Communication-complexity accounting (Definitions 6 and 7 in the paper)
-// needs exact byte sizes for every message honest nodes send, so all
-// protocol messages implement Message and are measured by their canonical
-// encoding. The codec is deliberately simple: fixed-width integers in
-// big-endian order and length-prefixed byte strings, written through Writer
-// and read back through Reader with sticky error handling.
 package wire
 
 import (

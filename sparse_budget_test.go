@@ -1,0 +1,96 @@
+package ccba
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Memory-regression pins for the sparse large-N path at N = 10,000
+// (DESIGN.md §6). The budgets are ~2× the measured values at the time the
+// path was written — sparse core-ideal at n=10k measured ≈411k allocs,
+// ≈145 MB cumulative allocation, ≈110 MB post-run heap (dense: ≈501k
+// allocs, ≈175 MB) — so they fail on a reintroduced O(n)-per-round buffer
+// or materialised per-envelope history, not on runtime noise.
+
+func sparse10kConfig() Config {
+	cfg := Config{Protocol: Core, N: 10_000, F: 3_000, Lambda: 40, Sparse: true}
+	cfg.Seed[0] = 7
+	return cfg
+}
+
+func TestSparseAllocBudgetN10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node run; skipped in -short")
+	}
+	cfg := sparse10kConfig()
+	allocs := testing.AllocsPerRun(1, func() {
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+		}
+	})
+	const allocBudget = 900_000
+	if allocs > allocBudget {
+		t.Errorf("sparse core-ideal n=10k: %.0f allocs/run, budget %d", allocs, allocBudget)
+	}
+}
+
+func TestSparseHeapBudgetN10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node run; skipped in -short")
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	rep, err := Run(sparse10kConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read immediately, before collecting the run's garbage: HeapAlloc here
+	// approximates the execution's high-water mark.
+	runtime.ReadMemStats(&after)
+	if !rep.Ok() {
+		t.Fatalf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+	}
+	const totalBudget = 320 << 20 // cumulative allocation over the run
+	const heapBudget = 300 << 20  // post-run heap (uncollected)
+	if total := after.TotalAlloc - before.TotalAlloc; total > totalBudget {
+		t.Errorf("sparse core-ideal n=10k allocated %d MB cumulative, budget %d MB", total>>20, totalBudget>>20)
+	}
+	if after.HeapAlloc > before.HeapAlloc && after.HeapAlloc-before.HeapAlloc > heapBudget {
+		t.Errorf("sparse core-ideal n=10k heap grew %d MB, budget %d MB", (after.HeapAlloc-before.HeapAlloc)>>20, heapBudget>>20)
+	}
+}
+
+// The sparse path must allocate strictly less than the dense engine on the
+// same configuration — the point of its existence. Asserted at n = 2,000
+// to keep the double run cheap.
+func TestSparseAllocatesLessThanDense(t *testing.T) {
+	measure := func(sparse bool) (allocs, bytes uint64) {
+		cfg := Config{Protocol: Core, N: 2_000, F: 600, Lambda: 40, Sparse: sparse}
+		cfg.Seed[0] = 7
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		if !rep.Ok() {
+			t.Fatalf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+		}
+		return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+	}
+	denseAllocs, denseBytes := measure(false)
+	sparseAllocs, sparseBytes := measure(true)
+	if sparseAllocs >= denseAllocs {
+		t.Errorf("sparse allocs %d >= dense allocs %d", sparseAllocs, denseAllocs)
+	}
+	if sparseBytes >= denseBytes {
+		t.Errorf("sparse bytes %d >= dense bytes %d", sparseBytes, denseBytes)
+	}
+}

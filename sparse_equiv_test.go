@@ -1,0 +1,126 @@
+package ccba
+
+import (
+	"testing"
+)
+
+// The sparse large-N engine path (Config.Sparse, DESIGN.md §6) must be
+// observationally equivalent to the dense engine wherever it applies. Two
+// layers of pinning:
+//
+//   - the PR1 fixed-seed goldens reproduce bit-for-bit under Sparse —
+//     same outputs digest, rounds, and all four metrics counters;
+//   - a sweep across every protocol (both crypto modes where relevant)
+//     compares a sparse run against a dense run of the same config.
+
+func TestSparseMatchesGoldens(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name+"/sparse", func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Seed[0] = 7
+			cfg.Sparse = true
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("violation: consistency=%v validity=%v termination=%v",
+					rep.Consistency, rep.Validity, rep.Termination)
+			}
+			if got := outputsDigest(rep); got != tc.outputs {
+				t.Errorf("outputs digest = %s, want %s", got, tc.outputs)
+			}
+			if rep.Rounds != tc.rounds {
+				t.Errorf("rounds = %d, want %d", rep.Rounds, tc.rounds)
+			}
+			if rep.Result.Metrics != tc.metrics {
+				t.Errorf("metrics = %+v, want %+v", rep.Result.Metrics, tc.metrics)
+			}
+			if rep.Result.Sparse == nil {
+				t.Errorf("sparse run missing telemetry")
+			}
+		})
+	}
+}
+
+func TestSparseMatchesDenseAcrossProtocols(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"core-ideal", Config{Protocol: Core, N: 120, F: 36, Lambda: 20}},
+		{"core-real", Config{Protocol: Core, N: 48, F: 14, Lambda: 12, Crypto: Real}},
+		{"core-broadcast", Config{Protocol: CoreBroadcast, N: 60, F: 18, Lambda: 14, SenderInput: One}},
+		{"quadratic", Config{Protocol: Quadratic, N: 31, F: 15}},
+		{"phaseking-plain", Config{Protocol: PhaseKingPlain, N: 30, F: 9, Epochs: 8}},
+		{"phaseking-sampled", Config{Protocol: PhaseKingSampled, N: 90, F: 18, Lambda: 24, Epochs: 10}},
+		{"chenmicali", Config{Protocol: ChenMicali, N: 60, F: 20, Lambda: 24, Epochs: 6}},
+		{"dolevstrong", Config{Protocol: DolevStrong, N: 24, F: 8, SenderInput: One}},
+		{"committee-echo", Config{Protocol: CommitteeEcho, N: 64, F: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(sparse bool) *Report {
+				cfg := tc.cfg
+				cfg.Seed[0] = 11
+				cfg.Sparse = sparse
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			d, s := run(false), run(true)
+			if d.Rounds != s.Rounds || d.Result.Metrics != s.Result.Metrics {
+				t.Fatalf("rounds/metrics: dense %d %+v, sparse %d %+v",
+					d.Rounds, d.Result.Metrics, s.Rounds, s.Result.Metrics)
+			}
+			for i := range d.Outputs {
+				if d.Outputs[i] != s.Outputs[i] || d.Decided[i] != s.Decided[i] || d.Halted[i] != s.Halted[i] {
+					t.Fatalf("node %d: dense (%v,%v,%v) sparse (%v,%v,%v)", i,
+						d.Outputs[i], d.Decided[i], d.Halted[i],
+						s.Outputs[i], s.Decided[i], s.Halted[i])
+				}
+			}
+			// The checker verdicts — streaming on the sparse path — must
+			// agree too.
+			if (d.Consistency == nil) != (s.Consistency == nil) ||
+				(d.Validity == nil) != (s.Validity == nil) ||
+				(d.Termination == nil) != (s.Termination == nil) {
+				t.Fatalf("checker verdicts differ: dense (%v,%v,%v) sparse (%v,%v,%v)",
+					d.Consistency, d.Validity, d.Termination,
+					s.Consistency, s.Validity, s.Termination)
+			}
+		})
+	}
+}
+
+// Illegal sparse combinations must be rejected at the scenario layer with
+// an explanatory error, before any nodes are built.
+func TestSparseConfigRejections(t *testing.T) {
+	base := Config{Protocol: Core, N: 40, F: 12, Lambda: 10, Sparse: true}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"worst-case-net", func(c *Config) { c.Net = NetWorstCase; c.Delta = 2 }},
+		{"jitter-net", func(c *Config) { c.Net = NetJitter; c.Delta = 2 }},
+		{"parallel", func(c *Config) { c.Parallel = true }},
+		{"adversary", func(c *Config) {
+			adv, err := NewAdversary("silent", *c, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Adversary = adv
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Fatalf("config %+v unexpectedly accepted", cfg)
+			}
+		})
+	}
+}
