@@ -91,6 +91,8 @@ type (
 	Report = scenario.Report
 	// Scenario is a declarative, optionally registered experiment setting.
 	Scenario = scenario.Scenario
+	// ChaosConfig declares a live-cluster fault schedule (DESIGN.md §7).
+	ChaosConfig = scenario.ChaosConfig
 	// AdversaryFactory builds one fresh adversary per trial of a config.
 	AdversaryFactory = scenario.AdversaryFactory
 	// Builder constructs a protocol's node set from a resolved Config.

@@ -19,7 +19,16 @@
 //	cluster -transport tcp -n 4 -f 1
 //	cluster -transport tcp -crypto real -node 0 -peers 127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703,127.0.0.1:7704
 //	cluster -scenario quadratic-n49
+//	cluster -scenario core-chaos-n32 -json
 //	cluster -scenarios
+//	cluster -n 24 -f 7 -lambda 8 -chaos-drop 0.25 -json
+//	cluster -n 16 -f 4 -delta 2 -round-interval 2ms -chaos-drop 0.2 -chaos-reorder 0.3
+//
+// The -chaos-* flags (and the Chaos field of a registered scenario) inject a
+// deterministic fault schedule below the protocol surface: drops and crash
+// windows on seed-chosen faulty senders, reorder/partition holds within the
+// Δ bound (DESIGN.md §7). The same declaration lowers to a lockstep network
+// model too — the E14 experiment cross-validates the two runtimes.
 //
 // The multi-process form (-node) runs the Appendix D compiler's real
 // crypto for the committee-sampled protocols: the hybrid world's F_mine
@@ -68,6 +77,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		peers         = fs.String("peers", "", "comma-separated list of all node addresses in node order (tcp)")
 		roundTimeout  = fs.Duration("round-timeout", 30*time.Second, "per-round barrier timeout for tcp (chan runs never need one)")
 		asJSON        = fs.Bool("json", false, "emit the outcome as JSON (same document as cmd/ba)")
+
+		delta         = fs.Int("delta", 0, "synchronizer delivery bound Δ (0 = the chaos spec's Δ, else 1)")
+		roundInterval = fs.Duration("round-interval", 0, "soft per-round deadline; required when the chaos schedule delays traffic (Δ ≥ 2 reorder/jitter/partition holds)")
+		chaosDrop     = fs.Float64("chaos-drop", 0, "chaos: per-frame drop rate on the seed-chosen faulty senders' links")
+		chaosFaulty   = fs.Int("chaos-faulty", 0, "chaos: number of faulty senders to draw (0 = the config's f when dropping)")
+		chaosReorder  = fs.Float64("chaos-reorder", 0, "chaos: probability a data frame is held back about one round (needs Δ ≥ 2)")
+		chaosPart     = fs.Int("chaos-partition", 0, "chaos: hold cross-cut traffic to the Δ bound for this many initial rounds (needs Δ ≥ 2)")
+		chaosCrashAt  = fs.Int("chaos-crash-from", 0, "chaos: first round of the crash window (with -chaos-crash-rounds)")
+		chaosCrashLen = fs.Int("chaos-crash-rounds", 0, "chaos: crash one faulty node for this many rounds, then let it restart")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +108,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Crypto:  ccba.CryptoMode(*crypto),
 		Erasure: *erasure,
 	}
+	var chaos *ccba.ChaosConfig
 	if *scenarioName != "" {
 		sc, ok := ccba.LookupScenario(*scenarioName)
 		if !ok {
@@ -99,6 +118,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return fmt.Errorf("scenario %q runs adversary %q; live clusters execute honest protocols only (use cmd/ba)", *scenarioName, sc.Adversary)
 		}
 		cfg = sc.Config
+		if sc.Chaos != nil {
+			cc := *sc.Chaos
+			chaos = &cc
+		}
 		override := map[string]func(){
 			"protocol": func() { cfg.Protocol = ccba.Protocol(*protocol) },
 			"n":        func() { cfg.N = *n },
@@ -131,9 +154,44 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cfg.Inputs, cfg.InputPattern = nil, "unanimous-1"
 	}
 
-	opts := cluster.Options{}
+	if chaos == nil && (set["chaos-drop"] || set["chaos-faulty"] || set["chaos-reorder"] ||
+		set["chaos-partition"] || set["chaos-crash-from"] || set["chaos-crash-rounds"]) {
+		chaos = &ccba.ChaosConfig{}
+	}
+	if chaos != nil {
+		for name, apply := range map[string]func(){
+			"delta":              func() { chaos.Delta = *delta },
+			"chaos-drop":         func() { chaos.DropRate = *chaosDrop },
+			"chaos-faulty":       func() { chaos.Faulty = *chaosFaulty },
+			"chaos-reorder":      func() { chaos.Reorder = *chaosReorder },
+			"chaos-partition":    func() { chaos.PartitionRounds = *chaosPart },
+			"chaos-crash-from":   func() { chaos.CrashFrom = *chaosCrashAt },
+			"chaos-crash-rounds": func() { chaos.CrashRounds = *chaosCrashLen },
+		} {
+			if set[name] {
+				apply()
+			}
+		}
+	}
+
+	opts := cluster.Options{Delta: *delta, RoundInterval: *roundInterval}
 	if *transportName == "tcp" {
 		opts.RoundTimeout = *roundTimeout
+	}
+	// The JSON document's net/delta fields: a chaos run reports its injected
+	// schedule, a plain run the lockstep-equivalent ∆ = 1 delivery.
+	netName, deltaOut := string(ccba.NetDeltaOne), 1
+	if chaos != nil {
+		netName, deltaOut = "chaos", chaos.EffectiveDelta()
+	} else if *delta > 1 {
+		deltaOut = *delta
+	}
+
+	runLive := func(netw transport.Network) (*cluster.Report, error) {
+		if chaos != nil {
+			return cluster.RunChaos(ctx, cfg, netw, *chaos, opts)
+		}
+		return cluster.Run(ctx, cfg, netw, opts)
 	}
 
 	var rep *cluster.Report
@@ -149,7 +207,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		defer netw.Close()
-		rep, err = cluster.Run(ctx, cfg, netw, opts)
+		rep, err = runLive(netw)
 
 	case *transportName == "tcp" && *node < 0:
 		addrs := transport.LoopbackAddrs(cfg.N)
@@ -164,7 +222,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		defer netw.Close()
-		rep, err = cluster.Run(ctx, cfg, netw, opts)
+		rep, err = runLive(netw)
 
 	case *transportName == "tcp":
 		if *peers == "" {
@@ -180,7 +238,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		defer ep.Close()
-		rep, err = cluster.RunNode(ctx, cfg, ep, opts)
+		if chaos != nil {
+			rep, err = cluster.RunNodeChaos(ctx, cfg, ep, *chaos, opts)
+		} else {
+			rep, err = cluster.RunNode(ctx, cfg, ep, opts)
+		}
 
 	default:
 		return fmt.Errorf("unknown transport %q (want chan or tcp)", *transportName)
@@ -188,7 +250,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return report(out, cfg, rep, *seed, *transportName, *asJSON)
+	return report(out, cfg, rep, *seed, *transportName, netName, deltaOut, *asJSON)
 }
 
 // splitPeers parses the -peers list and checks it covers the cluster.
@@ -201,9 +263,9 @@ func splitPeers(peers string, n int) ([]string, error) {
 }
 
 // singleRunJSON mirrors cmd/ba's document field for field, so the two
-// binaries' outputs diff clean for the same seed and configuration. A live
-// chan-transport run always executes the lockstep-equivalent ∆ = 1
-// schedule, hence the fixed net/delta fields.
+// binaries' outputs diff clean for the same seed and configuration. A plain
+// live run executes the lockstep-equivalent ∆ = 1 schedule and reports the
+// delta-one model; a chaos run reports net "chaos" with its Δ instead.
 type singleRunJSON struct {
 	Protocol   string            `json:"protocol"`
 	N          int               `json:"n"`
@@ -219,7 +281,7 @@ type singleRunJSON struct {
 	Violations map[string]string `json:"violations"`
 }
 
-func report(out io.Writer, cfg ccba.Config, rep *cluster.Report, seed int64, transportName string, asJSON bool) error {
+func report(out io.Writer, cfg ccba.Config, rep *cluster.Report, seed int64, transportName, netName string, delta int, asJSON bool) error {
 	if asJSON {
 		// Field for field and value for value what cmd/ba emits — including
 		// an empty crypto for scenarios that leave it unset — so the two
@@ -229,8 +291,8 @@ func report(out io.Writer, cfg ccba.Config, rep *cluster.Report, seed int64, tra
 			N:          cfg.N,
 			F:          cfg.F,
 			Crypto:     string(cfg.Crypto),
-			Net:        string(ccba.NetDeltaOne),
-			Delta:      1,
+			Net:        netName,
+			Delta:      delta,
 			Seed:       seed,
 			Rounds:     rep.Rounds,
 			Corrupted:  rep.NumCorrupt(),

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ccba/internal/experiments"
@@ -50,6 +51,7 @@ func run(args []string, out io.Writer) error {
 		delta   = fs.Int("delta", 0, "delivery bound Δ for the -net override")
 		asJSON  = fs.Bool("json", false, "emit machine-readable sweep aggregates as JSON instead of tables")
 		asCSV   = fs.Bool("csv", false, "emit sweep aggregates as CSV instead of tables")
+		plotDir = fs.String("plot-dir", "", "write gnuplot figure bundles (.gp scripts + .dat data) for the plotting experiments (e13, e14) into this directory; render with `gnuplot *.gp`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +99,7 @@ func run(args []string, out io.Writer) error {
 		{"e11", func() (*experiments.Artifacts, error) { return art(experiments.E11ResilienceFrontier(opts(10))) }},
 		{"e12", func() (*experiments.Artifacts, error) { return art(experiments.E12NetworkModels(opts(10))) }},
 		{"e13", func() (*experiments.Artifacts, error) { return art(experiments.E13ScalingLaw(opts(3), *e13MaxN)) }},
+		{"e14", func() (*experiments.Artifacts, error) { return art(experiments.E14CrossValidation(opts(5))) }},
 	}
 
 	var sweeps []*harness.Sweep
@@ -110,6 +113,11 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s: %w", g.id, err)
 		}
 		ran++
+		if *plotDir != "" {
+			if err := writePlots(*plotDir, a.Plots); err != nil {
+				return fmt.Errorf("%s: %w", g.id, err)
+			}
+		}
 		if *asJSON || *asCSV {
 			sweeps = append(sweeps, a.Sweep)
 			continue
@@ -124,6 +132,28 @@ func run(args []string, out io.Writer) error {
 	}
 	if *asCSV {
 		return harness.WriteCSV(out, sweeps)
+	}
+	return nil
+}
+
+// writePlots materializes each figure bundle — the .gp script plus its data
+// files — into dir, creating it if needed.
+func writePlots(dir string, plots []experiments.Plot) error {
+	if len(plots) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, p := range plots {
+		if err := os.WriteFile(filepath.Join(dir, p.Name+".gp"), []byte(p.Script), 0o644); err != nil {
+			return err
+		}
+		for name, data := range p.Data {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -239,6 +239,39 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	})
 }
 
+// The hello handshake is the one frame a TCP endpoint reads before it knows
+// who is talking, so its decoder faces the rawest input of all: arbitrary
+// bytes must yield a descriptive error, never a panic, and only a
+// well-formed hello naming an in-range peer may pass.
+func FuzzHelloDecode(f *testing.F) {
+	f.Add([]byte{}, uint16(4))
+	f.Add(transport.HelloFrame(2, 4)[4:], uint16(4)) // valid hello (frame prefix stripped)
+	f.Add(transport.HelloFrame(2, 4)[4:], uint16(3)) // size mismatch
+	f.Add(transport.HelloFrame(9, 4)[4:], uint16(4)) // out-of-range dialer
+	f.Add(transport.AppendEnvelope(nil, transport.Envelope{Kind: transport.EnvData, From: 1}), uint16(4))
+	f.Add(transport.AppendEnvelope(nil, transport.Envelope{Kind: transport.EnvHello, From: 1, Payload: []byte("wrong magic....")}), uint16(4))
+	f.Fuzz(func(t *testing.T, buf []byte, n uint16) {
+		if n == 0 {
+			n = 1
+		}
+		from, err := transport.DecodeHello(buf, int(n))
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("rejection without a reason")
+			}
+			return
+		}
+		if int(from) < 0 || int(from) >= int(n) {
+			t.Fatalf("accepted hello from out-of-range node %d (n=%d)", from, n)
+		}
+		// An accepted hello is canonical: the dialer's own frame for the
+		// same identity reproduces it.
+		if !bytes.Equal(transport.HelloFrame(from, int(n))[4:], buf) {
+			t.Fatalf("accepted non-canonical hello % x", buf)
+		}
+	})
+}
+
 // Exact-size frames of every protocol's messages round-trip through the
 // frame + envelope layers byte for byte — the property the TCP transport's
 // metrics and golden equivalence rest on.

@@ -22,6 +22,28 @@ type Options struct {
 	// meshes should set it: a dead peer then yields an error instead of a
 	// hang.
 	RoundTimeout time.Duration
+	// Delta is the delivery bound Δ the synchronizer budgets for: traffic
+	// up to Δ rounds early is buffered, the round budget scales to
+	// steps × Δ, and deadline-based advance (RoundInterval) never lets a
+	// node run more than Δ rounds past the oldest incomplete barrier.
+	// Zero or one keeps the all-ack lockstep of DESIGN.md §6 — bit-identical
+	// to the simulator's Δ=1 engine.
+	Delta int
+	// RoundInterval, when positive, arms a soft per-round deadline: a node
+	// advances from round r once it holds all n sync markers or the
+	// interval has elapsed, whichever comes first (subject to the Δ skew
+	// cap). Zero keeps the pure all-ack barrier. Chaos runs with delayed
+	// sync markers need it; drop-only chaos does not, since markers are
+	// reliable and the all-ack barrier still completes.
+	RoundInterval time.Duration
+}
+
+// delta returns the effective delivery bound.
+func (o Options) delta() int {
+	if o.Delta <= 0 {
+		return 1
+	}
+	return o.Delta
 }
 
 // Report is the outcome of a live run: the same scenario.Report the
@@ -41,7 +63,7 @@ type Report struct {
 // every node in its own goroutine. All nodes assemble identical reports;
 // the returned one is node 0's.
 func Run(ctx context.Context, cfg scenario.Config, net transport.Network, opts Options) (*Report, error) {
-	plan, err := prepare(cfg)
+	plan, err := prepare(cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +122,7 @@ func RunNode(ctx context.Context, cfg scenario.Config, tr transport.Transport, o
 	if err := checkMultiProcess(cfg); err != nil {
 		return nil, err
 	}
-	plan, err := prepare(cfg)
+	plan, err := prepare(cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -151,12 +173,12 @@ type plan struct {
 // prepare validates cfg for live execution and resolves everything the
 // runners need. The rejections are structural, not temporary gaps: see the
 // package comment.
-func prepare(cfg scenario.Config) (*plan, error) {
+func prepare(cfg scenario.Config, opts Options) (*plan, error) {
 	if cfg.Adversary != nil {
 		return nil, fmt.Errorf("cluster: live runs execute honest protocols only; the adversary interface needs the simulator's omniscient envelope window (run this config through ccba.Run instead)")
 	}
 	if cfg.Net != "" && cfg.Net != scenario.NetDeltaOne {
-		return nil, fmt.Errorf("cluster: net model %q is simulated message scheduling; live runs deliver at ∆=1 through the round synchronizer (run this config through ccba.Run instead)", cfg.Net)
+		return nil, fmt.Errorf("cluster: net model %q is simulated message scheduling; live faults are injected at the transport instead (RunChaos), with the synchronizer's Options.Delta bounding delivery (or run this config through ccba.Run)", cfg.Net)
 	}
 	if cfg.Sparse {
 		return nil, fmt.Errorf("cluster: Sparse is the simulator's large-N delivery path; a live cluster already holds only per-node state per process (run this config through ccba.Run instead)")
@@ -173,6 +195,11 @@ func prepare(cfg scenario.Config) (*plan, error) {
 	maxRounds, err := normalized.RoundBudget(steps)
 	if err != nil {
 		return nil, err
+	}
+	// A Δ>1 synchronizer may legitimately spend up to Δ rounds per protocol
+	// step — the same scaling RoundBudget applies to simulated Δ>1 models.
+	if d := opts.delta(); d > 1 && steps*d > maxRounds {
+		maxRounds = steps * d
 	}
 	decode, err := scenario.DecoderFor(normalized.Protocol)
 	if err != nil {

@@ -14,13 +14,16 @@
 //     sequence-numbered envelope whose payload is the message's canonical
 //     wire encoding.
 //   - After transmitting its round-r sends, each node multicasts a sync
-//     marker carrying its halted flag. A node enters round r+1 only after
-//     collecting all n round-r sync markers — the per-round barrier that
-//     realises the paper's synchronous model (every round-r message is
-//     delivered before any round-r+1 computation) with no wall-clock
-//     timeouts in the in-process case. Over TCP, Options.RoundTimeout
-//     bounds the barrier wait so a dead peer fails the run instead of
-//     hanging it.
+//     marker carrying its halted flag. A node enters round r+1 once it
+//     holds all n round-r sync markers, or — when Options.RoundInterval
+//     arms the soft per-round deadline — as soon as advancing keeps it
+//     within Δ rounds of the all-acked watermark. At the default Δ = 1 the
+//     barrier realises the paper's synchronous model exactly (every
+//     round-r message is delivered before any round-r+1 computation) with
+//     no wall-clock timeouts in the in-process case; at Δ > 1 up to Δ
+//     rounds of early traffic are buffered and skew stays capped at Δ
+//     (DESIGN.md §7). Over TCP, Options.RoundTimeout bounds the barrier
+//     wait so a dead peer fails the run instead of hanging it.
 //   - Each round's traffic is re-sorted into (sender, sequence) order
 //     before delivery, reproducing the deterministic envelope order of the
 //     lockstep engine's delivery merge — this is what makes live runs
@@ -36,10 +39,13 @@
 // interface is an omniscient round-scoped window over all in-flight
 // envelopes, which no distributed runtime can offer, so configs carrying an
 // adversary (and scenarios naming one) are rejected — attack experiments
-// belong to the simulator. Likewise only the lockstep ∆ = 1 network model
-// runs live; the simulated-delay models (worst-case, jitter, omission,
-// partition) are schedule injection, which the synchronizer exists to
-// prevent.
+// belong to the simulator. Likewise the simulated-delay network models
+// (worst-case, jitter, omission, partition) never run live: real faults
+// are injected at the transport instead, via RunChaos/RunNodeChaos and a
+// declarative scenario.ChaosConfig whose schedule is seed-deterministic
+// and cross-validated against the simulator (DESIGN.md §7, experiment
+// E14).
 //
-// Architecture: DESIGN.md §2 — live cluster runtime over pluggable transports.
+// Architecture: DESIGN.md §2 — live cluster runtime over pluggable
+// transports; DESIGN.md §7 — Δ > 1 synchronizer and chaos injection.
 package cluster

@@ -21,12 +21,15 @@ func (p *plan) runNode(ctx context.Context, self types.NodeID, tr transport.Tran
 		node: p.nodes[self],
 		tr:   tr,
 		opts: opts,
-		// Traffic can run at most one round ahead of the local node (a peer
-		// needs our round-r sync to finish round r), so two pending rounds
-		// of buffers suffice; maps keep the invariant honest.
+		// Under the all-ack barrier a peer runs at most one round ahead (it
+		// needs our round-r sync to finish round r); under deadline advance
+		// the skew cap bounds the lead at Δ rounds. Either way the maps
+		// buffer early traffic per round until its delivery point.
 		pending: map[uint32][]transport.Envelope{},
 		syncs:   map[uint32]int{},
 		halts:   map[uint32]int{},
+		// No all-halted round observed yet.
+		exitRound: -1,
 	}
 	rounds, err := r.runRounds(ctx)
 	if err != nil {
@@ -49,6 +52,21 @@ type runner struct {
 	syncs   map[uint32]int                  // sync markers received per round
 	halts   map[uint32]int                  // halted flags among those markers
 	results []transport.Envelope            // early result records (see below)
+
+	// acked is the watermark of consecutive fully-acknowledged rounds:
+	// every round < acked holds all n sync markers. Deadline-based advance
+	// is capped at Δ rounds past it, and the all-halted scan below only
+	// inspects rounds whose marker sets are complete.
+	acked int
+	// haltScan is the next acked round the runner has not yet checked for
+	// the all-halted exit condition, and exitRound is the detected exit
+	// point (−1 until an all-halted round is observed). The scan lives in
+	// ingest — tallies only change there — so a node blocked in a barrier
+	// whose peers have already exited still notices the run is over the
+	// moment the proving markers arrive, instead of waiting out the hard
+	// timeout on sync traffic that will never come.
+	haltScan  int
+	exitRound int
 }
 
 // runRounds executes the synchronized round loop and returns the round
@@ -105,17 +123,32 @@ func (r *runner) runRounds(ctx context.Context) (int, error) {
 			return 0, err
 		}
 
-		// 4. Deliver: this round's traffic, re-sorted into the (sender,
-		// sequence) order of the lockstep engine's envelope list, decoded
-		// from canonical bytes back into the values the state machines
-		// switch on.
-		envs := r.pending[uint32(round)]
-		delete(r.pending, uint32(round))
-		allHalted := r.halts[uint32(round)] == n
-		delete(r.syncs, uint32(round))
-		delete(r.halts, uint32(round))
-		if allHalted {
-			return round + 1, nil
+		// 4. Exit check: the run ends the round after the one in which every
+		// node reported halted. ingest detects that round — only rounds
+		// with a complete marker set can testify, and once complete a
+		// round's tally is final. Under the all-ack barrier this degenerates
+		// to "did everyone halt this round" — the lockstep engine's rule —
+		// because rounds complete strictly in order; under deadline advance
+		// it also catches an all-halted round this node skimmed past, whose
+		// markers straggled in during a later barrier.
+		if r.exitRound >= 0 {
+			return r.exitRound, nil
+		}
+
+		// 5. Deliver all arrived traffic tagged for this round or earlier,
+		// re-sorted into the (round, sender, sequence) order of the lockstep
+		// engine's envelope list, decoded from canonical bytes back into the
+		// values the state machines switch on. At Δ=1 under all-ack only
+		// round-tagged == round entries exist (per-link FIFO); at Δ>1 frames
+		// up to Δ rounds late join the batch of the round they land in — the
+		// model's rule that the adversary picks any delivery round within
+		// the bound.
+		var envs []transport.Envelope
+		for rd, list := range r.pending {
+			if rd <= uint32(round) {
+				envs = append(envs, list...)
+				delete(r.pending, rd)
+			}
 		}
 		if halted {
 			// This node never steps again; it only keeps the barrier alive
@@ -125,6 +158,9 @@ func (r *runner) runRounds(ctx context.Context) (int, error) {
 			continue
 		}
 		sort.SliceStable(envs, func(i, j int) bool {
+			if envs[i].Round != envs[j].Round {
+				return envs[i].Round < envs[j].Round
+			}
 			if envs[i].From != envs[j].From {
 				return envs[i].From < envs[j].From
 			}
@@ -143,39 +179,88 @@ func (r *runner) runRounds(ctx context.Context) (int, error) {
 	return r.maxRounds, nil
 }
 
-// collectBarrier consumes incoming envelopes until all n round-round sync
-// markers have arrived, buffering data for this and the next round as it
-// goes.
+// collectBarrier consumes incoming envelopes until the node may advance:
+// all n round-r sync markers are in (the all-ack fast path, and the only
+// path when no RoundInterval is configured), or the soft per-round deadline
+// has expired and the Δ skew cap permits running ahead of the stragglers.
+// Data for any round is buffered as it goes.
 func (r *runner) collectBarrier(ctx context.Context, round uint32) error {
-	ctx, cancel := r.barrierCtx(ctx)
+	hardCtx, cancel := r.barrierCtx(ctx)
 	defer cancel()
+	cur := hardCtx
+	var softCtx context.Context
+	softCancel := func() {}
+	defer func() { softCancel() }()
+	armSoft := func() {
+		if r.opts.RoundInterval > 0 {
+			softCancel()
+			softCtx, softCancel = context.WithTimeout(hardCtx, r.opts.RoundInterval)
+			cur = softCtx
+		}
+	}
+	armSoft()
 	n := r.cfg.N
-	for r.syncs[round] < n {
-		env, err := r.tr.Recv(ctx)
+	for r.exitRound < 0 && r.syncs[round] < n {
+		env, err := r.tr.Recv(cur)
 		if err != nil {
+			if cur == softCtx && softCtx.Err() == context.DeadlineExceeded && hardCtx.Err() == nil {
+				// Soft deadline. Advance without the stragglers if that
+				// keeps us within Δ rounds of the oldest incomplete
+				// barrier; otherwise re-arm the deadline and keep
+				// collecting — the watermark may climb enough on the next
+				// window, and running ahead of it now would exceed the
+				// Δ-bounded skew the buffers (and the model) promise.
+				if int(round)+1 <= r.acked+r.opts.delta() {
+					return nil
+				}
+				armSoft()
+				continue
+			}
 			return fmt.Errorf("round %d barrier (%d/%d peers): %w", round, r.syncs[round], n, err)
 		}
-		if int(env.From) < 0 || int(env.From) >= n {
-			return fmt.Errorf("round %d: envelope from unknown node %d", round, env.From)
+		if err := r.ingest(env, round); err != nil {
+			return err
 		}
-		switch env.Kind {
-		case transport.EnvData:
-			r.pending[env.Round] = append(r.pending[env.Round], env)
-		case transport.EnvSync:
-			r.syncs[env.Round]++
-			if env.Halted {
-				r.halts[env.Round]++
+	}
+	return nil
+}
+
+// ingest files one received envelope: data by its round tag, sync markers
+// into the per-round tallies (advancing the acked watermark), early result
+// records aside for the exchange.
+func (r *runner) ingest(env transport.Envelope, round uint32) error {
+	n := r.cfg.N
+	if int(env.From) < 0 || int(env.From) >= n {
+		return fmt.Errorf("round %d: envelope from unknown node %d", round, env.From)
+	}
+	switch env.Kind {
+	case transport.EnvData:
+		r.pending[env.Round] = append(r.pending[env.Round], env)
+	case transport.EnvSync:
+		r.syncs[env.Round]++
+		if env.Halted {
+			r.halts[env.Round]++
+		}
+		for r.syncs[uint32(r.acked)] == n {
+			r.acked++
+		}
+		// Scan newly completed rounds (final tallies) for the all-halted
+		// exit condition. Every node scans the complete rounds in order, so
+		// all detect the same, earliest such round.
+		for r.exitRound < 0 && r.haltScan < r.acked {
+			if r.halts[uint32(r.haltScan)] == n {
+				r.exitRound = r.haltScan + 1
 			}
-		case transport.EnvResult:
-			// Legitimate one-round skew at the end of the run: a peer that
-			// already holds all n final-round sync markers exits the loop
-			// and multicasts its result while we are still waiting on a
-			// third party's marker for the same round. Buffer it for the
-			// result exchange.
-			r.results = append(r.results, env)
-		default:
-			return fmt.Errorf("round %d: unexpected %d-kind envelope from node %d", round, env.Kind, env.From)
+			r.haltScan++
 		}
+	case transport.EnvResult:
+		// Legitimate end-of-run skew: a peer that already holds all n
+		// final-round sync markers exits the loop and multicasts its result
+		// while we are still waiting on a third party's marker. Buffer it
+		// for the result exchange.
+		r.results = append(r.results, env)
+	default:
+		return fmt.Errorf("round %d: unexpected %d-kind envelope from node %d", round, env.Kind, env.From)
 	}
 	return nil
 }
@@ -238,9 +323,11 @@ func b2u(b bool) uint8 {
 }
 
 // exchangeResults multicasts this node's record, collects everyone's, and
-// assembles the full Report. rounds is the agreed round count (identical on
-// every node: it is a deterministic function of the halted flags all nodes
-// collected through the same barriers).
+// assembles the full Report. Under the all-ack barrier rounds is identical
+// on every node — a deterministic function of the halted flags all nodes
+// collected through the same barriers. Under deadline advance nodes may
+// observe the all-halted round at slightly different points; each reports
+// its own count and the returned Report carries node 0's.
 func (r *runner) exchangeResults(ctx context.Context, rounds int) (*Report, error) {
 	n := r.cfg.N
 	out, decided := r.node.Output()

@@ -171,6 +171,7 @@ func E13ScalingLaw(o Opts, maxN int) (*E13Result, error) {
 			"(≈n³ bytes — each of its n² messages carries an O(n)-attestation certificate).",
 		res.CoreMsgFit.Exponent, res.CoreMsgFit.Points, res.QuadMsgFit.Exponent, res.QuadMsgFit.Points,
 		res.CoreByteFit.Exponent, res.QuadByteFit.Exponent)
+	res.Plots = []Plot{E13Plot(res)}
 	return res, nil
 }
 

@@ -54,6 +54,9 @@ func (o Opts) run(sc scenario.Scenario, tr harness.Trial) (*scenario.Report, err
 type Artifacts struct {
 	Table *table.Table
 	Sweep *harness.Sweep
+	// Plots holds renderable gnuplot bundles for generators that produce
+	// figures (E13, E14); cmd/experiments writes them out under -plot-dir.
+	Plots []Plot
 }
 
 // Out returns the artifacts; embedding promotes this accessor onto every

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plot is a renderable figure: a gnuplot script plus the data files it
+// reads, all addressed by bare file names so the bundle can be written into
+// any directory and rendered there with `gnuplot <name>.gp`. The scripts
+// target the pngcairo terminal; CI renders them and uploads the PNGs as
+// artifacts, and the repo itself needs no gnuplot installation.
+type Plot struct {
+	// Name is the base name: the script is written as Name+".gp" and the
+	// rendered figure comes out as Name+".png".
+	Name string
+	// Script is the gnuplot program.
+	Script string
+	// Data maps data-file names (as referenced by the script) to contents.
+	Data map[string]string
+}
+
+// E13Plot renders the scaling-law sweep as a log-log figure: measured
+// classical message counts per protocol with the fitted power laws overlaid
+// — the visual form of the paper's Õ(n·polylog) vs Θ(n²) separation.
+func E13Plot(res *E13Result) Plot {
+	var core, quad strings.Builder
+	for _, r := range res.Rows {
+		line := fmt.Sprintf("%d %.6g %.6g\n", r.N, r.TotalMsgs, r.TotalBytes)
+		if strings.HasPrefix(r.Protocol, "core") {
+			core.WriteString(line)
+		} else {
+			quad.WriteString(line)
+		}
+	}
+	script := fmt.Sprintf(`set terminal pngcairo size 900,600 font ",11"
+set output 'e13-scaling.png'
+set title "E13 — total communication vs n (core λ=%d vs quadratic baseline)"
+set xlabel "n (nodes)"
+set ylabel "classical messages per run"
+set logscale xy
+set key left top
+set grid
+core(x) = %.6g * x**%.4f
+quad(x) = %.6g * x**%.4f
+plot 'e13-core.dat' using 1:2 with points pt 7 ps 1.4 lc rgb "#1f77b4" title "core (measured)", \
+     core(x) with lines lw 2 lc rgb "#1f77b4" dt 2 title sprintf("core fit: n^{%%.2f}", %.4f), \
+     'e13-quad.dat' using 1:2 with points pt 5 ps 1.4 lc rgb "#d62728" title "quadratic (measured)", \
+     quad(x) with lines lw 2 lc rgb "#d62728" dt 2 title sprintf("quadratic fit: n^{%%.2f}", %.4f)
+`,
+		res.Lambda,
+		res.CoreMsgFit.Coeff, res.CoreMsgFit.Exponent,
+		res.QuadMsgFit.Coeff, res.QuadMsgFit.Exponent,
+		res.CoreMsgFit.Exponent, res.QuadMsgFit.Exponent)
+	return Plot{
+		Name:   "e13-scaling",
+		Script: script,
+		Data: map[string]string{
+			"e13-core.dat": core.String(),
+			"e13-quad.dat": quad.String(),
+		},
+	}
+}
+
+// E14Plot renders the cross-validation sweep: termination rate and mean
+// rounds-to-decision against the drop rate, one curve per Δ, live cluster
+// against simulator — the degradation curves the two runtimes must share.
+func E14Plot(res *E14Result) Plot {
+	var dat strings.Builder
+	dat.WriteString("# delta drop termination rounds_live rounds_sim wall_ms\n")
+	for _, r := range res.Rows {
+		if r.Transport != "chan" {
+			continue
+		}
+		dat.WriteString(fmt.Sprintf("%d %.2f %.4f %.4g %.4g %.4g\n",
+			r.Delta, r.DropRate, r.TerminationRate, r.MeanRoundsLive, r.MeanRoundsSim, r.MeanWallMs))
+	}
+	script := fmt.Sprintf(`set terminal pngcairo size 1200,500 font ",11"
+set output 'e14-chaos.png'
+set multiplot layout 1,2 title "E14 — live chaos cluster vs simulator (core, n=%d, f=%d, λ=%d)"
+set xlabel "drop rate (faulty senders)"
+set grid
+set key left bottom
+set ylabel "termination rate"
+set yrange [-0.05:1.05]
+plot for [d=1:3] 'e14-chan.dat' using ($1==d?$2:1/0):3 with linespoints lw 2 pt 6+d title sprintf("live Δ=%%d", d)
+set key left top
+set ylabel "mean rounds to decision"
+set yrange [*:*]
+plot for [d=1:3] 'e14-chan.dat' using ($1==d?$2:1/0):4 with linespoints lw 2 pt 6+d title sprintf("live Δ=%%d", d), \
+     for [d=1:3] 'e14-chan.dat' using ($1==d?$2:1/0):5 with linespoints lw 1 dt 2 pt 2+d title sprintf("sim Δ=%%d", d)
+unset multiplot
+`, res.N, res.F, res.Lambda)
+	return Plot{
+		Name:   "e14-chaos",
+		Script: script,
+		Data:   map[string]string{"e14-chan.dat": dat.String()},
+	}
+}

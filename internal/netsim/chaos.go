@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ccba/internal/types"
+)
+
+// ChaosPartition is one timed split for the composite Chaos model: links
+// crossing the [0, Cut) / [Cut, n) boundary are held to the delivery bound ∆
+// for rounds From..Until−1, exactly like the standalone Partition model.
+type ChaosPartition struct {
+	Cut         types.NodeID
+	From, Until int
+}
+
+// ChaosCrash is one crash/restart window: every outbound link from Node is
+// dropped for rounds From..Until−1, then the node's traffic resumes. The
+// node keeps executing — this is an omission-fault realization of a crash,
+// so the crashed node must be (and is automatically) part of the faulty set
+// and spends the corruption budget like any omission fault.
+type ChaosCrash struct {
+	Node        types.NodeID
+	From, Until int
+}
+
+// chaos composes the fault classes of the standalone models — omission
+// drops on a faulty-sender set, timed partitions, crash windows, and (at
+// Δ>1) seeded jitter — into one schedule. It exists to cross-validate the
+// live chaos transport: both sides derive every decision from the same
+// folded seed via LinkDrop/LinkDelay, so a Δ=1 delay-free chaos spec yields
+// the identical message schedule in the simulator and on a live cluster.
+type chaos struct {
+	delta      int
+	rate       float64
+	key        uint64
+	faulty     []types.NodeID
+	isF        map[types.NodeID]bool
+	partitions []ChaosPartition
+	crashes    []ChaosCrash
+}
+
+// NewChaos builds the composite model. faulty lists the omission-faulty
+// senders for rate-based drops; crash windows name nodes whose outbound
+// links drop entirely while the window is open — crash nodes are merged
+// into the reported fault set so the runtime charges them against F. The
+// seed must match the live chaos spec's for cross-validation.
+func NewChaos(delta int, rate float64, faulty []types.NodeID,
+	partitions []ChaosPartition, crashes []ChaosCrash, seed [32]byte) (NetModel, error) {
+	if delta < 1 {
+		return nil, fmt.Errorf("netsim: chaos model delta=%d, need Δ ≥ 1", delta)
+	}
+	m := &chaos{
+		delta:      delta,
+		rate:       rate,
+		key:        FoldSeed(seed),
+		faulty:     append([]types.NodeID(nil), faulty...),
+		isF:        make(map[types.NodeID]bool, len(faulty)+len(crashes)),
+		partitions: append([]ChaosPartition(nil), partitions...),
+		crashes:    append([]ChaosCrash(nil), crashes...),
+	}
+	for _, id := range m.faulty {
+		m.isF[id] = true
+	}
+	for _, c := range m.crashes {
+		if c.Until <= c.From {
+			return nil, fmt.Errorf("netsim: chaos crash window [%d, %d) is empty", c.From, c.Until)
+		}
+		if !m.isF[c.Node] {
+			m.isF[c.Node] = true
+			m.faulty = append(m.faulty, c.Node)
+		}
+	}
+	return m, nil
+}
+
+func (c *chaos) Delta() int             { return c.delta }
+func (c *chaos) Faulty() []types.NodeID { return c.faulty }
+
+// Schedule applies the composed faults in a fixed order — crash windows,
+// then rate drops, then partition holds, then jitter — mirroring the
+// decision order of the live chaos transport.
+func (c *chaos) Schedule(l Link) int {
+	for _, cr := range c.crashes {
+		if l.From == cr.Node && l.Round >= cr.From && l.Round < cr.Until {
+			return Drop
+		}
+	}
+	if c.isF[l.From] && LinkDrop(c.key, l.Round, l.From, l.To, c.rate) {
+		return Drop
+	}
+	for _, p := range c.partitions {
+		if l.Round >= p.From && l.Round < p.Until && (l.From < p.Cut) != (l.To < p.Cut) {
+			return c.delta
+		}
+	}
+	return LinkDelay(c.key, l.Round, l.From, l.To, c.delta)
+}
+
+func (c *chaos) String() string {
+	return fmt.Sprintf("chaos(Δ=%d, rate=%.2f, faulty=%d, partitions=%d, crashes=%d)",
+		c.delta, c.rate, len(c.faulty), len(c.partitions), len(c.crashes))
+}

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"testing"
+
+	"ccba/internal/types"
+)
+
+// A drop-only chaos model at Δ=1 must be schedule-identical to the
+// standalone omission model over the same seed — the property the
+// live/sim cross-validation leans on.
+func TestChaosDegeneratesToOmission(t *testing.T) {
+	seed := [32]byte{9, 9, 9}
+	faulty := []types.NodeID{1, 4}
+	om := Omission(1, 0.4, faulty, seed)
+	ch, err := NewChaos(1, 0.4, faulty, nil, nil, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Delta() != om.Delta() {
+		t.Fatalf("delta: chaos %d vs omission %d", ch.Delta(), om.Delta())
+	}
+	n := 6
+	var drops int
+	for round := 0; round < 40; round++ {
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				l := Link{Round: round, From: types.NodeID(from), To: types.NodeID(to)}
+				a, b := ch.Schedule(l), om.Schedule(l)
+				if a != b {
+					t.Fatalf("round %d %d→%d: chaos %d vs omission %d", round, from, to, a, b)
+				}
+				if a == Drop {
+					drops++
+				}
+			}
+		}
+	}
+	if drops == 0 {
+		t.Fatal("no drops in 40 rounds at rate 0.4 — schedule is degenerate")
+	}
+}
+
+// Crash windows drop every outbound link of the victim for exactly the
+// window, merge the victim into the fault set, and reject empty windows.
+func TestChaosCrashWindow(t *testing.T) {
+	seed := [32]byte{1}
+	ch, err := NewChaos(1, 0, nil, nil, []ChaosCrash{{Node: 3, From: 2, Until: 5}}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.Faulty(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("crash node not merged into fault set: %v", got)
+	}
+	for round := 0; round < 8; round++ {
+		got := ch.Schedule(Link{Round: round, From: 3, To: 0})
+		want := 1
+		if round >= 2 && round < 5 {
+			want = Drop
+		}
+		if got != want {
+			t.Fatalf("round %d: schedule %d, want %d", round, got, want)
+		}
+		if other := ch.Schedule(Link{Round: round, From: 0, To: 3}); other != 1 {
+			t.Fatalf("round %d: inbound link of crashed node scheduled %d, want 1", round, other)
+		}
+	}
+	if _, err := NewChaos(1, 0, nil, nil, []ChaosCrash{{Node: 3, From: 5, Until: 5}}, seed); err == nil {
+		t.Fatal("empty crash window accepted")
+	}
+}
+
+// Partitions hold cross-cut links to Δ inside the window; same-side links
+// keep their jitter schedule.
+func TestChaosPartitionHold(t *testing.T) {
+	seed := [32]byte{2}
+	ch, err := NewChaos(3, 0, nil, []ChaosPartition{{Cut: 2, From: 1, Until: 4}}, nil, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		cross := ch.Schedule(Link{Round: round, From: 0, To: 3})
+		if round >= 1 && round < 4 {
+			if cross != 3 {
+				t.Fatalf("round %d: cross-cut link scheduled %d, want Δ=3", round, cross)
+			}
+		} else if cross < 1 || cross > 3 {
+			t.Fatalf("round %d: cross-cut link outside the window scheduled %d", round, cross)
+		}
+		if same := ch.Schedule(Link{Round: round, From: 0, To: 1}); same < 1 || same > 3 {
+			t.Fatalf("round %d: same-side link scheduled %d", round, same)
+		}
+	}
+}

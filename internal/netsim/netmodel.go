@@ -126,10 +126,7 @@ func (j jitter) Delta() int           { return j.delta }
 func (jitter) Faulty() []types.NodeID { return nil }
 
 func (j jitter) Schedule(l Link) int {
-	if j.delta <= 1 {
-		return 1
-	}
-	return 1 + int(linkHash(j.key, l.Round, l.From, l.To)%uint64(j.delta))
+	return LinkDelay(j.key, l.Round, l.From, l.To, j.delta)
 }
 
 func (j jitter) String() string { return fmt.Sprintf("jitter(Δ=%d)", j.delta) }
@@ -169,11 +166,8 @@ func (o omission) Delta() int             { return o.delta }
 func (o omission) Faulty() []types.NodeID { return o.faulty }
 
 func (o omission) Schedule(l Link) int {
-	if o.isF[l.From] && o.rate > 0 {
-		h := linkHash(o.key, l.Round, l.From, l.To)
-		if float64(h>>11)/(1<<53) < o.rate {
-			return Drop
-		}
+	if o.isF[l.From] && LinkDrop(o.key, l.Round, l.From, l.To, o.rate) {
+		return Drop
 	}
 	return 1
 }
@@ -247,15 +241,36 @@ func Mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// validateNetModel checks a model against the execution parameters: Δ ≥ 1,
-// fault ids in range, and the omission budget within F. (Ctx.Corrupt then
-// charges adaptive corruptions against the budget the fault set already
-// spent, so faults plus corruptions never exceed F in total.)
-func validateNetModel(m NetModel, n, f int) ([]bool, error) {
-	if d := m.Delta(); d < 1 {
-		return nil, fmt.Errorf("netsim: net model delta=%d, need Δ ≥ 1", d)
+// LinkDrop is the shared omission decision: whether the message on link
+// (round, from, to) is lost under drop probability rate and folded seed key.
+// One decision covers the whole link-round — every message a sender puts on
+// that link in that round shares the same fate, matching the Omission model.
+// The simulator's Omission model and the live chaos transport both call this,
+// so a Δ=1 drop-only chaos run reproduces the simulator's schedule exactly.
+func LinkDrop(key uint64, round int, from, to types.NodeID, rate float64) bool {
+	if rate <= 0 {
+		return false
 	}
-	faulty := m.Faulty()
+	h := linkHash(key, round, from, to)
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// LinkDelay is the shared jitter decision: a seed-deterministic delivery
+// delay for link (round, from, to), uniform in [1, delta]. Both the Jitter
+// model and the composite Chaos model derive their schedules from it.
+func LinkDelay(key uint64, round int, from, to types.NodeID, delta int) int {
+	if delta <= 1 {
+		return 1
+	}
+	return 1 + int(linkHash(key, round, from, to)%uint64(delta))
+}
+
+// CheckFaultBudget validates an omission-faulty sender set against the
+// execution parameters: ids in [0, n), distinct count within the corruption
+// budget f. It returns the per-node membership mask (nil for an empty set).
+// The simulator's model validation and the chaos-spec validation of the live
+// cluster share this check, so both enforce the same power boundary.
+func CheckFaultBudget(faulty []types.NodeID, n, f int) ([]bool, error) {
 	if len(faulty) == 0 {
 		return nil, nil
 	}
@@ -275,4 +290,15 @@ func validateNetModel(m NetModel, n, f int) ([]bool, error) {
 			ErrBudget, distinct, f)
 	}
 	return mask, nil
+}
+
+// validateNetModel checks a model against the execution parameters: Δ ≥ 1,
+// fault ids in range, and the omission budget within F. (Ctx.Corrupt then
+// charges adaptive corruptions against the budget the fault set already
+// spent, so faults plus corruptions never exceed F in total.)
+func validateNetModel(m NetModel, n, f int) ([]bool, error) {
+	if d := m.Delta(); d < 1 {
+		return nil, fmt.Errorf("netsim: net model delta=%d, need Δ ≥ 1", d)
+	}
+	return CheckFaultBudget(m.Faulty(), n, f)
 }

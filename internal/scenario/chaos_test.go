@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"context"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"ccba/internal/harness"
+)
+
+// The chaos lowering must draw the same faulty set the NetOmission model
+// draws for the same config — that shared derivation is what lets one seed
+// cross-validate a live chaos run against the omission simulation.
+func TestChaosFaultySetMatchesOmission(t *testing.T) {
+	cfg := Config{Protocol: Core, N: 24, F: 7, Lambda: 8}
+	cfg.Seed[0] = 11
+	spec, err := ChaosConfig{DropRate: 0.3}.TransportSpec(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := harness.SeedFrom(cfg.Seed, netSeedDomain, string(NetOmission), 0)
+	want := sampleIDs(seed, cfg.N, cfg.F)
+	if !slices.Equal(spec.Faulty, want) {
+		t.Fatalf("chaos faulty set %v, omission derivation %v", spec.Faulty, want)
+	}
+	model, err := ChaosConfig{DropRate: 0.3}.NetModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(model.Faulty(), want) {
+		t.Fatalf("sim-side chaos faulty set %v, omission derivation %v", model.Faulty(), want)
+	}
+}
+
+// The crash victim is the first seed-chosen faulty node on both lowerings,
+// and a crash-only declaration still draws one faulty node to spend the
+// corruption budget.
+func TestChaosCrashVictimDeterministic(t *testing.T) {
+	cfg := Config{Protocol: Core, N: 16, F: 4, Lambda: 8}
+	cfg.Seed[0] = 5
+	cc := ChaosConfig{CrashFrom: 1, CrashRounds: 3}
+	spec, err := cc.TransportSpec(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Faulty) != 1 || spec.CrashNode != spec.Faulty[0] {
+		t.Fatalf("crash victim %d not the single drawn faulty node %v", spec.CrashNode, spec.Faulty)
+	}
+	if spec.CrashFrom != 1 || spec.CrashUntil != 4 {
+		t.Fatalf("crash window [%d, %d), want [1, 4)", spec.CrashFrom, spec.CrashUntil)
+	}
+	model, err := cc.NetModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := model.Faulty(); len(got) != 1 || got[0] != spec.CrashNode {
+		t.Fatalf("sim-side crash victim %v, transport-side %d", got, spec.CrashNode)
+	}
+}
+
+// Time-based injection scales with the synchronizer's round interval and
+// stays within the Δ budget.
+func TestChaosDelaysScaleWithInterval(t *testing.T) {
+	cfg := Config{Protocol: Core, N: 16, F: 4, Lambda: 8}
+	spec, err := ChaosConfig{Delta: 3, PartitionRounds: 2}.TransportSpec(cfg, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 20 * time.Millisecond; spec.MaxDelay != want || spec.PartitionHold != want {
+		t.Fatalf("delays (%v, %v), want both %v ((Δ−1) × interval)", spec.MaxDelay, spec.PartitionHold, want)
+	}
+	if int(spec.PartitionCut) != cfg.N/2 || spec.PartitionUntil != 2 {
+		t.Fatalf("partition (%d, [%d, %d)), want cut 8 rounds [0, 2)", spec.PartitionCut, spec.PartitionFrom, spec.PartitionUntil)
+	}
+	// No interval: round-indexed faults only, no real-time holds.
+	spec, err = ChaosConfig{Delta: 3, PartitionRounds: 2}.TransportSpec(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.MaxDelay != 0 || spec.PartitionHold != 0 {
+		t.Fatalf("zero interval still yields delays (%v, %v)", spec.MaxDelay, spec.PartitionHold)
+	}
+}
+
+// Invalid declarations are rejected with the power boundary spelled out.
+func TestChaosConfigRejections(t *testing.T) {
+	cfg := Config{Protocol: Core, N: 16, F: 0, Lambda: 8}
+	cases := []struct {
+		name string
+		cc   ChaosConfig
+		want string
+	}{
+		{"drops without budget", ChaosConfig{DropRate: 0.5}, "faulty"},
+		{"reorder at delta one", ChaosConfig{Reorder: 0.5}, "Δ ≥ 2"},
+		{"partition at delta one", ChaosConfig{PartitionRounds: 2}, "Δ ≥ 2"},
+		{"crash without budget", ChaosConfig{CrashRounds: 2}, "faulty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.cc.TransportSpec(cfg, 0); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// SimRun executes the composite model through the standard simulator path:
+// the report must be deterministic in the seed and judged by the same
+// checkers as every other run.
+func TestChaosSimRunDeterministic(t *testing.T) {
+	cfg := Config{Protocol: Core, N: 16, F: 4, Lambda: 8, MaxIters: 12}
+	cfg.Seed[0] = 3
+	cc := ChaosConfig{Delta: 2, DropRate: 0.2}
+	a, err := cc.SimRun(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cc.SimRun(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || !slices.Equal(a.Outputs, b.Outputs) {
+		t.Fatalf("chaos sim runs diverged: rounds %d vs %d", a.Rounds, b.Rounds)
+	}
+	if a.Consistency != nil || a.Validity != nil {
+		t.Fatalf("safety violated in simulated chaos: %v %v", a.Consistency, a.Validity)
+	}
+}
+
+// The registered chaos scenario resolves and its declaration lowers to both
+// runtimes.
+func TestChaosScenarioRegistered(t *testing.T) {
+	s, ok := Lookup("core-chaos-n32")
+	if !ok {
+		t.Fatal("core-chaos-n32 not registered")
+	}
+	if s.Chaos == nil {
+		t.Fatal("core-chaos-n32 carries no chaos declaration")
+	}
+	cfg, err := s.Resolve([32]byte{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Chaos.TransportSpec(cfg, 5*time.Millisecond); err != nil {
+		t.Fatalf("transport lowering: %v", err)
+	}
+	if _, err := s.Chaos.NetModel(cfg); err != nil {
+		t.Fatalf("sim lowering: %v", err)
+	}
+}

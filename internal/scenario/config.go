@@ -153,6 +153,13 @@ type Config struct {
 	// execution off mid-flight. Explicit values below the derived minimum
 	// are rejected.
 	MaxRounds int
+
+	// chaosModel, when non-nil, overrides the Net-named model with a
+	// prebuilt one. Only ChaosConfig.SimRun sets it, so the cross-validation
+	// harness can execute the exact composite model a live chaos run was
+	// derived from (DESIGN.md §7). Unexported on purpose: the declarative
+	// surface stays Net + ChaosConfig.
+	chaosModel netsim.NetModel
 }
 
 // validate rejects configurations the simulator cannot execute
@@ -209,7 +216,7 @@ func (c *Config) validateNet() error {
 	if c.Delta < 0 {
 		return fmt.Errorf("scenario: Delta=%d; the delivery bound cannot be negative", c.Delta)
 	}
-	if c.Delta > 1 && (c.Net == "" || c.Net == NetDeltaOne) {
+	if c.Delta > 1 && c.chaosModel == nil && (c.Net == "" || c.Net == NetDeltaOne) {
 		return fmt.Errorf("scenario: Delta=%d under the lockstep %q model, which delivers in exactly one round; pick -net %s, %s, %s, or %s",
 			c.Delta, NetDeltaOne, NetWorstCase, NetJitter, NetOmission, NetPartition)
 	}
@@ -329,6 +336,9 @@ const netSeedDomain = "scenario/net"
 // netModel resolves the Config's network spec into a netsim model. It runs
 // after applyDefaults.
 func (c *Config) netModel() (netsim.NetModel, error) {
+	if c.chaosModel != nil {
+		return c.chaosModel, nil
+	}
 	switch c.Net {
 	case NetDeltaOne:
 		return netsim.DeltaOne(), nil

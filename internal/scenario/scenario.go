@@ -27,6 +27,11 @@ type Scenario struct {
 	// Adversary names the corruption strategy in the adversary registry
 	// ("" = passive).
 	Adversary string
+	// Chaos, when set, declares a live-cluster fault schedule. The
+	// simulator path (Run) ignores it — simulated faults are expressed
+	// through Config.Net — but cmd/cluster applies it to live runs, and the
+	// cross-validation harness lowers it to both runtimes (DESIGN.md §7).
+	Chaos *ChaosConfig
 }
 
 // Resolve produces the per-trial Config: the trial seed is installed, the
@@ -240,6 +245,12 @@ func init() {
 		Name:        "core-partition-n200",
 		Description: "core protocol under a temporary half/half partition held to Δ=3 for 6 rounds",
 		Config:      Config{Protocol: Core, N: 200, F: 60, Lambda: 40, MaxIters: 12, Net: NetPartition, Delta: 3},
+	})
+	MustRegister(Scenario{
+		Name:        "core-chaos-n32",
+		Description: "live-cluster chaos: Δ=2 synchronizer, f faulty senders dropping 20% of data frames",
+		Config:      Config{Protocol: Core, N: 32, F: 9, Lambda: 10, MaxIters: 12},
+		Chaos:       &ChaosConfig{Delta: 2, DropRate: 0.2},
 	})
 	MustRegister(Scenario{
 		Name:        "core-sparse-n100k",

@@ -31,5 +31,11 @@
 // the payloads (the real-crypto mode) are still verified by the protocols
 // themselves.
 //
+// A third layer wraps either implementation: the chaos transport
+// (WrapChaos/NewChaosNetwork) injects a seed-deterministic fault schedule
+// — drops on faulty senders' links, delay/reorder within the Δ window,
+// timed partitions, crash windows — below the protocol surface, under the
+// same power boundary the simulator enforces (DESIGN.md §7).
+//
 // Architecture: DESIGN.md §2 — live envelope transports under the cluster runtime.
 package transport

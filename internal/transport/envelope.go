@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -103,13 +104,20 @@ func ParseFrame(buf []byte) (payload, rest []byte, err error) {
 // readFrame reads one frame from a stream, enforcing the same MaxFrame
 // bound before allocating.
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameLimit(r, MaxFrame)
+}
+
+// readFrameLimit reads one frame whose payload must fit limit bytes. The
+// handshake path uses a tight limit so a hostile length prefix cannot make
+// the reader allocate or wait for data that a real hello would never carry.
+func readFrameLimit(r io.Reader, limit uint32) ([]byte, error) {
 	var prefix [4]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(prefix[:])
-	if n > MaxFrame {
-		return nil, ErrFrameTooLarge
+	if n > limit {
+		return nil, fmt.Errorf("%w (%d-byte frame, limit %d)", ErrFrameTooLarge, n, limit)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -128,8 +136,55 @@ func marshalFrame(e Envelope) []byte {
 	return AppendEnvelope(buf, e)
 }
 
-// helloEnvelope builds the handshake envelope a dialing node opens its
-// connection with.
-func helloEnvelope(self types.NodeID) Envelope {
-	return Envelope{Kind: EnvHello, From: self}
+// ---------------------------------------------------------------------------
+// Handshake.
+
+// helloMagic opens every hello payload. It rules out two failure modes a
+// bare node-id hello could not: a non-cluster client that happens to speak
+// length-prefixed frames, and a stale peer from an incompatible build.
+var helloMagic = []byte("ccba/hello\x01")
+
+// MaxHelloFrame bounds the first frame on an inbound connection. A real
+// hello is a fixed few dozen bytes; anything claiming more is rejected
+// before allocation, so a garbage prefix cannot stall the accept path.
+const MaxHelloFrame = 64
+
+// HelloFrame encodes the handshake frame a dialing node of an n-node mesh
+// opens its connection with: a hello envelope whose payload carries the
+// magic and the dialer's view of the cluster size.
+func HelloFrame(self types.NodeID, n int) []byte {
+	payload := make([]byte, 0, len(helloMagic)+4)
+	payload = append(payload, helloMagic...)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(n))
+	return marshalFrame(Envelope{Kind: EnvHello, From: self, Payload: payload})
+}
+
+// DecodeHello parses and validates one handshake frame payload against the
+// local mesh parameters, returning the dialing peer's id. Every rejection is
+// a descriptive error naming what was wrong — the accept path logs it rather
+// than silently dropping the connection.
+func DecodeHello(frame []byte, n int) (types.NodeID, error) {
+	env, err := DecodeEnvelope(frame)
+	if err != nil {
+		return 0, fmt.Errorf("transport: hello: %w", err)
+	}
+	if env.Kind != EnvHello {
+		return 0, fmt.Errorf("transport: hello: first frame has kind %d, want hello (%d)", env.Kind, EnvHello)
+	}
+	if env.Round != 0 || env.Seq != 0 || env.Halted {
+		return 0, fmt.Errorf("transport: hello: nonzero round/seq/halted fields (round=%d seq=%d halted=%v)", env.Round, env.Seq, env.Halted)
+	}
+	if len(env.Payload) != len(helloMagic)+4 {
+		return 0, fmt.Errorf("transport: hello: payload is %d bytes, want %d", len(env.Payload), len(helloMagic)+4)
+	}
+	if !bytes.Equal(env.Payload[:len(helloMagic)], helloMagic) {
+		return 0, fmt.Errorf("transport: hello: bad magic %q", env.Payload[:len(helloMagic)])
+	}
+	if peerN := binary.BigEndian.Uint32(env.Payload[len(helloMagic):]); int(peerN) != n {
+		return 0, fmt.Errorf("transport: hello: peer dialed for a cluster of %d, this mesh has %d", peerN, n)
+	}
+	if int(env.From) < 0 || int(env.From) >= n {
+		return 0, fmt.Errorf("%w: hello from node %d (n=%d)", ErrUnknownNode, env.From, n)
+	}
+	return env.From, nil
 }

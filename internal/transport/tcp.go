@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -54,12 +55,30 @@ type TCPEndpoint struct {
 	ls  net.Listener
 	box *mailbox
 
-	mu      sync.Mutex
-	out     []net.Conn   // outbound conns, indexed by peer (nil for self)
-	outMu   []sync.Mutex // per-conn write locks
-	in      []net.Conn   // accepted conns, closed on shutdown
-	closed  bool
-	closeWG sync.WaitGroup
+	mu       sync.Mutex
+	out      []net.Conn   // outbound conns, indexed by peer (nil for self)
+	outMu    []sync.Mutex // per-conn write locks
+	in       []net.Conn   // accepted conns, closed on shutdown
+	closed   bool
+	closeWG  sync.WaitGroup
+	helloErr error // last handshake rejection, for diagnostics and tests
+}
+
+// rejectHandshake records why an inbound connection was turned away.
+func (e *TCPEndpoint) rejectHandshake(err error) {
+	e.mu.Lock()
+	e.helloErr = err
+	e.mu.Unlock()
+}
+
+// HandshakeError returns the most recent inbound-handshake rejection (nil
+// when every accepted connection presented a valid hello). Rejections do not
+// fail the endpoint — a closed mesh simply drops strangers — but the reason
+// is kept so operators and tests can see what knocked.
+func (e *TCPEndpoint) HandshakeError() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.helloErr
 }
 
 var _ Transport = (*TCPEndpoint)(nil)
@@ -112,25 +131,23 @@ func DialTCP(ctx context.Context, self types.NodeID, peers []string, opts TCPOpt
 func (e *TCPEndpoint) Addr() string { return e.ls.Addr().String() }
 
 // Connect dials every peer in the address list (own entry skipped) and
-// opens each connection with a hello frame. It retries while the mesh comes
-// up, bounded by ctx and the dial timeout.
+// opens each connection with a hello frame. Dial and hello are retried as a
+// unit under bounded exponential backoff, so a mesh whose peers start in any
+// order — or where a peer restarts mid-handshake — still comes up, bounded
+// by ctx and the dial timeout.
 func (e *TCPEndpoint) Connect(ctx context.Context, peers []string) error {
 	if len(peers) != e.n {
 		return fmt.Errorf("transport: %d peer addresses for a cluster of %d", len(peers), e.n)
 	}
-	hello := marshalFrame(helloEnvelope(e.self))
+	hello := HelloFrame(e.self, e.n)
 	deadline := time.Now().Add(e.opts.dialTimeout())
 	for j, addr := range peers {
 		if types.NodeID(j) == e.self {
 			continue
 		}
-		conn, err := dialRetry(ctx, addr, deadline)
+		conn, err := connectPeer(ctx, addr, hello, deadline)
 		if err != nil {
-			return fmt.Errorf("transport: node %d dialing peer %d at %s: %w", e.self, j, addr, err)
-		}
-		if _, err := conn.Write(hello); err != nil {
-			conn.Close()
-			return fmt.Errorf("transport: node %d hello to peer %d: %w", e.self, j, err)
+			return fmt.Errorf("transport: node %d connecting peer %d at %s: %w", e.self, j, addr, err)
 		}
 		e.mu.Lock()
 		if e.closed {
@@ -144,17 +161,36 @@ func (e *TCPEndpoint) Connect(ctx context.Context, peers []string) error {
 	return nil
 }
 
-// dialRetry dials addr until it succeeds, ctx is cancelled, or the deadline
-// passes — peers of a live mesh bind their listeners at their own pace.
-func dialRetry(ctx context.Context, addr string, deadline time.Time) (net.Conn, error) {
+// Backoff schedule for connectPeer: exponential from 25ms capped at 500ms,
+// each sleep jittered uniformly in [b/2, 3b/2) so a mesh of simultaneous
+// dialers does not hammer a slow listener in lockstep.
+const (
+	connectBackoffMin = 25 * time.Millisecond
+	connectBackoffMax = 500 * time.Millisecond
+)
+
+// connectPeer establishes one outbound peer connection: dial, then hello.
+// Both steps retry under the shared deadline — a refused dial means the
+// peer's listener is not up yet, a failed hello write means the peer went
+// away between accept and read (a restart during handshake); either way the
+// next attempt may find a healthy listener.
+func connectPeer(ctx context.Context, addr string, hello []byte, deadline time.Time) (net.Conn, error) {
 	var d net.Dialer
+	backoff := connectBackoffMin
 	var lastErr error
 	for {
 		attemptCtx, cancel := context.WithDeadline(ctx, deadline)
 		conn, err := d.DialContext(attemptCtx, "tcp", addr)
 		cancel()
 		if err == nil {
-			return conn, nil
+			conn.SetWriteDeadline(deadline)
+			_, err = conn.Write(hello)
+			conn.SetWriteDeadline(time.Time{})
+			if err == nil {
+				return conn, nil
+			}
+			conn.Close()
+			err = fmt.Errorf("hello write: %w", err)
 		}
 		lastErr = err
 		if ctx.Err() != nil {
@@ -163,8 +199,15 @@ func dialRetry(ctx context.Context, addr string, deadline time.Time) (net.Conn, 
 		if !time.Now().Before(deadline) {
 			return nil, lastErr
 		}
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff)))
+		if remain := time.Until(deadline); sleep > remain {
+			sleep = remain
+		}
+		if backoff < connectBackoffMax {
+			backoff *= 2
+		}
 		select {
-		case <-time.After(50 * time.Millisecond):
+		case <-time.After(sleep):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -196,20 +239,22 @@ func (e *TCPEndpoint) acceptLoop() {
 // must be a hello identifying the dialing peer; every later frame is a
 // cluster envelope from that peer. Any framing or identity violation drops
 // the connection — the mesh is a closed set of known nodes, not a public
-// listener.
+// listener — and the hello path records a descriptive rejection reason
+// (HandshakeError) instead of failing silently.
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	defer e.closeWG.Done()
 	defer conn.Close()
 	br := bufio.NewReader(conn)
-	frame, err := readFrame(br)
+	frame, err := readFrameLimit(br, MaxHelloFrame)
 	if err != nil {
+		e.rejectHandshake(fmt.Errorf("transport: node %d rejecting %s: reading hello frame: %w", e.self, conn.RemoteAddr(), err))
 		return
 	}
-	hello, err := DecodeEnvelope(frame)
-	if err != nil || hello.Kind != EnvHello || int(hello.From) < 0 || int(hello.From) >= e.n {
+	from, err := DecodeHello(frame, e.n)
+	if err != nil {
+		e.rejectHandshake(fmt.Errorf("transport: node %d rejecting %s: %w", e.self, conn.RemoteAddr(), err))
 		return
 	}
-	from := hello.From
 	for {
 		frame, err := readFrame(br)
 		if err != nil {
