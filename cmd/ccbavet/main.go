@@ -1,0 +1,177 @@
+// Command ccbavet is the repo's custom vet multichecker. It speaks the
+// `go vet -vettool` protocol (the -V=full handshake, the -flags query,
+// and the per-package vet.cfg files the go command hands it), so the
+// canonical invocation is
+//
+//	go vet -vettool=$(which ccbavet) ./...
+//
+// Run with package patterns (or no arguments) it re-execs that command
+// itself, so a bare `ccbavet ./...` works too.
+//
+// The analyzers it runs are the ones in ccba/internal/analysis; see
+// DESIGN.md §8 for what each enforces and why.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"ccba/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var (
+		github  bool
+		cfgFile string
+		targets []string
+	)
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Printf("ccbavet version %s\n", toolVersion())
+			return 0
+		case arg == "-flags" || arg == "--flags":
+			printFlags()
+			return 0
+		case arg == "-github" || arg == "--github" || arg == "-github=true" || arg == "--github=true":
+			github = true
+		case arg == "-github=false" || arg == "--github=false":
+			github = false
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgFile = arg
+		case strings.HasPrefix(arg, "-"):
+			// Unknown vet passthrough flag: tolerate it so a future go
+			// release adding driver flags does not break the handshake.
+		default:
+			targets = append(targets, arg)
+		}
+	}
+	if cfgFile != "" {
+		return vetUnit(cfgFile, github)
+	}
+	return standalone(targets, github)
+}
+
+// toolVersion is the cache key go vet mixes into each package's vet
+// action: hashing our own binary means editing an analyzer invalidates
+// exactly the cached results it could change. The string must not be
+// "devel", which go vet rejects.
+func toolVersion() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil))[:16]
+			}
+		}
+	}
+	return "unknown"
+}
+
+// printFlags answers the go command's -flags query: a JSON description
+// of the tool's flags, used to route `go vet -github ./...` through to
+// us instead of rejecting it as an unknown build flag.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{Name: "github", Bool: true, Usage: "emit GitHub Actions ::error annotations for findings"},
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+}
+
+// vetUnit analyzes the single package described by a vet.cfg file.
+func vetUnit(cfgFile string, github bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccbavet: %v\n", err)
+		return 1
+	}
+	var cfg analysis.VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ccbavet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// ccbavet exports no facts, so the vetx output is always empty — but
+	// the go command caches the file, so it must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbavet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	pkg, err := analysis.CheckVet(fset, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ccbavet: %v\n", err)
+		return 1
+	}
+	diags := analysis.Analyze(pkg, analysis.All())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+		if github {
+			fmt.Printf("::error file=%s,line=%d,col=%d::[%s] %s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// standalone re-execs the canonical go vet invocation with this binary
+// as the vettool, so `ccbavet ./...` needs no wrapper script.
+func standalone(targets []string, github bool) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccbavet: %v\n", err)
+		return 1
+	}
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+	args := []string{"vet", "-vettool=" + exe}
+	if github {
+		args = append(args, "-github")
+	}
+	args = append(args, targets...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if exit, ok := err.(*exec.ExitError); ok {
+			return exit.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "ccbavet: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles ccbavet into a temp dir and returns the binary path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ccbavet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building ccbavet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestHandshake checks the -V=full protocol: go vet requires
+// "<name> version <ver>" with a non-"devel" version, and uses the line as
+// the tool's cache key.
+func TestHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("ccbavet -V=full: %v", err)
+	}
+	f := strings.Fields(strings.TrimSpace(string(out)))
+	if len(f) < 3 || f[0] != "ccbavet" || f[1] != "version" {
+		t.Fatalf("handshake output %q, want %q", string(out), "ccbavet version <ver>")
+	}
+	if f[2] == "devel" {
+		t.Fatalf("handshake version is %q: go vet rejects devel tools", f[2])
+	}
+}
+
+// TestFlagsQuery checks the -flags protocol go vet uses to route tool
+// flags like -github through to us.
+func TestFlagsQuery(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("ccbavet -flags: %v", err)
+	}
+	if !strings.Contains(string(out), `"github"`) {
+		t.Fatalf("-flags output does not describe the github flag:\n%s", out)
+	}
+}
+
+// TestRepoClean is the acceptance gate: every analyzer, over every
+// package in the module, through the real `go vet -vettool` protocol,
+// with zero findings. A finding here is either a genuine invariant
+// violation (fix it) or an audited exception missing its
+// //ccba:<waiver> reason (annotate it).
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-vets the whole module; skipped in -short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("ccbavet found violations:\n%s", out)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // cmd/ccbavet -> repo root
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not at %s: %v", root, err)
+	}
+	return root
+}

@@ -7,6 +7,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"ccba/internal/analysis"
 )
 
 // Documentation integrity checks, run by the CI docs-check job (and by the
@@ -156,5 +158,31 @@ func TestDesignCoversEveryPackage(t *testing.T) {
 	}
 	if len(seen) < 20 {
 		t.Fatalf("only %d internal packages discovered — walk broken?", len(seen))
+	}
+}
+
+// TestDesignSectionEightCoversAnalyzers pins DESIGN.md §8 to the ccbavet
+// analyzer set: every analyzer the multichecker runs must be named and
+// documented there, so adding an analyzer without writing down the
+// invariant it guards fails the suite.
+func TestDesignSectionEightCoversAnalyzers(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, section, found := strings.Cut(string(design), "\n## §8")
+	if !found {
+		t.Fatal("DESIGN.md has no '## §8' section")
+	}
+	if next := strings.Index(section, "\n## §"); next >= 0 {
+		section = section[:next]
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(section, "**"+a.Name+"**") {
+			t.Errorf("DESIGN.md §8 does not document analyzer %q", a.Name)
+		}
+		if a.Directive != "" && !strings.Contains(string(design), a.Directive) {
+			t.Errorf("DESIGN.md never mentions %q, analyzer %s's escape hatch", a.Directive, a.Name)
+		}
 	}
 }

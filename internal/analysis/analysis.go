@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in DESIGN.md §8.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Directive names the `//ccba:<directive> <reason>` escape hatch that
+	// waives a finding of this analyzer on the same or the preceding
+	// line. The reason string is mandatory: a bare directive does not
+	// suppress anything. Empty means findings cannot be waived.
+	Directive string
+	// Run reports the analyzer's findings on one package via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// All returns the full suite in diagnostic order. cmd/ccbavet runs exactly
+// this list; DESIGN.md §8 documents exactly this list (docs_test.go pins
+// the correspondence).
+func All() []*Analyzer {
+	return []*Analyzer{Detwalk, Metricsflow, Sizeexact, Powerbound, Ctxfirst, Directives}
+}
+
+// A Diagnostic is one finding, positioned for file:line:col display.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's non-test syntax. Test files are type-checked
+	// with the package but never analyzed: the invariants guard the
+	// protocol paths, and tests legitimately construct metrics literals,
+	// measure wall-clock, and iterate maps.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags      *[]Diagnostic
+	directives map[string]map[int]*directive // filename → line → directive
+}
+
+// directive is one parsed `//ccba:<name> <reason>` comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Position
+}
+
+// directivePrefix starts every escape-hatch comment.
+const directivePrefix = "//ccba:"
+
+// splitDirective parses `//ccba:<name> <reason>` into its parts. A nested
+// `//` truncates the reason, so a fixture's trailing `// want` marker (or
+// any other trailing comment) never counts as audit text.
+func splitDirective(text string) (name, reason string) {
+	rest := strings.TrimPrefix(text, directivePrefix)
+	name, reason, _ = strings.Cut(rest, " ")
+	reason, _, _ = strings.Cut(reason, "//")
+	return name, strings.TrimSpace(reason)
+}
+
+// parseDirectives indexes the `//ccba:` comments of non-test files by
+// filename and line so Reportf can honor same-line and preceding-line
+// waivers.
+func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]*directive {
+	out := map[string]map[int]*directive{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				name, reason := splitDirective(c.Text)
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]*directive{}
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = &directive{name: name, reason: reason, pos: pos}
+			}
+		}
+	}
+	return out
+}
+
+// directiveFor returns the waiver covering a diagnostic at pos, if any: a
+// directive on the same line (trailing comment) or alone on the line
+// directly above.
+func (p *Pass) directiveFor(pos token.Position) *directive {
+	byLine := p.directives[pos.Filename]
+	if byLine == nil {
+		return nil
+	}
+	if d := byLine[pos.Line]; d != nil {
+		return d
+	}
+	return byLine[pos.Line-1]
+}
+
+// Reportf records a finding unless a well-formed matching escape hatch
+// covers it. A directive with an empty reason waives nothing — the audit
+// trail is the point — and the directive analyzer flags the bare comment
+// itself.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if d := p.directiveFor(position); d != nil && d.name == p.Analyzer.Directive && d.reason != "" {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyze runs the analyzers over one loaded package and returns the
+// findings sorted by position then analyzer name, so output order is a
+// pure function of the source.
+func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if !strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	directives := parseDirectives(pkg.Fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			diags:      &diags,
+			directives: directives,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// --- shared type-query helpers ---
+
+// calleeFunc resolves a call to the package-level function or method
+// object it invokes, or nil for indirect calls, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isPkgLevelOf reports whether fn is any package-level function of pkgPath.
+func isPkgLevelOf(fn *types.Func, pkgPath string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// namedType returns the named type behind t, unwrapping one level of
+// pointer, or nil.
+func namedType(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named := namedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// importPath returns the unquoted import path of spec.
+func importPath(spec *ast.ImportSpec) string {
+	return strings.Trim(spec.Path.Value, `"`)
+}

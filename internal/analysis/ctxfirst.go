@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Ctxfirst standardizes the cancellation surface of the live runtime: in
+// the cluster and transport packages, every exported function or method
+// that takes a context.Context takes it first, and every exported API
+// whose name says it blocks (Run*, Dial*, Recv*, Connect*, Listen*) must
+// take one. PR 4's shutdown story — cancellation threaded from the CLI
+// through the synchronizer into every Recv — only composes if no blocking
+// call sits outside it (DESIGN.md §8).
+var Ctxfirst = &Analyzer{
+	Name:      "ctxfirst",
+	Directive: "ctx-ok",
+	Doc: "exported blocking APIs in cluster/transport take a context.Context " +
+		"as their first parameter",
+	Run: runCtxfirst,
+}
+
+// ctxfirstBlocking are the name prefixes that promise a blocking call.
+var ctxfirstBlocking = []string{"Run", "Dial", "Recv", "Connect", "Listen"}
+
+func ctxfirstScoped(path string) bool {
+	return path == "ccba/internal/cluster" || path == "ccba/internal/transport"
+}
+
+// blockingName reports whether name starts with a blocking verb as a full
+// camel-case word ("RunNode", "Recv" — but not "Runner").
+func blockingName(name string) bool {
+	for _, prefix := range ctxfirstBlocking {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		if rest == "" {
+			return true
+		}
+		r, _ := utf8.DecodeRuneInString(rest)
+		if unicode.IsUpper(r) || unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxfirst(p *Pass) {
+	if !ctxfirstScoped(p.Pkg.Path()) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Name.IsExported() {
+					checkCtxParams(p, decl.Name.Name, decl.Type)
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					iface, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, field := range iface.Methods.List {
+						ft, ok := field.Type.(*ast.FuncType)
+						if !ok {
+							continue // embedded interface
+						}
+						for _, name := range field.Names {
+							if name.IsExported() {
+								checkCtxParams(p, name.Name, ft)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkCtxParams applies both rules to one exported function, method, or
+// interface method signature.
+func checkCtxParams(p *Pass, name string, ft *ast.FuncType) {
+	ctxIndex := -1
+	idx := 0
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if ctxIndex < 0 && isNamed(p.Info.TypeOf(field.Type), "context", "Context") {
+				ctxIndex = idx
+			}
+			idx += n
+		}
+	}
+	switch {
+	case ctxIndex > 0:
+		p.Reportf(ft.Pos(), "%s takes a context.Context in position %d: cancellation is the first parameter of every exported cluster/transport API", name, ctxIndex)
+	case ctxIndex < 0 && blockingName(name):
+		p.Reportf(ft.Pos(), "exported blocking API %s has no context.Context: every blocking cluster/transport call must be cancellable", name)
+	}
+}

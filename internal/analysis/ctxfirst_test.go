@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestCtxfirstFixture(t *testing.T) {
+	RunFixture(t, Ctxfirst, "ccba/internal/cluster")
+}
+
+func TestCtxfirstOutOfScope(t *testing.T) {
+	RunFixture(t, Ctxfirst, "ccba/internal/ctxneg")
+}

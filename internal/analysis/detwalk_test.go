@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestDetwalkFixture(t *testing.T) {
+	RunFixture(t, Detwalk, "ccba/internal/detfix")
+}
+
+func TestDetwalkOutOfScope(t *testing.T) {
+	RunFixture(t, Detwalk, "ccba/internal/cluster/detneg")
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// Directives audits the escape hatches themselves: every `//ccba:`
+// comment must name a known waiver and carry a non-empty reason, so each
+// suppressed finding leaves a reviewable audit trail. A bare directive
+// suppresses nothing (Pass.Reportf ignores it) and is flagged here.
+var Directives = &Analyzer{
+	Name: "directive",
+	Doc: "every //ccba: escape hatch must name a known directive and give a " +
+		"reason for the audit trail",
+	Run: runDirectives,
+}
+
+// knownDirectives maps each waiver to the analyzer it silences. The list
+// is spelled out (not derived from All) to avoid an initialization cycle
+// through the Directives analyzer itself.
+func knownDirectives() map[string]string {
+	out := map[string]string{}
+	for _, a := range []*Analyzer{Detwalk, Metricsflow, Sizeexact, Powerbound, Ctxfirst} {
+		if a.Directive != "" {
+			out[a.Directive] = a.Name
+		}
+	}
+	return out
+}
+
+func runDirectives(p *Pass) {
+	known := knownDirectives()
+	names := make([]string, 0, len(known))
+	for name := range known {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				name, reason := splitDirective(c.Text)
+				if _, ok := known[name]; !ok {
+					p.Reportf(c.Pos(), "unknown //ccba: directive %q (known: %s)", name, strings.Join(names, ", "))
+					continue
+				}
+				if reason == "" {
+					p.Reportf(c.Pos(), "//ccba:%s needs a reason: the audit trail is the point of the escape hatch", name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDirectivesFixture(t *testing.T) {
+	RunFixture(t, Directives, "ccba/internal/dirfix")
+}

@@ -1,0 +1,13 @@
+// Package analysis is the repo's custom static-analysis suite: a small,
+// dependency-free reimplementation of the go/analysis model (the module
+// vendors nothing, so golang.org/x/tools is out of reach) plus the
+// analyzers that enforce ccba's determinism, accounting, and
+// power-boundary invariants at compile time instead of golden-diff time.
+//
+// The suite is compiled into cmd/ccbavet, which runs standalone over
+// package patterns and speaks the `go vet -vettool` driver protocol.
+// Each analyzer documents the paper definition or cross-runtime
+// equivalence claim it protects.
+//
+// Architecture: DESIGN.md §8.
+package analysis

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The analysistest contract, reimplemented over LoadFixture: a fixture
+// package under testdata/src annotates the lines where an analyzer must
+// fire with `// want "regexp"` comments. RunFixture fails the test if any
+// finding lacks a matching want on its line, or any want goes unmatched.
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants extracts the `// want "re" ["re" ...]` expectations from a
+// fixture package's comments. Each expectation anchors to its line.
+func parseWants(pkg *Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, field := range splitQuoted(m[1]) {
+					raw, err := strconv.Unquote(field)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed want %s: %v", pos.Filename, pos.Line, field, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted splits `"a" "b c"` into quoted fields. Both double-quoted
+// and backquoted fields are accepted; backquotes spare the fixtures a
+// layer of escaping around regexp metacharacters.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexAny(s, "\"`")
+		if i < 0 {
+			return out
+		}
+		quote := s[i]
+		s = s[i:]
+		j := 1
+		for j < len(s) && (s[j] != quote || (quote == '"' && s[j-1] == '\\')) {
+			j++
+		}
+		if j >= len(s) {
+			return out
+		}
+		out = append(out, s[:j+1])
+		s = s[j+1:]
+	}
+}
+
+// RunFixture loads testdata/src/<path> and checks analyzer a's findings
+// against the fixture's expectations.
+func RunFixture(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	pkg, err := LoadFixture("testdata/src", path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Analyze(pkg, []*Analyzer{a})
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package ready for Analyze.
+type Package struct {
+	Fset  *token.FileSet
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Check parses filenames and type-checks them as one package using imp to
+// resolve imports. goVersion may be empty. Type errors fail the load: an
+// analyzer's silence must mean "invariant holds", never "package did not
+// type-check".
+func Check(fset *token.FileSet, path, goVersion string, filenames []string, imp types.Importer) (*Package, error) {
+	sorted := append([]string(nil), filenames...)
+	sort.Strings(sorted)
+	files := make([]*ast.File, 0, len(sorted))
+	for _, name := range sorted {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", "amd64"),
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: %d type errors, first: %w", path, len(typeErrs), typeErrs[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// VetConfig is the JSON configuration `go vet -vettool` hands the checker
+// for each package, mirroring cmd/go's vetConfig.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// VetImporter resolves imports the way the go command compiled them: source
+// import paths map through cfg.ImportMap to canonical paths, whose gc
+// export data files are listed in cfg.PackageFile.
+func VetImporter(fset *token.FileSet, cfg *VetConfig) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+// CheckVet loads the package a vet config describes. Test files are
+// type-checked with the package; Analyze skips them when reporting.
+func CheckVet(fset *token.FileSet, cfg *VetConfig) (*Package, error) {
+	return Check(fset, cfg.ImportPath, cfg.GoVersion, cfg.GoFiles, VetImporter(fset, cfg))
+}
+
+// fixtureImporter loads fixture packages from an analysistest-style
+// testdata/src tree. Every import — including stand-ins for std packages
+// like "time" or "sort" — must resolve inside root, so fixture loading
+// never touches the real build graph.
+type fixtureImporter struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.pkgs[path]; ok {
+		return pkg, nil
+	}
+	loaded, err := fi.load(path)
+	if err != nil {
+		return nil, err
+	}
+	fi.pkgs[path] = loaded.Types
+	return loaded.Types, nil
+}
+
+func (fi *fixtureImporter) load(path string) (*Package, error) {
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture import %q: %w", path, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture import %q: no .go files under %s", path, dir)
+	}
+	return Check(fi.fset, path, "", files, fi)
+}
+
+// LoadFixture loads the fixture package at root/<path> (root is a
+// testdata/src tree), resolving its imports from the same tree.
+func LoadFixture(root, path string) (*Package, error) {
+	fi := &fixtureImporter{root: root, fset: token.NewFileSet(), pkgs: map[string]*types.Package{}}
+	return fi.load(path)
+}

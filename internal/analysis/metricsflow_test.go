@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestMetricsflowFixture(t *testing.T) {
+	RunFixture(t, Metricsflow, "ccba/internal/mfix")
+}
+
+func TestMetricsflowInsideNetsim(t *testing.T) {
+	RunFixture(t, Metricsflow, "ccba/internal/netsim")
+}

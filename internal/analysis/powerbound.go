@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// Powerbound polices the adversary's power boundary in the chaos layer.
+// The simulator only ever drops traffic through the seeded coin
+// netsim.LinkDrop after the power checks admit the omission (≤F faulty
+// senders, honest links delivered within Δ). Live fault injection must
+// flip exactly the same coin — that is what makes a Δ=1 chaos run
+// bit-identical to the simulated schedule — so:
+//
+//   - netsim.LinkDrop may only be called from the netsim model layer and
+//     the chaos transport wrapper; a protocol or runtime package flipping
+//     the drop coin would grant itself adversary powers;
+//   - chaos code (files named *chaos*.go in transport/cluster) may not
+//     reach for raw fault mechanisms: no channel sends or closes, no
+//     direct net connections, no wall-clock reads or math/rand — every
+//     drop, delay, and reorder decision must derive from the spec's
+//     seeded coins and flow through the wrapped Transport (DESIGN.md §7–§8).
+var Powerbound = &Analyzer{
+	Name:      "powerbound",
+	Directive: "power-ok",
+	Doc: "faults may only be injected via the blessed netsim.LinkDrop/power-check " +
+		"entry points, never raw channel or connection manipulation",
+	Run: runPowerbound,
+}
+
+// linkDropAllowed reports whether a call to netsim.LinkDrop is legal at
+// path/filename: inside the model layer itself, or in the chaos transport
+// wrapper.
+func linkDropAllowed(path, filename string) bool {
+	if path == netsimPath {
+		return true
+	}
+	return path == "ccba/internal/transport" && strings.Contains(filepath.Base(filename), "chaos")
+}
+
+// chaosFile reports whether the file hosts live fault-injection code.
+func chaosFile(path, filename string) bool {
+	if path != "ccba/internal/transport" && path != "ccba/internal/cluster" {
+		return false
+	}
+	return strings.Contains(filepath.Base(filename), "chaos")
+}
+
+func runPowerbound(p *Pass) {
+	path := p.Pkg.Path()
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Package).Filename
+		inChaos := chaosFile(path, filename)
+		if inChaos {
+			for _, imp := range f.Imports {
+				switch importPath(imp) {
+				case "net":
+					p.Reportf(imp.Pos(), "chaos code imports net: faults are injected by wrapping the Transport, never by touching connections")
+				case "math/rand", "math/rand/v2":
+					p.Reportf(imp.Pos(), "chaos code imports %s: fault decisions must come from the spec's seeded coins (netsim.LinkDrop, netsim.Mix64)", importPath(imp))
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.Info, n)
+				if isPkgFunc(fn, netsimPath, "LinkDrop") && !linkDropAllowed(path, filename) {
+					p.Reportf(n.Pos(), "call to netsim.LinkDrop outside the model layer and the chaos transport wrapper: the drop coin is the adversary's, not the protocol's")
+				}
+				if !inChaos {
+					return true
+				}
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+					p.Reportf(n.Pos(), "chaos code closes a channel: crash faults are omission windows over the wrapped Transport, not torn-down plumbing")
+				}
+				if isPkgLevelOf(fn, "time") && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until") {
+					p.Reportf(n.Pos(), "chaos code reads the wall clock via time.%s: fault decisions must be a pure function of (seed, round, from, to)", fn.Name())
+				}
+			case *ast.SendStmt:
+				if inChaos {
+					p.Reportf(n.Pos(), "raw channel send in chaos code: deliver through the wrapped Transport so the power checks stay in the path")
+				}
+			}
+			return true
+		})
+	}
+}

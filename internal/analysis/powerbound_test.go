@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestPowerboundChaosFile(t *testing.T) {
+	RunFixture(t, Powerbound, "ccba/internal/transport")
+}
+
+func TestPowerboundLinkDropMisuse(t *testing.T) {
+	RunFixture(t, Powerbound, "ccba/internal/powerfix")
+}

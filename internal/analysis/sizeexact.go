@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// Sizeexact keeps the wire.Message contract reviewable: Size() must return
+// exactly len(Encode(nil)) — Definition 6's byte accounting depends on it —
+// and the only reliable reviewing aid is adjacency. For every type with
+// both an Encode and a Size method, the two methods and the type
+// declaration itself must live in the same file, so a field added to a
+// message struct puts its Encode and Size in the same diff hunk for
+// review (DESIGN.md §8).
+var Sizeexact = &Analyzer{
+	Name:      "sizeexact",
+	Directive: "size-ok",
+	Doc: "every wire message's Size, Encode, and struct declaration must share " +
+		"one file so size/encoding changes are reviewed together",
+	Run: runSizeexact,
+}
+
+func runSizeexact(p *Pass) {
+	type methodSite struct {
+		file string
+		pos  ast.Node
+	}
+	typeFile := map[types.Object]string{}               // named type → declaring file
+	methods := map[types.Object]map[string]methodSite{} // named type → method name → site
+
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Package).Filename
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if obj := p.Info.ObjectOf(ts.Name); obj != nil {
+						typeFile[obj] = filename
+					}
+				}
+			case *ast.FuncDecl:
+				if decl.Recv == nil || len(decl.Recv.List) != 1 {
+					continue
+				}
+				name := decl.Name.Name
+				if name != "Encode" && name != "Size" && name != "Kind" {
+					continue
+				}
+				named := namedType(p.Info.TypeOf(decl.Recv.List[0].Type))
+				if named == nil {
+					continue
+				}
+				obj := types.Object(named.Obj())
+				if methods[obj] == nil {
+					methods[obj] = map[string]methodSite{}
+				}
+				methods[obj][name] = methodSite{file: filename, pos: decl.Name}
+			}
+		}
+	}
+
+	for obj, ms := range methods {
+		encode, hasEncode := ms["Encode"]
+		size, hasSize := ms["Size"]
+		if !hasEncode || !hasSize {
+			continue // not a wire message; nothing to keep adjacent
+		}
+		if size.file != encode.file {
+			p.Reportf(size.pos.Pos(), "%s.Size is in %s but %s.Encode is in %s: Size() must equal len(Encode(nil)), keep them in one file",
+				obj.Name(), filepath.Base(size.file), obj.Name(), filepath.Base(encode.file))
+		}
+		if declFile, ok := typeFile[obj]; ok && declFile != encode.file {
+			p.Reportf(encode.pos.Pos(), "%s.Encode is in %s but the %s declaration is in %s: a field change must flag Encode and Size in the same file",
+				obj.Name(), filepath.Base(encode.file), obj.Name(), filepath.Base(declFile))
+		}
+		if kind, ok := ms["Kind"]; ok && kind.file != encode.file {
+			p.Reportf(kind.pos.Pos(), "%s.Kind is in %s but %s.Encode is in %s: keep the wire surface of one message in one file",
+				obj.Name(), filepath.Base(kind.file), obj.Name(), filepath.Base(encode.file))
+		}
+	}
+}

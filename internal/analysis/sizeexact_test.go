@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSizeexactFixture(t *testing.T) {
+	RunFixture(t, Sizeexact, "ccba/internal/sizefix")
+}

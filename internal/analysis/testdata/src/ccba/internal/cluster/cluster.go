@@ -1,0 +1,32 @@
+// Package cluster is the ctxfirst fixture: exported blocking APIs take a
+// context.Context first.
+package cluster
+
+import "context"
+
+type Options struct{ N int }
+
+func Run(ctx context.Context, opts Options) error { return nil }
+
+func RunNode(opts Options, ctx context.Context) error { return nil } // want `RunNode takes a context\.Context in position 1`
+
+func RunAll(opts Options) error { return nil } // want `exported blocking API RunAll has no context\.Context`
+
+// Runner is not a blocking verb: "Run" must end the word.
+func Runner() int { return 0 }
+
+// helper is unexported: the rule governs the public surface.
+func helper(opts Options, ctx context.Context) { _ = ctx }
+
+type Mesh interface {
+	Recv(ctx context.Context) (int, error)
+	Connect(addr string) error // want `exported blocking API Connect has no context\.Context`
+	Close() error
+}
+
+func DialMesh(ctx context.Context, addr string) (Mesh, error) { return nil, nil }
+
+// waived documents an audited exception.
+//
+//ccba:ctx-ok wraps a non-blocking pure lookup, misnamed for history
+func RunLookup(opts Options) int { return opts.N }

@@ -1,0 +1,16 @@
+// Package detneg lives under the cluster tree, outside detwalk's scope:
+// live-runtime code measures wall-clock time and drains maps in cleanup
+// paths legitimately. No findings expected.
+package detneg
+
+import "time"
+
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }
+
+func Keys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

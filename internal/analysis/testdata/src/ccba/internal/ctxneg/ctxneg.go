@@ -1,0 +1,9 @@
+// Package ctxneg is outside ctxfirst's scope: blocking names without a
+// context are fine anywhere but cluster/transport.
+package ctxneg
+
+type Options struct{ N int }
+
+func Run(opts Options) error { return nil }
+
+func Recv() (int, error) { return 0, nil }

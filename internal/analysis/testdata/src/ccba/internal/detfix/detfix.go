@@ -1,0 +1,74 @@
+// Package detfix exercises detwalk: wall-clock reads, global math/rand,
+// and map iteration in a deterministic package.
+package detfix
+
+import (
+	"math/rand" // want `deterministic package ccba/internal/detfix imports math/rand`
+	"sort"
+	"time"
+)
+
+var state []string
+
+func clock() time.Time {
+	return time.Now() // want `call to time\.Now in deterministic package`
+}
+
+func nap(d time.Duration) {
+	time.Sleep(d) // want `call to time\.Sleep in deterministic package`
+}
+
+func arm(d time.Duration, f func()) *time.Timer {
+	return time.AfterFunc(d, f) // want `call to time\.AfterFunc in deterministic package`
+}
+
+func draw() int { return rand.Intn(6) }
+
+// feed leaks map order into package state: the append target is never
+// sorted in this function.
+func feed(m map[string]int) {
+	for k := range m { // want `range over map in deterministic package`
+		state = append(state, k)
+	}
+}
+
+// sortedKeys is the blessed collect-then-sort idiom: no finding.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedPairs collects both key and value and sorts with sort.Slice.
+func sortedPairs(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// audited carries a reasoned escape hatch: suppressed.
+func audited(m map[string]int) int {
+	n := 0
+	//ccba:nondeterministic-ok commutative count, order cannot escape
+	for range m {
+		n++
+	}
+	return n
+}
+
+// unaudited has a bare directive: a waiver without a reason waives
+// nothing.
+func unaudited(m map[string]int) int {
+	n := 0
+	//ccba:nondeterministic-ok
+	for range m { // want `range over map in deterministic package`
+		n++
+	}
+	return n
+}

@@ -1,0 +1,15 @@
+// Package dirfix exercises the directive analyzer: escape hatches must
+// name a known waiver and carry a reason.
+package dirfix
+
+//ccba:nondeterministic-ok keys sorted below, audited 2026-08
+var a = 1
+
+//ccba:frobnicate-ok whatever // want `unknown //ccba: directive "frobnicate-ok"`
+var b = 2
+
+//ccba:metrics-ok // want `//ccba:metrics-ok needs a reason`
+var c = 3
+
+// ordinary comments mentioning ccba: mid-text are not directives.
+var d = a + b + c

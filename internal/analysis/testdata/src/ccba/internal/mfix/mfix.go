@@ -1,0 +1,38 @@
+// Package mfix exercises metricsflow: every write path to netsim.Metrics
+// fields outside the type's own methods.
+package mfix
+
+import (
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// stats has a field of the same name as the metrics struct's: fields of
+// other types stay free.
+type stats struct{ HonestMessages int }
+
+func account(m *netsim.Metrics, n, size int) {
+	m.CountSend(types.Broadcast, n, size)
+	m.HonestMessages++           // want `direct \+\+ of netsim\.Metrics\.HonestMessages`
+	m.HonestMessageBytes += size // want `direct write to netsim\.Metrics\.HonestMessageBytes`
+	m.HonestMulticasts = 3       // want `direct write to netsim\.Metrics\.HonestMulticasts`
+	p := &m.HonestMessages       // want `taking the address of netsim\.Metrics\.HonestMessages`
+	_ = p
+}
+
+func literal() netsim.Metrics {
+	return netsim.Metrics{HonestMessages: 8} // want `netsim\.Metrics constructed with explicit fields`
+}
+
+func fresh() netsim.Metrics { return netsim.Metrics{} }
+
+func read(m netsim.Metrics) int { return m.HonestMessages }
+
+func ownType(s *stats) { s.HonestMessages++ }
+
+func aggregate(dst *netsim.Metrics, src netsim.Metrics) { dst.Add(src) }
+
+func waived(m *netsim.Metrics) {
+	//ccba:metrics-ok replaying a decoded snapshot in a bench helper
+	m.HonestMessages = 1
+}

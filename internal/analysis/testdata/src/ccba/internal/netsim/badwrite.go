@@ -1,0 +1,7 @@
+package netsim
+
+// resetHelper is package netsim but not a Metrics method: the write is
+// outside the blessed accounting surface and must be flagged.
+func resetHelper(m *Metrics) {
+	m.HonestMessages = 0 // want `direct write to netsim\.Metrics\.HonestMessages`
+}

@@ -1,0 +1,12 @@
+// Package powerfix exercises powerbound's repo-wide rule: the drop coin
+// netsim.LinkDrop belongs to the model layer and the chaos wrapper only.
+package powerfix
+
+import (
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+func decide(key uint64, round int, from, to types.NodeID) bool {
+	return netsim.LinkDrop(key, round, from, to, 0.5) // want `call to netsim\.LinkDrop outside the model layer`
+}

@@ -1,0 +1,11 @@
+// Package sizefix exercises sizeexact: the wire surface of one message —
+// struct declaration, Encode, Size, Kind — must share a file.
+package sizefix
+
+import "ccba/internal/wire"
+
+type GoodMsg struct{ V uint8 }
+
+func (m GoodMsg) Kind() wire.Kind          { return 1 }
+func (m GoodMsg) Encode(dst []byte) []byte { return append(dst, m.V) }
+func (m GoodMsg) Size() int                { return 1 }

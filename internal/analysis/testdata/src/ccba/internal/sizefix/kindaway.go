@@ -1,0 +1,7 @@
+package sizefix
+
+type KindMsg struct{ K uint8 }
+
+func (m KindMsg) Encode(dst []byte) []byte { return append(dst, m.K) }
+
+func (m KindMsg) Size() int { return 1 }

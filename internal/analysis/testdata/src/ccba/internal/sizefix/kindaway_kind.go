@@ -1,0 +1,5 @@
+package sizefix
+
+import "ccba/internal/wire"
+
+func (m KindMsg) Kind() wire.Kind { return 2 } // want `KindMsg\.Kind is in kindaway_kind\.go but KindMsg\.Encode is in kindaway\.go`

@@ -1,0 +1,7 @@
+package sizefix
+
+// Helper has an Encode but no Size: not a wire message, its layout is
+// free.
+type Helper struct{ X int }
+
+func (h Helper) Encode(dst []byte) []byte { return dst }

@@ -1,0 +1,4 @@
+package sizefix
+
+// Sized has a Size but no Encode in another file: still not a message.
+func (h Helper) Stats() int { return h.X }

@@ -1,0 +1,5 @@
+package sizefix
+
+type SplitMsg struct{ A, B uint32 }
+
+func (m SplitMsg) Encode(dst []byte) []byte { return dst }

@@ -1,0 +1,3 @@
+package sizefix
+
+func (m SplitMsg) Size() int { return 8 } // want `SplitMsg\.Size is in split_size\.go but SplitMsg\.Encode is in split\.go`

@@ -1,0 +1,3 @@
+package sizefix
+
+type StrayMsg struct{ N uint32 }

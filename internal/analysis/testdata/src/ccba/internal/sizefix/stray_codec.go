@@ -1,0 +1,5 @@
+package sizefix
+
+func (m StrayMsg) Encode(dst []byte) []byte { return dst } // want `StrayMsg\.Encode is in stray_codec\.go but the StrayMsg declaration is in stray\.go`
+
+func (m StrayMsg) Size() int { return 4 }

@@ -1,0 +1,22 @@
+// Package transport is the powerbound fixture: chaos-named files are held
+// to the power boundary, the rest of the package is ordinary transport
+// plumbing.
+package transport
+
+import "ccba/internal/types"
+
+type Envelope struct {
+	From  types.NodeID
+	Round uint32
+	Seq   uint64
+}
+
+type Transport interface {
+	Send(to types.NodeID, env Envelope) error
+}
+
+// pump lives outside a chaos file: channel plumbing is legal here.
+func pump(ch chan Envelope, env Envelope) {
+	ch <- env
+	close(ch)
+}

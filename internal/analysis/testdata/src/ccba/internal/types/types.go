@@ -1,0 +1,8 @@
+// Package types is a fixture stand-in for ccba/internal/types.
+package types
+
+type NodeID int32
+
+const Broadcast NodeID = -1
+
+type Bit uint8

@@ -1,0 +1,4 @@
+// Package wire is a fixture stand-in for ccba/internal/wire.
+package wire
+
+type Kind uint8

@@ -1,0 +1,8 @@
+// Package context is a fixture stand-in for the standard library's
+// context package (see the time stub for why).
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}

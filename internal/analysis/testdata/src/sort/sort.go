@@ -1,0 +1,7 @@
+// Package sort is a fixture stand-in for the standard library's sort
+// package (see the time stub for why).
+package sort
+
+func Strings(x []string)                    {}
+func Ints(x []int)                          {}
+func Slice(x any, less func(i, j int) bool) {}

@@ -1,0 +1,25 @@
+// Package time is a fixture stand-in for the standard library's time
+// package: the analyzers match callees by import path and name, so a stub
+// with the right shape exercises them without loading the real std tree.
+package time
+
+type Duration int64
+
+const Millisecond Duration = 1000000
+
+type Time struct{ sec int64 }
+
+func (t Time) Add(d Duration) Time { return t }
+
+func Now() Time                             { return Time{} }
+func Since(t Time) Duration                 { return 0 }
+func Until(t Time) Duration                 { return 0 }
+func Sleep(d Duration)                      {}
+func After(d Duration) <-chan Time          { return nil }
+func AfterFunc(d Duration, f func()) *Timer { return &Timer{} }
+func NewTimer(d Duration) *Timer            { return &Timer{} }
+func Tick(d Duration) <-chan Time           { return nil }
+
+type Timer struct{ C <-chan Time }
+
+func (t *Timer) Stop() bool { return true }

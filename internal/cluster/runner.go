@@ -291,10 +291,7 @@ func encodeResult(rec resultRecord) []byte {
 	w.Bit(rec.output)
 	w.U8(b2u(rec.decided))
 	w.U8(b2u(rec.halted))
-	w.U64(uint64(rec.metrics.HonestMulticasts))
-	w.U64(uint64(rec.metrics.HonestMulticastBytes))
-	w.U64(uint64(rec.metrics.HonestMessages))
-	w.U64(uint64(rec.metrics.HonestMessageBytes))
+	rec.metrics.EncodeTo(&w)
 	return w.Buf
 }
 
@@ -304,10 +301,7 @@ func decodeResult(buf []byte) (resultRecord, error) {
 	bit := r.Bit()
 	rec.decided = r.U8() != 0
 	rec.halted = r.U8() != 0
-	rec.metrics.HonestMulticasts = int(r.U64())
-	rec.metrics.HonestMulticastBytes = int(r.U64())
-	rec.metrics.HonestMessages = int(r.U64())
-	rec.metrics.HonestMessageBytes = int(r.U64())
+	rec.metrics.DecodeFrom(r)
 	if err := r.Finish(); err != nil {
 		return resultRecord{}, err
 	}

@@ -572,6 +572,26 @@ func (m *Metrics) Add(other Metrics) {
 	m.HonestMessageBytes += other.HonestMessageBytes
 }
 
+// EncodeTo appends the four counters to w in declaration order. The wire
+// codec lives here, next to the counters, so cross-process exchange (the
+// cluster runtime's result records) stays a Metrics concern rather than a
+// second accounting path in a far-away package.
+func (m *Metrics) EncodeTo(w *wire.Writer) {
+	w.U64(uint64(m.HonestMulticasts))
+	w.U64(uint64(m.HonestMulticastBytes))
+	w.U64(uint64(m.HonestMessages))
+	w.U64(uint64(m.HonestMessageBytes))
+}
+
+// DecodeFrom reads the counters written by EncodeTo; decoding errors
+// surface through r's sticky error.
+func (m *Metrics) DecodeFrom(r *wire.Reader) {
+	m.HonestMulticasts = int(r.U64())
+	m.HonestMulticastBytes = int(r.U64())
+	m.HonestMessages = int(r.U64())
+	m.HonestMessageBytes = int(r.U64())
+}
+
 // workerPool is a persistent pool of stepping goroutines. The previous
 // engine spawned one goroutine per node per round — at n = 1000 that is a
 // thousand goroutine launches per round dominating parallel runs; the pool

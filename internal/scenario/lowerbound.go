@@ -26,9 +26,13 @@ func VictimFactory(cfg Config) strongadaptive.Factory {
 // input — 0 in Q, 1 in Q′.
 func SplitWorlds(cfg Config) (func(nosetup.World, types.NodeID) (netsim.Node, error), error) {
 	worlds := map[nosetup.World][]netsim.Node{}
-	for w, input := range map[nosetup.World]types.Bit{
-		nosetup.WorldQ: types.Zero, nosetup.WorldQPrime: types.One,
+	for _, wi := range []struct {
+		w     nosetup.World
+		input types.Bit
+	}{
+		{nosetup.WorldQ, types.Zero}, {nosetup.WorldQPrime, types.One},
 	} {
+		w, input := wi.w, wi.input
 		c := cfg
 		c.Sender = nosetup.Sender
 		c.SenderInput = input

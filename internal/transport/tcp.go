@@ -87,6 +87,8 @@ var _ Transport = (*TCPEndpoint)(nil)
 // addr (which may use port 0 to auto-assign; see Addr). The endpoint
 // accepts inbound connections immediately; call Connect to dial the peers
 // before the first Send.
+//
+//ccba:ctx-ok binds and returns without blocking; the accept loop's lifetime is governed by Close, not a context
 func ListenTCP(self types.NodeID, n int, addr string, opts TCPOptions) (*TCPEndpoint, error) {
 	if n <= 0 || int(self) < 0 || int(self) >= n {
 		return nil, fmt.Errorf("transport: tcp endpoint self=%d n=%d out of range", self, n)
