@@ -64,7 +64,8 @@ func run(args []string, out io.Writer) error {
 		trials        = fs.Int("trials", 1, "number of runs (aggregated when > 1)")
 		workers       = fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS); aggregates are identical for every value")
 		parallel      = fs.Bool("parallel", false, "step nodes on multiple goroutines")
-		sparse        = fs.Bool("sparse", false, "memory-lean large-N engine path (delta-one, passive adversary, serial); use for n ≥ ~10⁵")
+		sparse        = fs.Bool("sparse", false, "memory-lean large-N engine path (delta-one, passive adversary); use for n ≥ ~10⁵")
+		sparseWorkers = fs.Int("sparse-workers", 0, "sparse shard-stepping worker count (0 = GOMAXPROCS, 1 = serial); results are byte-identical for every value")
 		asJSON        = fs.Bool("json", false, "emit the outcome as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,13 +86,14 @@ func run(args []string, out io.Writer) error {
 	cfg := ccba.Config{
 		Protocol: ccba.Protocol(*protocol),
 		N:        *n, F: *f, Lambda: *lambda, Epochs: *epochs,
-		Crypto:       ccba.CryptoMode(*crypto),
-		Erasure:      *erasure,
-		Parallel:     *parallel,
-		Sparse:       *sparse,
-		Net:          ccba.NetName(*net),
-		Delta:        *delta,
-		OmissionRate: *omissionRate,
+		Crypto:        ccba.CryptoMode(*crypto),
+		Erasure:       *erasure,
+		Parallel:      *parallel,
+		Sparse:        *sparse,
+		SparseWorkers: *sparseWorkers,
+		Net:           ccba.NetName(*net),
+		Delta:         *delta,
+		OmissionRate:  *omissionRate,
 	}
 	advName := *adversary
 	if *scenarioName != "" {
@@ -103,6 +105,9 @@ func run(args []string, out io.Writer) error {
 		cfg.Parallel = *parallel
 		if set["sparse"] {
 			cfg.Sparse = *sparse
+		}
+		if set["sparse-workers"] {
+			cfg.SparseWorkers = *sparseWorkers
 		}
 		if !set["adversary"] {
 			advName = sc.Adversary

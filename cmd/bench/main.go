@@ -30,11 +30,14 @@ import (
 // benchCase is one tracked benchmark configuration. AllowViolations is for
 // the adversarial network-model cases: under worst-case Δ-delay a lockstep
 // protocol is expected to stall (that stall is what the case measures), so
-// a termination violation is the workload, not a failure.
+// a termination violation is the workload, not a failure. Heavy cases (the
+// million-node stretch point) are skipped unless named by -only, so the
+// default run stays minutes, not hours.
 type benchCase struct {
 	Name            string
 	Cfg             ccba.Config
 	AllowViolations bool
+	Heavy           bool
 }
 
 // cases mirrors the protocol benchmarks of bench_test.go. Keep the two
@@ -54,7 +57,13 @@ var cases = []benchCase{
 	{Name: "CoreIdealN1000", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40}},
 	{Name: "CoreIdealN1000Sparse", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40, Sparse: true}},
 	{Name: "CoreIdealN10kSparse", Cfg: ccba.Config{Protocol: ccba.Core, N: 10_000, F: 3_000, Lambda: 40, Sparse: true}},
+	{Name: "CoreIdealN10kSparseW1", Cfg: ccba.Config{Protocol: ccba.Core, N: 10_000, F: 3_000, Lambda: 40, Sparse: true, SparseWorkers: 1}},
+	{Name: "CoreIdealN10kSparseW4", Cfg: ccba.Config{Protocol: ccba.Core, N: 10_000, F: 3_000, Lambda: 40, Sparse: true, SparseWorkers: 4}},
+	{Name: "CoreRealN10kSparse", Cfg: ccba.Config{Protocol: ccba.Core, N: 10_000, F: 3_000, Lambda: 40, Crypto: ccba.Real, Sparse: true}},
 	{Name: "CoreIdealN100kSparse", Cfg: ccba.Config{Protocol: ccba.Core, N: 100_000, F: 30_000, Lambda: 40, Sparse: true}},
+	// The E13 stretch point; run explicitly with -only N1MSparse. One
+	// execution takes minutes, so it is excluded from the default set.
+	{Name: "CoreIdealN1MSparse", Cfg: ccba.Config{Protocol: ccba.Core, N: 1_000_000, F: 300_000, Lambda: 40, Sparse: true}, Heavy: true},
 	{Name: "CoreIdealN1000DeltaOne", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40, Net: ccba.NetDeltaOne, Delta: 1}},
 	{Name: "CoreIdealN1000Delta3Worst", Cfg: ccba.Config{Protocol: ccba.Core, N: 1000, F: 300, Lambda: 40, MaxIters: 12, Net: ccba.NetWorstCase, Delta: 3}, AllowViolations: true},
 	{Name: "CoreIdealN200Omission25", Cfg: ccba.Config{Protocol: ccba.Core, N: 200, F: 60, Lambda: 40, Net: ccba.NetOmission, OmissionRate: 0.25}, AllowViolations: true},
@@ -119,24 +128,35 @@ var clusterCases = []clusterCase{
 // per second through the transport (derived from the instances-per-sec rate
 // and a fixed-seed calibration of messages per instance).
 type Result struct {
-	Name            string  `json:"name"`
-	Iterations      int     `json:"iterations"`
-	NsPerOp         float64 `json:"ns_per_op"`
-	BytesPerOp      int64   `json:"bytes_per_op"`
-	AllocsPerOp     int64   `json:"allocs_per_op"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// GOMAXPROCS and Workers pin the parallelism the case ran with:
+	// Workers is the resolved execution worker count (sparse shard
+	// stepping or trial pool; 0 for purely serial cases), so speedup
+	// comparisons across hosts and PRs need no side-channel.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Workers    int `json:"workers,omitempty"`
+	// PeakHeapBytes is the maximum live heap (runtime.ReadMemStats
+	// HeapAlloc, sampled throughout the run) — the memory-wall axis the
+	// large-N work optimises, which allocation totals don't show.
+	PeakHeapBytes   uint64  `json:"peak_heap_bytes,omitempty"`
 	InstancesPerSec float64 `json:"instances_per_sec,omitempty"`
 	MsgsPerSec      float64 `json:"msgs_per_sec,omitempty"`
 }
 
 // Report is the emitted JSON document.
 type Report struct {
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Date      string   `json:"date"`
-	Notes     []string `json:"notes,omitempty"`
-	Results   []Result `json:"results"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Date       string   `json:"date"`
+	Notes      []string `json:"notes,omitempty"`
+	Results    []Result `json:"results"`
 }
 
 func main() {
@@ -158,29 +178,53 @@ func run(args []string) error {
 		return err
 	}
 
+	maxprocs := runtime.GOMAXPROCS(0)
 	rep := Report{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: maxprocs,
+		Date:       time.Now().UTC().Format(time.RFC3339),
 	}
 	if *notes != "" {
 		rep.Notes = strings.Split(*notes, ";")
 	}
 
+	// sparseWorkers resolves the shard-stepping worker count a sparse case
+	// executes with, mirroring the engine's 0 = GOMAXPROCS default.
+	sparseWorkers := func(cfg ccba.Config) int {
+		if !cfg.Sparse {
+			return 0
+		}
+		w := cfg.SparseWorkers
+		if w <= 0 {
+			w = maxprocs
+		}
+		if w > cfg.N {
+			w = cfg.N
+		}
+		return w
+	}
+
 	for _, c := range cases {
+		if *only == "" && c.Heavy {
+			continue // stretch points run only when named explicitly
+		}
 		if *only != "" && !matches(c.Name, *only) {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", c.Name)
-		r := measure(singleRunBody(c.Cfg, c.AllowViolations), *benchtime)
+		r, peak := measure(singleRunBody(c.Cfg, c.AllowViolations), *benchtime)
 		rep.Results = append(rep.Results, Result{
-			Name:        c.Name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
+			Name:          c.Name,
+			Iterations:    r.N,
+			NsPerOp:       float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			AllocsPerOp:   r.AllocsPerOp(),
+			GOMAXPROCS:    maxprocs,
+			Workers:       sparseWorkers(c.Cfg),
+			PeakHeapBytes: peak,
 		})
 	}
 
@@ -189,13 +233,20 @@ func run(args []string) error {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", c.Name)
-		r := measure(sweepBody(c), *benchtime)
+		workers := c.Workers
+		if workers <= 0 {
+			workers = maxprocs
+		}
+		r, peak := measure(sweepBody(c), *benchtime)
 		rep.Results = append(rep.Results, Result{
-			Name:        c.Name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
+			Name:          c.Name,
+			Iterations:    r.N,
+			NsPerOp:       float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			AllocsPerOp:   r.AllocsPerOp(),
+			GOMAXPROCS:    maxprocs,
+			Workers:       workers,
+			PeakHeapBytes: peak,
 		})
 	}
 
@@ -208,14 +259,16 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.Name, err)
 		}
-		r := measure(clusterBody(c), *benchtime)
+		r, peak := measure(clusterBody(c), *benchtime)
 		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
 		res := Result{
-			Name:        c.Name,
-			Iterations:  r.N,
-			NsPerOp:     nsPerOp,
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
+			Name:          c.Name,
+			Iterations:    r.N,
+			NsPerOp:       nsPerOp,
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			AllocsPerOp:   r.AllocsPerOp(),
+			GOMAXPROCS:    maxprocs,
+			PeakHeapBytes: peak,
 		}
 		if nsPerOp > 0 {
 			res.InstancesPerSec = float64(c.Instances) * 1e9 / nsPerOp
@@ -348,12 +401,60 @@ func sweepBody(c sweepCase) func(i int) error {
 	}
 }
 
+// heapSampler tracks the maximum live heap (MemStats.HeapAlloc) seen while
+// a measurement runs, by polling on a short ticker. Peak heap is the axis
+// the large-N memory work moves — a run can allocate terabytes cumulatively
+// (bytes_per_op) while never holding more than a few hundred megabytes
+// live, and only the latter decides whether a million-node run fits.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapSampler() *heapSampler {
+	runtime.GC() // reset the live-heap baseline to this case's state
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var ms runtime.MemStats
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak {
+					s.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// finish stops sampling, takes one final reading, and returns the peak.
+func (s *heapSampler) finish() uint64 {
+	close(s.stop)
+	<-s.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > s.peak {
+		s.peak = ms.HeapAlloc
+	}
+	return s.peak
+}
+
 // measure runs iteration under the testing harness (or a fixed iteration
 // count when benchtime is set; testing.Benchmark has no iteration knob, so
-// that path times the loop directly and reports through the same type).
-func measure(iteration func(i int) error, iters int) testing.BenchmarkResult {
+// that path times the loop directly and reports through the same type),
+// sampling peak live heap across the whole measurement. The sampler's
+// 10 ms ReadMemStats polls cost well under a percent of any tracked case.
+func measure(iteration func(i int) error, iters int) (testing.BenchmarkResult, uint64) {
+	sampler := startHeapSampler()
 	if iters > 0 {
-		runtime.GC()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
@@ -370,9 +471,9 @@ func measure(iteration func(i int) error, iters int) testing.BenchmarkResult {
 			T:         elapsed,
 			MemAllocs: after.Mallocs - before.Mallocs,
 			MemBytes:  after.TotalAlloc - before.TotalAlloc,
-		}
+		}, sampler.finish()
 	}
-	return testing.Benchmark(func(b *testing.B) {
+	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := iteration(i); err != nil {
@@ -380,4 +481,5 @@ func measure(iteration func(i int) error, iters int) testing.BenchmarkResult {
 			}
 		}
 	})
+	return r, sampler.finish()
 }

@@ -11,6 +11,7 @@
 //	experiments -only e12 -trials 20      # agreement vs Δ and omission rate
 //	experiments -only e13                 # scaling law: core vs quadratic, n up to 10⁵
 //	experiments -only e13 -e13-max-n 1000000 -trials 1   # the 10⁶ stretch point
+//	experiments -only e13 -e13-crypto real -trials 1     # real-crypto (Ed25519 VRF) core sweep
 //	experiments -only e7 -net delta -delta 2   # rerun E7 under worst-case Δ=2
 //	experiments -csv > sweeps.csv
 //
@@ -42,16 +43,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only    = fs.String("only", "", "comma-separated experiment ids (e1..e13); empty = all")
-		trials  = fs.Int("trials", 0, "override trial count (0 = per-experiment default)")
-		workers = fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS)")
-		maxN    = fs.Int("max-n", 1024, "largest n for the E2 sweep")
-		e13MaxN = fs.Int("e13-max-n", 100_000, "largest n for the E13 scaling sweep (core points 1k/10k/100k/1M; 1000000 is the stretch setting — ~11 GB of heap; points ≥ 50k run their trials serially so peak heap stays one trial's, ~1 GB at the 100k default)")
-		net     = fs.String("net", "", "network-model override for the scenario-run experiments E2, E7-E11: delta, jitter, omission, partition (E1/E3-E6 drive custom engines; E12 sweeps its own models)")
-		delta   = fs.Int("delta", 0, "delivery bound Δ for the -net override")
-		asJSON  = fs.Bool("json", false, "emit machine-readable sweep aggregates as JSON instead of tables")
-		asCSV   = fs.Bool("csv", false, "emit sweep aggregates as CSV instead of tables")
-		plotDir = fs.String("plot-dir", "", "write gnuplot figure bundles (.gp scripts + .dat data) for the plotting experiments (e13, e14) into this directory; render with `gnuplot *.gp`")
+		only      = fs.String("only", "", "comma-separated experiment ids (e1..e13); empty = all")
+		trials    = fs.Int("trials", 0, "override trial count (0 = per-experiment default)")
+		workers   = fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS)")
+		maxN      = fs.Int("max-n", 1024, "largest n for the E2 sweep")
+		e13MaxN   = fs.Int("e13-max-n", 100_000, "largest n for the E13 scaling sweep (core points 1k/10k/100k/1M; 1000000 is the stretch setting; points ≥ 50k run their trials serially so peak heap stays one trial's)")
+		e13Crypto = fs.String("e13-crypto", "ideal", "crypto mode for the E13 core sweep: ideal (F_mine hybrid) or real (Ed25519 VRF mining, Appendix D compiler)")
+		net       = fs.String("net", "", "network-model override for the scenario-run experiments E2, E7-E11: delta, jitter, omission, partition (E1/E3-E6 drive custom engines; E12 sweeps its own models)")
+		delta     = fs.Int("delta", 0, "delivery bound Δ for the -net override")
+		asJSON    = fs.Bool("json", false, "emit machine-readable sweep aggregates as JSON instead of tables")
+		asCSV     = fs.Bool("csv", false, "emit sweep aggregates as CSV instead of tables")
+		plotDir   = fs.String("plot-dir", "", "write gnuplot figure bundles (.gp scripts + .dat data) for the plotting experiments (e13, e14) into this directory; render with `gnuplot *.gp`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,7 +100,13 @@ func run(args []string, out io.Writer) error {
 		{"e10", func() (*experiments.Artifacts, error) { return art(experiments.E10PhaseKing(opts(3))) }},
 		{"e11", func() (*experiments.Artifacts, error) { return art(experiments.E11ResilienceFrontier(opts(10))) }},
 		{"e12", func() (*experiments.Artifacts, error) { return art(experiments.E12NetworkModels(opts(10))) }},
-		{"e13", func() (*experiments.Artifacts, error) { return art(experiments.E13ScalingLaw(opts(3), *e13MaxN)) }},
+		{"e13", func() (*experiments.Artifacts, error) {
+			mode := scenario.CryptoMode(*e13Crypto)
+			if mode != scenario.Ideal && mode != scenario.Real {
+				return nil, fmt.Errorf("unknown -e13-crypto mode %q (ideal or real)", *e13Crypto)
+			}
+			return art(experiments.E13ScalingLaw(opts(3), *e13MaxN, mode))
+		}},
 		{"e14", func() (*experiments.Artifacts, error) { return art(experiments.E14CrossValidation(opts(5))) }},
 	}
 

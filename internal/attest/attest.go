@@ -71,13 +71,26 @@ func VerifyAll(atts []Attestation, threshold int, verify VerifyFunc) bool {
 // is ready to use. Sets hold one attestation per committee member (a few
 // dozen), so membership is a linear scan over a flat slice — cheaper and
 // allocation-lighter than a map at these sizes.
+//
+// A set operates in one of two modes. In owned mode (the zero value) it
+// holds its own backing slice, exactly as before. Bind switches it to
+// interned mode, where its state is a refcounted handle into a per-run
+// Interner and every node with the same add-history shares one backing
+// array (see intern.go). The observable Add/Contains/Count/Reset behaviour
+// is identical in both modes; only storage and the aliasing contract of
+// Attestations differ.
 type Set struct {
 	atts []Attestation
+	in   *Interner
+	h    *sharedAtts
 }
 
 // Add records an attestation, returning true if id was new. The first proof
 // recorded for an id wins.
 func (s *Set) Add(id types.NodeID, proof []byte) bool {
+	if s.in != nil {
+		return s.addInterned(id, proof)
+	}
 	for i := range s.atts {
 		if s.atts[i].ID == id {
 			return false
@@ -89,8 +102,8 @@ func (s *Set) Add(id types.NodeID, proof []byte) bool {
 
 // Contains reports whether id has attested.
 func (s *Set) Contains(id types.NodeID) bool {
-	for i := range s.atts {
-		if s.atts[i].ID == id {
+	for _, a := range s.view() {
+		if a.ID == id {
 			return true
 		}
 	}
@@ -98,18 +111,39 @@ func (s *Set) Contains(id types.NodeID) bool {
 }
 
 // Count returns the number of distinct attesters.
-func (s *Set) Count() int { return len(s.atts) }
+func (s *Set) Count() int { return len(s.view()) }
+
+// view returns the current attestation sequence without copying, whichever
+// mode the set is in.
+func (s *Set) view() []Attestation {
+	if s.in != nil {
+		return s.h.atts
+	}
+	return s.atts
+}
 
 // Reset empties the set while keeping its backing array, so long-lived
 // nodes (the compact large-N representations) can recycle one set per
 // epoch or iteration instead of allocating a fresh one. Attestation slices
-// previously returned by Attestations are unaffected — they are copies.
-func (s *Set) Reset() { s.atts = s.atts[:0] }
+// previously returned by Attestations are unaffected — owned-mode sets
+// return copies, interned-mode sets return immutable shared state.
+func (s *Set) Reset() {
+	if s.in != nil {
+		s.resetInterned()
+		return
+	}
+	s.atts = s.atts[:0]
+}
 
-// Attestations returns the collected attestations in insertion order. The
-// returned slice is freshly allocated (the set keeps growing after
-// certificates are cut from it); proofs are shared.
+// Attestations returns the collected attestations in insertion order. In
+// owned mode the returned slice is freshly allocated (the set keeps
+// growing after certificates are cut from it); in interned mode it aliases
+// the immutable shared state directly, so the n certificates honest nodes
+// cut at a threshold share one backing array instead of n copies.
 func (s *Set) Attestations() []Attestation {
+	if s.in != nil {
+		return s.h.atts
+	}
 	return append([]Attestation(nil), s.atts...)
 }
 

@@ -1,0 +1,218 @@
+package attest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ccba/internal/types"
+)
+
+func proofFor(id types.NodeID) []byte {
+	return []byte(fmt.Sprintf("proof-%d", id))
+}
+
+// TestInternedMatchesOwned replays the same add sequence (including
+// duplicate-id rejections) through an owned and an interned set and
+// requires identical observable behaviour.
+func TestInternedMatchesOwned(t *testing.T) {
+	in := NewInterner()
+	var owned, interned Set
+	interned.Bind(in)
+
+	seq := []types.NodeID{4, 1, 9, 1, 4, 7, 2, 9, 3}
+	for _, id := range seq {
+		gotO := owned.Add(id, proofFor(id))
+		gotI := interned.Add(id, proofFor(id))
+		if gotO != gotI {
+			t.Fatalf("Add(%d): owned=%v interned=%v", id, gotO, gotI)
+		}
+	}
+	if owned.Count() != interned.Count() {
+		t.Fatalf("Count: owned=%d interned=%d", owned.Count(), interned.Count())
+	}
+	for id := types.NodeID(0); id < 12; id++ {
+		if owned.Contains(id) != interned.Contains(id) {
+			t.Fatalf("Contains(%d) disagrees", id)
+		}
+	}
+	ao, ai := owned.Attestations(), interned.Attestations()
+	if len(ao) != len(ai) {
+		t.Fatalf("Attestations length: owned=%d interned=%d", len(ao), len(ai))
+	}
+	for i := range ao {
+		if ao[i].ID != ai[i].ID || string(ao[i].Proof) != string(ai[i].Proof) {
+			t.Fatalf("attestation %d differs: %v vs %v", i, ao[i], ai[i])
+		}
+	}
+
+	owned.Reset()
+	interned.Reset()
+	if interned.Count() != 0 || interned.Contains(1) {
+		t.Fatalf("interned set not empty after Reset")
+	}
+	if !interned.Add(5, proofFor(5)) || interned.Count() != 1 {
+		t.Fatalf("interned set not reusable after Reset")
+	}
+}
+
+// TestInternSharingAndForks is the copy-on-divergence contract: sets that
+// perform identical add sequences share one handle, and the first
+// divergent mutation — and exactly that mutation — forks them, with clone
+// and refcount telemetry matching.
+func TestInternSharingAndForks(t *testing.T) {
+	in := NewInterner()
+	const nodes = 64
+	sets := make([]Set, nodes)
+	for i := range sets {
+		sets[i].Bind(in)
+	}
+
+	// Identical phase: every node sees the same 10 attestations.
+	for add := types.NodeID(0); add < 10; add++ {
+		for i := range sets {
+			sets[i].Add(add, proofFor(add))
+		}
+	}
+	for i := 1; i < nodes; i++ {
+		if !sets[0].SharesStorageWith(&sets[i]) {
+			t.Fatalf("set %d does not share storage after identical history", i)
+		}
+	}
+	st := in.Stats()
+	if st.States != 10 {
+		t.Fatalf("identical histories interned %d states, want 10", st.States)
+	}
+	if st.Clones != st.States {
+		t.Fatalf("clones=%d != states=%d", st.Clones, st.States)
+	}
+	if st.Forks != 0 {
+		t.Fatalf("forks=%d before any divergence", st.Forks)
+	}
+	wantHits := int64(nodes*10 - 10) // every add after the first per state
+	if st.Hits != wantHits {
+		t.Fatalf("hits=%d, want %d", st.Hits, wantHits)
+	}
+	if got := sets[0].HandleRefs(); got != nodes {
+		t.Fatalf("shared handle refcount=%d, want %d", got, nodes)
+	}
+	// Certificates cut from interned sets alias one backing array.
+	if &sets[0].Attestations()[0] != &sets[1].Attestations()[0] {
+		t.Fatalf("interned Attestations() did not alias shared storage")
+	}
+
+	// Divergence: node 7 alone receives an extra (adversarial unicast)
+	// attestation. Its handle must fork; everyone else stays shared.
+	sets[7].Add(40, proofFor(40))
+	if sets[7].SharesStorageWith(&sets[0]) {
+		t.Fatalf("divergent set still shares storage")
+	}
+	if !sets[0].SharesStorageWith(&sets[63]) {
+		t.Fatalf("non-divergent sets stopped sharing")
+	}
+	st = in.Stats()
+	if st.States != 11 {
+		t.Fatalf("divergence interned %d states, want 11", st.States)
+	}
+	if got := sets[0].HandleRefs(); got != nodes-1 {
+		t.Fatalf("majority handle refcount=%d after fork, want %d", got, nodes-1)
+	}
+	if got := sets[7].HandleRefs(); got != 1 {
+		t.Fatalf("divergent handle refcount=%d, want 1", got)
+	}
+
+	// The fork counter trips when the shared predecessor gains its second
+	// successor: everyone else now adds a *different* id 40-successor.
+	for i := range sets {
+		if i == 7 {
+			continue
+		}
+		sets[i].Add(41, proofFor(41))
+	}
+	st = in.Stats()
+	if st.Forks != 1 {
+		t.Fatalf("forks=%d after divergent histories split, want 1", st.Forks)
+	}
+	if st.States != 12 {
+		t.Fatalf("states=%d after majority advance, want 12", st.States)
+	}
+
+	// Convergence: node 7 performs the same adds as the majority and lands
+	// back on... a different state (its history differs), proving sharing
+	// is by history, not by count.
+	sets[7].Add(41, proofFor(41))
+	if sets[7].SharesStorageWith(&sets[0]) {
+		t.Fatalf("divergent history must not re-share with majority")
+	}
+}
+
+// TestInternProofDisambiguation pins the adversarial corner: the same id
+// added with two different proofs from the same predecessor state must
+// yield two distinct successor states, not a shared one.
+func TestInternProofDisambiguation(t *testing.T) {
+	in := NewInterner()
+	var a, b Set
+	a.Bind(in)
+	b.Bind(in)
+	a.Add(3, []byte("honest"))
+	b.Add(3, []byte("forged"))
+	if a.SharesStorageWith(&b) {
+		t.Fatalf("distinct proofs for one id must fork")
+	}
+	if st := in.Stats(); st.States != 2 || st.Forks != 1 {
+		t.Fatalf("stats=%+v, want 2 states and 1 fork", st)
+	}
+	if got := string(a.Attestations()[0].Proof); got != "honest" {
+		t.Fatalf("set a proof corrupted: %q", got)
+	}
+	if got := string(b.Attestations()[0].Proof); got != "forged" {
+		t.Fatalf("set b proof corrupted: %q", got)
+	}
+}
+
+// TestInternBindPanics pins that interning is construction-time only.
+func TestInternBindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Bind on non-empty set did not panic")
+		}
+	}()
+	var s Set
+	s.Add(1, proofFor(1))
+	s.Bind(NewInterner())
+}
+
+// TestInternConcurrent hammers one table from many goroutines (the
+// sharded stepping access pattern) so the race detector can vet the
+// locking; every goroutine must observe the same final content.
+func TestInternConcurrent(t *testing.T) {
+	in := NewInterner()
+	const workers = 8
+	const adds = 200
+	var wg sync.WaitGroup
+	results := make([][]Attestation, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var s Set
+			s.Bind(in)
+			for i := 0; i < adds; i++ {
+				id := types.NodeID(i)
+				s.Add(id, proofFor(id))
+			}
+			results[w] = s.Attestations()
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if len(results[w]) != adds {
+			t.Fatalf("worker %d has %d attestations, want %d", w, len(results[w]), adds)
+		}
+		for i := range results[w] {
+			if results[w][i].ID != results[0][i].ID {
+				t.Fatalf("worker %d attestation %d differs", w, i)
+			}
+		}
+	}
+}

@@ -87,6 +87,13 @@ type Config struct {
 	// adversary), where protocol traffic only ever touches the current and
 	// previous iteration; traffic beyond the window is ignored.
 	Compact bool
+	// Intern, when non-nil, is a per-run intern table shared by every node
+	// of the execution: all attestation sets bind to it, so nodes with
+	// identical add-histories (every forever-honest node under the passive
+	// lockstep schedule) share one copy-on-divergence backing array instead
+	// of holding per-node state (DESIGN.md §6). Behaviour is bit-identical
+	// with or without it; only storage changes.
+	Intern *attest.Interner
 }
 
 // Validate checks the configuration.
@@ -201,8 +208,21 @@ func New(cfg Config, id types.NodeID, input types.Bit) (*Node, error) {
 	if !cfg.Compact {
 		n.votes = make(map[uint32]*[2]attest.Set)
 		n.commits = make(map[uint32]*[2]attest.Set)
+	} else if cfg.Intern != nil {
+		for w := 0; w < 2; w++ {
+			bindPair(&n.voteWin[w].sets, cfg.Intern)
+			bindPair(&n.commitWin[w].sets, cfg.Intern)
+		}
+		bindPair(&n.staleSets, cfg.Intern)
 	}
 	return n, nil
+}
+
+// bindPair binds both bit-slots of a per-iteration set pair to the run's
+// intern table.
+func bindPair(sets *[2]attest.Set, in *attest.Interner) {
+	sets[0].Bind(in)
+	sets[1].Bind(in)
 }
 
 // NewNodes constructs all n state machines for one execution.
@@ -313,6 +333,9 @@ func (n *Node) voteSet(iter uint32) *[2]attest.Set {
 	s := n.votes[iter]
 	if s == nil {
 		s = &[2]attest.Set{}
+		if n.cfg.Intern != nil {
+			bindPair(s, n.cfg.Intern)
+		}
 		n.votes[iter] = s
 	}
 	return s
@@ -325,6 +348,9 @@ func (n *Node) commitSet(iter uint32) *[2]attest.Set {
 	s := n.commits[iter]
 	if s == nil {
 		s = &[2]attest.Set{}
+		if n.cfg.Intern != nil {
+			bindPair(s, n.cfg.Intern)
+		}
 		n.commits[iter] = s
 	}
 	return s

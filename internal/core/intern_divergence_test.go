@@ -1,0 +1,253 @@
+package core
+
+import (
+	"testing"
+
+	"ccba/internal/attest"
+	"ccba/internal/fmine"
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// TestInternHonestRunSharesHandles runs a dense interned execution under a
+// passive adversary and asserts the sharing claim interning rests on:
+// every honest node's per-iteration vote and commit sets walk identical
+// histories, so all n nodes end the run holding the *same* refcounted
+// handle — O(committee) attestation storage for the whole run instead of
+// O(n·committee).
+func TestInternHonestRunSharesHandles(t *testing.T) {
+	const n, f, lambda = 80, 24, 40
+	in := attest.NewInterner()
+	cfg := idealConfig(n, f, lambda, 1)
+	cfg.Intern = in
+	inputs := constInputs(n, types.One)
+
+	nodes, err := NewNodes(cfg, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := make([]*Node, n)
+	simNodes := make([]netsim.Node, n)
+	for i, nd := range nodes {
+		cores[i] = nd.(*Node)
+		simNodes[i] = nd
+	}
+	rt, err := netsim.NewRuntime(netsim.Config{N: n, F: f, MaxRounds: cfg.Rounds()}, simNodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run()
+	checkAll(t, res, inputs)
+
+	shared := 0
+	for iter := uint32(1); iter <= 2; iter++ {
+		ref := cores[0].votes[iter]
+		if ref == nil {
+			continue
+		}
+		for b := 0; b < 2; b++ {
+			refs := ref[b].HandleRefs()
+			for i := 1; i < n; i++ {
+				set := cores[i].votes[iter]
+				if set == nil || !ref[b].SharesStorageWith(&set[b]) {
+					t.Fatalf("node %d iter %d bit %d: honest vote set does not share storage", i, iter, b)
+				}
+			}
+			if ref[b].Count() > 0 {
+				shared++
+				if refs < n {
+					t.Fatalf("iter %d bit %d: shared vote handle refcount %d < n=%d", iter, b, refs, n)
+				}
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no populated shared vote sets observed; test exercised nothing")
+	}
+
+	st := in.Stats()
+	if st.Clones != st.States {
+		t.Fatalf("clones=%d != states=%d", st.Clones, st.States)
+	}
+	// The whole point: state creation is bounded by traffic (each distinct
+	// attestation added once), not by n × traffic. A conservative ceiling —
+	// without sharing this run would intern tens of thousands of states.
+	if st.States > 2000 {
+		t.Fatalf("honest interned run created %d states; sharing is not happening", st.States)
+	}
+	if st.Hits < int64(st.States)*int64(n/2) {
+		t.Fatalf("hits=%d suspiciously low for %d states across %d nodes", st.Hits, st.States, n)
+	}
+}
+
+// unicastFlipInjector corrupts round-0 voters until one of them mines an
+// opposite-bit vote ticket, then injects the forged vote by *unicast* to a
+// fixed subset of honest nodes — the minimal divergent schedule: targets
+// observe one extra attestation the rest of the network never sees. This
+// is exactly the adversarial (hence sparse-ineligible) regime
+// copy-on-divergence must survive: shared handles fork for the targets,
+// everyone else keeps sharing.
+type unicastFlipInjector struct {
+	targets  []types.NodeID
+	flipBit  types.Bit
+	injected bool
+}
+
+func (a *unicastFlipInjector) Power() netsim.Power { return netsim.PowerWeaklyAdaptive }
+
+func (a *unicastFlipInjector) Setup(*netsim.Ctx) {}
+
+func (a *unicastFlipInjector) Round(ctx *netsim.Ctx) {
+	if a.injected {
+		return
+	}
+	for _, e := range ctx.Outgoing() {
+		vote, ok := e.Msg.(VoteMsg)
+		if !ok || vote.Iter != 1 || ctx.IsCorrupt(e.From) {
+			continue
+		}
+		if isTarget(a.targets, e.From) {
+			continue // keep every target honest so it ingests the forgery
+		}
+		if ctx.CorruptCount() >= ctx.F() {
+			return
+		}
+		seized, err := ctx.Corrupt(e.From)
+		if err != nil {
+			continue
+		}
+		miner, ok := seized.Keys.(fmine.Miner)
+		if !ok {
+			continue
+		}
+		flip := vote.B.Flip()
+		proof, mined := miner.Mine(VoteTag(vote.Iter, flip))
+		if !mined {
+			continue
+		}
+		for _, to := range a.targets {
+			if err := ctx.Inject(e.From, to, VoteMsg{Iter: vote.Iter, B: flip, Elig: proof}); err != nil {
+				return
+			}
+		}
+		a.flipBit = flip
+		a.injected = true
+		return
+	}
+}
+
+func isTarget(targets []types.NodeID, id types.NodeID) bool {
+	for _, t := range targets {
+		if t == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestInternAdversarialDivergenceForksHandles pins the copy-on-divergence
+// contract at the protocol level: after a divergent unicast injection the
+// targeted nodes' handles fork away from the rest of the network at
+// exactly the injected mutation, refcounts split by group size, and the
+// non-targets keep sharing — while safety holds throughout.
+func TestInternAdversarialDivergenceForksHandles(t *testing.T) {
+	const n, f, lambda = 120, 36, 40
+	targets := []types.NodeID{100, 101, 102, 103, 104}
+
+	runOnce := func(adv netsim.Adversary) ([]*Node, *attest.Interner, *netsim.Result) {
+		in := attest.NewInterner()
+		cfg := idealConfig(n, f, lambda, 2)
+		cfg.Intern = in
+		inputs := constInputs(n, types.One)
+		nodes, err := NewNodes(cfg, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cores := make([]*Node, n)
+		simNodes := make([]netsim.Node, n)
+		for i, nd := range nodes {
+			cores[i] = nd.(*Node)
+			simNodes[i] = nd
+		}
+		rt, err := netsim.NewRuntime(netsim.Config{
+			N: n, F: f, MaxRounds: cfg.Rounds(),
+			Seize: func(id types.NodeID) any { return cfg.Suite.Miner(id) },
+		}, simNodes, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cores, in, rt.Run()
+	}
+
+	adv := &unicastFlipInjector{targets: targets}
+	cores, advIn, res := runOnce(adv)
+	if !adv.injected {
+		t.Skip("no opposite-bit ticket mined under this seed; divergence not exercised")
+	}
+	if err := netsim.CheckConsistency(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := netsim.CheckAgreementValidity(res, constInputs(n, types.One)); err != nil {
+		t.Fatal(err)
+	}
+
+	flip := adv.flipBit
+	honest := map[types.NodeID]bool{}
+	for _, id := range res.ForeverHonest() {
+		honest[id] = true
+	}
+	var nonTargets []types.NodeID
+	for id := types.NodeID(0); id < n; id++ {
+		if honest[id] && !isTarget(targets, id) {
+			nonTargets = append(nonTargets, id)
+		}
+	}
+	if len(nonTargets) == 0 {
+		t.Fatal("no honest non-targets")
+	}
+
+	setOf := func(id types.NodeID) *attest.Set {
+		pair := cores[id].votes[1]
+		if pair == nil {
+			t.Fatalf("node %d has no iter-1 vote sets", id)
+		}
+		return &pair[flip]
+	}
+
+	tset := setOf(targets[0])
+	if tset.Count() == 0 {
+		t.Fatalf("target did not ingest the injected vote")
+	}
+	// Targets forked away from the rest of the network…
+	for _, id := range nonTargets {
+		if tset.SharesStorageWith(setOf(id)) {
+			t.Fatalf("target and honest node %d share the flip-bit handle after divergent injection", id)
+		}
+	}
+	// …and, having identical divergent histories, share with each other.
+	for _, id := range targets[1:] {
+		if !tset.SharesStorageWith(setOf(id)) {
+			t.Fatalf("targets %d and %d diverged from each other; their histories are identical", targets[0], id)
+		}
+	}
+	// Non-targets keep sharing among themselves.
+	for _, id := range nonTargets[1:] {
+		if !setOf(nonTargets[0]).SharesStorageWith(setOf(id)) {
+			t.Fatalf("non-targets %d and %d stopped sharing", nonTargets[0], id)
+		}
+	}
+	// Refcounts split exactly by group size: the forked handle is held by
+	// the targets alone.
+	if got := tset.HandleRefs(); got != len(targets) {
+		t.Fatalf("forked handle refcount=%d, want %d targets", got, len(targets))
+	}
+
+	// The clone accounting balances and the table recorded the divergence.
+	ast := advIn.Stats()
+	if ast.Clones != ast.States {
+		t.Fatalf("clones=%d != states=%d", ast.Clones, ast.States)
+	}
+	if ast.Forks == 0 {
+		t.Fatal("no forks recorded despite divergent histories")
+	}
+}

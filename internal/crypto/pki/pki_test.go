@@ -1,6 +1,7 @@
 package pki
 
 import (
+	"runtime"
 	"testing"
 
 	"ccba/internal/crypto/commit"
@@ -20,6 +21,43 @@ func TestSetupDeterministic(t *testing.T) {
 		}
 		if sec1[i].PRFKey != sec2[i].PRFKey {
 			t.Fatal("PRF keys differ across identical setups")
+		}
+	}
+}
+
+// TestSetupParallelMatchesSerial pins the chunked keygen path against the
+// serial schedule: above the parallel threshold, a single-core run (which
+// takes the serial branch) and a multi-core run must publish bit-identical
+// PKIs and secrets.
+func TestSetupParallelMatchesSerial(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs ≥ 2 procs for the parallel branch")
+	}
+	const n = parallelSetupThreshold + 100
+	var seed [32]byte
+	seed[0] = 3
+
+	prev := runtime.GOMAXPROCS(1)
+	serialPub, serialSec := Setup(n, seed)
+	runtime.GOMAXPROCS(prev)
+	parPub, parSec := Setup(n, seed)
+
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		if string(serialPub.SigKey(id)) != string(parPub.SigKey(id)) ||
+			string(serialPub.VRFKey(id)) != string(parPub.VRFKey(id)) {
+			t.Fatalf("node %d: public keys differ between serial and parallel setup", i)
+		}
+		sc, _ := serialPub.PRFCommitment(id)
+		pc, _ := parPub.PRFCommitment(id)
+		if sc != pc {
+			t.Fatalf("node %d: commitments differ between serial and parallel setup", i)
+		}
+		if serialSec[i].PRFKey != parSec[i].PRFKey ||
+			serialSec[i].PRFOpen != parSec[i].PRFOpen ||
+			string(serialSec[i].SigSK) != string(parSec[i].SigSK) ||
+			string(serialSec[i].VrfSK) != string(parSec[i].VrfSK) {
+			t.Fatalf("node %d: secrets differ between serial and parallel setup", i)
 		}
 	}
 }

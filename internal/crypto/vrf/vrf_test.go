@@ -120,3 +120,54 @@ func TestProofSize(t *testing.T) {
 		t.Fatalf("proof size %d, want %d", len(proof), ProofSize)
 	}
 }
+
+// TestEvalBatchMatchesScalar pins batch ≡ scalar for evaluation: same
+// outputs, same proofs, in input order.
+func TestEvalBatchMatchesScalar(t *testing.T) {
+	const n = 16
+	msg := []byte("batch tag")
+	sks := make([]sig.PrivateKey, n)
+	for i := range sks {
+		_, sks[i] = keyFor(byte(i + 1))
+	}
+	outs, proofs := EvalBatch(sks, msg, nil, nil)
+	if len(outs) != n || len(proofs) != n {
+		t.Fatalf("batch returned %d outputs, %d proofs, want %d each", len(outs), len(proofs), n)
+	}
+	for i, sk := range sks {
+		out, proof := Eval(sk, msg)
+		if outs[i] != out || string(proofs[i]) != string(proof) {
+			t.Fatalf("key %d: batch (%x, %x), scalar (%x, %x)", i, outs[i], proofs[i], out, proof)
+		}
+	}
+}
+
+// TestVerifyBatchMatchesScalar pins batch ≡ scalar for verification across
+// valid proofs, wrong-key claims, wrong-message proofs, and malformed
+// bytes.
+func TestVerifyBatchMatchesScalar(t *testing.T) {
+	msg := []byte("batch tag")
+	pk1, sk1 := keyFor(1)
+	pk2, sk2 := keyFor(2)
+	_, p1 := Eval(sk1, msg)
+	_, p2 := Eval(sk2, msg)
+	_, pOther := Eval(sk1, []byte("other tag"))
+	forged := append([]byte(nil), p1...)
+	forged[0] ^= 1
+
+	pks := []sig.PublicKey{pk1, pk2, pk2, pk1, pk1, pk1}
+	proofs := [][]byte{p1, p2, p1, pOther, forged, nil}
+	outs, oks := VerifyBatch(pks, msg, proofs, nil, nil)
+	for i := range pks {
+		wantOut, wantOk := Verify(pks[i], msg, proofs[i])
+		if oks[i] != wantOk || outs[i] != wantOut {
+			t.Fatalf("claim %d: batch (%x, %v), scalar (%x, %v)", i, outs[i], oks[i], wantOut, wantOk)
+		}
+	}
+	if !oks[0] || !oks[1] {
+		t.Fatal("genuine claims rejected")
+	}
+	if oks[2] || oks[3] || oks[4] || oks[5] {
+		t.Fatal("bogus claim accepted")
+	}
+}

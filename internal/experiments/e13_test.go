@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"ccba/internal/scenario"
 )
 
 // E13 at reduced scale (core up to n=10,000 — the CI smoke point — on the
@@ -12,7 +14,7 @@ import (
 // strictly sub-quadratic, and per-node bytes stay ≈flat for core while
 // exploding for the baseline.
 func TestE13Shape(t *testing.T) {
-	res, err := E13ScalingLaw(Opts{Trials: 1}, 10_000)
+	res, err := E13ScalingLaw(Opts{Trials: 1}, 10_000, scenario.Ideal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,5 +70,35 @@ func TestE13Shape(t *testing.T) {
 	}
 	if res.Sweep == nil || len(res.Sweep.Aggs) != len(res.Rows) {
 		t.Errorf("sweep missing or misaligned: %v aggs for %d rows", res.Sweep, len(res.Rows))
+	}
+}
+
+// TestE13RealCrypto pins the real-crypto column's wiring at the smallest
+// core point: the Appendix D compiler (Ed25519 VRF mining, lean verify
+// cache) runs violation-free on the sparse path and reports through the
+// same rows and table. The full n ≥ 10⁵ real sweep is the CLI/CI setting
+// (-e13-crypto real); its k≈1 fit rides on the same code path fitted here.
+func TestE13RealCrypto(t *testing.T) {
+	res, err := E13ScalingLaw(Opts{Trials: 1}, 1_000, scenario.Real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coreRows int
+	for _, r := range res.Rows {
+		if r.Violations != 0 {
+			t.Errorf("%s n=%d: %d violations under real crypto", r.Protocol, r.N, r.Violations)
+		}
+		if strings.HasPrefix(r.Protocol, "core") {
+			coreRows++
+			if r.TotalMsgs <= 0 || r.PerNodeBytes <= 0 {
+				t.Errorf("core n=%d: empty metrics %+v", r.N, r)
+			}
+		}
+	}
+	if coreRows != 1 {
+		t.Fatalf("core rows = %d, want 1 at maxN=1000", coreRows)
+	}
+	if !strings.Contains(res.Table.String(), "real crypto") {
+		t.Error("table title does not name the crypto mode")
 	}
 }

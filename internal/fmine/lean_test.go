@@ -96,3 +96,48 @@ func TestIdealLeanEquivalence(t *testing.T) {
 		t.Errorf("lean table has %d entries, want one per successful attempt (%d)", leanEntries, len(successes))
 	}
 }
+
+// TestIdealLeanInternsProofs pins the lean coin table's ticket interning:
+// a repeated successful attempt on the same (tag, id) key returns the one
+// slice stored in the entry — same backing array, zero allocation — while
+// the full Figure 1 table keeps returning fresh copies. Verification of the
+// interned ticket must agree with the full table's answer.
+func TestIdealLeanInternsProofs(t *testing.T) {
+	prob := func(Tag) float64 { return 1 } // every attempt succeeds
+	seed := [32]byte{7}
+	full := NewIdeal(seed, prob)
+	lean := NewIdealLean(seed, prob)
+	tag := Tag{Domain: "intern-test", Type: 1, Iter: 3, Bit: types.One}
+
+	const n = 8
+	for id := types.NodeID(0); id < n; id++ {
+		lm, fm := lean.Miner(id), full.Miner(id)
+		p1, ok1 := lm.Mine(tag)
+		p2, ok2 := lm.Mine(tag)
+		if !ok1 || !ok2 {
+			t.Fatalf("id %d: attempts at p=1 failed (%v, %v)", id, ok1, ok2)
+		}
+		if &p1[0] != &p2[0] {
+			t.Errorf("id %d: repeat attempt returned a fresh copy, want the interned slice", id)
+		}
+		fp1, _ := fm.Mine(tag)
+		fp2, _ := fm.Mine(tag)
+		if string(fp1) != string(p1) {
+			t.Errorf("id %d: interned proof %x, full-table proof %x", id, p1, fp1)
+		}
+		if &fp1[0] == &fp2[0] {
+			t.Errorf("id %d: full table interned a proof; Figure 1 behaviour is a fresh copy", id)
+		}
+		if !lean.Verifier().Verify(tag, id, p1) || !full.Verifier().Verify(tag, id, p1) {
+			t.Errorf("id %d: interned proof rejected", id)
+		}
+	}
+
+	// The memoised repeat must be allocation-free: the whole point of
+	// interning is that committee members re-attempting their round tags
+	// stop costing one proof allocation per attempt.
+	m := lean.Miner(0)
+	if avg := testing.AllocsPerRun(100, func() { m.Mine(tag) }); avg > 0 {
+		t.Errorf("repeat lean Mine allocates %.1f times per call, want 0", avg)
+	}
+}

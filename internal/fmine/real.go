@@ -39,7 +39,35 @@ type Real struct {
 	mu    sync.RWMutex
 	cache map[verifyKey]verifyEntry
 	bad   map[badProofKey]struct{}
+
+	// Lean mode (NewRealLean) bounds the cache for sparse large-N runs: the
+	// full memo grows one entry — a 64-byte proof copy plus map overhead —
+	// per (tag, id) ever verified, which over a long real-crypto run at
+	// n = 10⁵–10⁶ re-creates the per-node memory wall the sparse engine
+	// exists to avoid. Lean eviction exploits the protocols' verification
+	// locality: traffic for iteration i is verified within a few iterations
+	// of i (the compact window keeps two), so entries whose tag iteration
+	// has fallen more than leanWindow behind the highest iteration seen are
+	// dropped. Iteration-0 tags (Terminate, and any other iteration-free
+	// domain) recur for the whole execution and are never evicted.
+	//
+	// Eviction is bookkeeping, not semantics: the cache memoises a
+	// deterministic verification, so an evicted entry merely re-verifies on
+	// next sight. Results are bit-identical with eviction on or off and at
+	// every worker count; TestSparseMatchesDenseAcrossProtocols pins the
+	// lean sparse path against the full-cache dense run.
+	lean    bool
+	maxIter uint32
+	byIter  map[uint32][]verifyKey // insertion log per iteration, iter ≠ 0
+	live    []uint32               // iterations with a byIter bucket (no map ranging)
 }
+
+// leanWindow is how many iterations behind the newest observed iteration a
+// lean cache entry survives. The compact protocol window keeps two
+// iterations of attestation state; doubling that covers stragglers
+// (certificates re-verified one epoch late) with room to spare, while still
+// bounding the cache at O(window · traffic-per-iteration).
+const leanWindow = 4
 
 // badProofKey identifies a proof that failed verification for a (tag, id)
 // pair. Hashing only happens on this slow path — honest traffic never
@@ -73,6 +101,56 @@ func NewReal(pub *pki.Public, secrets []pki.Secret, prob ProbFunc) *Real {
 		cache: make(map[verifyKey]verifyEntry),
 		bad:   make(map[badProofKey]struct{}),
 	}
+}
+
+// NewRealLean is NewReal with the bounded verify cache of the sparse
+// large-N engine path (DESIGN.md §9): entries whose tag iteration has
+// fallen more than leanWindow behind the newest iteration seen are evicted
+// deterministically, keeping the memo at O(window · per-iteration traffic)
+// instead of O(total traffic). Verify answers are identical to NewReal's —
+// eviction only trades a map hit for a re-verification.
+func NewRealLean(pub *pki.Public, secrets []pki.Secret, prob ProbFunc) *Real {
+	r := NewReal(pub, secrets, prob)
+	r.lean = true
+	r.byIter = make(map[uint32][]verifyKey)
+	return r
+}
+
+// CacheLen reports the current number of positive verify-cache entries;
+// telemetry for the budget tests that pin lean-mode boundedness.
+func (r *Real) CacheLen() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.cache)
+}
+
+// noteInsertLocked logs a lean-mode cache insertion and evicts buckets that
+// have fallen outside the iteration window. Caller holds r.mu.
+func (r *Real) noteInsertLocked(key verifyKey) {
+	iter := key.tag.iter
+	if iter == 0 {
+		return // iteration-free tags (Terminate) live forever
+	}
+	if _, ok := r.byIter[iter]; !ok {
+		r.live = append(r.live, iter)
+	}
+	r.byIter[iter] = append(r.byIter[iter], key)
+	if iter <= r.maxIter {
+		return
+	}
+	r.maxIter = iter
+	kept := r.live[:0]
+	for _, it := range r.live {
+		if it+leanWindow > r.maxIter {
+			kept = append(kept, it)
+			continue
+		}
+		for _, k := range r.byIter[it] {
+			delete(r.cache, k)
+		}
+		delete(r.byIter, it)
+	}
+	r.live = kept
 }
 
 type realMiner struct {
@@ -146,9 +224,117 @@ func (v realVerifier) Verify(tag Tag, id types.NodeID, proof []byte) bool {
 	v.r.mu.Lock()
 	if cur, exists := v.r.cache[key]; !exists || !cur.valid {
 		v.r.cache[key] = verifyEntry{proof: bytes.Clone(proof), valid: valid}
+		if v.r.lean {
+			v.r.noteInsertLocked(key)
+		}
 	}
 	v.r.mu.Unlock()
 	return valid
+}
+
+// MineBatch attempts to mine tag for every id in ids, returning per-id
+// proofs (nil where the attempt failed) and success flags. It is
+// semantically identical to calling each miner's Mine(tag) in order; the
+// batch form encodes the tag and builds the VRF domain input once for the
+// whole batch (vrf.EvalBatch), which is the entry point for evaluating a
+// shard's mining attempts in one call.
+func (r *Real) MineBatch(tag Tag, ids []types.NodeID) ([][]byte, []bool) {
+	scratch := wire.GetScratch()
+	tagBytes := tag.AppendEncode((*scratch)[:0])
+
+	sks := make([]sig.PrivateKey, len(ids))
+	for i, id := range ids {
+		sks[i] = r.sks[id]
+	}
+	outs, proofs := vrf.EvalBatch(sks, tagBytes, nil, nil)
+	*scratch = tagBytes[:0]
+	wire.PutScratch(scratch)
+
+	p := r.prob(tag)
+	oks := make([]bool, len(ids))
+	for i := range outs {
+		if outs[i].Below(p) {
+			oks[i] = true
+		} else {
+			proofs[i] = nil
+		}
+	}
+	return proofs, oks
+}
+
+// VerifyBatch checks a batch of (id, proof) claims against one tag,
+// returning per-claim validity. Answers are identical to calling
+// Verifier().Verify per claim — including cache hits, the known-forgery
+// table, and cache population — but cache misses within the batch share
+// one tag encoding and one VRF domain input (vrf.VerifyBatch), and the
+// whole batch takes each lock once instead of once per claim.
+func (r *Real) VerifyBatch(tag Tag, ids []types.NodeID, proofs [][]byte) []bool {
+	if len(ids) != len(proofs) {
+		panic("fmine: VerifyBatch ids/proofs length mismatch")
+	}
+	res := make([]bool, len(ids))
+	p := r.prob(tag)
+
+	// Pass 1 under one read lock: answer cache hits and known forgeries,
+	// collect the rest for batched verification.
+	type miss struct {
+		i  int
+		pk sig.PublicKey
+	}
+	var misses []miss
+	r.mu.RLock()
+	for i, id := range ids {
+		key := verifyKey{tag: tag.key(), id: id}
+		if e, hit := r.cache[key]; hit && bytes.Equal(e.proof, proofs[i]) {
+			res[i] = e.valid
+			continue
+		}
+		pk := r.pub.VRFKey(id)
+		if pk == nil {
+			continue
+		}
+		if _, known := r.bad[badProofKey{key: key, hash: sha256.Sum256(proofs[i])}]; known {
+			continue
+		}
+		misses = append(misses, miss{i: i, pk: pk})
+	}
+	r.mu.RUnlock()
+	if len(misses) == 0 {
+		return res
+	}
+
+	scratch := wire.GetScratch()
+	tagBytes := tag.AppendEncode((*scratch)[:0])
+	pks := make([]sig.PublicKey, len(misses))
+	missProofs := make([][]byte, len(misses))
+	for j, m := range misses {
+		pks[j] = m.pk
+		missProofs[j] = proofs[m.i]
+	}
+	outs, oks := vrf.VerifyBatch(pks, tagBytes, missProofs, nil, nil)
+	*scratch = tagBytes[:0]
+	wire.PutScratch(scratch)
+
+	// Pass 2 under one write lock: record results with the same
+	// valid-claims-slot / forgery-table policy as the scalar path.
+	r.mu.Lock()
+	for j, m := range misses {
+		key := verifyKey{tag: tag.key(), id: ids[m.i]}
+		valid := oks[j] && outs[j].Below(p)
+		res[m.i] = valid
+		if !valid {
+			r.bad[badProofKey{key: key, hash: sha256.Sum256(missProofs[j])}] = struct{}{}
+			continue
+		}
+		if cur, exists := r.cache[key]; !exists || !cur.valid {
+			r.cache[key] = verifyEntry{proof: bytes.Clone(missProofs[j]), valid: true}
+			if r.lean {
+				r.noteInsertLocked(key)
+			}
+		}
+	}
+	r.mu.Unlock()
+	return res
 }
 
 // Miner returns node id's mining capability (its VRF secret key bound to the

@@ -1,0 +1,155 @@
+package fmine
+
+import (
+	"bytes"
+	"testing"
+
+	"ccba/internal/crypto/pki"
+	"ccba/internal/types"
+)
+
+// The batch mine/verify entry points and the lean verify cache must be
+// observationally equivalent to the scalar NewReal path: identical proofs,
+// identical success flags, identical verify answers for genuine tickets,
+// wrong-owner claims, and forged bytes — with the lean cache additionally
+// staying bounded by the iteration window.
+
+func realPair(t *testing.T, n int) (*Real, *Real) {
+	t.Helper()
+	pub, secrets := pki.Setup(n, [32]byte{42})
+	prob := func(Tag) float64 { return 0.5 }
+	return NewReal(pub, secrets, prob), NewRealLean(pub, secrets, prob)
+}
+
+func TestRealMineBatchMatchesScalar(t *testing.T) {
+	const n = 24
+	full, lean := realPair(t, n)
+	ids := make([]types.NodeID, n)
+	for i := range ids {
+		ids[i] = types.NodeID(i)
+	}
+	for iter := uint32(1); iter <= 3; iter++ {
+		tag := Tag{Domain: "batch-test", Type: 1, Iter: iter, Bit: types.One}
+		proofs, oks := full.MineBatch(tag, ids)
+		leanProofs, leanOks := lean.MineBatch(tag, ids)
+		for i, id := range ids {
+			p, ok := full.Miner(id).Mine(tag)
+			if ok != oks[i] || !bytes.Equal(p, proofs[i]) {
+				t.Fatalf("iter %d id %d: batch (%x, %v), scalar (%x, %v)", iter, id, proofs[i], oks[i], p, ok)
+			}
+			if oks[i] != leanOks[i] || !bytes.Equal(proofs[i], leanProofs[i]) {
+				t.Fatalf("iter %d id %d: full batch (%x, %v), lean batch (%x, %v)",
+					iter, id, proofs[i], oks[i], leanProofs[i], leanOks[i])
+			}
+		}
+	}
+}
+
+func TestRealVerifyBatchMatchesScalar(t *testing.T) {
+	const n = 24
+	full, lean := realPair(t, n)
+	ids := make([]types.NodeID, n)
+	for i := range ids {
+		ids[i] = types.NodeID(i)
+	}
+	tag := Tag{Domain: "batch-test", Type: 1, Iter: 1, Bit: types.Zero}
+	proofs, oks := full.MineBatch(tag, ids)
+
+	// Build a hostile claim set: genuine tickets, failed attempts' nil
+	// proofs, wrong-owner proofs, and forged bytes.
+	claimIDs := append([]types.NodeID{}, ids...)
+	claimProofs := append([][]byte{}, proofs...)
+	var firstWin int = -1
+	for i, ok := range oks {
+		if ok {
+			firstWin = i
+			break
+		}
+	}
+	if firstWin < 0 {
+		t.Fatal("no successful tickets at p=0.5; corpus broken")
+	}
+	// Wrong owner: node (firstWin+1) claims firstWin's ticket.
+	claimIDs = append(claimIDs, types.NodeID((firstWin+1)%n))
+	claimProofs = append(claimProofs, proofs[firstWin])
+	// Forgery: flipped byte of a genuine ticket, claimed by its owner.
+	forged := bytes.Clone(proofs[firstWin])
+	forged[0] ^= 1
+	claimIDs = append(claimIDs, types.NodeID(firstWin))
+	claimProofs = append(claimProofs, forged)
+
+	for name, r := range map[string]*Real{"full": full, "lean": lean} {
+		got := r.VerifyBatch(tag, claimIDs, claimProofs)
+		v := r.Verifier()
+		for i := range claimIDs {
+			if want := v.Verify(tag, claimIDs[i], claimProofs[i]); got[i] != want {
+				t.Fatalf("%s claim %d (id %d): batch %v, scalar %v", name, i, claimIDs[i], got[i], want)
+			}
+		}
+		// Repeat the batch: now every answer is a cache or bad-table hit
+		// and must not change.
+		again := r.VerifyBatch(tag, claimIDs, claimProofs)
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("%s claim %d: first batch %v, cached batch %v", name, i, got[i], again[i])
+			}
+		}
+	}
+}
+
+// TestRealLeanCacheBounded pins the lean eviction policy: entries older
+// than the iteration window are dropped, iteration-0 entries survive the
+// whole run, and evicted tickets still verify true (re-verification, not
+// data loss).
+func TestRealLeanCacheBounded(t *testing.T) {
+	const n = 16
+	_, lean := realPair(t, n)
+	ids := make([]types.NodeID, n)
+	for i := range ids {
+		ids[i] = types.NodeID(i)
+	}
+
+	termTag := Tag{Domain: "lean-bound", Type: 9, Iter: 0, Bit: types.NoBit}
+	termProofs, termOks := lean.MineBatch(termTag, ids)
+	lean.VerifyBatch(termTag, ids, termProofs)
+	termCached := 0
+	for _, ok := range termOks {
+		if ok {
+			termCached++
+		}
+	}
+
+	const iters = 20
+	perIter := make(map[uint32][][]byte)
+	for iter := uint32(1); iter <= iters; iter++ {
+		tag := Tag{Domain: "lean-bound", Type: 1, Iter: iter, Bit: types.One}
+		proofs, _ := lean.MineBatch(tag, ids)
+		lean.VerifyBatch(tag, ids, proofs)
+		perIter[iter] = proofs
+	}
+
+	// Bounded: at most the window's worth of per-iteration entries plus
+	// the immortal iteration-0 ones.
+	if got, max := lean.CacheLen(), termCached+leanWindow*n; got > max {
+		t.Fatalf("lean cache has %d entries after %d iterations, want ≤ %d", got, iters, max)
+	}
+
+	v := lean.Verifier()
+	// Iteration-0 tickets still answer from cache (and correctly).
+	for i, ok := range termOks {
+		if got := v.Verify(termTag, ids[i], termProofs[i]); got != ok {
+			t.Fatalf("iter-0 id %d: verify %v, want %v", i, got, ok)
+		}
+	}
+	// Evicted early-iteration tickets re-verify true: eviction must not
+	// change answers.
+	earlyTag := Tag{Domain: "lean-bound", Type: 1, Iter: 1, Bit: types.One}
+	for i, proof := range perIter[1] {
+		if proof == nil {
+			continue
+		}
+		if !v.Verify(earlyTag, ids[i], proof) {
+			t.Fatalf("evicted ticket of id %d no longer verifies", i)
+		}
+	}
+}

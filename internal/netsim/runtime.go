@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
+	"ccba/internal/harness"
 	"ccba/internal/types"
 	"ccba/internal/wire"
 )
@@ -34,10 +34,17 @@ type Config struct {
 	// list plus the few unicast extras — instead of O(n) per-node buffers,
 	// so executions with hundreds of thousands of nodes fit comfortably in
 	// memory. Restricted to the delta-one lockstep model with a passive
-	// adversary and serial stepping; NewRuntime rejects anything else. On
-	// the configurations it accepts the path is observationally equivalent
-	// to the dense engine (same deliveries, metrics, rounds, outputs).
+	// adversary; NewRuntime rejects anything else. On the configurations
+	// it accepts the path is observationally equivalent to the dense
+	// engine (same deliveries, metrics, rounds, outputs).
 	Sparse bool
+	// SparseWorkers shards sparse-path node stepping across a bounded
+	// worker pool: node IDs are split into contiguous shards, stepped
+	// concurrently, and the per-shard send lists merged back into
+	// canonical envelope order, so results are byte-identical for every
+	// worker count. 0 defaults to GOMAXPROCS; 1 steps serially. Only valid
+	// with Sparse (the dense engine has Parallel).
+	SparseWorkers int
 }
 
 // Runtime executes one protocol instance under one adversary.
@@ -79,7 +86,7 @@ type Runtime struct {
 	// arrays above are allocated.
 	sparse *sparseState
 
-	pool     *workerPool
+	pool     *harness.Pool
 	curRound int // round currently being stepped, read by pool workers
 }
 
@@ -126,6 +133,9 @@ func NewRuntime(cfg Config, nodes []Node, adv Adversary) (*Runtime, error) {
 		lockstep: lockstep,
 		faulty:   faulty,
 	}
+	if cfg.SparseWorkers < 0 {
+		return nil, fmt.Errorf("netsim: SparseWorkers=%d cannot be negative", cfg.SparseWorkers)
+	}
 	if cfg.Sparse {
 		if !lockstep {
 			return nil, ErrSparseNet
@@ -138,8 +148,11 @@ func NewRuntime(cfg Config, nodes []Node, adv Adversary) (*Runtime, error) {
 		}
 		// No per-node buffers, no status/corruption bookkeeping: the
 		// passive-only contract means every node is forever honest.
-		rt.sparse = newSparseState()
+		rt.sparse = newSparseState(cfg.N, cfg.SparseWorkers)
 		return rt, nil
+	}
+	if cfg.SparseWorkers != 0 {
+		return nil, ErrSparseWorkers
 	}
 	rt.status = make([]types.Status, cfg.N)
 	rt.corruptAt = make([]int, cfg.N)
@@ -220,8 +233,11 @@ func (rt *Runtime) RunCtx(ctx context.Context) (*Result, error) {
 	}
 
 	if rt.cfg.Parallel {
-		rt.pool = newWorkerPool(runtime.GOMAXPROCS(0), rt.stepOne)
-		defer rt.pool.close()
+		rt.pool = harness.NewPool(runtime.GOMAXPROCS(0), rt.stepOne)
+		defer rt.pool.Close()
+	} else if rt.sparse != nil && rt.sparse.workers > 1 {
+		rt.pool = harness.NewPool(rt.sparse.workers, rt.stepSparseShard)
+		defer rt.pool.Close()
 	}
 
 	round := 0
@@ -259,9 +275,9 @@ func (rt *Runtime) stepRound(round int) (done bool) {
 			if rt.status[i] != types.Honest || rt.nodes[i].Halted() {
 				continue
 			}
-			rt.pool.do(i)
+			rt.pool.Do(i)
 		}
-		rt.pool.wait()
+		rt.pool.Wait()
 	} else {
 		for i := 0; i < n; i++ {
 			if rt.status[i] != types.Honest || rt.nodes[i].Halted() {
@@ -529,7 +545,10 @@ func (rt *Runtime) collect(rounds int) *Result {
 		res.Corrupt[i] = rt.status != nil && rt.status[i] == types.Corrupt
 	}
 	if rt.sparse != nil {
-		res.Sparse = &SparseStats{SendsPerRound: rt.sparse.traffic.Summary()}
+		res.Sparse = &SparseStats{
+			SendsPerRound: rt.sparse.traffic.Summary(),
+			Workers:       rt.sparse.workers,
+		}
 	}
 	return res
 }
@@ -591,41 +610,3 @@ func (m *Metrics) DecodeFrom(r *wire.Reader) {
 	m.HonestMessages = int(r.U64())
 	m.HonestMessageBytes = int(r.U64())
 }
-
-// workerPool is a persistent pool of stepping goroutines. The previous
-// engine spawned one goroutine per node per round — at n = 1000 that is a
-// thousand goroutine launches per round dominating parallel runs; the pool
-// starts GOMAXPROCS workers once per execution and feeds them node indices.
-type workerPool struct {
-	tasks chan int
-	wg    sync.WaitGroup
-	run   func(i int)
-}
-
-func newWorkerPool(workers int, run func(i int)) *workerPool {
-	if workers < 1 {
-		workers = 1
-	}
-	p := &workerPool{tasks: make(chan int, 4*workers), run: run}
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range p.tasks {
-				p.run(i)
-				p.wg.Done()
-			}
-		}()
-	}
-	return p
-}
-
-// do schedules node i; pair every batch of do calls with one wait.
-func (p *workerPool) do(i int) {
-	p.wg.Add(1)
-	p.tasks <- i
-}
-
-// wait blocks until all scheduled tasks have finished.
-func (p *workerPool) wait() { p.wg.Wait() }
-
-// close shuts the workers down; the pool must be idle.
-func (p *workerPool) close() { close(p.tasks) }

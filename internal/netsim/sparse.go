@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"errors"
+	"runtime"
 
 	"ccba/internal/stats"
 	"ccba/internal/types"
@@ -19,9 +20,9 @@ import (
 // idle million-node network still pays ~100 bytes of slice headers per
 // node per data structure. The sparse path drops every per-node buffer:
 // per-round state is exactly the traffic — one shared multicast list, a
-// map of the (few) recipients that got unicasts, and a single reused merge
-// scratch. Memory is dominated by what was actually sent (O(committee)
-// messages per round for the subquadratic protocols), not by n.
+// map of the (few) recipients that got unicasts, and per-shard scratch.
+// Memory is dominated by what was actually sent (O(committee) messages per
+// round for the subquadratic protocols), not by n.
 //
 // The price is generality, enforced at construction:
 //
@@ -29,21 +30,27 @@ import (
 //     lists per future round, which is exactly the shape being avoided);
 //   - passive adversary only (the envelope window hands the adversary a
 //     materialised view of every in-flight message; sparse rounds never
-//     build one);
-//   - serial stepping only (Parallel's per-node send slots are an n-sized
-//     buffer; the serial loop appends each node's sends directly into the
-//     next round's delivery lists).
+//     build one).
 //
 // Within that regime the path is observationally equivalent to the dense
 // engine: same per-node delivery slices in the same order, same metrics,
 // same round count, same outputs. The equivalence is pinned by the golden
 // tests in sparse_test.go and at the repository root.
+//
+// Stepping within a round is sharded: node IDs are partitioned into
+// Config.SparseWorkers contiguous ranges, each stepped by a pool worker
+// into private send lists, which a serial merge then concatenates in shard
+// order — reproducing the exact envelope order the serial loop produces,
+// so results are byte-identical for every worker count. The merge can be
+// serial because it only moves pointers: the expensive work (crypto
+// verification, protocol state transitions) happens inside the shards.
 
 // Sparse-mode construction errors.
 var (
 	ErrSparseNet       = errors.New("netsim: sparse engine requires the delta-one lockstep model")
 	ErrSparseAdversary = errors.New("netsim: sparse engine requires a passive adversary (the envelope window would materialise per-round state)")
-	ErrSparseParallel  = errors.New("netsim: sparse engine steps nodes serially; Parallel is not supported")
+	ErrSparseParallel  = errors.New("netsim: sparse engine does not use Parallel; shard stepping is configured via SparseWorkers")
+	ErrSparseWorkers   = errors.New("netsim: SparseWorkers requires Sparse")
 )
 
 // SparseStats is the sparse path's online execution telemetry, accumulated
@@ -52,10 +59,34 @@ type SparseStats struct {
 	// SendsPerRound summarises the number of messages sent per round
 	// (multicasts and unicasts each counted once, before fan-out).
 	SendsPerRound stats.StreamSummary `json:"sends_per_round"`
+	// Workers is the resolved shard-stepping worker count.
+	Workers int `json:"workers"`
+}
+
+// sparseExtra is a unicast recorded by a shard: its position is relative
+// to the shard's own multicast list and is rebased to the global list by
+// the serial merge.
+type sparseExtra struct {
+	at int
+	to types.NodeID
+	d  Delivered
+}
+
+// sparseShard is one worker's slice of a round: the nodes [lo, hi) it
+// steps and the private buffers their sends accumulate into. All buffers
+// are reused across rounds.
+type sparseShard struct {
+	lo, hi  int
+	shared  []Delivered   // this shard's multicasts, in node-id order
+	extras  []sparseExtra // this shard's unicasts, in node-id order
+	merge   []Delivered   // per-shard inbox merge scratch
+	metrics Metrics
+	sent    int
+	done    bool
 }
 
 // sparseState is the whole per-execution state of the sparse delivery
-// engine. Everything here is sized by traffic, not by n.
+// engine. Everything here is sized by traffic and worker count, not by n.
 type sparseState struct {
 	// curShared is the multicast list every node's round-r inbox aliases;
 	// nextShared accumulates round r's sends for delivery at r+1. The two
@@ -63,54 +94,82 @@ type sparseState struct {
 	curShared, nextShared []Delivered
 	// curExtras/nextExtras hold per-recipient unicast deliveries, keyed by
 	// the (few) recipients that have any; extraEntry.at positions them
-	// against the shared list exactly as the dense merge does.
+	// against the shared list exactly as the dense merge does. curExtras
+	// is read-only while shards step (concurrent reads are safe); all
+	// writes happen in the serial merge.
 	curExtras, nextExtras map[types.NodeID]extraList
-	// merge is the single scratch buffer recipients with extras are merged
-	// into; inbox slices are only valid during the round they belong to
-	// (the documented Node contract), so one buffer serves all nodes.
-	merge []Delivered
+	// shards partition the node IDs into contiguous ranges, one per
+	// worker.
+	shards  []sparseShard
+	workers int
 	// traffic streams the per-round send counts behind SparseStats.
 	traffic stats.Stream
 }
 
-func newSparseState() *sparseState {
-	return &sparseState{
+// newSparseState resolves the worker count (0 = GOMAXPROCS, clamped to
+// [1, n]) and carves the ID space into contiguous shards.
+func newSparseState(n, workers int) *sparseState {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &sparseState{
 		curExtras:  make(map[types.NodeID]extraList),
 		nextExtras: make(map[types.NodeID]extraList),
+		workers:    workers,
 	}
+	size := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		s.shards = append(s.shards, sparseShard{lo: lo, hi: hi})
+	}
+	return s
 }
 
 // sparseStepRound executes one round on the sparse path; like the dense
-// stepRound it returns true when every node has halted. Nodes are stepped
-// in id order — the same order the dense engine wraps sends into the
-// envelope list — so delivery order, metrics, and decisions match the
-// dense path exactly.
+// stepRound it returns true when every node has halted. Shards step
+// concurrently into private buffers; the serial merge below concatenates
+// them in shard order, which — shards being contiguous ID ranges stepped
+// in node-id order — reproduces exactly the delivery order of a serial
+// loop over all n nodes.
 func (rt *Runtime) sparseStepRound(round int) (done bool) {
-	n := rt.cfg.N
 	s := rt.sparse
+	rt.curRound = round
+	if rt.pool != nil {
+		for k := range s.shards {
+			rt.pool.Do(k)
+		}
+		rt.pool.Wait()
+	} else {
+		for k := range s.shards {
+			rt.stepSparseShard(k)
+		}
+	}
+
+	// Serial merge: rebase each shard's send lists onto the global ones.
+	// Unicast positions recorded relative to the shard's multicast list
+	// shift by the number of multicasts all earlier shards contributed.
 	sent := 0
 	done = true
-	for i := 0; i < n; i++ {
-		if rt.nodes[i].Halted() {
-			continue
+	for k := range s.shards {
+		sh := &s.shards[k]
+		base := len(s.nextShared)
+		s.nextShared = append(s.nextShared, sh.shared...)
+		for _, ex := range sh.extras {
+			s.nextExtras[ex.to] = append(s.nextExtras[ex.to],
+				extraEntry{at: base + ex.at, d: ex.d})
 		}
-		inbox := s.curShared
-		if ex, ok := s.curExtras[types.NodeID(i)]; ok {
-			inbox = s.mergeInbox(ex)
-		}
-		sends := rt.nodes[i].Step(round, inbox)
-		sent += len(sends)
-		for _, send := range sends {
-			rt.metrics.CountSend(send.To, n, wire.Size(send.Msg))
-			d := Delivered{From: types.NodeID(i), Msg: send.Msg}
-			if send.To == types.Broadcast {
-				s.nextShared = append(s.nextShared, d)
-			} else if int(send.To) >= 0 && int(send.To) < n {
-				s.nextExtras[send.To] = append(s.nextExtras[send.To],
-					extraEntry{at: len(s.nextShared), d: d})
-			}
-		}
-		if !rt.nodes[i].Halted() {
+		rt.metrics.Add(sh.metrics)
+		sent += sh.sent
+		if !sh.done {
 			done = false
 		}
 	}
@@ -125,18 +184,59 @@ func (rt *Runtime) sparseStepRound(round int) (done bool) {
 	return done
 }
 
+// stepSparseShard advances every live node of shard k through the current
+// round, accumulating sends and metrics into the shard's private buffers.
+// It is the sparse pool's task body; it writes only shard-k state, reads
+// only immutable round inputs (curShared, curExtras), and steps nodes in
+// id order — the invariants the deterministic merge rests on.
+func (rt *Runtime) stepSparseShard(k int) {
+	s := rt.sparse
+	sh := &s.shards[k]
+	sh.shared = sh.shared[:0]
+	sh.extras = sh.extras[:0]
+	sh.metrics = Metrics{}
+	sh.sent = 0
+	sh.done = true
+	n := rt.cfg.N
+	for i := sh.lo; i < sh.hi; i++ {
+		if rt.nodes[i].Halted() {
+			continue
+		}
+		inbox := s.curShared
+		if ex, ok := s.curExtras[types.NodeID(i)]; ok {
+			inbox = sh.mergeInbox(s.curShared, ex)
+		}
+		sends := rt.nodes[i].Step(rt.curRound, inbox)
+		sh.sent += len(sends)
+		for _, send := range sends {
+			sh.metrics.CountSend(send.To, n, wire.Size(send.Msg))
+			d := Delivered{From: types.NodeID(i), Msg: send.Msg}
+			if send.To == types.Broadcast {
+				sh.shared = append(sh.shared, d)
+			} else if int(send.To) >= 0 && int(send.To) < n {
+				sh.extras = append(sh.extras, sparseExtra{at: len(sh.shared), to: send.To, d: d})
+			}
+		}
+		if !rt.nodes[i].Halted() {
+			sh.done = false
+		}
+	}
+}
+
 // mergeInbox interleaves a recipient's extras into the shared multicast
 // list at their recorded positions — the same merge the dense engine runs
-// per recipient, here into the one shared scratch buffer.
-func (s *sparseState) mergeInbox(ex extraList) []Delivered {
-	buf := s.merge[:0]
+// per recipient, here into the shard's scratch buffer (per-shard, because
+// shards merge concurrently; inbox slices are only valid during the Step
+// call they were built for, per the Node contract).
+func (sh *sparseShard) mergeInbox(shared []Delivered, ex extraList) []Delivered {
+	buf := sh.merge[:0]
 	si := 0
 	for _, en := range ex {
-		buf = append(buf, s.curShared[si:en.at]...)
+		buf = append(buf, shared[si:en.at]...)
 		si = en.at
 		buf = append(buf, en.d)
 	}
-	buf = append(buf, s.curShared[si:]...)
-	s.merge = buf
+	buf = append(buf, shared[si:]...)
+	sh.merge = buf
 	return buf
 }

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"ccba/internal/types"
+)
+
+// The tests in this file pin the sharded sparse stepping path: node IDs
+// are partitioned into contiguous shards stepped by a worker pool, and the
+// serial shard-order merge must reproduce the serial engine's delivery
+// order, metrics, and outputs byte-for-byte at every worker count.
+
+// sparseWorkerCounts is the sweep every equivalence claim here runs over:
+// serial, even and odd splits, more workers than shards can use, and far
+// more workers than nodes (clamped).
+var sparseWorkerCounts = []int{1, 2, 3, 4, 7, 64}
+
+// TestSparseShardPartition pins the shard-carving arithmetic: contiguous,
+// disjoint, covering, and clamped to [1, n].
+func TestSparseShardPartition(t *testing.T) {
+	cases := []struct{ n, workers, wantWorkers int }{
+		{10, 1, 1},
+		{10, 3, 3},
+		{10, 10, 10},
+		{10, 64, 10}, // clamped to n
+		{1, 4, 1},
+		{1_000, 8, 8},
+	}
+	for _, tc := range cases {
+		s := newSparseState(tc.n, tc.workers)
+		if s.workers != tc.wantWorkers {
+			t.Errorf("n=%d workers=%d: resolved %d, want %d", tc.n, tc.workers, s.workers, tc.wantWorkers)
+		}
+		next := 0
+		for k, sh := range s.shards {
+			if sh.lo != next || sh.hi <= sh.lo {
+				t.Fatalf("n=%d workers=%d: shard %d = [%d,%d) after %d", tc.n, tc.workers, k, sh.lo, sh.hi, next)
+			}
+			next = sh.hi
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d workers=%d: shards cover [0,%d), want [0,%d)", tc.n, tc.workers, next, tc.n)
+		}
+	}
+	if s := newSparseState(10, 0); s.workers < 1 {
+		t.Fatalf("workers=0 resolved to %d", s.workers)
+	}
+}
+
+// TestSparseShardDeliveryEquivalence runs the hostile unicast/multicast
+// mix — including unicasts that cross shard boundaries in both directions,
+// self-unicasts, and out-of-range recipients — at every worker count and
+// requires per-recipient delivery sequences, metrics, and rounds identical
+// to the serial sparse run.
+func TestSparseShardDeliveryEquivalence(t *testing.T) {
+	const n = 9
+	scripts := map[int][]Send{
+		0: {
+			Multicast(markMsg{Tag: 10}),
+			Unicast(8, markMsg{Tag: 11}), // first shard → last shard
+			Multicast(markMsg{Tag: 12}),
+		},
+		2: {
+			Unicast(2, markMsg{Tag: 20}),  // self-unicast
+			Unicast(17, markMsg{Tag: 21}), // out of range: dropped, still counted
+		},
+		4: {
+			Unicast(1, markMsg{Tag: 40}), // middle shard → first shard
+			Multicast(markMsg{Tag: 41}),
+		},
+		8: {
+			Unicast(0, markMsg{Tag: 80}), // last shard → first shard
+			Multicast(markMsg{Tag: 81}),
+		},
+	}
+	runAt := func(workers int) ([]*scriptNode, *Result) {
+		nodes := make([]Node, n)
+		sn := make([]*scriptNode, n)
+		for i := range nodes {
+			sn[i] = &scriptNode{script: scripts[i], rounds: 1}
+			nodes[i] = sn[i]
+		}
+		rt, err := NewRuntime(Config{N: n, F: 2, MaxRounds: 5, Sparse: true, SparseWorkers: workers}, nodes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sn, rt.Run()
+	}
+
+	refNodes, refRes := runAt(1)
+	for _, w := range sparseWorkerCounts[1:] {
+		gotNodes, gotRes := runAt(w)
+		for i := 0; i < n; i++ {
+			if r, g := tags(refNodes[i].got), tags(gotNodes[i].got); !equalU32(r, g) {
+				t.Errorf("workers=%d node %d: serial delivered %v, sharded delivered %v", w, i, r, g)
+			}
+		}
+		if refRes.Metrics != gotRes.Metrics {
+			t.Errorf("workers=%d: metrics %+v, want %+v", w, gotRes.Metrics, refRes.Metrics)
+		}
+		if refRes.Rounds != gotRes.Rounds {
+			t.Errorf("workers=%d: rounds %d, want %d", w, gotRes.Rounds, refRes.Rounds)
+		}
+	}
+}
+
+// TestSparseShardMultiRoundEquivalence sweeps worker counts over a
+// multi-round protocol and requires outputs, decisions, halts, rounds,
+// metrics, and traffic telemetry identical to the serial sparse run.
+func TestSparseShardMultiRoundEquivalence(t *testing.T) {
+	input := func(i int) types.Bit { return types.BitFromBool(i%3 != 0) }
+	runAt := func(workers int) *Result {
+		rt, err := NewRuntime(Config{N: 40, F: 5, MaxRounds: 20, Sparse: true, SparseWorkers: workers},
+			echoNodes(40, 4, input), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Run()
+	}
+	ref := runAt(1)
+	if ref.Sparse == nil || ref.Sparse.Workers != 1 {
+		t.Fatalf("serial sparse telemetry missing or wrong: %+v", ref.Sparse)
+	}
+	for _, w := range sparseWorkerCounts[1:] {
+		got := runAt(w)
+		if got.Rounds != ref.Rounds || got.Metrics != ref.Metrics {
+			t.Fatalf("workers=%d: rounds/metrics (%d %+v), serial (%d %+v)", w, got.Rounds, got.Metrics, ref.Rounds, ref.Metrics)
+		}
+		for i := range ref.Outputs {
+			if got.Outputs[i] != ref.Outputs[i] || got.Decided[i] != ref.Decided[i] || got.Halted[i] != ref.Halted[i] {
+				t.Fatalf("workers=%d node %d: (%v,%v,%v), serial (%v,%v,%v)", w, i,
+					got.Outputs[i], got.Decided[i], got.Halted[i],
+					ref.Outputs[i], ref.Decided[i], ref.Halted[i])
+			}
+		}
+		if got.Sparse.SendsPerRound != ref.Sparse.SendsPerRound {
+			t.Fatalf("workers=%d: traffic summary %+v, serial %+v", w, got.Sparse.SendsPerRound, ref.Sparse.SendsPerRound)
+		}
+	}
+}
+
+// TestSparseWorkersRejections pins the knob's domain: dense runs have
+// Parallel, not SparseWorkers, and negative counts are nonsense.
+func TestSparseWorkersRejections(t *testing.T) {
+	nodes := func() []Node { return echoNodes(4, 2, allZero) }
+	if _, err := NewRuntime(Config{N: 4, F: 1, SparseWorkers: 2}, nodes(), nil); !errors.Is(err, ErrSparseWorkers) {
+		t.Fatalf("dense + SparseWorkers: err = %v, want %v", err, ErrSparseWorkers)
+	}
+	if _, err := NewRuntime(Config{N: 4, F: 1, Sparse: true, SparseWorkers: -1}, nodes(), nil); err == nil {
+		t.Fatal("negative SparseWorkers accepted")
+	}
+}

@@ -56,6 +56,11 @@ type Config struct {
 	// truncation instead of reallocated every epoch, so a node's footprint
 	// stays bounded by the committee size across all R epochs.
 	Compact bool
+	// Intern, when non-nil, binds every node's ACK sets to a per-run
+	// intern table so nodes with identical receive-histories share one
+	// copy-on-divergence backing array (DESIGN.md §6). Behaviour is
+	// bit-identical with or without it.
+	Intern *attest.Interner
 }
 
 // Rounds returns the total number of synchronous rounds the protocol runs:
@@ -129,6 +134,10 @@ func New(cfg Config, id types.NodeID, input types.Bit) (*Node, error) {
 	if cfg.Sampled {
 		n.miner = cfg.Suite.Miner(id)
 		n.verif = cfg.Suite.Verifier()
+	}
+	if cfg.Intern != nil {
+		n.acks[0].Bind(cfg.Intern)
+		n.acks[1].Bind(cfg.Intern)
 	}
 	return n, nil
 }
@@ -246,7 +255,7 @@ func (n *Node) ack(epoch uint32) []netsim.Send {
 	// Reset the ACK tallies for this epoch before votes arrive. Compact
 	// nodes recycle the backing arrays; the sets are never exported, so
 	// truncation is as good as a fresh pair.
-	if n.cfg.Compact {
+	if n.cfg.Compact || n.cfg.Intern != nil {
 		n.acks[0].Reset()
 		n.acks[1].Reset()
 	} else {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ccba/internal/attest"
 	"ccba/internal/broadcast"
 	"ccba/internal/chenmicali"
 	"ccba/internal/committee"
@@ -84,11 +85,21 @@ func coreSuite(cfg Config) (fmine.Suite, func(types.NodeID) any, error) {
 		suite = newIdeal(cfg, probs)
 	case Real:
 		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
-		suite = fmine.NewReal(pub, secrets, probs)
+		suite = newReal(cfg, pub, secrets, probs)
 	default:
 		return nil, nil, fmt.Errorf("scenario: unknown crypto mode %q", cfg.Crypto)
 	}
 	return suite, func(id types.NodeID) any { return suite.Miner(id) }, nil
+}
+
+// newInterner builds the per-run attestation intern table when the config
+// asks for one (Config.Intern; defaulted on under Sparse). One table per
+// execution: sharing is an execution-scoped property, never cross-trial.
+func newInterner(cfg Config) *attest.Interner {
+	if !cfg.Intern {
+		return nil
+	}
+	return attest.NewInterner()
 }
 
 // newIdeal builds the F_mine ideal functionality for a config: the lean
@@ -102,13 +113,24 @@ func newIdeal(cfg Config, probs fmine.ProbFunc) *fmine.Ideal {
 	return fmine.NewIdeal(cfg.Seed, probs)
 }
 
+// newReal is newIdeal's real-crypto twin: the bounded verify cache on the
+// sparse large-N path, the full memo — exact-semantics cache behaviour the
+// adversarial suites lean on — otherwise. The two answer verify
+// identically; lean eviction only trades memory for re-verification.
+func newReal(cfg Config, pub *pki.Public, secrets []pki.Secret, probs fmine.ProbFunc) *fmine.Real {
+	if cfg.Sparse {
+		return fmine.NewRealLean(pub, secrets, probs)
+	}
+	return fmine.NewReal(pub, secrets, probs)
+}
+
 func init() {
 	RegisterProtocol(Core, func(cfg Config) ([]netsim.Node, func(types.NodeID) any, int, error) {
 		suite, seize, err := coreSuite(cfg)
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		ccfg := core.Config{N: cfg.N, F: cfg.F, Lambda: cfg.Lambda, MaxIters: cfg.MaxIters, Suite: suite, Compact: cfg.Sparse}
+		ccfg := core.Config{N: cfg.N, F: cfg.F, Lambda: cfg.Lambda, MaxIters: cfg.MaxIters, Suite: suite, Compact: cfg.Sparse, Intern: newInterner(cfg)}
 		nodes, err := core.NewNodes(ccfg, cfg.Inputs)
 		return nodes, seize, ccfg.Rounds(), err
 	})
@@ -118,7 +140,7 @@ func init() {
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		ccfg := core.Config{N: cfg.N, F: cfg.F, Lambda: cfg.Lambda, MaxIters: cfg.MaxIters, Suite: suite, Compact: cfg.Sparse}
+		ccfg := core.Config{N: cfg.N, F: cfg.F, Lambda: cfg.Lambda, MaxIters: cfg.MaxIters, Suite: suite, Compact: cfg.Sparse, Intern: newInterner(cfg)}
 		nodes, err := broadcast.NewNodes(cfg.N, cfg.Sender, cfg.SenderInput,
 			func(id types.NodeID, input types.Bit) (netsim.Node, error) { return core.New(ccfg, id, input) })
 		return nodes, seize, ccfg.Rounds() + 1, err
@@ -135,7 +157,7 @@ func init() {
 	})
 
 	RegisterProtocol(PhaseKingPlain, func(cfg Config) ([]netsim.Node, func(types.NodeID) any, int, error) {
-		pcfg := phaseking.Config{N: cfg.N, Epochs: cfg.Epochs, CoinSeed: cfg.Seed, Compact: cfg.Sparse}
+		pcfg := phaseking.Config{N: cfg.N, Epochs: cfg.Epochs, CoinSeed: cfg.Seed, Compact: cfg.Sparse, Intern: newInterner(cfg)}
 		nodes, err := phaseking.NewNodes(pcfg, cfg.Inputs)
 		return nodes, nil, pcfg.Rounds() + 1, err
 	})
@@ -144,11 +166,11 @@ func init() {
 		suite := fmine.Suite(newIdeal(cfg, phaseking.Probabilities(cfg.N, cfg.Lambda)))
 		if cfg.Crypto == Real {
 			pub, secrets := pki.Setup(cfg.N, cfg.Seed)
-			suite = fmine.NewReal(pub, secrets, phaseking.Probabilities(cfg.N, cfg.Lambda))
+			suite = newReal(cfg, pub, secrets, phaseking.Probabilities(cfg.N, cfg.Lambda))
 		}
 		pcfg := phaseking.Config{
 			N: cfg.N, Epochs: cfg.Epochs, Sampled: true, Lambda: cfg.Lambda,
-			Suite: suite, CoinSeed: cfg.Seed, Compact: cfg.Sparse,
+			Suite: suite, CoinSeed: cfg.Seed, Compact: cfg.Sparse, Intern: newInterner(cfg),
 		}
 		nodes, err := phaseking.NewNodes(pcfg, cfg.Inputs)
 		return nodes, func(id types.NodeID) any { return suite.Miner(id) }, pcfg.Rounds() + 1, err
@@ -158,7 +180,7 @@ func init() {
 		pub, secrets := pki.Setup(cfg.N, cfg.Seed)
 		suite := fmine.Suite(fmine.NewIdeal(cfg.Seed, chenmicali.Probabilities(cfg.N, cfg.Lambda)))
 		if cfg.Crypto == Real {
-			suite = fmine.NewReal(pub, secrets, chenmicali.Probabilities(cfg.N, cfg.Lambda))
+			suite = newReal(cfg, pub, secrets, chenmicali.Probabilities(cfg.N, cfg.Lambda))
 		}
 		mcfg := chenmicali.Config{
 			N: cfg.N, Epochs: cfg.Epochs, Lambda: cfg.Lambda, Erasure: cfg.Erasure,

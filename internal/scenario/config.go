@@ -128,9 +128,23 @@ type Config struct {
 	// committee-sampled protocols, so executions with N in the 10⁵–10⁶
 	// range fit comfortably in memory. Observationally equivalent to the
 	// dense engine on the configurations it accepts; restricted to the
-	// delta-one lockstep model with a passive adversary and serial
-	// stepping (validate rejects anything else).
+	// delta-one lockstep model with a passive adversary (validate rejects
+	// anything else). Node stepping within a sparse round is sharded
+	// across SparseWorkers goroutines with deterministic reassembly.
 	Sparse bool
+	// SparseWorkers is the worker count for sharded sparse stepping
+	// (DESIGN.md §6): node IDs are partitioned into contiguous shards,
+	// stepped concurrently, and the per-shard send lists merged back into
+	// canonical envelope order, so results are byte-identical for every
+	// worker count. 0 defaults to GOMAXPROCS; 1 steps serially. Only valid
+	// with Sparse.
+	SparseWorkers int
+	// Intern enables copy-on-divergence interning of attestation state
+	// (DESIGN.md §6): all nodes of a run bind their attestation sets to
+	// one per-run intern table, so honest-identical histories share
+	// O(committee) storage instead of O(N·committee). Bit-identical to
+	// owned storage; defaults on under Sparse, opt-in otherwise.
+	Intern bool
 
 	// Net selects the network model (default NetDeltaOne).
 	Net NetName
@@ -197,8 +211,14 @@ func (c *Config) validate() error {
 			return fmt.Errorf("scenario: Sparse requires a passive adversary (the envelope window would materialise per-round state)")
 		}
 		if c.Parallel {
-			return fmt.Errorf("scenario: Sparse steps nodes serially; drop Parallel")
+			return fmt.Errorf("scenario: Sparse steps nodes serially; drop Parallel (sharded sparse stepping is configured via SparseWorkers)")
 		}
+	}
+	if c.SparseWorkers < 0 {
+		return fmt.Errorf("scenario: SparseWorkers=%d cannot be negative", c.SparseWorkers)
+	}
+	if c.SparseWorkers != 0 && !c.Sparse {
+		return fmt.Errorf("scenario: SparseWorkers=%d without Sparse; sharded stepping is a sparse-engine feature", c.SparseWorkers)
 	}
 	return c.validateNet()
 }
@@ -295,6 +315,13 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Net == NetPartition && c.PartitionRounds == 0 {
 		c.PartitionRounds = 2 * c.Delta
+	}
+	if c.Sparse {
+		// The sparse path exists for large N, where per-node attestation
+		// copies are the dominant memory term; interning is what makes the
+		// 10⁶ budget hold, so it is the sparse default rather than a knob
+		// to forget.
+		c.Intern = true
 	}
 }
 

@@ -55,10 +55,11 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	rt, err := netsim.NewRuntime(netsim.Config{
 		N: cfg.N, F: cfg.F, MaxRounds: maxRounds,
-		Seize:    seize,
-		Net:      net,
-		Parallel: cfg.Parallel,
-		Sparse:   cfg.Sparse,
+		Seize:         seize,
+		Net:           net,
+		Parallel:      cfg.Parallel,
+		Sparse:        cfg.Sparse,
+		SparseWorkers: cfg.SparseWorkers,
 	}, nodes, cfg.Adversary)
 	if err != nil {
 		return nil, err

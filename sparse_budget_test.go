@@ -6,11 +6,14 @@ import (
 )
 
 // Memory-regression pins for the sparse large-N path at N = 10,000
-// (DESIGN.md §6). The budgets are ~2× the measured values at the time the
-// path was written — sparse core-ideal at n=10k measured ≈411k allocs,
-// ≈145 MB cumulative allocation, ≈110 MB post-run heap (dense: ≈501k
-// allocs, ≈175 MB) — so they fail on a reintroduced O(n)-per-round buffer
-// or materialised per-envelope history, not on runtime noise.
+// (DESIGN.md §6). The budgets are ~2× the measured values at the time they
+// were last tightened — post-interning sparse core-ideal at n=10k measures
+// ≈141k allocs, ≈11 MB cumulative allocation, ≈9 MB post-run heap (down
+// from ≈411k allocs / ≈145 MB before attestation interning; dense: ≈501k
+// allocs, ≈175 MB), and core-real ≈521k allocs / ≈39 MB cumulative with
+// the lean bounded verify cache — so they fail on a reintroduced
+// O(n)-per-round buffer, per-node attestation copies, or an unbounded
+// crypto memo, not on runtime noise.
 
 func sparse10kConfig() Config {
 	cfg := Config{Protocol: Core, N: 10_000, F: 3_000, Lambda: 40, Sparse: true}
@@ -18,21 +21,30 @@ func sparse10kConfig() Config {
 	return cfg
 }
 
+func sparseReal10kConfig() Config {
+	cfg := sparse10kConfig()
+	cfg.Crypto = Real
+	return cfg
+}
+
+func runBudgetCase(t *testing.T, cfg Config) {
+	t.Helper()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+	}
+}
+
 func TestSparseAllocBudgetN10k(t *testing.T) {
 	if testing.Short() {
 		t.Skip("10k-node run; skipped in -short")
 	}
 	cfg := sparse10kConfig()
-	allocs := testing.AllocsPerRun(1, func() {
-		rep, err := Run(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !rep.Ok() {
-			t.Fatalf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
-		}
-	})
-	const allocBudget = 900_000
+	allocs := testing.AllocsPerRun(1, func() { runBudgetCase(t, cfg) })
+	const allocBudget = 300_000
 	if allocs > allocBudget {
 		t.Errorf("sparse core-ideal n=10k: %.0f allocs/run, budget %d", allocs, allocBudget)
 	}
@@ -45,23 +57,45 @@ func TestSparseHeapBudgetN10k(t *testing.T) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	rep, err := Run(sparse10kConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	runBudgetCase(t, sparse10kConfig())
 	// Read immediately, before collecting the run's garbage: HeapAlloc here
 	// approximates the execution's high-water mark.
 	runtime.ReadMemStats(&after)
-	if !rep.Ok() {
-		t.Fatalf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
-	}
-	const totalBudget = 320 << 20 // cumulative allocation over the run
-	const heapBudget = 300 << 20  // post-run heap (uncollected)
+	const totalBudget = 24 << 20 // cumulative allocation over the run
+	const heapBudget = 20 << 20  // post-run heap (uncollected)
 	if total := after.TotalAlloc - before.TotalAlloc; total > totalBudget {
 		t.Errorf("sparse core-ideal n=10k allocated %d MB cumulative, budget %d MB", total>>20, totalBudget>>20)
 	}
 	if after.HeapAlloc > before.HeapAlloc && after.HeapAlloc-before.HeapAlloc > heapBudget {
 		t.Errorf("sparse core-ideal n=10k heap grew %d MB, budget %d MB", (after.HeapAlloc-before.HeapAlloc)>>20, heapBudget>>20)
+	}
+}
+
+// The real-crypto sparse path must stay within the same order of memory as
+// the ideal one: Ed25519 costs CPU, and the lean bounded verify cache plus
+// proof-sized tickets may cost a few× the coin table, but nothing may
+// reintroduce an O(n·rounds) or unbounded-memo term. This is the budget
+// that guards the E13 real-crypto sweep's feasibility at n ≥ 10⁵.
+func TestSparseRealBudgetN10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node real-crypto run; skipped in -short")
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	runBudgetCase(t, sparseReal10kConfig())
+	runtime.ReadMemStats(&after)
+	const allocBudget = 1_100_000
+	const totalBudget = 80 << 20
+	const heapBudget = 40 << 20
+	if allocs := after.Mallocs - before.Mallocs; allocs > allocBudget {
+		t.Errorf("sparse core-real n=10k: %d allocs/run, budget %d", allocs, allocBudget)
+	}
+	if total := after.TotalAlloc - before.TotalAlloc; total > totalBudget {
+		t.Errorf("sparse core-real n=10k allocated %d MB cumulative, budget %d MB", total>>20, totalBudget>>20)
+	}
+	if after.HeapAlloc > before.HeapAlloc && after.HeapAlloc-before.HeapAlloc > heapBudget {
+		t.Errorf("sparse core-real n=10k heap grew %d MB, budget %d MB", (after.HeapAlloc-before.HeapAlloc)>>20, heapBudget>>20)
 	}
 }
 
@@ -75,14 +109,8 @@ func TestSparseAllocatesLessThanDense(t *testing.T) {
 		runtime.GC()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
-		rep, err := Run(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
+		runBudgetCase(t, cfg)
 		runtime.ReadMemStats(&after)
-		if !rep.Ok() {
-			t.Fatalf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
-		}
 		return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
 	}
 	denseAllocs, denseBytes := measure(false)

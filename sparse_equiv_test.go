@@ -1,6 +1,7 @@
 package ccba
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -9,37 +10,49 @@ import (
 // layers of pinning:
 //
 //   - the PR1 fixed-seed goldens reproduce bit-for-bit under Sparse —
-//     same outputs digest, rounds, and all four metrics counters;
+//     same outputs digest, rounds, and all four metrics counters — at
+//     every sharded-stepping worker count (sparse runs default interning
+//     on, so this also pins interned ≡ owned attestation storage);
 //   - a sweep across every protocol (both crypto modes where relevant)
-//     compares a sparse run against a dense run of the same config.
+//     compares sparse runs at workers ∈ {1, 4} against a dense run of the
+//     same config.
+
+// sparseEquivWorkers are the worker counts the equivalence suite sweeps:
+// serial and a sharded split.
+var sparseEquivWorkers = []int{1, 4}
 
 func TestSparseMatchesGoldens(t *testing.T) {
 	for _, tc := range goldenCases {
-		t.Run(tc.name+"/sparse", func(t *testing.T) {
-			cfg := tc.cfg
-			cfg.Seed[0] = 7
-			cfg.Sparse = true
-			rep, err := Run(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !rep.Ok() {
-				t.Fatalf("violation: consistency=%v validity=%v termination=%v",
-					rep.Consistency, rep.Validity, rep.Termination)
-			}
-			if got := outputsDigest(rep); got != tc.outputs {
-				t.Errorf("outputs digest = %s, want %s", got, tc.outputs)
-			}
-			if rep.Rounds != tc.rounds {
-				t.Errorf("rounds = %d, want %d", rep.Rounds, tc.rounds)
-			}
-			if rep.Result.Metrics != tc.metrics {
-				t.Errorf("metrics = %+v, want %+v", rep.Result.Metrics, tc.metrics)
-			}
-			if rep.Result.Sparse == nil {
-				t.Errorf("sparse run missing telemetry")
-			}
-		})
+		for _, workers := range sparseEquivWorkers {
+			t.Run(fmt.Sprintf("%s/sparse-w%d", tc.name, workers), func(t *testing.T) {
+				cfg := tc.cfg
+				cfg.Seed[0] = 7
+				cfg.Sparse = true
+				cfg.SparseWorkers = workers
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Ok() {
+					t.Fatalf("violation: consistency=%v validity=%v termination=%v",
+						rep.Consistency, rep.Validity, rep.Termination)
+				}
+				if got := outputsDigest(rep); got != tc.outputs {
+					t.Errorf("outputs digest = %s, want %s", got, tc.outputs)
+				}
+				if rep.Rounds != tc.rounds {
+					t.Errorf("rounds = %d, want %d", rep.Rounds, tc.rounds)
+				}
+				if rep.Result.Metrics != tc.metrics {
+					t.Errorf("metrics = %+v, want %+v", rep.Result.Metrics, tc.metrics)
+				}
+				if rep.Result.Sparse == nil {
+					t.Errorf("sparse run missing telemetry")
+				} else if rep.Result.Sparse.Workers != workers {
+					t.Errorf("telemetry workers = %d, want %d", rep.Result.Sparse.Workers, workers)
+				}
+			})
+		}
 	}
 }
 
@@ -60,36 +73,40 @@ func TestSparseMatchesDenseAcrossProtocols(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			run := func(sparse bool) *Report {
+			run := func(sparse bool, workers int) *Report {
 				cfg := tc.cfg
 				cfg.Seed[0] = 11
 				cfg.Sparse = sparse
+				cfg.SparseWorkers = workers
 				rep, err := Run(cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
 				return rep
 			}
-			d, s := run(false), run(true)
-			if d.Rounds != s.Rounds || d.Result.Metrics != s.Result.Metrics {
-				t.Fatalf("rounds/metrics: dense %d %+v, sparse %d %+v",
-					d.Rounds, d.Result.Metrics, s.Rounds, s.Result.Metrics)
-			}
-			for i := range d.Outputs {
-				if d.Outputs[i] != s.Outputs[i] || d.Decided[i] != s.Decided[i] || d.Halted[i] != s.Halted[i] {
-					t.Fatalf("node %d: dense (%v,%v,%v) sparse (%v,%v,%v)", i,
-						d.Outputs[i], d.Decided[i], d.Halted[i],
-						s.Outputs[i], s.Decided[i], s.Halted[i])
+			d := run(false, 0)
+			for _, workers := range sparseEquivWorkers {
+				s := run(true, workers)
+				if d.Rounds != s.Rounds || d.Result.Metrics != s.Result.Metrics {
+					t.Fatalf("w%d: rounds/metrics: dense %d %+v, sparse %d %+v",
+						workers, d.Rounds, d.Result.Metrics, s.Rounds, s.Result.Metrics)
 				}
-			}
-			// The checker verdicts — streaming on the sparse path — must
-			// agree too.
-			if (d.Consistency == nil) != (s.Consistency == nil) ||
-				(d.Validity == nil) != (s.Validity == nil) ||
-				(d.Termination == nil) != (s.Termination == nil) {
-				t.Fatalf("checker verdicts differ: dense (%v,%v,%v) sparse (%v,%v,%v)",
-					d.Consistency, d.Validity, d.Termination,
-					s.Consistency, s.Validity, s.Termination)
+				for i := range d.Outputs {
+					if d.Outputs[i] != s.Outputs[i] || d.Decided[i] != s.Decided[i] || d.Halted[i] != s.Halted[i] {
+						t.Fatalf("w%d node %d: dense (%v,%v,%v) sparse (%v,%v,%v)", workers, i,
+							d.Outputs[i], d.Decided[i], d.Halted[i],
+							s.Outputs[i], s.Decided[i], s.Halted[i])
+					}
+				}
+				// The checker verdicts — streaming on the sparse path — must
+				// agree too.
+				if (d.Consistency == nil) != (s.Consistency == nil) ||
+					(d.Validity == nil) != (s.Validity == nil) ||
+					(d.Termination == nil) != (s.Termination == nil) {
+					t.Fatalf("w%d: checker verdicts differ: dense (%v,%v,%v) sparse (%v,%v,%v)",
+						workers, d.Consistency, d.Validity, d.Termination,
+						s.Consistency, s.Validity, s.Termination)
+				}
 			}
 		})
 	}
@@ -106,6 +123,8 @@ func TestSparseConfigRejections(t *testing.T) {
 		{"worst-case-net", func(c *Config) { c.Net = NetWorstCase; c.Delta = 2 }},
 		{"jitter-net", func(c *Config) { c.Net = NetJitter; c.Delta = 2 }},
 		{"parallel", func(c *Config) { c.Parallel = true }},
+		{"workers-without-sparse", func(c *Config) { c.Sparse = false; c.SparseWorkers = 4 }},
+		{"negative-workers", func(c *Config) { c.SparseWorkers = -1 }},
 		{"adversary", func(c *Config) {
 			adv, err := NewAdversary("silent", *c, 0)
 			if err != nil {
