@@ -41,8 +41,10 @@ import (
 	"context"
 	"fmt"
 
+	"ccba/internal/attest"
 	"ccba/internal/harness"
 	"ccba/internal/netsim"
+	"ccba/internal/obs"
 	"ccba/internal/scenario"
 	"ccba/internal/stats"
 	"ccba/internal/types"
@@ -141,6 +143,28 @@ const (
 	// NetPartition temporarily holds cross-partition links to Δ.
 	NetPartition = scenario.NetPartition
 )
+
+// Re-exported observability layer (DESIGN.md §10): deterministic
+// round-lifecycle tracing with canonical JSONL export, plus the attestation
+// intern table's sharing statistics surfaced on Report.Intern.
+type (
+	// Tracer receives the round-lifecycle event stream. Set Config.Tracer
+	// to trace an execution; the content is a pure function of (config,
+	// seed), identical for every worker count and — at Δ=1 — identical to a
+	// live chan-cluster trace of the same config.
+	Tracer = obs.Tracer
+	// TraceEvent is one round-lifecycle event.
+	TraceEvent = obs.Event
+	// TraceRecorder is the ring-buffered in-memory Tracer; its WriteJSONL
+	// emits the canonical export cmd/tracediff aligns on.
+	TraceRecorder = obs.Recorder
+	// InternStats is the attestation intern table's sharing telemetry.
+	InternStats = attest.InternStats
+)
+
+// NewTraceRecorder builds a ring-buffered trace recorder; capacity ≤ 0
+// selects the default (2²⁰ events).
+var NewTraceRecorder = obs.NewRecorder
 
 // Registry entry points, re-exported from internal/scenario.
 var (

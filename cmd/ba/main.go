@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		sparse        = fs.Bool("sparse", false, "memory-lean large-N engine path (delta-one, passive adversary); use for n ≥ ~10⁵")
 		sparseWorkers = fs.Int("sparse-workers", 0, "sparse shard-stepping worker count (0 = GOMAXPROCS, 1 = serial); results are byte-identical for every value")
 		asJSON        = fs.Bool("json", false, "emit the outcome as JSON")
+		traceFile     = fs.String("trace", "", "write the canonical round-event trace (JSONL, DESIGN.md §10) to this file; single runs only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,6 +177,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *trials > 1 {
+		if *traceFile != "" {
+			return fmt.Errorf("-trace records one execution; drop -trials or run them one seed at a time")
+		}
 		st, err := ccba.RunTrialsOpts(cfg, ccba.TrialOpts{
 			Trials:       *trials,
 			Workers:      *workers,
@@ -208,9 +212,19 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg.Adversary = newAdversary(0)
+	var rec *ccba.TraceRecorder
+	if *traceFile != "" {
+		rec = ccba.NewTraceRecorder(0)
+		cfg.Tracer = rec
+	}
 	rep, err := ccba.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := writeTrace(*traceFile, rec); err != nil {
+			return err
+		}
 	}
 	outputs := map[ccba.Bit]int{}
 	for _, id := range rep.ForeverHonest() {
@@ -230,6 +244,7 @@ func run(args []string, out io.Writer) error {
 			Rounds:     rep.Rounds,
 			Corrupted:  rep.NumCorrupt(),
 			Metrics:    rep.Result.Metrics,
+			Intern:     rep.Intern,
 			Ok:         rep.Ok(),
 			Violations: map[string]string{},
 		}
@@ -274,7 +289,10 @@ func netLabel(cfg ccba.Config) string {
 	return string(cfg.Net)
 }
 
-// singleRunJSON is the -json document for a single execution.
+// singleRunJSON is the -json document for a single execution. The intern
+// field appears only on interning runs (Sparse defaults it on); its counters
+// are deterministic per (config, seed), so sparse documents stay
+// byte-diffable across -sparse-workers values.
 type singleRunJSON struct {
 	Protocol   string            `json:"protocol"`
 	N          int               `json:"n"`
@@ -286,8 +304,22 @@ type singleRunJSON struct {
 	Rounds     int               `json:"rounds"`
 	Corrupted  int               `json:"corrupted"`
 	Metrics    ccba.Metrics      `json:"metrics"`
+	Intern     *ccba.InternStats `json:"intern,omitempty"`
 	Ok         bool              `json:"ok"`
 	Violations map[string]string `json:"violations"`
+}
+
+// writeTrace exports a recorder's canonical JSONL to path.
+func writeTrace(path string, rec *ccba.TraceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeJSON(w io.Writer, v any) error {

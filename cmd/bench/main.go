@@ -145,6 +145,11 @@ type Result struct {
 	PeakHeapBytes   uint64  `json:"peak_heap_bytes,omitempty"`
 	InstancesPerSec float64 `json:"instances_per_sec,omitempty"`
 	MsgsPerSec      float64 `json:"msgs_per_sec,omitempty"`
+	// Intern is the attestation intern table's sharing telemetry from a
+	// fixed-seed calibration run — sparse cases only, where interning
+	// defaults on. Like the cluster msgs/sec calibration, the fixed seed
+	// keeps the tracked counts comparable across PRs.
+	Intern *ccba.InternStats `json:"intern,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -215,6 +220,10 @@ func run(args []string) error {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", c.Name)
+		intern, err := calibrateIntern(c)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
 		r, peak := measure(singleRunBody(c.Cfg, c.AllowViolations), *benchtime)
 		rep.Results = append(rep.Results, Result{
 			Name:          c.Name,
@@ -225,6 +234,7 @@ func run(args []string) error {
 			GOMAXPROCS:    maxprocs,
 			Workers:       sparseWorkers(c.Cfg),
 			PeakHeapBytes: peak,
+			Intern:        intern,
 		})
 	}
 
@@ -336,6 +346,24 @@ func runCluster(c clusterCase, cfg ccba.Config) (*cluster.Report, error) {
 		return cluster.RunChaos(ctx, cfg, netw, *c.Chaos, c.Opts)
 	}
 	return cluster.Run(ctx, cfg, netw, c.Opts)
+}
+
+// calibrateIntern runs one fixed-seed execution of a sparse case and
+// returns the report's intern-table sharing stats; nil for dense cases,
+// which do not intern. The extra run is what keeps the measured loop free
+// of report plumbing.
+func calibrateIntern(c benchCase) (*ccba.InternStats, error) {
+	if !c.Cfg.Sparse {
+		return nil, nil
+	}
+	rep, err := ccba.Run(c.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Ok() && !c.AllowViolations {
+		return nil, fmt.Errorf("violation: %v %v %v", rep.Consistency, rep.Validity, rep.Termination)
+	}
+	return rep.Intern, nil
 }
 
 // calibrateCluster measures the classical message count of one fixed-seed

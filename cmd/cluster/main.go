@@ -47,6 +47,7 @@ import (
 
 	"ccba"
 	"ccba/internal/cluster"
+	"ccba/internal/obs"
 	"ccba/internal/transport"
 )
 
@@ -77,6 +78,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		peers         = fs.String("peers", "", "comma-separated list of all node addresses in node order (tcp)")
 		roundTimeout  = fs.Duration("round-timeout", 30*time.Second, "per-round barrier timeout for tcp (chan runs never need one)")
 		asJSON        = fs.Bool("json", false, "emit the outcome as JSON (same document as cmd/ba)")
+		traceFile     = fs.String("trace", "", "write the canonical round-event trace (JSONL, DESIGN.md §10) to this file; at Δ=1 without -round-interval it is byte-identical to cmd/ba -trace of the same config")
+		obsAddr       = fs.String("obs-addr", "", "serve live telemetry on this host:port — /debug/vars (expvar, the \"ccba\" var) and /debug/pprof; port 0 picks a free one")
+		obsLinger     = fs.Duration("obs-linger", 0, "keep the -obs-addr endpoint alive this long after the run, so scrapers (CI smoke jobs) can read final counters")
 
 		delta         = fs.Int("delta", 0, "synchronizer delivery bound Δ (0 = the chaos spec's Δ, else 1)")
 		roundInterval = fs.Duration("round-interval", 0, "soft per-round deadline; required when the chaos schedule delays traffic (Δ ≥ 2 reorder/jitter/partition holds)")
@@ -178,6 +182,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *transportName == "tcp" {
 		opts.RoundTimeout = *roundTimeout
 	}
+	var rec *ccba.TraceRecorder
+	if *traceFile != "" {
+		rec = ccba.NewTraceRecorder(0)
+		opts.Tracer = rec
+	}
+	if *obsAddr != "" {
+		tel := obs.NewTelemetry(cfg.N)
+		srv, err := obs.Serve(*obsAddr, tel)
+		if err != nil {
+			return fmt.Errorf("obs endpoint: %w", err)
+		}
+		defer srv.Close()
+		opts.Telemetry = tel
+		fmt.Fprintf(os.Stderr, "obs: serving /debug/vars and /debug/pprof/ on %s\n", srv.Addr())
+	}
 	// The JSON document's net/delta fields: a chaos run reports its injected
 	// schedule, a plain run the lockstep-equivalent ∆ = 1 delivery.
 	netName, deltaOut := string(ccba.NetDeltaOne), 1
@@ -250,7 +269,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if rec != nil {
+		if err := writeTrace(*traceFile, rec); err != nil {
+			return err
+		}
+	}
+	if *obsLinger > 0 {
+		// Hold the telemetry endpoint open so an external scraper can read
+		// the run's final counters and take a pprof profile.
+		time.Sleep(*obsLinger)
+	}
 	return report(out, cfg, rep, *seed, *transportName, netName, deltaOut, *asJSON)
+}
+
+// writeTrace exports a recorder's canonical JSONL to path.
+func writeTrace(path string, rec *ccba.TraceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // splitPeers parses the -peers list and checks it covers the cluster.
@@ -277,6 +319,7 @@ type singleRunJSON struct {
 	Rounds     int               `json:"rounds"`
 	Corrupted  int               `json:"corrupted"`
 	Metrics    ccba.Metrics      `json:"metrics"`
+	Intern     *ccba.InternStats `json:"intern,omitempty"`
 	Ok         bool              `json:"ok"`
 	Violations map[string]string `json:"violations"`
 }

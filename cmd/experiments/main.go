@@ -27,6 +27,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"time"
 
 	"ccba/internal/experiments"
 	"ccba/internal/harness"
@@ -53,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		delta     = fs.Int("delta", 0, "delivery bound Δ for the -net override")
 		asJSON    = fs.Bool("json", false, "emit machine-readable sweep aggregates as JSON instead of tables")
 		asCSV     = fs.Bool("csv", false, "emit sweep aggregates as CSV instead of tables")
+		progress  = fs.Bool("progress", false, "print periodic per-batch progress lines (trial i/N, ETA) to stderr; stdout artifacts are unaffected")
 		plotDir   = fs.String("plot-dir", "", "write gnuplot figure bundles (.gp scripts + .dat data) for the plotting experiments (e13, e14) into this directory; render with `gnuplot *.gp`")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,12 +72,16 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
+	var report func(done, total int)
+	if *progress {
+		report = newProgressReporter(os.Stderr)
+	}
 	opts := func(def int) experiments.Opts {
 		t := def
 		if *trials > 0 {
 			t = *trials
 		}
-		return experiments.Opts{Trials: t, Workers: *workers, Net: scenario.NetName(*net), Delta: *delta}
+		return experiments.Opts{Trials: t, Workers: *workers, Net: scenario.NetName(*net), Delta: *delta, Progress: report}
 	}
 
 	type gen struct {
@@ -142,6 +149,41 @@ func run(args []string, out io.Writer) error {
 		return harness.WriteCSV(out, sweeps)
 	}
 	return nil
+}
+
+// newProgressReporter returns a harness progress callback that prints
+// rate-limited "trial i/N" lines with an ETA extrapolated from the batch's
+// elapsed time. Generators run many scenario batches back to back through
+// the one callback; a completed-count that did not grow means a new batch
+// started, which resets the clock. Safe for the concurrent calls the
+// harness pool makes.
+func newProgressReporter(w io.Writer) func(done, total int) {
+	var (
+		mu       sync.Mutex
+		start    time.Time
+		lastLine time.Time
+		prevDone int
+	)
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if done <= prevDone || start.IsZero() {
+			start = now
+			lastLine = time.Time{}
+		}
+		prevDone = done
+		if done < total && now.Sub(lastLine) < time.Second {
+			return
+		}
+		lastLine = now
+		line := fmt.Sprintf("progress: trial %d/%d", done, total)
+		if elapsed := now.Sub(start); done < total && done > 0 && elapsed > 0 {
+			eta := elapsed / time.Duration(done) * time.Duration(total-done)
+			line += fmt.Sprintf(" (ETA %s)", eta.Round(time.Second))
+		}
+		fmt.Fprintln(w, line)
+	}
 }
 
 // writePlots materializes each figure bundle — the .gp script plus its data

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const traceA = `{"round":0,"node":0,"seq":0,"ev":"round_start"}
+{"round":0,"node":0,"seq":0,"ev":"mark","acked":1}
+{"round":0,"node":1,"seq":0,"ev":"round_start"}
+{"round":1,"node":0,"seq":0,"ev":"round_start"}
+{"round":1,"node":0,"seq":0,"ev":"decide","bit":1}
+`
+
+// traceB shares a three-event prefix with traceA, then decides a round early.
+const traceB = `{"round":0,"node":0,"seq":0,"ev":"round_start"}
+{"round":0,"node":0,"seq":0,"ev":"mark","acked":1}
+{"round":0,"node":1,"seq":0,"ev":"round_start"}
+{"round":0,"node":1,"seq":0,"ev":"decide","bit":1}
+{"round":1,"node":0,"seq":0,"ev":"round_start"}
+`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIdenticalTraces(t *testing.T) {
+	a := write(t, "a.jsonl", traceA)
+	b := write(t, "b.jsonl", traceA)
+	var out, errOut strings.Builder
+	if code := run([]string{a, b}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	if want := "traces identical (5 events)"; !strings.Contains(out.String(), want) {
+		t.Errorf("output %q missing %q", out.String(), want)
+	}
+}
+
+func TestDivergentTraces(t *testing.T) {
+	a := write(t, "a.jsonl", traceA)
+	b := write(t, "b.jsonl", traceB)
+	var out, errOut strings.Builder
+	if code := run([]string{a, b}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"traces diverge at event 4",
+		"round 1 node 0 round_start vs round 0 node 1 decide",
+		"shared prefix:",
+		`{"round":0,"node":1,"seq":0,"ev":"round_start"}`,
+		`> {"round":1,"node":0,"seq":0,"ev":"round_start"}`,
+		`> {"round":0,"node":1,"seq":0,"ev":"decide","bit":1}`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q\n%s", want, got)
+		}
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	a := write(t, "a.jsonl", traceA)
+	b := write(t, "b.jsonl", strings.Join(strings.SplitAfter(traceA, "\n")[:3], ""))
+	var out, errOut strings.Builder
+	if code := run([]string{a, b}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "traces diverge at event 4") || !strings.Contains(got, "<end of trace>") {
+		t.Errorf("truncation not reported:\n%s", got)
+	}
+}
+
+func TestUsageAndMissingFile(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"only-one.jsonl"}, &out, &errOut); code != 2 {
+		t.Errorf("one arg: exit code = %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/a.jsonl", "/nonexistent/b.jsonl"}, &out, &errOut); code != 2 {
+		t.Errorf("missing file: exit code = %d, want 2", code)
+	}
+}

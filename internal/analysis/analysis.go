@@ -28,7 +28,7 @@ type Analyzer struct {
 // this list; DESIGN.md §8 documents exactly this list (docs_test.go pins
 // the correspondence).
 func All() []*Analyzer {
-	return []*Analyzer{Detwalk, Metricsflow, Sizeexact, Powerbound, Ctxfirst, Directives}
+	return []*Analyzer{Detwalk, Metricsflow, Sizeexact, Powerbound, Ctxfirst, Obsguard, Directives}
 }
 
 // A Diagnostic is one finding, positioned for file:line:col display.

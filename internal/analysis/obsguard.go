@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Obsguard keeps tracing zero-cost when disabled: every emission in the
+// engines goes through the nil-guarded obs.Sink methods, whose disabled
+// path is a single branch. A direct Tracer.Emit call or a hand-built
+// obs.Event literal outside the obs package bypasses that guard — it either
+// panics on a nil tracer or silently re-states the per-kind field
+// conventions the Sink owns, which is exactly the drift that would break
+// the sim ≡ cluster trace equality (DESIGN.md §8, §10).
+var Obsguard = &Analyzer{
+	Name:      "obsguard",
+	Directive: "obs-ok",
+	Doc: "trace events are emitted only through the nil-guarded obs.Sink " +
+		"methods; direct Tracer.Emit calls and obs.Event literals outside obs " +
+		"bypass the disabled-path guard and the event field conventions",
+	Run: runObsguard,
+}
+
+const obsPath = "ccba/internal/obs"
+
+func runObsguard(p *Pass) {
+	if p.Pkg.Path() == obsPath {
+		return // the Sink implementation is the one blessed emitter
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.Info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath || fn.Name() != "Emit" {
+					return true
+				}
+				sig := fn.Type().(*types.Signature)
+				if sig.Recv() == nil {
+					return true
+				}
+				p.Reportf(n.Pos(), "direct %s.Emit call outside obs: emit through the nil-guarded obs.Sink methods so disabled tracing stays zero-cost",
+					recvTypeName(sig))
+			case *ast.CompositeLit:
+				if len(n.Elts) > 0 && isNamed(p.Info.TypeOf(n), obsPath, "Event") {
+					p.Reportf(n.Pos(), "obs.Event constructed outside obs: the Sink methods own the per-kind field conventions")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// recvTypeName names a method's receiver type for diagnostics.
+func recvTypeName(sig *types.Signature) string {
+	if named := namedType(sig.Recv().Type()); named != nil {
+		return named.Obj().Name()
+	}
+	return "Tracer"
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestObsguardFixture(t *testing.T) {
+	RunFixture(t, Obsguard, "ccba/internal/obsfix")
+}
+
+func TestObsguardInsideObs(t *testing.T) {
+	RunFixture(t, Obsguard, "ccba/internal/obs")
+}

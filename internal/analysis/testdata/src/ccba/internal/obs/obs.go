@@ -1,0 +1,52 @@
+// Package obs is a fixture stand-in for ccba/internal/obs: the event
+// record, the tracer interface, the nil-guarded sink, and the ring
+// recorder. Its own Sink bodies call t.Emit and build Event literals —
+// obsguard must stay silent inside the package.
+package obs
+
+import "ccba/internal/types"
+
+type EventKind uint8
+
+const (
+	EvRoundStart EventKind = 1 + iota
+	EvDecide
+)
+
+type Event struct {
+	Round int32
+	Node  int32
+	Seq   uint32
+	Kind  EventKind
+	A, B  int32
+}
+
+type Tracer interface {
+	Emit(Event)
+}
+
+type Sink struct{ t Tracer }
+
+func NewSink(t Tracer) Sink { return Sink{t: t} }
+
+func (s Sink) Enabled() bool { return s.t != nil }
+
+func (s Sink) RoundStart(round int, node types.NodeID) {
+	if s.t == nil {
+		return
+	}
+	s.t.Emit(Event{Round: int32(round), Node: int32(node), Kind: EvRoundStart})
+}
+
+func (s Sink) Decide(round int, node types.NodeID, bit types.Bit) {
+	if s.t == nil {
+		return
+	}
+	s.t.Emit(Event{Round: int32(round), Node: int32(node), Kind: EvDecide, A: int32(bit)})
+}
+
+type Recorder struct{ events []Event }
+
+func NewRecorder(capacity int) *Recorder { return &Recorder{} }
+
+func (r *Recorder) Emit(e Event) { r.events = append(r.events, e) }

@@ -1,0 +1,44 @@
+// Package obsfix exercises obsguard: every emission path that bypasses the
+// nil-guarded obs.Sink API.
+package obsfix
+
+import (
+	"ccba/internal/obs"
+	"ccba/internal/types"
+)
+
+// step is the blessed shape: a value Sink, nil-guarded inside each method.
+func step(s obs.Sink, round int, node types.NodeID) {
+	s.RoundStart(round, node)
+	if s.Enabled() {
+		s.Decide(round, node, 1)
+	}
+}
+
+// direct bypasses the guard at the interface: panics when t is nil.
+func direct(t obs.Tracer, round int) {
+	t.Emit(obs.Event{Round: int32(round)}) // want `direct Tracer\.Emit call outside obs` `obs\.Event constructed outside obs`
+}
+
+// concrete bypasses it on the recorder, and restates field conventions.
+func concrete(rec *obs.Recorder) {
+	e := obs.Event{Round: 2, Kind: obs.EvDecide} // want `obs\.Event constructed outside obs`
+	rec.Emit(e)                                  // want `direct Recorder\.Emit call outside obs`
+}
+
+// zero literals carry no field conventions; only the Emit call is flagged.
+func zero(rec *obs.Recorder) {
+	rec.Emit(obs.Event{}) // want `direct Recorder\.Emit call outside obs`
+}
+
+// ownEmit: Emit methods on other types stay free.
+type counter struct{ n int }
+
+func (c *counter) Emit(v int) { c.n += v }
+
+func other(c *counter) { c.Emit(3) }
+
+func waived(rec *obs.Recorder, e obs.Event) {
+	//ccba:obs-ok replaying a captured event in a debug harness
+	rec.Emit(e)
+}

@@ -68,21 +68,24 @@ func NewInterner() *Interner {
 	return &Interner{root: &sharedAtts{}}
 }
 
-// InternStats is the table's telemetry, for budget tests and the
-// copy-on-divergence assertions.
+// InternStats is the table's telemetry, for budget tests, the
+// copy-on-divergence assertions, and the run reports (scenario, cmd/ba,
+// cmd/bench). The counters are deterministic per (config, seed) — the
+// double-checked insert in advance makes them schedule-independent — so
+// reports that embed them stay byte-diffable across worker counts.
 type InternStats struct {
 	// States is the number of interned states created (the empty root is
 	// not counted).
-	States int
+	States int `json:"states"`
 	// Clones counts copy-on-divergence clones; every state is cloned from
 	// its predecessor exactly once, so this always equals States.
-	Clones int
+	Clones int `json:"clones"`
 	// Hits counts Adds resolved to an already-recorded successor — the
 	// sharing the table exists for.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Forks counts states that acquired a second distinct successor: the
 	// moments node histories actually diverged.
-	Forks int
+	Forks int `json:"forks"`
 }
 
 // Stats returns a snapshot of the table's counters.

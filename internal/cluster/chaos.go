@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"ccba/internal/obs"
 	"ccba/internal/scenario"
 	"ccba/internal/transport"
 )
@@ -49,6 +50,11 @@ func RunChaos(ctx context.Context, cfg scenario.Config, net transport.Network, c
 	if err != nil {
 		return nil, err
 	}
+	// The injection layer reports its accepted drops through the same
+	// observability channels as the runners, so chaos traces carry the
+	// fault events the simulator's chaos model emits.
+	spec.Obs = obs.NewSink(opts.Tracer)
+	spec.Telemetry = opts.Telemetry
 	chaosNet, err := transport.NewChaosNetwork(net, spec)
 	if err != nil {
 		return nil, err
@@ -65,6 +71,8 @@ func RunNodeChaos(ctx context.Context, cfg scenario.Config, tr transport.Transpo
 	if err != nil {
 		return nil, err
 	}
+	spec.Obs = obs.NewSink(opts.Tracer)
+	spec.Telemetry = opts.Telemetry
 	chaosTr, err := transport.WrapChaos(tr, spec)
 	if err != nil {
 		return nil, err

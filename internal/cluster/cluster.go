@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ccba/internal/netsim"
+	"ccba/internal/obs"
 	"ccba/internal/scenario"
 	"ccba/internal/transport"
 	"ccba/internal/types"
@@ -36,6 +37,22 @@ type Options struct {
 	// sync markers need it; drop-only chaos does not, since markers are
 	// reliable and the all-ack barrier still completes.
 	RoundInterval time.Duration
+	// Tracer receives the round-lifecycle event stream (DESIGN.md §10). At
+	// Δ=1 under the pure all-ack barrier (RoundInterval zero) the canonical
+	// export is byte-identical to the simulator's trace of the same config —
+	// the equivalence cmd/tracediff checks. Implementations must accept
+	// concurrent Emit calls (node goroutines emit in parallel). Nil disables
+	// tracing.
+	Tracer obs.Tracer
+	// Telemetry, when non-nil, receives the live operational counters the
+	// -obs-addr endpoint serves: rounds, watermark lag, messages and bytes,
+	// in-flight frames, chaos drops, and barrier-latency quantiles. Unlike
+	// the trace this channel is wall-clock state and never deterministic.
+	Telemetry *obs.Telemetry
+	// Timing, when non-nil, collects per-round barrier latencies — the
+	// non-deterministic timing channel that deliberately lives outside the
+	// trace.
+	Timing *obs.TimingLog
 }
 
 // delta returns the effective delivery bound.

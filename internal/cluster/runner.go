@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"ccba/internal/netsim"
+	"ccba/internal/obs"
 	"ccba/internal/scenario"
 	"ccba/internal/transport"
 	"ccba/internal/types"
@@ -30,6 +32,7 @@ func (p *plan) runNode(ctx context.Context, self types.NodeID, tr transport.Tran
 		halts:   map[uint32]int{},
 		// No all-halted round observed yet.
 		exitRound: -1,
+		obs:       obs.NewSink(opts.Tracer),
 	}
 	rounds, err := r.runRounds(ctx)
 	if err != nil {
@@ -58,6 +61,11 @@ type runner struct {
 	// is capped at Δ rounds past it, and the all-halted scan below only
 	// inspects rounds whose marker sets are complete.
 	acked int
+	// obs emits this node's slice of the round-lifecycle trace; trDecided
+	// pins EvDecide to the transition round, as the simulator does.
+	obs       obs.Sink
+	trDecided bool
+
 	// haltScan is the next acked round the runner has not yet checked for
 	// the all-halted exit condition, and exitRound is the detected exit
 	// point (−1 until an all-halted round is observed). The scan lives in
@@ -77,9 +85,20 @@ func (r *runner) runRounds(ctx context.Context) (int, error) {
 	var delivered []netsim.Delivered
 	for round := 0; round < r.maxRounds; round++ {
 		// 1. Step the state machine (halted nodes stay silent but keep the
-		// barrier alive for peers still running).
+		// barrier alive for peers still running). A stepped node's round
+		// start and inbox reads trace exactly as the simulator's: same
+		// honest-and-live condition, same inbox order (re-sorted below into
+		// the lockstep engine's), same exact-encoding sizes.
+		stepped := !r.node.Halted()
 		var sends []netsim.Send
-		if !r.node.Halted() {
+		if stepped {
+			r.opts.Telemetry.RoundStarted(round)
+			if r.obs.Enabled() {
+				r.obs.RoundStart(round, r.self)
+				for di, d := range delivered {
+					r.obs.Deliver(round, r.self, di, d.From, wire.Size(d.Msg))
+				}
+			}
 			sends = r.node.Step(round, delivered)
 		}
 		halted := r.node.Halted()
@@ -96,6 +115,8 @@ func (r *runner) runRounds(ctx context.Context) (int, error) {
 				Round: uint32(round), Seq: uint32(seq), Payload: payload,
 			}
 			r.metrics.CountSend(s.To, n, len(payload))
+			r.opts.Telemetry.CountSend(len(payload))
+			r.obs.Send(round, r.self, seq, s.To, len(payload))
 			if s.To == types.Broadcast {
 				if err := r.tr.Multicast(env); err != nil {
 					return 0, fmt.Errorf("round %d: multicast: %w", round, err)
@@ -104,6 +125,20 @@ func (r *runner) runRounds(ctx context.Context) (int, error) {
 				if err := r.tr.Send(s.To, env); err != nil {
 					return 0, fmt.Errorf("round %d: unicast to %d: %w", round, s.To, err)
 				}
+			}
+		}
+
+		// Trace: decide/halt transitions of a stepped node, post-step — the
+		// simulator's rule, so transition rounds line up event for event.
+		if stepped && r.obs.Enabled() {
+			if !r.trDecided {
+				if bit, ok := r.node.Output(); ok {
+					r.obs.Decide(round, r.self, bit)
+					r.trDecided = true
+				}
+			}
+			if halted {
+				r.obs.Halt(round, r.self)
 			}
 		}
 
@@ -119,8 +154,24 @@ func (r *runner) runRounds(ctx context.Context) (int, error) {
 		if err := r.tr.Multicast(sync); err != nil {
 			return 0, fmt.Errorf("round %d: sync: %w", round, err)
 		}
+		barrierStart := time.Now()
 		if err := r.collectBarrier(ctx, uint32(round)); err != nil {
 			return 0, err
+		}
+		elapsed := time.Since(barrierStart)
+		r.opts.Telemetry.ObserveRoundLatency(elapsed.Seconds())
+		r.opts.Telemetry.Acked(r.acked)
+		r.opts.Telemetry.ObserveLag(round + 1 - r.acked)
+		r.opts.Timing.Add(round, r.self, "barrier", elapsed)
+		// Trace: watermark advance. Under the pure all-ack barrier the
+		// watermark provably reaches round+1 the moment the barrier
+		// completes, so the mark is deterministic and mirrors the
+		// simulator's per-node EvMark. Under deadline advance
+		// (RoundInterval > 0) the watermark is a race against wall clocks —
+		// those marks go to Telemetry and Timing only, keeping the trace a
+		// pure function of the config.
+		if r.opts.RoundInterval == 0 {
+			r.obs.Mark(round, r.self, r.acked)
 		}
 
 		// 4. Exit check: the run ends the round after the one in which every
@@ -150,6 +201,7 @@ func (r *runner) runRounds(ctx context.Context) (int, error) {
 				delete(r.pending, rd)
 			}
 		}
+		r.opts.Telemetry.AddInFlight(-len(envs))
 		if halted {
 			// This node never steps again; it only keeps the barrier alive
 			// for peers still running. Decoding its inbox would be work the
@@ -236,6 +288,7 @@ func (r *runner) ingest(env transport.Envelope, round uint32) error {
 	switch env.Kind {
 	case transport.EnvData:
 		r.pending[env.Round] = append(r.pending[env.Round], env)
+		r.opts.Telemetry.AddInFlight(1)
 	case transport.EnvSync:
 		r.syncs[env.Round]++
 		if env.Halted {

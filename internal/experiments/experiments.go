@@ -26,6 +26,12 @@ type Opts struct {
 	// models itself, ignore the override.
 	Net   scenario.NetName
 	Delta int
+	// Progress, when non-nil, receives per-trial completion callbacks from
+	// the harness pool (concurrently — see harness.Options.Progress). It is
+	// reporting only: aggregates and tables are identical with or without
+	// it, which is what lets cmd/experiments -progress write to stderr
+	// without disturbing byte-diffed stdout artifacts.
+	Progress func(done, total int)
 }
 
 // options builds the harness options for one scenario of one experiment.
@@ -35,6 +41,7 @@ func (o Opts) options(experiment, scenarioKey string) harness.Options {
 		Scenario: scenarioKey,
 		Trials:   o.Trials,
 		Workers:  o.Workers,
+		Progress: o.Progress,
 	}
 }
 

@@ -60,6 +60,12 @@ type Options struct {
 	// context.Background(). The trial function receives the same context
 	// through Trial.Ctx so in-flight trials can stop mid-run too.
 	Ctx context.Context
+	// Progress, when non-nil, is called once per finished trial with the
+	// completed count (1-based, monotonic per call site) and Trials. It runs
+	// on worker goroutines, possibly concurrently — implementations must be
+	// safe for that and should stay cheap; results are unaffected either
+	// way, so reporters are free to rate-limit or drop calls.
+	Progress func(done, total int)
 }
 
 // Trial identifies one run handed to the trial function, with its derived
@@ -98,7 +104,7 @@ func Run[T any](opts Options, fn func(Trial) (T, error)) ([]T, error) {
 
 	results := make([]T, opts.Trials)
 	errs := make([]error, opts.Trials)
-	var next atomic.Int64
+	var next, done atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -120,6 +126,9 @@ func Run[T any](opts Options, fn func(Trial) (T, error)) ([]T, error) {
 				results[t], errs[t] = fn(tr)
 				if errs[t] != nil {
 					failed.Store(true)
+				}
+				if opts.Progress != nil {
+					opts.Progress(int(done.Add(1)), opts.Trials)
 				}
 			}
 		}()

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"ccba/internal/obs"
 	"ccba/internal/types"
 )
 
@@ -95,6 +96,19 @@ func (c *chaos) Schedule(l Link) int {
 		}
 	}
 	return LinkDelay(c.key, l.Round, l.From, l.To, c.delta)
+}
+
+// DropKind classifies an accepted drop on one of from's outbound links for
+// the trace (the runtime's faultKinder hook): a drop inside an open crash
+// window is the crash fault class, everything else is a seeded rate drop —
+// the same precedence Schedule applies.
+func (c *chaos) DropKind(round int, from types.NodeID) obs.FaultKind {
+	for _, cr := range c.crashes {
+		if from == cr.Node && round >= cr.From && round < cr.Until {
+			return obs.FaultCrash
+		}
+	}
+	return obs.FaultDrop
 }
 
 func (c *chaos) String() string {

@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"ccba/internal/harness"
+	"ccba/internal/obs"
 	"ccba/internal/types"
 	"ccba/internal/wire"
 )
@@ -45,6 +46,15 @@ type Config struct {
 	// worker count. 0 defaults to GOMAXPROCS; 1 steps serially. Only valid
 	// with Sparse (the dense engine has Parallel).
 	SparseWorkers int
+	// Tracer receives the round-lifecycle event stream (DESIGN.md §10):
+	// round starts, deliveries and sends with their Definitions 6–7 sizes,
+	// decide/halt transitions, watermark marks, and injected link faults.
+	// Trace content is a pure function of (config, seed) — identical for
+	// serial, Parallel, and every SparseWorkers count. Nil disables
+	// tracing; the engines then allocate no trace state and the hot paths
+	// pay one predictable branch per round section. Implementations must
+	// accept concurrent Emit calls (the sparse shards emit in parallel).
+	Tracer obs.Tracer
 }
 
 // Runtime executes one protocol instance under one adversary.
@@ -86,8 +96,29 @@ type Runtime struct {
 	// arrays above are allocated.
 	sparse *sparseState
 
+	// Trace state, allocated only when Config.Tracer is set, so the
+	// traced-off engine keeps its exact allocation profile. trStepped
+	// records which nodes the current round stepped (the post-step
+	// emission loop runs after Halted may have flipped); trDecided
+	// deduplicates EvDecide to the transition round; faultSeq counts
+	// injected faults per sender within the current round (general path
+	// only). faultKind is the network model's optional drop classifier.
+	tr        obs.Sink
+	trStepped []bool
+	trDecided []bool
+	faultSeq  map[types.NodeID]uint32
+	faultKind faultKinder
+
 	pool     *harness.Pool
 	curRound int // round currently being stepped, read by pool workers
+}
+
+// faultKinder is an optional NetModel extension: a model that can drop for
+// more than one reason (seeded omission vs. crash window) classifies each
+// accepted drop for the trace. Models without it trace every drop as
+// obs.FaultDrop.
+type faultKinder interface {
+	DropKind(round int, from types.NodeID) obs.FaultKind
 }
 
 // extraEntry is a delivery that applies to a single recipient: a unicast, or
@@ -132,6 +163,7 @@ func NewRuntime(cfg Config, nodes []Node, adv Adversary) (*Runtime, error) {
 		net:      cfg.Net,
 		lockstep: lockstep,
 		faulty:   faulty,
+		tr:       obs.NewSink(cfg.Tracer),
 	}
 	if cfg.SparseWorkers < 0 {
 		return nil, fmt.Errorf("netsim: SparseWorkers=%d cannot be negative", cfg.SparseWorkers)
@@ -147,8 +179,13 @@ func NewRuntime(cfg Config, nodes []Node, adv Adversary) (*Runtime, error) {
 			return nil, ErrSparseParallel
 		}
 		// No per-node buffers, no status/corruption bookkeeping: the
-		// passive-only contract means every node is forever honest.
+		// passive-only contract means every node is forever honest. The
+		// decide-transition bitmap is tracing's one O(n) exception, paid
+		// only when a tracer is attached.
 		rt.sparse = newSparseState(cfg.N, cfg.SparseWorkers)
+		if cfg.Tracer != nil {
+			rt.trDecided = make([]bool, cfg.N)
+		}
 		return rt, nil
 	}
 	if cfg.SparseWorkers != 0 {
@@ -163,6 +200,14 @@ func NewRuntime(cfg Config, nodes []Node, adv Adversary) (*Runtime, error) {
 	for i := range rt.status {
 		rt.status[i] = types.Honest
 		rt.corruptAt[i] = -1
+	}
+	if cfg.Tracer != nil {
+		rt.trStepped = make([]bool, cfg.N)
+		rt.trDecided = make([]bool, cfg.N)
+		if !lockstep {
+			rt.faultSeq = make(map[types.NodeID]uint32)
+			rt.faultKind, _ = cfg.Net.(faultKinder)
+		}
 	}
 	return rt, nil
 }
@@ -267,6 +312,27 @@ func (rt *Runtime) stepRound(round int) (done bool) {
 	}
 	n := rt.cfg.N
 
+	// Trace: round starts and inbox reads for every node about to step,
+	// emitted serially before the (possibly parallel) stepping so the
+	// stream never depends on pool scheduling. trStepped snapshots the
+	// stepped set for the post-step loop below, which runs after Halted
+	// may have flipped.
+	if rt.tr.Enabled() {
+		if rt.faultSeq != nil {
+			clear(rt.faultSeq)
+		}
+		for i := 0; i < n; i++ {
+			if rt.status[i] != types.Honest || rt.nodes[i].Halted() {
+				continue
+			}
+			rt.trStepped[i] = true
+			rt.tr.RoundStart(round, types.NodeID(i))
+			for di, d := range rt.inboxes[i] {
+				rt.tr.Deliver(round, types.NodeID(i), di, d.From, wire.Size(d.Msg))
+			}
+		}
+	}
+
 	// 1. So-far-honest, non-halted nodes produce their sends for this round.
 	clear(rt.sends)
 	rt.curRound = round
@@ -284,6 +350,30 @@ func (rt *Runtime) stepRound(round int) (done bool) {
 				continue
 			}
 			rt.stepOne(i)
+		}
+	}
+
+	// Trace: sends and decide/halt transitions of the stepped nodes. A
+	// node stepped this round was live at its top, so a Halted report now
+	// is the transition round — emitted exactly once.
+	if rt.tr.Enabled() {
+		for i := 0; i < n; i++ {
+			if !rt.trStepped[i] {
+				continue
+			}
+			rt.trStepped[i] = false
+			for si, s := range rt.sends[i] {
+				rt.tr.Send(round, types.NodeID(i), si, s.To, wire.Size(s.Msg))
+			}
+			if !rt.trDecided[i] {
+				if bit, ok := rt.nodes[i].Output(); ok {
+					rt.tr.Decide(round, types.NodeID(i), bit)
+					rt.trDecided[i] = true
+				}
+			}
+			if rt.nodes[i].Halted() {
+				rt.tr.Halt(round, types.NodeID(i))
+			}
 		}
 	}
 
@@ -343,6 +433,16 @@ func (rt *Runtime) stepRound(round int) (done bool) {
 		rt.lockstepDeliveries(envs)
 	} else {
 		rt.scheduleDeliveries(round, envs)
+	}
+
+	// Trace: watermark advance. The simulator's round boundary is the
+	// deterministic counterpart of the live cluster's completed all-ack
+	// barrier, where every node's acked watermark provably reaches
+	// round+1 — so both runtimes emit one EvMark per node per round.
+	if rt.tr.Enabled() {
+		for i := 0; i < n; i++ {
+			rt.tr.Mark(round, types.NodeID(i), round+1)
+		}
 	}
 
 	// 6. Done when every so-far-honest node has halted.
@@ -474,6 +574,9 @@ func (rt *Runtime) scheduleLink(round int, e *Envelope, to types.NodeID, d Deliv
 		})
 		if delay == Drop {
 			if rt.mayDrop(e) {
+				if rt.tr.Enabled() {
+					rt.traceFault(round, e.From, to)
+				}
 				return
 			}
 			// An illegal drop request degrades to the strongest legal move:
@@ -489,6 +592,20 @@ func (rt *Runtime) scheduleLink(round int, e *Envelope, to types.NodeID, d Deliv
 	}
 	slot := rt.buckets[(round+delay)%(delta+1)]
 	slot[to] = append(slot[to], d)
+}
+
+// traceFault emits one accepted link drop. The per-(round, sender)
+// sequence counter reproduces the live chaos endpoint's numbering: both
+// runtimes inject faults in (send seq, recipient) order, so the streams
+// align event for event at Δ=1.
+func (rt *Runtime) traceFault(round int, from, to types.NodeID) {
+	seq := rt.faultSeq[from]
+	rt.faultSeq[from] = seq + 1
+	kind := obs.FaultDrop
+	if rt.faultKind != nil {
+		kind = rt.faultKind.DropKind(round, from)
+	}
+	rt.tr.Fault(round, from, to, int(seq), kind)
 }
 
 // honestFaultyCount returns the number of omission-faulty senders that are

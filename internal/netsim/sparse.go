@@ -175,6 +175,14 @@ func (rt *Runtime) sparseStepRound(round int) (done bool) {
 	}
 	s.traffic.Add(float64(sent))
 
+	// Trace: watermark advance, mirroring the dense engine's per-node mark
+	// at the round boundary.
+	if rt.tr.Enabled() {
+		for i := 0; i < rt.cfg.N; i++ {
+			rt.tr.Mark(round, types.NodeID(i), round+1)
+		}
+	}
+
 	// Round boundary: this round's deliveries were consumed by the Step
 	// calls above; swap the buffers so next round reads what was just
 	// accumulated, and recycle the consumed ones.
@@ -198,6 +206,7 @@ func (rt *Runtime) stepSparseShard(k int) {
 	sh.sent = 0
 	sh.done = true
 	n := rt.cfg.N
+	traced := rt.tr.Enabled()
 	for i := sh.lo; i < sh.hi; i++ {
 		if rt.nodes[i].Halted() {
 			continue
@@ -206,15 +215,40 @@ func (rt *Runtime) stepSparseShard(k int) {
 		if ex, ok := s.curExtras[types.NodeID(i)]; ok {
 			inbox = sh.mergeInbox(s.curShared, ex)
 		}
+		// Trace emission happens inside the shard — the recorder accepts
+		// concurrent Emit and canonicalises order at export, so the stream
+		// is byte-identical for every SparseWorkers count.
+		if traced {
+			rt.tr.RoundStart(rt.curRound, types.NodeID(i))
+			for di, d := range inbox {
+				rt.tr.Deliver(rt.curRound, types.NodeID(i), di, d.From, wire.Size(d.Msg))
+			}
+		}
 		sends := rt.nodes[i].Step(rt.curRound, inbox)
 		sh.sent += len(sends)
-		for _, send := range sends {
+		for si, send := range sends {
+			if traced {
+				rt.tr.Send(rt.curRound, types.NodeID(i), si, send.To, wire.Size(send.Msg))
+			}
 			sh.metrics.CountSend(send.To, n, wire.Size(send.Msg))
 			d := Delivered{From: types.NodeID(i), Msg: send.Msg}
 			if send.To == types.Broadcast {
 				sh.shared = append(sh.shared, d)
 			} else if int(send.To) >= 0 && int(send.To) < n {
 				sh.extras = append(sh.extras, sparseExtra{at: len(sh.shared), to: send.To, d: d})
+			}
+		}
+		if traced {
+			// trDecided[i] is only ever touched by the shard owning i, so
+			// the bitmap needs no synchronisation.
+			if !rt.trDecided[i] {
+				if bit, ok := rt.nodes[i].Output(); ok {
+					rt.tr.Decide(rt.curRound, types.NodeID(i), bit)
+					rt.trDecided[i] = true
+				}
+			}
+			if rt.nodes[i].Halted() {
+				rt.tr.Halt(rt.curRound, types.NodeID(i))
 			}
 		}
 		if !rt.nodes[i].Halted() {

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// activeTelemetry is the instance the "ccba" expvar reads through. expvar
+// forbids re-publishing a name, so the var is registered once per process
+// and indirected — each Serve call rebinds the pointer, which is all a
+// test or a second run needs.
+var (
+	activeTelemetry atomic.Pointer[Telemetry]
+	publishOnce     sync.Once
+)
+
+func publishTelemetry(t *Telemetry) {
+	activeTelemetry.Store(t)
+	publishOnce.Do(func() {
+		expvar.Publish("ccba", expvar.Func(func() any {
+			return activeTelemetry.Load().Snapshot()
+		}))
+	})
+}
+
+// Server is the telemetry HTTP endpoint: expvar under /debug/vars (the
+// "ccba" var carries the TelemetrySnapshot) and the net/http/pprof suite
+// under /debug/pprof/, on a private mux so nothing leaks onto the default
+// one.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve publishes t as the process's "ccba" expvar and starts the endpoint
+// on addr (host:port; port 0 picks a free one — read the result from
+// Addr). The listener error, if any, is returned synchronously; serve-loop
+// errors after that only occur at shutdown and are discarded.
+func Serve(addr string, t *Telemetry) (*Server, error) {
+	publishTelemetry(t)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(lis) //nolint:errcheck // returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"ccba/internal/types"
+)
+
+// TimingEntry is one wall-clock measurement. Timing lives outside the
+// deterministic trace on purpose: durations vary run to run, so they are
+// collected on this separate channel and never mix into the seed-pure
+// event stream (DESIGN.md §10).
+type TimingEntry struct {
+	Round int
+	Node  types.NodeID
+	// Label names the measured interval ("barrier", "deadline").
+	Label string
+	// D is the measured duration — a value stamped by the caller; this
+	// package never reads a clock.
+	D time.Duration
+}
+
+// TimingLog collects timing entries from concurrent runners. A nil
+// *TimingLog is a valid no-op receiver, so callers thread it
+// unconditionally.
+type TimingLog struct {
+	mu      sync.Mutex
+	entries []TimingEntry
+}
+
+// Add appends one measurement.
+func (l *TimingLog) Add(round int, node types.NodeID, label string, d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.entries = append(l.entries, TimingEntry{Round: round, Node: node, Label: label, D: d})
+	l.mu.Unlock()
+}
+
+// Entries returns a snapshot of the collected measurements, in collection
+// order (which is wall-clock, hence non-deterministic, order).
+func (l *TimingLog) Entries() []TimingEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]TimingEntry(nil), l.entries...)
+}

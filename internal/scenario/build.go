@@ -95,9 +95,14 @@ func coreSuite(cfg Config) (fmine.Suite, func(types.NodeID) any, error) {
 // newInterner builds the per-run attestation intern table when the config
 // asks for one (Config.Intern; defaulted on under Sparse). One table per
 // execution: sharing is an execution-scoped property, never cross-trial.
+// RunCtx pre-creates the table (cfg.interner) so it can surface the sharing
+// statistics in the Report after the run.
 func newInterner(cfg Config) *attest.Interner {
 	if !cfg.Intern {
 		return nil
+	}
+	if cfg.interner != nil {
+		return cfg.interner
 	}
 	return attest.NewInterner()
 }

@@ -3,8 +3,10 @@ package scenario
 import (
 	"fmt"
 
+	"ccba/internal/attest"
 	"ccba/internal/harness"
 	"ccba/internal/netsim"
+	"ccba/internal/obs"
 	"ccba/internal/types"
 )
 
@@ -145,6 +147,11 @@ type Config struct {
 	// O(committee) storage instead of O(N·committee). Bit-identical to
 	// owned storage; defaults on under Sparse, opt-in otherwise.
 	Intern bool
+	// Tracer receives the round-lifecycle event stream (DESIGN.md §10),
+	// threaded straight through to netsim.Config.Tracer. Trace content is a
+	// pure function of the rest of the config plus Seed; nil disables
+	// tracing at zero cost.
+	Tracer obs.Tracer
 
 	// Net selects the network model (default NetDeltaOne).
 	Net NetName
@@ -174,6 +181,12 @@ type Config struct {
 	// derived from (DESIGN.md §7). Unexported on purpose: the declarative
 	// surface stays Net + ChaosConfig.
 	chaosModel netsim.NetModel
+
+	// interner, when non-nil, is the per-execution attestation intern table
+	// RunCtx created so it can read the sharing statistics back after the
+	// run (Report.Intern). The builders reuse it instead of allocating their
+	// own; external Build callers still get a fresh table per call.
+	interner *attest.Interner
 }
 
 // validate rejects configurations the simulator cannot execute

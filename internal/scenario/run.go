@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 
+	"ccba/internal/attest"
 	"ccba/internal/netsim"
 	"ccba/internal/types"
 )
@@ -18,6 +19,11 @@ type Report struct {
 	Consistency error
 	Validity    error
 	Termination error
+	// Intern carries the attestation intern table's sharing statistics when
+	// the execution interned (Config.Intern; defaulted on under Sparse),
+	// nil otherwise. Deterministic per (config, seed): the table's
+	// double-checked insert makes the counters schedule-independent.
+	Intern *attest.InternStats
 }
 
 // Ok reports whether all three properties held.
@@ -41,6 +47,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
+	if cfg.Intern && cfg.interner == nil {
+		cfg.interner = attest.NewInterner()
+	}
 	nodes, seize, steps, err := build(cfg)
 	if err != nil {
 		return nil, err
@@ -60,6 +69,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		Parallel:      cfg.Parallel,
 		Sparse:        cfg.Sparse,
 		SparseWorkers: cfg.SparseWorkers,
+		Tracer:        cfg.Tracer,
 	}, nodes, cfg.Adversary)
 	if err != nil {
 		return nil, err
@@ -68,7 +78,12 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Evaluate(cfg, res), nil
+	rep := Evaluate(cfg, res)
+	if cfg.interner != nil {
+		st := cfg.interner.Stats()
+		rep.Intern = &st
+	}
+	return rep, nil
 }
 
 // Evaluate runs the paper's three security checkers over a completed

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1e-6, 10, 32)
+	if h.N() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	s := h.Summary()
+	if s.N != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(1e-3, 1e3, 120)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 100) // 0.01 .. 10.00
+	}
+	s := h.Summary()
+	if s.N != 1000 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Min != 0.01 || s.Max != 10 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Geometric buckets bound relative error; allow a loose 15%.
+	for _, c := range []struct{ q, want float64 }{
+		{0.50, 5.0}, {0.90, 9.0}, {0.99, 9.9},
+	} {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want)/c.want > 0.15 {
+			t.Errorf("q%v = %v, want ≈ %v", c.q, got, c.want)
+		}
+	}
+	if mean := s.Mean; math.Abs(mean-5.005) > 1e-9 {
+		t.Errorf("mean = %v, want 5.005", mean)
+	}
+}
+
+func TestHistogramClamps(t *testing.T) {
+	h := NewHistogram(1, 10, 4)
+	h.Observe(0.1) // below range: bucket 0
+	h.Observe(50)  // above range: last bucket
+	h.Observe(3)   // in range
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+	s := h.Summary()
+	if s.Min != 0.1 || s.Max != 50 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Quantiles stay within the observed range even for clamped samples.
+	if q := h.Quantile(0.999); q > 50 || q < 0.1 {
+		t.Fatalf("q0.999 = %v outside [0.1, 50]", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1e-3, 1e3, 60)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(w*1000+i+1) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.N() != 8000 {
+		t.Fatalf("N = %d, want 8000", h.N())
+	}
+}
+
+func TestHistogramBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0, 1, 4) did not panic")
+		}
+	}()
+	NewHistogram(0, 1, 4)
+}

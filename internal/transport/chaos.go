@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ccba/internal/netsim"
+	"ccba/internal/obs"
 	"ccba/internal/types"
 )
 
@@ -57,6 +58,13 @@ type ChaosSpec struct {
 	// omission window. CrashNode must be in Faulty (it spends the budget).
 	CrashNode             types.NodeID
 	CrashFrom, CrashUntil int
+	// Obs, when enabled, traces every accepted drop as an EvFault, numbered
+	// per (round, sender) in injection order — the numbering the simulator's
+	// chaos model reproduces, so drop-only Δ=1 traces align sim ≡ cluster.
+	Obs obs.Sink
+	// Telemetry, when non-nil, counts each accepted drop on its (from, to)
+	// link for the live endpoint's /debug/vars snapshot.
+	Telemetry *obs.Telemetry
 }
 
 func (s ChaosSpec) delta() int {
@@ -152,11 +160,12 @@ func WrapChaos(tr Transport, spec ChaosSpec) (Transport, error) {
 		isF[id] = true
 	}
 	return &chaosEndpoint{
-		inner:  tr,
-		spec:   spec,
-		isF:    isF,
-		held:   make([][]Envelope, n),
-		timers: make(map[*time.Timer]struct{}),
+		inner:      tr,
+		spec:       spec,
+		isF:        isF,
+		held:       make([][]Envelope, n),
+		timers:     make(map[*time.Timer]struct{}),
+		faultRound: -1,
 	}, nil
 }
 
@@ -181,6 +190,12 @@ type chaosEndpoint struct {
 	held   [][]Envelope // per-peer reorder holdbacks, released after the next sync
 	timers map[*time.Timer]struct{}
 	closed bool
+
+	// faultRound/faultSeq number this sender's accepted drops within the
+	// current round, in injection order — the counter the simulator's trace
+	// keeps per (round, sender), so fault events align across runtimes.
+	faultRound int
+	faultSeq   uint32
 }
 
 var _ Transport = (*chaosEndpoint)(nil)
@@ -206,9 +221,11 @@ func (c *chaosEndpoint) Send(to types.NodeID, env Envelope) error {
 	case EnvData:
 		round := int(env.Round)
 		if c.spec.hasCrash() && self == c.spec.CrashNode && round >= c.spec.CrashFrom && round < c.spec.CrashUntil {
+			c.noteFault(round, to, obs.FaultCrash)
 			return nil
 		}
 		if c.isF[self] && netsim.LinkDrop(c.spec.Key, round, self, to, c.spec.DropRate) {
+			c.noteFault(round, to, obs.FaultDrop)
 			return nil
 		}
 		if c.spec.ReorderRate > 0 && c.chance(chaosDomainReorder, env, to, c.spec.ReorderRate) {
@@ -261,6 +278,26 @@ func (c *chaosEndpoint) Close() error {
 		t.Stop()
 	}
 	return c.inner.Close()
+}
+
+// noteFault records one accepted drop: a trace event numbered per
+// (round, sender) in injection order, and a telemetry tick on the link.
+func (c *chaosEndpoint) noteFault(round int, to types.NodeID, kind obs.FaultKind) {
+	if c.spec.Telemetry != nil {
+		c.spec.Telemetry.Drop(c.Self(), to)
+	}
+	if !c.spec.Obs.Enabled() {
+		return
+	}
+	c.mu.Lock()
+	if round != c.faultRound {
+		c.faultRound = round
+		c.faultSeq = 0
+	}
+	seq := c.faultSeq
+	c.faultSeq++
+	c.mu.Unlock()
+	c.spec.Obs.Fault(round, c.Self(), to, int(seq), kind)
 }
 
 // holdFor returns the deterministic hold-back duration for one frame:
