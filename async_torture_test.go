@@ -1,0 +1,104 @@
+package ccba
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// The asynchronous-track torture suite (DESIGN.md §11): ABA and ACS at
+// n ∈ {4, 16, 32}, 17 seeds per scheduler under all three scheduler modes —
+// 51 seeds per (protocol, n), 306 independent executions in total. Every
+// run must satisfy agreement and validity and terminate under the delivery
+// cap; FLP makes termination probabilistic, so the suite additionally pins
+// the shape of the decide-round distribution: no single run past the
+// liveness cap, and the per-setting mean within the expected-constant-round
+// bound the common coin guarantees.
+//
+// Nothing here is statistical in the flaky sense — every execution is a
+// pure function of its seed, so a failure is reproducible by name.
+
+const (
+	tortureSeedsPerSched = 17
+	// tortureRoundCap flags a liveness breach: a disagreeing ABA round ends
+	// with probability 1/2 per coin flip, so 40 rounds without a decision
+	// (probability ≈ 2⁻⁴⁰ per run honest-side) means the schedule defeated
+	// the coin — which the power-boundary rules are supposed to prevent.
+	tortureRoundCap = 40
+)
+
+type tortureCombo struct {
+	protocol Protocol
+	n, f     int
+	sched    SchedName
+	// meanCap bounds the per-combo mean decide round. ABA decides in ~2–3
+	// rounds regardless of n; ACS waits for the slowest of n parallel ABA
+	// instances, so its cap carries a log n factor.
+	meanCap float64
+}
+
+func tortureCombos() []tortureCombo {
+	var combos []tortureCombo
+	for _, size := range []struct{ n, f int }{{4, 1}, {16, 5}, {32, 10}} {
+		for _, sched := range []SchedName{SchedFIFO, SchedRandom, SchedAdvDelay} {
+			combos = append(combos,
+				tortureCombo{ABA, size.n, size.f, sched, 8},
+				tortureCombo{ACS, size.n, size.f, sched, 16},
+			)
+		}
+	}
+	return combos
+}
+
+func TestAsyncTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 306 event-runtime executions")
+	}
+	combos := tortureCombos()
+	var runs, started atomic.Int64
+	t.Cleanup(func() {
+		// -run filters can legitimately select a subset (the CI -race smoke
+		// does); the ≥300 floor binds only when the whole suite ran.
+		if !t.Failed() && int(started.Load()) == len(combos) && runs.Load() < 300 {
+			t.Errorf("torture suite executed %d runs, want ≥ 300", runs.Load())
+		}
+	})
+	for ci, combo := range combos {
+		combo := combo
+		seed := [32]byte{0x7A, byte(ci)}
+		name := fmt.Sprintf("%s/n=%d/%s", combo.protocol, combo.n, combo.sched)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			started.Add(1)
+			sc := Scenario{Config: Config{
+				Protocol: combo.protocol, N: combo.n, F: combo.f, Sched: combo.sched,
+			}}
+			total := 0
+			for i := 0; i < tortureSeedsPerSched; i++ {
+				rep, err := sc.Run(seed, i)
+				if err != nil {
+					t.Fatalf("seed %d: %v", i, err)
+				}
+				runs.Add(1)
+				if !rep.Ok() {
+					t.Fatalf("seed %d: violation: consistency=%v validity=%v termination=%v",
+						i, rep.Consistency, rep.Validity, rep.Termination)
+				}
+				if rep.Async == nil {
+					t.Fatalf("seed %d: report has no async info", i)
+				}
+				dr := rep.Async.DecideRound
+				if dr < 1 || dr > tortureRoundCap {
+					t.Fatalf("seed %d: decide round %d outside [1, %d] — liveness cap breached", i, dr, tortureRoundCap)
+				}
+				if combo.protocol == ACS && rep.Async.SetSize < combo.n-combo.f {
+					t.Fatalf("seed %d: ACS set size %d below n-f = %d", i, rep.Async.SetSize, combo.n-combo.f)
+				}
+				total += dr
+			}
+			if mean := float64(total) / tortureSeedsPerSched; mean > combo.meanCap {
+				t.Errorf("mean decide round %.2f exceeds the expected-constant bound %.1f", mean, combo.meanCap)
+			}
+		})
+	}
+}

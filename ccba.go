@@ -119,7 +119,30 @@ const (
 	DolevStrong = scenario.DolevStrong
 	// CommitteeEcho is the static CRS committee broadcast baseline.
 	CommitteeEcho = scenario.CommitteeEcho
+	// BRB is Bracha reliable broadcast on the asynchronous track (§11).
+	BRB = scenario.BRB
+	// ABA is common-coin asynchronous binary agreement (§11).
+	ABA = scenario.ABA
+	// ACS is the BKR agreement-on-common-subset composition (§11).
+	ACS = scenario.ACS
 )
+
+// The asynchronous-track schedulers (DESIGN.md §11).
+const (
+	// SchedFIFO delivers messages in send order.
+	SchedFIFO = scenario.SchedFIFO
+	// SchedRandom delivers in a seeded random order.
+	SchedRandom = scenario.SchedRandom
+	// SchedAdvDelay holds a seeded subset of messages back by a bounded
+	// priority penalty.
+	SchedAdvDelay = scenario.SchedAdvDelay
+)
+
+// SchedName selects the event runtime's message scheduler by name.
+type SchedName = scenario.SchedName
+
+// AsyncInfo carries the async-track observables on Report.Async.
+type AsyncInfo = scenario.AsyncInfo
 
 // The crypto modes.
 const (

@@ -20,6 +20,9 @@
 //	ba -sparse -n 100000 -f 30000 -lambda 40       # large-N engine path
 //	ba -scenario core-sparse-n100k
 //	ba -scenario core-delta3-n200
+//	ba -protocol aba -n 16 -f 5 -sched adversarial-delay   # async track
+//	ba -protocol acs -n 16 -f 5 -crashes 5 -sched random
+//	ba -scenario acs-n16 -trials 50 -workers 4 -json
 //	ba -scenarios
 package main
 
@@ -44,7 +47,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ba", flag.ContinueOnError)
 	var (
-		protocol      = fs.String("protocol", "core", "protocol: core, core-broadcast, quadratic, phaseking, phaseking-sampled, chenmicali, dolevstrong, committee")
+		protocol      = fs.String("protocol", "core", "protocol: core, core-broadcast, quadratic, phaseking, phaseking-sampled, chenmicali, dolevstrong, committee, brb, aba, acs")
 		n             = fs.Int("n", 200, "number of nodes")
 		f             = fs.Int("f", 60, "corruption budget")
 		lambda        = fs.Int("lambda", 40, "expected committee size")
@@ -57,6 +60,9 @@ func run(args []string, out io.Writer) error {
 		unanimous     = fs.Int("unanimous", -1, "if 0 or 1, give every node that input bit (agreement protocols)")
 		net           = fs.String("net", "", "network model: delta-one (default), delta (worst-case Δ-delay), jitter, omission, partition")
 		delta         = fs.Int("delta", 0, "delivery bound Δ for the delay-capable network models")
+		sched         = fs.String("sched", "", "async scheduler for brb/aba/acs: fifo (default), random, adversarial-delay")
+		advDelay      = fs.Int("adv-delay", 0, "adversarial-delay holdback penalty (0 = 4·n; adversarial-delay scheduler only)")
+		crashes       = fs.Int("crashes", 0, "crash-faulty node count drawn seed-deterministically (async protocols, ≤ f)")
 		omissionRate  = fs.Float64("omission-rate", 0, "per-link drop probability of the omission model")
 		faulty        = fs.Int("faulty", 0, "omission-faulty sender count (0 = the corruption budget f)")
 		scenarioName  = fs.String("scenario", "", "run a registered scenario by name; other flags override its fields")
@@ -95,6 +101,9 @@ func run(args []string, out io.Writer) error {
 		Net:           ccba.NetName(*net),
 		Delta:         *delta,
 		OmissionRate:  *omissionRate,
+		Sched:         ccba.SchedName(*sched),
+		AdvDelay:      *advDelay,
+		Crashes:       *crashes,
 	}
 	advName := *adversary
 	if *scenarioName != "" {
@@ -128,6 +137,9 @@ func run(args []string, out io.Writer) error {
 			"net":           func() { cfg.Net = ccba.NetName(*net) },
 			"delta":         func() { cfg.Delta = *delta },
 			"omission-rate": func() { cfg.OmissionRate = *omissionRate },
+			"sched":         func() { cfg.Sched = ccba.SchedName(*sched) },
+			"adv-delay":     func() { cfg.AdvDelay = *advDelay },
+			"crashes":       func() { cfg.Crashes = *crashes },
 		}
 		for name, apply := range override {
 			if set[name] {
@@ -245,6 +257,7 @@ func run(args []string, out io.Writer) error {
 			Corrupted:  rep.NumCorrupt(),
 			Metrics:    rep.Result.Metrics,
 			Intern:     rep.Intern,
+			Async:      rep.Async,
 			Ok:         rep.Ok(),
 			Violations: map[string]string{},
 		}
@@ -272,6 +285,12 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  classical msgs:    %d (%d bytes)\n",
 		rep.Result.Metrics.HonestMessages, rep.Result.Metrics.HonestMessageBytes)
 	fmt.Fprintf(out, "  honest outputs:    %v\n", outputs)
+	if rep.Async != nil {
+		fmt.Fprintf(out, "  decide round:      %d\n", rep.Async.DecideRound)
+		if rep.Async.SetSize >= 0 {
+			fmt.Fprintf(out, "  acs set size:      %d\n", rep.Async.SetSize)
+		}
+	}
 	fmt.Fprintf(out, "  consistency:       %v\n", errString(rep.Consistency))
 	fmt.Fprintf(out, "  validity:          %v\n", errString(rep.Validity))
 	fmt.Fprintf(out, "  termination:       %v\n", errString(rep.Termination))
@@ -281,8 +300,15 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// netLabel names the effective network model of a config.
+// netLabel names the effective message-scheduling model of a config: the
+// network model on the synchronous track, the scheduler on the async one.
 func netLabel(cfg ccba.Config) string {
+	if cfg.Protocol.Async() {
+		if cfg.Sched == "" {
+			return "sched:" + string(ccba.SchedFIFO)
+		}
+		return "sched:" + string(cfg.Sched)
+	}
 	if cfg.Net == "" {
 		return string(ccba.NetDeltaOne)
 	}
@@ -305,6 +331,7 @@ type singleRunJSON struct {
 	Corrupted  int               `json:"corrupted"`
 	Metrics    ccba.Metrics      `json:"metrics"`
 	Intern     *ccba.InternStats `json:"intern,omitempty"`
+	Async      *ccba.AsyncInfo   `json:"async,omitempty"`
 	Ok         bool              `json:"ok"`
 	Violations map[string]string `json:"violations"`
 }

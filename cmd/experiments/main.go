@@ -13,6 +13,7 @@
 //	experiments -only e13 -e13-max-n 1000000 -trials 1   # the 10⁶ stretch point
 //	experiments -only e13 -e13-crypto real -trials 1     # real-crypto (Ed25519 VRF) core sweep
 //	experiments -only e7 -net delta -delta 2   # rerun E7 under worst-case Δ=2
+//	experiments -only e15 -trials 50      # async track: ABA rounds vs scheduler, ACS set size vs crashes
 //	experiments -csv > sweeps.csv
 //
 // Output is identical for every -workers value: trials are reassembled in
@@ -45,7 +46,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only      = fs.String("only", "", "comma-separated experiment ids (e1..e13); empty = all")
+		only      = fs.String("only", "", "comma-separated experiment ids (e1..e15); empty = all")
 		trials    = fs.Int("trials", 0, "override trial count (0 = per-experiment default)")
 		workers   = fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS)")
 		maxN      = fs.Int("max-n", 1024, "largest n for the E2 sweep")
@@ -115,6 +116,7 @@ func run(args []string, out io.Writer) error {
 			return art(experiments.E13ScalingLaw(opts(3), *e13MaxN, mode))
 		}},
 		{"e14", func() (*experiments.Artifacts, error) { return art(experiments.E14CrossValidation(opts(5))) }},
+		{"e15", func() (*experiments.Artifacts, error) { return art(experiments.E15AsyncTrack(opts(20))) }},
 	}
 
 	var sweeps []*harness.Sweep

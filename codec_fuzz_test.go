@@ -5,6 +5,9 @@ import (
 	"testing"
 	"testing/quick"
 
+	"ccba/internal/aba"
+	"ccba/internal/acs"
+	"ccba/internal/brb"
 	"ccba/internal/broadcast"
 	"ccba/internal/chenmicali"
 	"ccba/internal/committee"
@@ -30,6 +33,9 @@ func TestDecodersNeverPanic(t *testing.T) {
 		"dolevstrong": dolevstrong.Decode,
 		"committee":   committee.Decode,
 		"broadcast":   broadcast.Decode,
+		"brb":         brb.Decode,
+		"aba":         aba.Decode,
+		"acs":         acs.Decode,
 	}
 	for name, decode := range decoders {
 		decode := decode
@@ -168,10 +174,14 @@ func TestDecodeEncodeCanonical(t *testing.T) {
 		chenmicali.AckMsg{Epoch: 2, B: Zero, Elig: []byte{7}, Sig: []byte{8}},
 		committee.EchoMsg{B: One},
 		broadcast.InputMsg{B: Zero},
+		brb.SendMsg{Payload: []byte{9, 8}},
+		aba.CoinMsg{Round: 3, Proof: []byte{1, 2, 3}},
+		acs.WrapMsg{Slot: 2, Part: acs.PartABA, Inner: aba.BValMsg{Round: 1, B: One}},
 	}
 	decoders := []func([]byte) (wire.Message, error){
 		core.Decode, quadratic.Decode, phaseking.Decode,
 		chenmicali.Decode, committee.Decode, broadcast.Decode,
+		brb.Decode, aba.Decode, acs.Decode,
 	}
 	for i, msg := range samples {
 		buf := wire.Marshal(msg)
@@ -239,6 +249,48 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	})
 }
 
+// The async-track decoders (BRB, ABA, and the slot-wrapping ACS envelope)
+// face the same trust boundary as every other codec: arbitrary bytes must
+// parse cleanly or fail with an error — no panic, no over-read. The first
+// input byte selects the decoder so one corpus covers all three; a
+// successful parse must be canonical (re-marshal reproduces the input
+// exactly, so a decoder that silently ignored trailing bytes would fail
+// here) and must report an exact Size().
+func FuzzAsyncDecode(f *testing.F) {
+	mark := func(sel byte, m wire.Message) []byte {
+		return append([]byte{sel}, wire.Marshal(m)...)
+	}
+	f.Add([]byte{})
+	f.Add(mark(0, brb.SendMsg{Payload: []byte("hi")}))
+	f.Add(mark(0, brb.ReadyMsg{Payload: []byte("m")}))
+	f.Add(mark(1, aba.BValMsg{Round: 1, B: One}))
+	f.Add(mark(1, aba.CoinMsg{Round: 2, Proof: []byte("abc")}))
+	f.Add(mark(1, aba.DoneMsg{B: Zero}))
+	f.Add(mark(2, acs.WrapMsg{Slot: 2, Part: acs.PartABA, Inner: aba.BValMsg{Round: 1, B: One}}))
+	f.Add(mark(2, acs.WrapMsg{Slot: 0, Part: acs.PartBRB, Inner: brb.EchoMsg{Payload: []byte{6}}}))
+	f.Add([]byte{1, 3, 0, 0})                      // truncated ABA coin
+	f.Add([]byte{2, 1, 0, 0, 0, 0, 9})             // ACS wrap with unknown part
+	f.Add([]byte{0, 1, 0xFF, 0xFF, 0xFF, 0xFF, 1}) // hostile BRB length prefix
+	decoders := []func([]byte) (wire.Message, error){brb.Decode, aba.Decode, acs.Decode}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		buf := data[1:]
+		m, err := decoders[int(data[0])%len(decoders)](buf)
+		if err != nil {
+			return
+		}
+		enc := m.Encode(nil)
+		if m.Size() != len(enc) {
+			t.Fatalf("%T: Size()=%d but encoding is %d bytes", m, m.Size(), len(enc))
+		}
+		if !bytes.Equal(wire.Marshal(m), buf) {
+			t.Fatalf("%T decode of % x not canonical: re-marshals to % x", m, buf, wire.Marshal(m))
+		}
+	})
+}
+
 // The hello handshake is the one frame a TCP endpoint reads before it knows
 // who is talking, so its decoder faces the rawest input of all: arbitrary
 // bytes must yield a descriptive error, never a panic, and only a
@@ -283,6 +335,9 @@ func TestFrameEnvelopeRoundTripProtocolMessages(t *testing.T) {
 		chenmicali.AckMsg{Epoch: 2, B: Zero, Elig: []byte{7}, Sig: []byte{8}},
 		committee.EchoMsg{B: One},
 		broadcast.InputMsg{B: Zero},
+		brb.ReadyMsg{Payload: []byte{7}},
+		aba.DoneMsg{B: One},
+		acs.WrapMsg{Slot: 5, Part: acs.PartBRB, Inner: brb.EchoMsg{Payload: []byte{6}}},
 	}
 	var stream []byte
 	for i, m := range msgs {

@@ -1,0 +1,165 @@
+package aba
+
+import (
+	"testing"
+
+	"ccba/internal/crypto/pki"
+	"ccba/internal/fmine"
+	"ccba/internal/netsim"
+	"ccba/internal/obs"
+	"ccba/internal/types"
+)
+
+func seedByte(b byte) [32]byte {
+	var s [32]byte
+	s[0] = b
+	return s
+}
+
+// buildNodes assembles n ABA participants sharing one suite and coin
+// source, with inputs[i] as node i's estimate.
+func buildNodes(n, f int, suite fmine.Suite, src *CoinSource, sink obs.Sink, inputs []types.Bit) []netsim.AsyncNode {
+	out := make([]netsim.AsyncNode, n)
+	for i := range out {
+		out[i] = NewNode(Config{
+			N: n, F: f, Me: types.NodeID(i),
+			Domain: "aba/0", Suite: suite, Source: src, Sink: sink,
+		}, inputs[i])
+	}
+	return out
+}
+
+func mixedInputs(n int) []types.Bit {
+	in := make([]types.Bit, n)
+	for i := range in {
+		in[i] = types.Bit(i & 1)
+	}
+	return in
+}
+
+func constInputs(n int, b types.Bit) []types.Bit {
+	in := make([]types.Bit, n)
+	for i := range in {
+		in[i] = b
+	}
+	return in
+}
+
+// runEventNodes runs pre-built nodes to completion under the random
+// scheduler and asserts termination.
+func runEventNodes(t *testing.T, n, f int, seed [32]byte, nodes []netsim.AsyncNode) *netsim.Result {
+	t.Helper()
+	rt, err := netsim.NewEventRuntime(netsim.EventConfig{N: n, F: f, Seed: seed, Sched: netsim.SchedRandom}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run()
+	if err := netsim.CheckTermination(res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func runABA(t *testing.T, n, f int, seed [32]byte, mode netsim.SchedMode, inputs []types.Bit) *netsim.Result {
+	t.Helper()
+	suite := fmine.NewIdeal(seed, CoinProb)
+	src := NewCoinSource(seed)
+	rt, err := netsim.NewEventRuntime(netsim.EventConfig{N: n, F: f, Seed: seed, Sched: mode},
+		buildNodes(n, f, suite, src, obs.Sink{}, inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.Run()
+}
+
+func TestABAAgreementAllModes(t *testing.T) {
+	for _, mode := range []netsim.SchedMode{netsim.SchedFIFO, netsim.SchedRandom, netsim.SchedAdvDelay} {
+		t.Run(mode.String(), func(t *testing.T) {
+			for _, n := range []int{4, 16} {
+				f := (n - 1) / 3
+				for s := byte(0); s < 8; s++ {
+					res := runABA(t, n, f, seedByte(s), mode, mixedInputs(n))
+					if err := netsim.CheckTermination(res); err != nil {
+						t.Fatalf("n=%d seed=%d: %v", n, s, err)
+					}
+					if err := netsim.CheckConsistency(res); err != nil {
+						t.Fatalf("n=%d seed=%d: %v", n, s, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestABAValidity: unanimous input decides that input (the coin can delay,
+// not flip, a unanimous estimate).
+func TestABAValidity(t *testing.T) {
+	for _, b := range []types.Bit{types.Zero, types.One} {
+		for s := byte(0); s < 8; s++ {
+			n, f := 4, 1
+			res := runABA(t, n, f, seedByte(s), netsim.SchedRandom, constInputs(n, b))
+			if err := netsim.CheckAgreementValidity(res, constInputs(n, b)); err != nil {
+				t.Fatalf("b=%v seed=%d: %v", b, s, err)
+			}
+			if err := netsim.CheckTermination(res); err != nil {
+				t.Fatalf("b=%v seed=%d: %v", b, s, err)
+			}
+		}
+	}
+}
+
+// TestABARealSuite runs the compiled protocol: Ed25519-VRF ticket shares in
+// place of the ideal functionality.
+func TestABARealSuite(t *testing.T) {
+	n, f := 4, 1
+	seed := seedByte(9)
+	pub, secrets := pki.Setup(n, seed)
+	suite := fmine.NewReal(pub, secrets, CoinProb)
+	src := NewCoinSource(seed)
+	rt, err := netsim.NewEventRuntime(netsim.EventConfig{N: n, F: f, Seed: seed, Sched: netsim.SchedRandom},
+		buildNodes(n, f, suite, src, obs.Sink{}, mixedInputs(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run()
+	if err := netsim.CheckTermination(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := netsim.CheckConsistency(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestABADecisionRoundsBounded: with a common coin the expected round count
+// is constant; over a seed batch no run should stray far from it.
+func TestABADecisionRoundsBounded(t *testing.T) {
+	const roundCap = 40
+	total, runs := 0, 0
+	for s := byte(0); s < 20; s++ {
+		n, f := 4, 1
+		seed := seedByte(s)
+		suite := fmine.NewIdeal(seed, CoinProb)
+		src := NewCoinSource(seed)
+		nodes := buildNodes(n, f, suite, src, obs.Sink{}, mixedInputs(n))
+		rt, err := netsim.NewEventRuntime(netsim.EventConfig{N: n, F: f, Seed: seed, Sched: netsim.SchedAdvDelay},
+			nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rt.Run()
+		if err := netsim.CheckTermination(res); err != nil {
+			t.Fatalf("seed=%d: %v", s, err)
+		}
+		for _, nd := range nodes {
+			r := nd.(*Node).DecidedRound()
+			if r < 1 || r > roundCap {
+				t.Fatalf("seed=%d: decision round %d outside [1,%d]", s, r, roundCap)
+			}
+			total += r
+			runs++
+		}
+	}
+	if mean := float64(total) / float64(runs); mean > 6 {
+		t.Fatalf("mean decision round %.2f exceeds expected-constant bound 6", mean)
+	}
+}

@@ -1,0 +1,10 @@
+// Package aba implements asynchronous binary Byzantine agreement driven by
+// an fmine/VRF common coin (DESIGN.md §11): a Canetti–Rabin-style protocol
+// in the Mostéfaoui–Moumen–Raynal shape — binary-value broadcast, an AUX
+// support exchange, and a per-round common coin whose value comes from a
+// seed-keyed CoinSource and whose reveal is gated on f+1 verified fmine
+// ticket shares. Termination is probabilistic (expected constant rounds);
+// a DONE gadget turns decisions into halts. Instance is the embeddable
+// per-slot state machine (the ACS composition drives n of them); Node
+// wraps one instance behind netsim.AsyncNode.
+package aba

@@ -1,0 +1,134 @@
+package aba
+
+import (
+	"fmt"
+
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Message kinds.
+const (
+	KindBVal wire.Kind = 1
+	KindAux  wire.Kind = 2
+	KindCoin wire.Kind = 3
+	KindDone wire.Kind = 4
+)
+
+// BValMsg is the binary-value broadcast vote (BVAL_r, b): the sender
+// estimates b in round r, or amplifies f+1 received BVALs.
+type BValMsg struct {
+	Round uint32
+	B     types.Bit
+}
+
+// Kind implements wire.Message.
+func (m BValMsg) Kind() wire.Kind { return KindBVal }
+
+// Encode implements wire.Message.
+func (m BValMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Round)
+	w.Bit(m.B)
+	return w.Buf
+}
+
+// Size implements wire.Message.
+func (m BValMsg) Size() int { return 4 + 1 }
+
+// AuxMsg reports the first value that entered the sender's bin_values set
+// in round r (AUX_r, b).
+type AuxMsg struct {
+	Round uint32
+	B     types.Bit
+}
+
+// Kind implements wire.Message.
+func (m AuxMsg) Kind() wire.Kind { return KindAux }
+
+// Encode implements wire.Message.
+func (m AuxMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Round)
+	w.Bit(m.B)
+	return w.Buf
+}
+
+// Size implements wire.Message.
+func (m AuxMsg) Size() int { return 4 + 1 }
+
+// CoinMsg carries the sender's common-coin share for round r: an fmine
+// ticket proof for the round's coin tag, verifiable by everyone.
+type CoinMsg struct {
+	Round uint32
+	Proof []byte
+}
+
+// Kind implements wire.Message.
+func (m CoinMsg) Kind() wire.Kind { return KindCoin }
+
+// Encode implements wire.Message.
+func (m CoinMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.U32(m.Round)
+	w.Bytes(m.Proof)
+	return w.Buf
+}
+
+// Size implements wire.Message.
+func (m CoinMsg) Size() int { return 4 + wire.BytesSize(m.Proof) }
+
+// DoneMsg is the termination gadget's (DONE, b): the sender decided b.
+// f+1 DONEs adopt the decision; 2f+1 allow a halt.
+type DoneMsg struct {
+	B types.Bit
+}
+
+// Kind implements wire.Message.
+func (m DoneMsg) Kind() wire.Kind { return KindDone }
+
+// Encode implements wire.Message.
+func (m DoneMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.Bit(m.B)
+	return w.Buf
+}
+
+// Size implements wire.Message.
+func (m DoneMsg) Size() int { return 1 }
+
+// Decode parses a marshalled ABA message (kind tag included). Rounds are
+// 1-based; bit fields must be concrete (0 or 1).
+func Decode(buf []byte) (wire.Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("aba: %w", wire.ErrTruncated)
+	}
+	r := wire.NewReader(buf[1:])
+	var m wire.Message
+	switch wire.Kind(buf[0]) {
+	case KindBVal:
+		v := BValMsg{Round: r.U32(), B: r.Bit()}
+		r.Expect(v.Round >= 1, "round must be 1-based")
+		r.Expect(v.B.Valid(), "bval bit must be concrete")
+		m = v
+	case KindAux:
+		v := AuxMsg{Round: r.U32(), B: r.Bit()}
+		r.Expect(v.Round >= 1, "round must be 1-based")
+		r.Expect(v.B.Valid(), "aux bit must be concrete")
+		m = v
+	case KindCoin:
+		v := CoinMsg{Round: r.U32(), Proof: r.Bytes()}
+		r.Expect(v.Round >= 1, "round must be 1-based")
+		m = v
+	case KindDone:
+		v := DoneMsg{B: r.Bit()}
+		r.Expect(v.B.Valid(), "done bit must be concrete")
+		m = v
+	default:
+		return nil, fmt.Errorf("aba: %w: kind %d", wire.ErrMalformed, buf[0])
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("aba: decoding kind %d: %w", buf[0], err)
+	}
+	return m, nil
+}

@@ -1,0 +1,34 @@
+package aba
+
+import (
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// Node runs one standalone ABA instance behind netsim.AsyncNode.
+type Node struct {
+	in    *Instance
+	input types.Bit
+}
+
+// NewNode builds one participant with its input bit.
+func NewNode(cfg Config, input types.Bit) *Node {
+	return &Node{in: NewInstance(cfg), input: input}
+}
+
+// Start implements netsim.AsyncNode.
+func (nd *Node) Start() []netsim.Send { return nd.in.SetInput(nd.input) }
+
+// Deliver implements netsim.AsyncNode.
+func (nd *Node) Deliver(d netsim.Delivered) []netsim.Send { return nd.in.Handle(d.From, d.Msg) }
+
+// Output implements netsim.AsyncNode.
+func (nd *Node) Output() (types.Bit, bool) { return nd.in.Decided() }
+
+// Halted implements netsim.AsyncNode.
+func (nd *Node) Halted() bool { return nd.in.Halted() }
+
+// DecidedRound exposes the decision round for latency distributions.
+func (nd *Node) DecidedRound() int { return nd.in.DecidedRound() }
+
+var _ netsim.AsyncNode = (*Node)(nil)

@@ -1,0 +1,233 @@
+package acs
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"ccba/internal/aba"
+	"ccba/internal/brb"
+	"ccba/internal/fmine"
+	"ccba/internal/netsim"
+	"ccba/internal/obs"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// Config parameterises one node's ACS participant.
+type Config struct {
+	// N is the node count; F the fault budget (requires N > 3F).
+	N, F int
+	// Me is this node's identity.
+	Me types.NodeID
+	// Input is this node's contributed payload.
+	Input []byte
+	// Suite and Source feed the per-slot ABA coins (see aba.Config).
+	Suite  fmine.Suite
+	Source *aba.CoinSource
+	// Sink receives the per-slot coin reveals.
+	Sink obs.Sink
+}
+
+// Node is one participant of the BKR Agreement on Common Subset: n
+// parallel reliable broadcasts (slot j carrying node j's input) and n
+// parallel ABA instances voting each slot in or out. A slot's BRB delivery
+// feeds input 1 into its ABA; once n−f ABAs have decided 1 the remaining
+// ones are started with input 0; the output is the set of slots whose ABA
+// decided 1, together with their delivered payloads (guaranteed to arrive,
+// by BRB totality, since a 1-decision requires an honest 1-input).
+type Node struct {
+	cfg  Config
+	n, f int
+	me   types.NodeID
+
+	brbs     []*brb.Instance
+	abas     []*aba.Instance
+	brbDone  []bool
+	payloads [][]byte
+	started  []bool // ABA j has received its input
+
+	filledZeros bool
+	outputDone  bool
+	outSet      []types.NodeID
+	outBit      types.Bit
+
+	out []netsim.Send // per-call send accumulator
+}
+
+// NewNode builds participant cfg.Me.
+func NewNode(cfg Config) *Node {
+	nd := &Node{
+		cfg:      cfg,
+		n:        cfg.N,
+		f:        cfg.F,
+		me:       cfg.Me,
+		brbs:     make([]*brb.Instance, cfg.N),
+		abas:     make([]*aba.Instance, cfg.N),
+		brbDone:  make([]bool, cfg.N),
+		payloads: make([][]byte, cfg.N),
+		started:  make([]bool, cfg.N),
+	}
+	for j := 0; j < cfg.N; j++ {
+		nd.brbs[j] = brb.NewInstance(cfg.N, cfg.F, types.NodeID(j), cfg.Me)
+		nd.abas[j] = aba.NewInstance(aba.Config{
+			N: cfg.N, F: cfg.F, Me: cfg.Me,
+			Domain: fmt.Sprintf("acs/%d/coin", j),
+			Suite:  cfg.Suite, Source: cfg.Source,
+			Sink: cfg.Sink, Slot: j,
+		})
+	}
+	return nd
+}
+
+// Start implements netsim.AsyncNode: broadcast our own input on slot Me.
+func (nd *Node) Start() []netsim.Send {
+	nd.out = nd.out[:0]
+	nd.wrap(uint32(nd.me), PartBRB, nd.brbs[nd.me].Start(nd.cfg.Input))
+	nd.progress()
+	return nd.out
+}
+
+// Deliver implements netsim.AsyncNode: route the wrapped message to its
+// slot's sub-instance, then drain the composition rules.
+func (nd *Node) Deliver(d netsim.Delivered) []netsim.Send {
+	m, ok := d.Msg.(WrapMsg)
+	if !ok || int(m.Slot) >= nd.n {
+		return nil
+	}
+	nd.out = nd.out[:0]
+	switch m.Part {
+	case PartBRB:
+		sends, deliveredNow := nd.brbs[m.Slot].Handle(d.From, m.Inner)
+		nd.wrap(m.Slot, PartBRB, sends)
+		if deliveredNow {
+			payload, _ := nd.brbs[m.Slot].Delivered()
+			nd.brbDone[m.Slot] = true
+			nd.payloads[m.Slot] = payload
+		}
+	case PartABA:
+		nd.wrap(m.Slot, PartABA, nd.abas[m.Slot].Handle(d.From, m.Inner))
+	}
+	nd.progress()
+	return nd.out
+}
+
+// progress drains the BKR composition rules to a fixpoint: BRB deliveries
+// start their slot's ABA with 1; n−f one-decisions start every idle ABA
+// with 0; all ABAs decided (with every included payload delivered) fixes
+// the output.
+func (nd *Node) progress() {
+	for changed := true; changed; {
+		changed = false
+		for j := 0; j < nd.n; j++ {
+			if nd.brbDone[j] && !nd.started[j] && !nd.filledZeros {
+				nd.started[j] = true
+				nd.wrap(uint32(j), PartABA, nd.abas[j].SetInput(types.One))
+				changed = true
+			}
+		}
+		if !nd.filledZeros && nd.onesDecided() >= nd.n-nd.f {
+			nd.filledZeros = true
+			for j := 0; j < nd.n; j++ {
+				if !nd.started[j] {
+					nd.started[j] = true
+					nd.wrap(uint32(j), PartABA, nd.abas[j].SetInput(types.Zero))
+				}
+			}
+			changed = true
+		}
+	}
+	nd.tryOutput()
+}
+
+// onesDecided counts ABA instances that decided 1.
+func (nd *Node) onesDecided() int {
+	cnt := 0
+	for j := 0; j < nd.n; j++ {
+		if b, ok := nd.abas[j].Decided(); ok && b == types.One {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// tryOutput fixes the output set once every ABA has decided and every
+// included slot's payload has been delivered.
+func (nd *Node) tryOutput() {
+	if nd.outputDone {
+		return
+	}
+	for j := 0; j < nd.n; j++ {
+		b, ok := nd.abas[j].Decided()
+		if !ok {
+			return
+		}
+		if b == types.One && !nd.brbDone[j] {
+			return // totality will deliver it; wait
+		}
+	}
+	nd.outSet = nd.outSet[:0]
+	h := sha256.New()
+	var scratch [8]byte
+	for j := 0; j < nd.n; j++ {
+		if b, _ := nd.abas[j].Decided(); b == types.One {
+			nd.outSet = append(nd.outSet, types.NodeID(j))
+			w := wire.Writer{Buf: scratch[:0]}
+			w.U32(uint32(j))
+			w.U32(uint32(len(nd.payloads[j])))
+			h.Write(w.Buf)
+			h.Write(nd.payloads[j])
+		}
+	}
+	nd.outBit = types.Bit(h.Sum(nil)[0] & 1)
+	nd.outputDone = true
+}
+
+// Output implements netsim.AsyncNode. The bit is a digest of the output
+// set and its payloads — a collision-resistant summary that lets the
+// generic consistency checker compare ACS outputs; the exact set property
+// is checked by the dedicated ACS checker over OutputSet.
+func (nd *Node) Output() (types.Bit, bool) { return nd.outBit, nd.outputDone }
+
+// Halted implements netsim.AsyncNode: the output is fixed and every ABA's
+// termination gadget has completed.
+func (nd *Node) Halted() bool {
+	if !nd.outputDone {
+		return false
+	}
+	for j := 0; j < nd.n; j++ {
+		if !nd.abas[j].Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// OutputSet returns the decided slot set and whether the output is fixed.
+func (nd *Node) OutputSet() ([]types.NodeID, bool) { return nd.outSet, nd.outputDone }
+
+// Payload returns the delivered payload of slot j.
+func (nd *Node) Payload(j types.NodeID) []byte { return nd.payloads[j] }
+
+// DecidedRound returns the maximum ABA decision round across slots (0
+// before the output is fixed) — the instance that kept the node waiting.
+func (nd *Node) DecidedRound() int {
+	if !nd.outputDone {
+		return 0
+	}
+	max := 0
+	for j := 0; j < nd.n; j++ {
+		if r := nd.abas[j].DecidedRound(); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// wrap appends slot-tagged copies of a sub-instance's sends.
+func (nd *Node) wrap(slot uint32, part uint8, sends []netsim.Send) {
+	for _, s := range sends {
+		nd.out = append(nd.out, netsim.Send{To: s.To, Msg: WrapMsg{Slot: slot, Part: part, Inner: s.Msg}})
+	}
+}
+
+var _ netsim.AsyncNode = (*Node)(nil)

@@ -1,0 +1,143 @@
+package acs
+
+import (
+	"bytes"
+	"testing"
+
+	"ccba/internal/aba"
+	"ccba/internal/fmine"
+	"ccba/internal/netsim"
+	"ccba/internal/obs"
+	"ccba/internal/types"
+)
+
+func seedByte(b byte) [32]byte {
+	var s [32]byte
+	s[0] = b
+	return s
+}
+
+func payload(i int) []byte { return []byte{0xA0, byte(i)} }
+
+func buildNodes(n, f int, seed [32]byte) ([]netsim.AsyncNode, []*Node) {
+	suite := fmine.NewIdeal(seed, aba.CoinProb)
+	src := aba.NewCoinSource(seed)
+	nodes := make([]netsim.AsyncNode, n)
+	typed := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		typed[i] = NewNode(Config{
+			N: n, F: f, Me: types.NodeID(i),
+			Input: payload(i),
+			Suite: suite, Source: src, Sink: obs.Sink{},
+		})
+		nodes[i] = typed[i]
+	}
+	return nodes, typed
+}
+
+// checkACS asserts the three ACS properties over the honest (non-crashed)
+// nodes: set agreement, |set| ≥ n−f, and every included payload matching
+// the slot owner's real input.
+func checkACS(t *testing.T, res *netsim.Result, typed []*Node, n, f int) {
+	t.Helper()
+	var ref []types.NodeID
+	for i, nd := range typed {
+		if res.Corrupt[i] {
+			continue
+		}
+		set, ok := nd.OutputSet()
+		if !ok {
+			t.Fatalf("node %d has no output", i)
+		}
+		if len(set) < n-f {
+			t.Fatalf("node %d output set size %d < n-f=%d", i, len(set), n-f)
+		}
+		if ref == nil {
+			ref = set
+		} else if len(ref) != len(set) {
+			t.Fatalf("node %d set size %d != %d", i, len(set), len(ref))
+		} else {
+			for k := range ref {
+				if ref[k] != set[k] {
+					t.Fatalf("node %d set differs at %d: %d != %d", i, k, set[k], ref[k])
+				}
+			}
+		}
+		for _, j := range set {
+			if !bytes.Equal(nd.Payload(j), payload(int(j))) {
+				t.Fatalf("node %d slot %d payload %x != input %x", i, j, nd.Payload(j), payload(int(j)))
+			}
+		}
+	}
+	if ref == nil {
+		t.Fatal("no honest node produced output")
+	}
+}
+
+func TestACSAllModes(t *testing.T) {
+	for _, mode := range []netsim.SchedMode{netsim.SchedFIFO, netsim.SchedRandom, netsim.SchedAdvDelay} {
+		t.Run(mode.String(), func(t *testing.T) {
+			for _, n := range []int{4, 7} {
+				f := (n - 1) / 3
+				for s := byte(0); s < 5; s++ {
+					nodes, typed := buildNodes(n, f, seedByte(s))
+					rt, err := netsim.NewEventRuntime(netsim.EventConfig{N: n, F: f, Seed: seedByte(s), Sched: mode}, nodes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res := rt.Run()
+					if err := netsim.CheckTermination(res); err != nil {
+						t.Fatalf("n=%d seed=%d: %v", n, s, err)
+					}
+					if err := netsim.CheckConsistency(res); err != nil {
+						t.Fatalf("n=%d seed=%d: %v", n, s, err)
+					}
+					checkACS(t, res, typed, n, f)
+				}
+			}
+		})
+	}
+}
+
+// TestACSWithCrashes: f crashed nodes neither block termination nor sneak
+// unbacked slots into the output, and the set still reaches n−f.
+func TestACSWithCrashes(t *testing.T) {
+	n, f := 7, 2
+	for s := byte(0); s < 5; s++ {
+		crashed := make([]bool, n)
+		crashed[1], crashed[4] = true, true
+		nodes, typed := buildNodes(n, f, seedByte(s))
+		rt, err := netsim.NewEventRuntime(netsim.EventConfig{
+			N: n, F: f, Seed: seedByte(s), Sched: netsim.SchedRandom, Crashed: crashed,
+		}, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rt.Run()
+		if err := netsim.CheckTermination(res); err != nil {
+			t.Fatalf("seed=%d: %v", s, err)
+		}
+		checkACS(t, res, typed, n, f)
+	}
+}
+
+// TestACSFaultFreeIncludesAll: with no faults and FIFO delivery every slot's
+// BRB completes, so the agreed set can (and on these seeds does) include
+// slots beyond the n−f floor — the E15 set-size-vs-faults observable.
+func TestACSFaultFreeIncludesAll(t *testing.T) {
+	n, f := 4, 1
+	nodes, typed := buildNodes(n, f, seedByte(7))
+	rt, err := netsim.NewEventRuntime(netsim.EventConfig{N: n, F: f, Seed: seedByte(7), Sched: netsim.SchedFIFO}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run()
+	if err := netsim.CheckTermination(res); err != nil {
+		t.Fatal(err)
+	}
+	checkACS(t, res, typed, n, f)
+	set, _ := typed[0].OutputSet()
+	if len(set) != n {
+		t.Fatalf("fault-free FIFO run agreed on %d slots, want all %d", len(set), n)
+	}
+}

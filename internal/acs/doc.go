@@ -1,0 +1,8 @@
+// Package acs implements BKR-style Agreement on a Common Subset for the
+// asynchronous track (DESIGN.md §11): n parallel Bracha reliable
+// broadcasts disseminate every node's input, n parallel common-coin ABA
+// instances vote each slot in or out, and the output is the agreed set of
+// at least n−f slots together with their delivered payloads. Node is one
+// participant behind netsim.AsyncNode; its messages are the sub-protocols'
+// own encodings behind a slot-tagged wrapper with an exact Size.
+package acs

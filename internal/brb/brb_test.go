@@ -1,0 +1,159 @@
+package brb
+
+import (
+	"testing"
+
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+func seedByte(b byte) [32]byte {
+	var s [32]byte
+	s[0] = b
+	return s
+}
+
+func nodes(n, f int, broadcaster types.NodeID, input types.Bit) []netsim.AsyncNode {
+	out := make([]netsim.AsyncNode, n)
+	for i := range out {
+		out[i] = NewNode(n, f, broadcaster, types.NodeID(i), input)
+	}
+	return out
+}
+
+func TestBRBDeliversUnderEveryScheduler(t *testing.T) {
+	for _, mode := range []netsim.SchedMode{netsim.SchedFIFO, netsim.SchedRandom, netsim.SchedAdvDelay} {
+		t.Run(mode.String(), func(t *testing.T) {
+			n, f := 16, 5
+			for s := byte(0); s < 5; s++ {
+				rt, err := netsim.NewEventRuntime(netsim.EventConfig{N: n, F: f, Seed: seedByte(s), Sched: mode}, nodes(n, f, 3, types.One))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := rt.Run()
+				if err := netsim.CheckTermination(res); err != nil {
+					t.Fatalf("seed %d: %v", s, err)
+				}
+				if err := netsim.CheckBroadcastValidity(res, 3, types.One); err != nil {
+					t.Fatalf("seed %d: %v", s, err)
+				}
+				if err := netsim.CheckConsistency(res); err != nil {
+					t.Fatalf("seed %d: %v", s, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBRBThresholds drives one instance by hand through the
+// echo-quorum → ready → amplification → delivery ladder.
+func TestBRBThresholds(t *testing.T) {
+	n, f := 7, 2
+	in := NewInstance(n, f, 0, 1)
+
+	// The broadcaster's SEND triggers exactly one ECHO.
+	out, _ := in.Handle(0, SendMsg{Payload: []byte{1}})
+	if len(out) != 1 {
+		t.Fatalf("SEND triggered %d sends, want 1 echo", len(out))
+	}
+	if _, ok := out[0].Msg.(EchoMsg); !ok {
+		t.Fatalf("SEND triggered %T, want EchoMsg", out[0].Msg)
+	}
+	// A SEND from a non-broadcaster is ignored.
+	if out, _ := in.Handle(2, SendMsg{Payload: []byte{0}}); len(out) != 0 {
+		t.Fatal("non-broadcaster SEND triggered sends")
+	}
+
+	// Echo quorum is (n+f)/2+1 = 5: four echoes stay silent, the fifth
+	// readies.
+	for i := 0; i < 4; i++ {
+		if out, _ := in.Handle(types.NodeID(i), EchoMsg{Payload: []byte{1}}); len(out) != 0 {
+			t.Fatalf("echo %d triggered sends before the quorum", i)
+		}
+	}
+	out, _ = in.Handle(4, EchoMsg{Payload: []byte{1}})
+	if len(out) != 1 {
+		t.Fatalf("echo quorum triggered %d sends, want 1 ready", len(out))
+	}
+	if _, ok := out[0].Msg.(ReadyMsg); !ok {
+		t.Fatalf("echo quorum triggered %T, want ReadyMsg", out[0].Msg)
+	}
+
+	// 2f+1 = 5 readies deliver.
+	for i := 0; i < 4; i++ {
+		if _, deliveredNow := in.Handle(types.NodeID(i), ReadyMsg{Payload: []byte{1}}); deliveredNow {
+			t.Fatalf("delivered after %d readies", i+1)
+		}
+	}
+	_, deliveredNow := in.Handle(4, ReadyMsg{Payload: []byte{1}})
+	if !deliveredNow {
+		t.Fatal("no delivery at 2f+1 readies")
+	}
+	payload, ok := in.Delivered()
+	if !ok || len(payload) != 1 || payload[0] != 1 {
+		t.Fatalf("delivered %v %v", payload, ok)
+	}
+}
+
+// TestBRBReadyAmplification pins the f+1 READY amplification path: a node
+// that saw no echo quorum still readies after f+1 readies.
+func TestBRBReadyAmplification(t *testing.T) {
+	n, f := 7, 2
+	in := NewInstance(n, f, 0, 1)
+	if out, _ := in.Handle(2, ReadyMsg{Payload: []byte{1}}); len(out) != 0 {
+		t.Fatal("one ready amplified")
+	}
+	if out, _ := in.Handle(3, ReadyMsg{Payload: []byte{1}}); len(out) != 0 {
+		t.Fatal("two readies amplified below f+1")
+	}
+	out, _ := in.Handle(4, ReadyMsg{Payload: []byte{1}})
+	if len(out) != 1 {
+		t.Fatalf("f+1 readies triggered %d sends, want 1", len(out))
+	}
+	if _, ok := out[0].Msg.(ReadyMsg); !ok {
+		t.Fatalf("amplification sent %T, want ReadyMsg", out[0].Msg)
+	}
+}
+
+// TestBRBEquivocation: a broadcaster echoing different payloads to
+// different quorums cannot make one instance deliver twice, and duplicate
+// senders never double-count.
+func TestBRBEquivocation(t *testing.T) {
+	n, f := 7, 2
+	in := NewInstance(n, f, 0, 1)
+	// Duplicate echoes from one sender count once.
+	for i := 0; i < 10; i++ {
+		if out, _ := in.Handle(2, EchoMsg{Payload: []byte{1}}); len(out) != 0 {
+			t.Fatal("duplicate echoes reached the quorum")
+		}
+	}
+	// Readies split across payloads: neither reaches 2f+1.
+	for i := 0; i < 3; i++ {
+		in.Handle(types.NodeID(i), ReadyMsg{Payload: []byte{0}})
+	}
+	for i := 3; i < 6; i++ {
+		in.Handle(types.NodeID(i), ReadyMsg{Payload: []byte{1}})
+	}
+	if _, ok := in.Delivered(); ok {
+		t.Fatal("delivered on split ready votes")
+	}
+}
+
+func TestBRBWait(t *testing.T) {
+	// f+1 readies for 0 arrive; the instance has already readied for 0 via
+	// amplification, so a later echo quorum for 1 must not ready again
+	// (readySent is instance-global, matching Bracha).
+	n, f := 7, 2
+	in := NewInstance(n, f, 0, 1)
+	in.Handle(2, ReadyMsg{Payload: []byte{0}})
+	in.Handle(3, ReadyMsg{Payload: []byte{0}})
+	out, _ := in.Handle(4, ReadyMsg{Payload: []byte{0}})
+	if len(out) != 1 {
+		t.Fatal("amplification missing")
+	}
+	for i := 0; i < 5; i++ {
+		if out, _ := in.Handle(types.NodeID(i), EchoMsg{Payload: []byte{1}}); len(out) != 0 {
+			t.Fatal("second ready sent after readySent")
+		}
+	}
+}

@@ -1,0 +1,7 @@
+// Package brb implements Bracha reliable broadcast for the asynchronous
+// track (DESIGN.md §11): the SEND/ECHO/READY three-phase protocol that
+// gives agreement and totality on one broadcaster's payload with no timing
+// assumptions, for n > 3f. Instance is the embeddable per-slot state
+// machine (the ACS composition drives n of them); Node wraps one instance
+// as a standalone event-driven protocol behind netsim.AsyncNode.
+package brb

@@ -1,0 +1,93 @@
+package brb
+
+import (
+	"fmt"
+
+	"ccba/internal/wire"
+)
+
+// Message kinds.
+const (
+	KindSend  wire.Kind = 1
+	KindEcho  wire.Kind = 2
+	KindReady wire.Kind = 3
+)
+
+// SendMsg is the broadcaster's initial (SEND, m) multicast.
+type SendMsg struct {
+	Payload []byte
+}
+
+// Kind implements wire.Message.
+func (m SendMsg) Kind() wire.Kind { return KindSend }
+
+// Encode implements wire.Message.
+func (m SendMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.Bytes(m.Payload)
+	return w.Buf
+}
+
+// Size implements wire.Message.
+func (m SendMsg) Size() int { return wire.BytesSize(m.Payload) }
+
+// EchoMsg is the second-phase (ECHO, m) multicast: the sender vouches it
+// received m from the broadcaster.
+type EchoMsg struct {
+	Payload []byte
+}
+
+// Kind implements wire.Message.
+func (m EchoMsg) Kind() wire.Kind { return KindEcho }
+
+// Encode implements wire.Message.
+func (m EchoMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.Bytes(m.Payload)
+	return w.Buf
+}
+
+// Size implements wire.Message.
+func (m EchoMsg) Size() int { return wire.BytesSize(m.Payload) }
+
+// ReadyMsg is the third-phase (READY, m) multicast: the sender vouches a
+// quorum stands behind m.
+type ReadyMsg struct {
+	Payload []byte
+}
+
+// Kind implements wire.Message.
+func (m ReadyMsg) Kind() wire.Kind { return KindReady }
+
+// Encode implements wire.Message.
+func (m ReadyMsg) Encode(dst []byte) []byte {
+	w := wire.Writer{Buf: dst}
+	w.Bytes(m.Payload)
+	return w.Buf
+}
+
+// Size implements wire.Message.
+func (m ReadyMsg) Size() int { return wire.BytesSize(m.Payload) }
+
+// Decode parses a marshalled BRB message (kind tag included).
+func Decode(buf []byte) (wire.Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("brb: %w", wire.ErrTruncated)
+	}
+	r := wire.NewReader(buf[1:])
+	var m wire.Message
+	switch wire.Kind(buf[0]) {
+	case KindSend:
+		m = SendMsg{Payload: r.Bytes()}
+	case KindEcho:
+		m = EchoMsg{Payload: r.Bytes()}
+	case KindReady:
+		m = ReadyMsg{Payload: r.Bytes()}
+	default:
+		return nil, fmt.Errorf("brb: %w: kind %d", wire.ErrMalformed, buf[0])
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("brb: decoding kind %d: %w", buf[0], err)
+	}
+	return m, nil
+}

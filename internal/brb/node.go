@@ -1,0 +1,52 @@
+package brb
+
+import (
+	"ccba/internal/netsim"
+	"ccba/internal/types"
+)
+
+// Node runs one standalone reliable-broadcast instance as an event-driven
+// protocol participant: the broadcaster's input bit is the one-byte
+// payload, and a node decides (and halts) when its instance delivers.
+type Node struct {
+	in      *Instance
+	me      types.NodeID
+	input   types.Bit
+	out     types.Bit
+	decided bool
+}
+
+// NewNode builds node me of broadcaster's bit broadcast.
+func NewNode(n, f int, broadcaster, me types.NodeID, input types.Bit) *Node {
+	return &Node{in: NewInstance(n, f, broadcaster, me), me: me, input: input}
+}
+
+// Start implements netsim.AsyncNode.
+func (nd *Node) Start() []netsim.Send {
+	return nd.in.Start([]byte{byte(nd.input)})
+}
+
+// Deliver implements netsim.AsyncNode.
+func (nd *Node) Deliver(d netsim.Delivered) []netsim.Send {
+	out, deliveredNow := nd.in.Handle(d.From, d.Msg)
+	if deliveredNow {
+		payload, _ := nd.in.Delivered()
+		nd.out = types.NoBit
+		if len(payload) == 1 && types.Bit(payload[0]).Valid() {
+			nd.out = types.Bit(payload[0])
+		}
+		nd.decided = true
+	}
+	return out
+}
+
+// Output implements netsim.AsyncNode.
+func (nd *Node) Output() (types.Bit, bool) { return nd.out, nd.decided }
+
+// Halted implements netsim.AsyncNode. Halting on delivery is safe: the
+// node's own READY was multicast before (or with) the delivery threshold,
+// so totality for the others never depends on a delivered node speaking
+// again.
+func (nd *Node) Halted() bool { return nd.decided }
+
+var _ netsim.AsyncNode = (*Node)(nil)

@@ -1,6 +1,7 @@
 // Package experiments regenerates every table-equivalent in the paper's
-// evaluation — one generator per experiment in DESIGN.md §3 (E1–E13), each
-// mapping a theorem, lemma, or remark to a measured table. The generators
+// evaluation — one generator per experiment in DESIGN.md §3 (E1–E13, plus
+// the E15 async-track extension), each mapping a theorem, lemma, or remark
+// to a measured table. The generators
 // return structured results for programmatic assertions plus a rendered
 // text table; cmd/experiments prints them and bench_test.go wraps them as
 // benchmarks.

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccba/internal/harness"
+	"ccba/internal/scenario"
+	"ccba/internal/stats"
+	"ccba/internal/table"
+)
+
+// E15ABARow is one (n, scheduler) setting of the async termination-latency
+// sweep.
+type E15ABARow struct {
+	N, F       int
+	Sched      scenario.SchedName
+	Trials     int
+	SafetyViol int
+	// TerminationRate is the fraction of trials where every honest node
+	// halted before the delivery cap — a liveness-cap breach shows up here.
+	TerminationRate float64
+	// DecideRound summarises the per-trial maximum ABA decision round: the
+	// expected-constant-round claim made measurable.
+	DecideRound stats.Summary
+}
+
+// E15ACSRow is one crash-count setting of the output-set-size sweep.
+type E15ACSRow struct {
+	N, F, Crashes int
+	Trials        int
+	SafetyViol    int
+	// SetSize summarises the agreed output-set size across trials; its
+	// minimum must never fall below n−f.
+	SetSize stats.Summary
+	// DecideRound is the slowest slot's ABA decision round.
+	DecideRound stats.Summary
+}
+
+// E15Result is the asynchronous-track experiment (DESIGN.md §11): the
+// common-coin ABA termination-round distribution against n and scheduler
+// adversarialness, and the ACS output-set size against the actual crash
+// count.
+//
+// The headline shape: ABA terminates in expected-constant rounds — the
+// distribution's mean stays flat as n grows and shifts only mildly under
+// the adversarial-delay scheduler (reordering stretches deliveries, not
+// coin flips); the ACS set size sits at n with no faults and degrades
+// gracefully toward the n−f floor as crashed slots' broadcasts go missing.
+type E15Result struct {
+	ABARows []E15ABARow
+	ACSRows []E15ACSRow
+	Artifacts
+}
+
+// E15AsyncTrack sweeps the event-driven runtime: ABA decision rounds vs
+// (n, scheduler) and ACS set size vs crash count.
+func E15AsyncTrack(o Opts) (*E15Result, error) {
+	res := &E15Result{}
+	res.Table = table.New(
+		"E15 (extension) — async track: ABA termination rounds vs (n, scheduler); ACS set size vs crashes",
+		"protocol", "n", "f", "scheduler", "crashes", "trials", "safety viol.", "termination", "decide round (mean/med/max)", "set size (mean/min)",
+	)
+	res.Table.Note = "Termination is probabilistic: the common coin ends each disagreeing round with prob. 1/2, so the decide-round distribution has constant mean independent of n and scheduler; the ACS set holds ≥ n−f slots under every crash count."
+	res.Sweep = harness.NewSweep("e15")
+
+	scheds := []scenario.SchedName{scenario.SchedFIFO, scenario.SchedRandom, scenario.SchedAdvDelay}
+
+	// Part A: ABA decision-round distribution vs n and scheduler.
+	for _, n := range []int{4, 16, 32} {
+		f := (n - 1) / 3
+		for _, sched := range scheds {
+			sc := scenario.Scenario{Config: scenario.Config{
+				Protocol: scenario.ABA, N: n, F: f, Sched: sched,
+			}}
+			key := fmt.Sprintf("aba/n=%d/sched=%s", n, sched)
+			agg, err := harness.Collect(o.options("e15", key), func(tr harness.Trial) (*harness.Obs, error) {
+				rep, err := sc.Run(tr.Seed, tr.Index)
+				if err != nil {
+					return nil, err
+				}
+				v := checkReport(rep)
+				return harness.NewObs().
+					Event("safety_violation", v.consistency || v.validity).
+					Event("terminated", !v.termination).
+					Value("decide_round", float64(rep.Async.DecideRound)).
+					Value("deliveries", float64(rep.Rounds)), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Sweep.Add(agg)
+			m, _ := agg.Metric("decide_round")
+			row := E15ABARow{
+				N: n, F: f, Sched: sched, Trials: o.Trials,
+				SafetyViol:      agg.Count("safety_violation"),
+				TerminationRate: agg.Rate("terminated"),
+				DecideRound:     m.Summary,
+			}
+			res.ABARows = append(res.ABARows, row)
+			res.Table.Add("aba", row.N, row.F, string(row.Sched), 0, row.Trials, row.SafetyViol,
+				pct(row.TerminationRate),
+				fmt.Sprintf("%.2f / %.0f / %.0f", row.DecideRound.Mean, row.DecideRound.Median, row.DecideRound.Max),
+				"—")
+		}
+	}
+
+	// Part B: ACS output-set size vs actual crash faults, under the
+	// adversarial-delay scheduler (the hardest legal schedule).
+	const n, f = 16, 5
+	for _, crashes := range []int{0, 2, 5} {
+		sc := scenario.Scenario{Config: scenario.Config{
+			Protocol: scenario.ACS, N: n, F: f, Sched: scenario.SchedAdvDelay, Crashes: crashes,
+		}}
+		key := fmt.Sprintf("acs/n=%d/crashes=%d", n, crashes)
+		agg, err := harness.Collect(o.options("e15", key), func(tr harness.Trial) (*harness.Obs, error) {
+			rep, err := sc.Run(tr.Seed, tr.Index)
+			if err != nil {
+				return nil, err
+			}
+			v := checkReport(rep)
+			return harness.NewObs().
+				Event("safety_violation", v.consistency || v.validity).
+				Event("terminated", !v.termination).
+				Value("set_size", float64(rep.Async.SetSize)).
+				Value("decide_round", float64(rep.Async.DecideRound)), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Sweep.Add(agg)
+		size, _ := agg.Metric("set_size")
+		round, _ := agg.Metric("decide_round")
+		row := E15ACSRow{
+			N: n, F: f, Crashes: crashes, Trials: o.Trials,
+			SafetyViol:  agg.Count("safety_violation"),
+			SetSize:     size.Summary,
+			DecideRound: round.Summary,
+		}
+		res.ACSRows = append(res.ACSRows, row)
+		res.Table.Add("acs", row.N, row.F, string(scenario.SchedAdvDelay), row.Crashes, row.Trials,
+			row.SafetyViol, pct(agg.Rate("terminated")),
+			fmt.Sprintf("%.2f / %.0f / %.0f", row.DecideRound.Mean, row.DecideRound.Median, row.DecideRound.Max),
+			fmt.Sprintf("%.2f / %.0f", row.SetSize.Mean, row.SetSize.Min))
+	}
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// E15 at smoke scale: every (n, scheduler) and crash setting must be
+// safety-clean with full termination, the decide-round distribution must
+// stay under the liveness cap the torture suite enforces, and the ACS set
+// must never fall below the n−f floor.
+func TestE15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the async sweep")
+	}
+	res, err := E15AsyncTrack(Opts{Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ABARows) != 9 {
+		t.Fatalf("ABA rows: %d, want 3 sizes × 3 schedulers", len(res.ABARows))
+	}
+	for _, r := range res.ABARows {
+		if r.SafetyViol != 0 {
+			t.Errorf("aba n=%d sched=%s: %d safety violations", r.N, r.Sched, r.SafetyViol)
+		}
+		if r.TerminationRate != 1 {
+			t.Errorf("aba n=%d sched=%s: termination rate %.2f", r.N, r.Sched, r.TerminationRate)
+		}
+		if r.DecideRound.Max > 40 || r.DecideRound.Min < 1 {
+			t.Errorf("aba n=%d sched=%s: decide rounds outside [1, 40]: %+v", r.N, r.Sched, r.DecideRound)
+		}
+	}
+	if len(res.ACSRows) != 3 {
+		t.Fatalf("ACS rows: %d, want 3 crash counts", len(res.ACSRows))
+	}
+	for _, r := range res.ACSRows {
+		if r.SafetyViol != 0 {
+			t.Errorf("acs crashes=%d: %d safety violations", r.Crashes, r.SafetyViol)
+		}
+		if r.SetSize.Min < float64(r.N-r.F) {
+			t.Errorf("acs crashes=%d: set size fell to %.0f, below n-f=%d", r.Crashes, r.SetSize.Min, r.N-r.F)
+		}
+		if r.Crashes == 0 && r.SetSize.Min != float64(r.N) {
+			t.Errorf("acs crashes=0: set size %.0f, want the full n=%d", r.SetSize.Min, r.N)
+		}
+	}
+	if res.Table == nil || res.Sweep == nil {
+		t.Fatal("artifacts missing")
+	}
+}

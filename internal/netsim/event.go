@@ -1,0 +1,336 @@
+package netsim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+
+	"ccba/internal/obs"
+	"ccba/internal/types"
+	"ccba/internal/wire"
+)
+
+// AsyncNode is the sans-I/O state machine for one participant of an
+// asynchronous protocol, driven by the EventRuntime. Where the lockstep
+// Node advances in synchronous rounds, an AsyncNode reacts to individual
+// message deliveries: Start runs once before any delivery, and Deliver runs
+// once per delivered message, each returning the sends the event triggered.
+//
+// Implementations must be deterministic given their construction-time
+// inputs, so whole executions are reproducible from the run seed.
+type AsyncNode interface {
+	// Start produces the node's initial sends (its protocol inputs going on
+	// the wire). It is called exactly once, before any Deliver.
+	Start() []Send
+	// Deliver hands the node one message and returns the sends it triggers.
+	Deliver(d Delivered) []Send
+	// Output returns the node's current output bit and whether it has
+	// decided.
+	Output() (types.Bit, bool)
+	// Halted reports whether the node has terminated (a halted node
+	// receives no further deliveries).
+	Halted() bool
+}
+
+// SchedMode selects the event scheduler's delivery policy. All modes
+// reorder only: the asynchronous adversary controls the schedule, never the
+// eventual fact of delivery — the async analogue of the power boundary that
+// forbids dropping honest-to-honest messages (DESIGN.md §11).
+type SchedMode uint8
+
+// The scheduler modes.
+const (
+	// SchedFIFO delivers messages in send order — the friendliest schedule.
+	SchedFIFO SchedMode = iota + 1
+	// SchedRandom delivers in a seeded pseudorandom order: each link's
+	// priority is a splitmix64 hash of (run key, link seq).
+	SchedRandom
+	// SchedAdvDelay is the adversarial-reordering knob: a seeded
+	// three-in-four fraction of links is held back by AdvDelay positions,
+	// starving quorums for as long as the bound allows. The holdback is
+	// finite, so every message is still delivered eventually — the
+	// reordering power stays inside the asynchronous boundary.
+	SchedAdvDelay
+)
+
+// String implements fmt.Stringer.
+func (m SchedMode) String() string {
+	switch m {
+	case SchedFIFO:
+		return "fifo"
+	case SchedRandom:
+		return "random"
+	case SchedAdvDelay:
+		return "adversarial-delay"
+	default:
+		return fmt.Sprintf("SchedMode(%d)", int(m))
+	}
+}
+
+// DefaultMaxDeliveries is the liveness backstop EventConfig.MaxDeliveries
+// resolves to when unset: exceeding it ends the run with nodes unhalted,
+// which the termination checker reports as a liveness failure.
+const DefaultMaxDeliveries = 1 << 22
+
+// EventConfig parameterises one event-driven execution.
+type EventConfig struct {
+	// N is the number of nodes; F the fault budget (crashes spend it).
+	N, F int
+	// Seed drives the scheduler: the delivery order is a pure function of
+	// (Seed, Sched, AdvDelay) and the nodes' deterministic sends.
+	Seed [32]byte
+	// Sched selects the delivery policy (default SchedFIFO).
+	Sched SchedMode
+	// AdvDelay is the SchedAdvDelay holdback in delivery positions
+	// (default 4·N under that mode; must be 0 otherwise).
+	AdvDelay int
+	// MaxDeliveries bounds the execution (default DefaultMaxDeliveries).
+	// Exceeding it is reported as a termination failure.
+	MaxDeliveries int
+	// Crashed marks nodes that crash before the protocol starts: they never
+	// speak, receive nothing, and count against F. Nil means none.
+	Crashed []bool
+	// Tracer receives the event stream: one EvAsyncDeliver per delivery
+	// (Round is the global delivery step), EvSend per send, and the
+	// decide/halt transitions. Nil disables tracing at zero cost.
+	Tracer obs.Tracer
+}
+
+// pendingLink is one undelivered (sender, recipient) message copy. The
+// scheduler orders links by (prio, seq); seq is the global link admission
+// counter, so ties resolve in send order and the heap's order is total.
+type pendingLink struct {
+	prio uint64
+	seq  uint64
+	from types.NodeID
+	to   types.NodeID
+	msg  wire.Message
+}
+
+// linkHeap is a min-heap of pending links ordered by (prio, seq).
+type linkHeap []pendingLink
+
+func (h linkHeap) Len() int { return len(h) }
+func (h linkHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h linkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *linkHeap) Push(x any)   { *h = append(*h, x.(pendingLink)) }
+func (h *linkHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// EventRuntime executes one asynchronous protocol instance under a seeded
+// message scheduler. It is the event-driven sibling of Runtime: instead of
+// lockstep rounds, a priority queue of in-flight links is drained one
+// delivery at a time, the next link chosen as a pure function of the run
+// seed. Multicasts fan out into one link per node (sender included, so
+// quorum counting treats one's own vote uniformly, exactly as the lockstep
+// engine delivers). Communication is accounted through the same
+// Metrics.CountSend rule at send time.
+type EventRuntime struct {
+	cfg   EventConfig
+	nodes []AsyncNode
+
+	pending   linkHeap
+	seq       uint64 // link admission counter
+	key       uint64 // folded scheduler key
+	delivered int    // deliveries executed (the step counter)
+	haltCount int    // live nodes that have halted
+	liveCount int    // non-crashed nodes
+
+	metrics Metrics
+
+	tr        obs.Sink
+	trDecided []bool
+}
+
+// NewEventRuntime builds an event runtime over n constructed nodes.
+func NewEventRuntime(cfg EventConfig, nodes []AsyncNode) (*EventRuntime, error) {
+	if cfg.N != len(nodes) {
+		return nil, fmt.Errorf("netsim: config N=%d but %d nodes supplied", cfg.N, len(nodes))
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("netsim: need at least one node, got %d", cfg.N)
+	}
+	if cfg.F < 0 || cfg.F >= cfg.N {
+		return nil, fmt.Errorf("netsim: fault budget f=%d out of range for n=%d", cfg.F, cfg.N)
+	}
+	if cfg.Sched == 0 {
+		cfg.Sched = SchedFIFO
+	}
+	switch cfg.Sched {
+	case SchedFIFO, SchedRandom, SchedAdvDelay:
+	default:
+		return nil, fmt.Errorf("netsim: unknown scheduler mode %d", cfg.Sched)
+	}
+	if cfg.AdvDelay < 0 {
+		return nil, fmt.Errorf("netsim: AdvDelay=%d cannot be negative", cfg.AdvDelay)
+	}
+	if cfg.AdvDelay != 0 && cfg.Sched != SchedAdvDelay {
+		return nil, fmt.Errorf("netsim: AdvDelay=%d without the %s scheduler", cfg.AdvDelay, SchedAdvDelay)
+	}
+	if cfg.Sched == SchedAdvDelay && cfg.AdvDelay == 0 {
+		cfg.AdvDelay = 4 * cfg.N
+	}
+	if cfg.MaxDeliveries <= 0 {
+		cfg.MaxDeliveries = DefaultMaxDeliveries
+	}
+	if cfg.Crashed != nil && len(cfg.Crashed) != cfg.N {
+		return nil, fmt.Errorf("netsim: Crashed has %d entries for N=%d", len(cfg.Crashed), cfg.N)
+	}
+	crashes := 0
+	for _, c := range cfg.Crashed {
+		if c {
+			crashes++
+		}
+	}
+	if crashes > cfg.F {
+		return nil, fmt.Errorf("netsim: %d crashed nodes exceed the fault budget f=%d", crashes, cfg.F)
+	}
+	rt := &EventRuntime{
+		cfg:       cfg,
+		nodes:     nodes,
+		key:       Mix64(FoldSeed(cfg.Seed) ^ uint64(cfg.Sched)),
+		liveCount: cfg.N - crashes,
+		tr:        obs.NewSink(cfg.Tracer),
+	}
+	if cfg.Tracer != nil {
+		rt.trDecided = make([]bool, cfg.N)
+	}
+	return rt, nil
+}
+
+// Run executes deliveries until every live node halts, the queue drains, or
+// MaxDeliveries is reached, and returns the result.
+func (rt *EventRuntime) Run() *Result {
+	res, _ := rt.RunCtx(context.Background())
+	return res
+}
+
+// RunCtx is Run with cancellation, checked every 1024 deliveries.
+func (rt *EventRuntime) RunCtx(ctx context.Context) (*Result, error) {
+	for i, node := range rt.nodes {
+		if rt.crashed(types.NodeID(i)) {
+			continue
+		}
+		rt.enqueue(types.NodeID(i), node.Start())
+		rt.transitions(types.NodeID(i))
+	}
+	for len(rt.pending) > 0 && rt.haltCount < rt.liveCount && rt.delivered < rt.cfg.MaxDeliveries {
+		if rt.delivered&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		l := heap.Pop(&rt.pending).(pendingLink)
+		node := rt.nodes[l.to]
+		if node.Halted() {
+			continue
+		}
+		if rt.tr.Enabled() {
+			rt.tr.AsyncDeliver(rt.delivered, l.to, l.from, wire.Size(l.msg))
+		}
+		rt.enqueue(l.to, node.Deliver(Delivered{From: l.from, Msg: l.msg}))
+		rt.transitions(l.to)
+		rt.delivered++
+	}
+	return rt.collect(), nil
+}
+
+// crashed reports whether node id is in the crash set.
+func (rt *EventRuntime) crashed(id types.NodeID) bool {
+	return rt.cfg.Crashed != nil && rt.cfg.Crashed[id]
+}
+
+// enqueue admits from's sends into the pending queue, accounting each send
+// once through the Definitions 6–7 rule and expanding multicasts into one
+// link per node. Links to crashed nodes are not admitted: a crashed node
+// receives nothing, and skipping the enqueue keeps the queue traffic-sized.
+func (rt *EventRuntime) enqueue(from types.NodeID, sends []Send) {
+	n := rt.cfg.N
+	for si, s := range sends {
+		rt.metrics.CountSend(s.To, n, wire.Size(s.Msg))
+		if rt.tr.Enabled() {
+			rt.tr.Send(rt.delivered, from, si, s.To, wire.Size(s.Msg))
+		}
+		if s.To == types.Broadcast {
+			for j := 0; j < n; j++ {
+				rt.push(from, types.NodeID(j), s.Msg)
+			}
+		} else if int(s.To) >= 0 && int(s.To) < n {
+			rt.push(from, s.To, s.Msg)
+		}
+	}
+}
+
+// push schedules one link with the mode's priority. FIFO priorities are the
+// admission order itself; random priorities are a seeded hash of the
+// admission counter; the adversarial mode holds a seeded three-in-four
+// fraction of links back by AdvDelay positions. Every priority is finite
+// and the (prio, seq) order is total, so delivery is eventually guaranteed
+// and the schedule is a pure function of the run seed.
+func (rt *EventRuntime) push(from, to types.NodeID, msg wire.Message) {
+	if rt.crashed(to) {
+		return
+	}
+	seq := rt.seq
+	rt.seq++
+	prio := seq
+	switch rt.cfg.Sched {
+	case SchedRandom:
+		prio = Mix64(rt.key ^ seq)
+	case SchedAdvDelay:
+		if Mix64(rt.key^seq)&3 != 0 {
+			prio = seq + uint64(rt.cfg.AdvDelay)
+		}
+	}
+	heap.Push(&rt.pending, pendingLink{prio: prio, seq: seq, from: from, to: to, msg: msg})
+}
+
+// transitions traces node id's decide/halt edges and maintains the halt
+// count after a Start or Deliver call may have flipped them.
+func (rt *EventRuntime) transitions(id types.NodeID) {
+	node := rt.nodes[id]
+	if rt.tr.Enabled() && !rt.trDecided[id] {
+		if bit, ok := node.Output(); ok {
+			rt.tr.Decide(rt.delivered, id, bit)
+			rt.trDecided[id] = true
+		}
+	}
+	if node.Halted() {
+		rt.haltCount++
+		if rt.tr.Enabled() {
+			rt.tr.Halt(rt.delivered, id)
+		}
+	}
+}
+
+// collect assembles the Result. Crashed nodes are reported Corrupt — they
+// spent the fault budget, and the security checkers' forever-honest range
+// is exactly the non-crashed set. Rounds carries the delivery-step count:
+// the async engine's unit of progress, bounded by MaxDeliveries the way
+// lockstep rounds are bounded by MaxRounds.
+func (rt *EventRuntime) collect() *Result {
+	n := rt.cfg.N
+	res := &Result{
+		Outputs: make([]types.Bit, n),
+		Decided: make([]bool, n),
+		Halted:  make([]bool, n),
+		Corrupt: make([]bool, n),
+		Rounds:  rt.delivered,
+		Metrics: rt.metrics,
+	}
+	for i := 0; i < n; i++ {
+		bit, ok := rt.nodes[i].Output()
+		if !ok {
+			bit = types.NoBit
+		}
+		res.Outputs[i] = bit
+		res.Decided[i] = ok
+		res.Halted[i] = rt.nodes[i].Halted()
+		res.Corrupt[i] = rt.crashed(types.NodeID(i))
+	}
+	return res
+}

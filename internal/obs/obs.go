@@ -40,6 +40,15 @@ const (
 	// round; Node is the sender, A the recipient, B the FaultKind, Seq a
 	// per-(round, sender) counter in injection order.
 	EvFault
+	// EvCoin: node revealed the common coin of one ABA round (DESIGN.md
+	// §11). Round is the ABA round, Seq the ACS slot (0 standalone), A the
+	// coin bit.
+	EvCoin
+	// EvAsyncDeliver: the event-driven runtime delivered one message. Round
+	// is the global delivery step (the async analogue of the round index, so
+	// the canonical order is the schedule order), Node the recipient, A the
+	// sender, B the exact encoded size.
+	EvAsyncDeliver
 )
 
 // String returns the canonical JSONL tag of the kind.
@@ -59,6 +68,10 @@ func (k EventKind) String() string {
 		return "mark"
 	case EvFault:
 		return "fault"
+	case EvCoin:
+		return "coin"
+	case EvAsyncDeliver:
+		return "async_deliver"
 	default:
 		return "unknown"
 	}
@@ -198,4 +211,22 @@ func (s Sink) Fault(round int, from, to types.NodeID, seq int, kind FaultKind) {
 		return
 	}
 	s.t.Emit(Event{Round: int32(round), Node: int32(from), Seq: uint32(seq), Kind: EvFault, A: int32(to), B: int32(kind)})
+}
+
+// Coin emits one common-coin reveal: node learned the coin bit of ABA
+// round round in ACS slot slot (0 standalone).
+func (s Sink) Coin(round int, node types.NodeID, slot int, bit types.Bit) {
+	if s.t == nil {
+		return
+	}
+	s.t.Emit(Event{Round: int32(round), Node: int32(node), Seq: uint32(slot), Kind: EvCoin, A: int32(bit)})
+}
+
+// AsyncDeliver emits one event-driven delivery: at global delivery step
+// step, node read one message from sender, of the exact encoded size.
+func (s Sink) AsyncDeliver(step int, node types.NodeID, from types.NodeID, size int) {
+	if s.t == nil {
+		return
+	}
+	s.t.Emit(Event{Round: int32(step), Node: int32(node), Kind: EvAsyncDeliver, A: int32(from), B: int32(size)})
 }

@@ -134,6 +134,14 @@ func appendEventJSON(b []byte, e Event) []byte {
 		b = append(b, `,"kind":"`...)
 		b = append(b, FaultKind(e.B).String()...)
 		b = append(b, '"')
+	case EvCoin:
+		b = append(b, `,"bit":`...)
+		b = strconv.AppendInt(b, int64(e.A), 10)
+	case EvAsyncDeliver:
+		b = append(b, `,"from":`...)
+		b = strconv.AppendInt(b, int64(e.A), 10)
+		b = append(b, `,"size":`...)
+		b = strconv.AppendInt(b, int64(e.B), 10)
 	}
 	b = append(b, '}', '\n')
 	return b

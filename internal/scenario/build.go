@@ -67,6 +67,9 @@ func Build(cfg Config) ([]netsim.Node, func(types.NodeID) any, int, error) {
 
 // build resolves the builder for an already-defaulted config.
 func build(cfg Config) ([]netsim.Node, func(types.NodeID) any, int, error) {
+	if cfg.Protocol.Async() {
+		return nil, nil, 0, fmt.Errorf("scenario: protocol %q runs on the event-driven runtime; use Run, not Build", cfg.Protocol)
+	}
 	b, ok := builders[cfg.Protocol]
 	if !ok {
 		return nil, nil, 0, fmt.Errorf("scenario: unknown protocol %q (registered: %v)", cfg.Protocol, Protocols())

@@ -31,13 +31,31 @@ const (
 	DolevStrong Protocol = "dolevstrong"
 	// CommitteeEcho is the static CRS committee broadcast baseline.
 	CommitteeEcho Protocol = "committee"
+	// BRB is Bracha reliable broadcast on the asynchronous track (§11).
+	BRB Protocol = "brb"
+	// ABA is common-coin asynchronous binary agreement (§11).
+	ABA Protocol = "aba"
+	// ACS is the BKR agreement-on-common-subset composition (§11).
+	ACS Protocol = "acs"
 )
 
 // Broadcast reports whether the protocol solves the broadcast version
 // (designated sender) rather than the agreement version.
 func (p Protocol) Broadcast() bool {
 	switch p {
-	case DolevStrong, CommitteeEcho, CoreBroadcast:
+	case DolevStrong, CommitteeEcho, CoreBroadcast, BRB:
+		return true
+	default:
+		return false
+	}
+}
+
+// Async reports whether the protocol runs on the event-driven runtime
+// (seeded message scheduler, no lockstep rounds) rather than the
+// synchronous engine.
+func (p Protocol) Async() bool {
+	switch p {
+	case BRB, ABA, ACS:
 		return true
 	default:
 		return false
@@ -78,6 +96,23 @@ const (
 	// NetPartition splits the network into two halves for PartitionRounds
 	// rounds, holding cross-partition links to ∆.
 	NetPartition NetName = "partition"
+)
+
+// SchedName selects the event runtime's message scheduler by name
+// (asynchronous protocols only). All three are pure functions of the run
+// seed; they differ in which pending message a delivery step picks.
+type SchedName string
+
+// The registered schedulers.
+const (
+	// SchedFIFO delivers messages in send order (the default).
+	SchedFIFO SchedName = "fifo"
+	// SchedRandom delivers in a seeded random order.
+	SchedRandom SchedName = "random"
+	// SchedAdvDelay holds a seeded 3-in-4 subset of messages back by a
+	// bounded priority penalty — the strongest reordering the power-boundary
+	// rules allow (every message still delivers).
+	SchedAdvDelay SchedName = "adversarial-delay"
 )
 
 // InputPattern names for Config.InputPattern.
@@ -175,6 +210,21 @@ type Config struct {
 	// are rejected.
 	MaxRounds int
 
+	// Sched selects the event runtime's message scheduler (async protocols
+	// only; default SchedFIFO).
+	Sched SchedName
+	// AdvDelay is the SchedAdvDelay holdback penalty in scheduler priority
+	// units (default 4·N). Larger values stretch reordering windows; the
+	// power boundary keeps every message deliverable regardless.
+	AdvDelay int
+	// MaxDeliveries bounds the event runtime's total delivery count — the
+	// asynchronous stand-in for a round budget (default
+	// netsim.DefaultMaxDeliveries). A run that hits it fails termination.
+	MaxDeliveries int
+	// Crashes is the number of crash-faulty nodes the async run draws
+	// seed-deterministically from the node set (≤ F; they never start).
+	Crashes int
+
 	// chaosModel, when non-nil, overrides the Net-named model with a
 	// prebuilt one. Only ChaosConfig.SimRun sets it, so the cross-validation
 	// harness can execute the exact composite model a live chaos run was
@@ -232,6 +282,9 @@ func (c *Config) validate() error {
 	}
 	if c.SparseWorkers != 0 && !c.Sparse {
 		return fmt.Errorf("scenario: SparseWorkers=%d without Sparse; sharded stepping is a sparse-engine feature", c.SparseWorkers)
+	}
+	if err := c.validateAsync(); err != nil {
+		return err
 	}
 	return c.validateNet()
 }
@@ -317,11 +370,25 @@ func (c *Config) applyDefaults() {
 	if c.Protocol.Broadcast() && !c.SenderInput.Valid() {
 		c.SenderInput = types.Zero
 	}
-	if c.Net == "" {
-		c.Net = NetDeltaOne
-	}
-	if c.Delta == 0 {
-		c.Delta = 1
+	if c.Protocol.Async() {
+		// The async track has no lockstep network model; its knobs default
+		// here and the Net/Delta family stays zero (validate rejects it).
+		if c.Sched == "" {
+			c.Sched = SchedFIFO
+		}
+		if c.MaxDeliveries == 0 {
+			c.MaxDeliveries = netsim.DefaultMaxDeliveries
+		}
+		if c.AdvDelay == 0 && c.Sched == SchedAdvDelay {
+			c.AdvDelay = 4 * c.N
+		}
+	} else {
+		if c.Net == "" {
+			c.Net = NetDeltaOne
+		}
+		if c.Delta == 0 {
+			c.Delta = 1
+		}
 	}
 	if c.Net == NetOmission && c.OmissionFaulty == 0 {
 		c.OmissionFaulty = c.F

@@ -24,6 +24,9 @@ type Report struct {
 	// nil otherwise. Deterministic per (config, seed): the table's
 	// double-checked insert makes the counters schedule-independent.
 	Intern *attest.InternStats
+	// Async carries the event-runtime observables (decision rounds, ACS set
+	// size) when the protocol ran on the asynchronous track, nil otherwise.
+	Async *AsyncInfo
 }
 
 // Ok reports whether all three properties held.
@@ -47,6 +50,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
+	if cfg.Protocol.Async() {
+		return runAsync(ctx, cfg)
+	}
 	if cfg.Intern && cfg.interner == nil {
 		cfg.interner = attest.NewInterner()
 	}

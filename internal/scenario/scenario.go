@@ -277,4 +277,30 @@ func init() {
 		Description: "sub-sampled phase-king (§3.2), n=200 f=40 λ=40",
 		Config:      Config{Protocol: PhaseKingSampled, N: 200, F: 40, Lambda: 40},
 	})
+	// Async track (§11): event-driven runtime, seeded schedulers.
+	MustRegister(Scenario{
+		Name:        "brb-n16",
+		Description: "Bracha reliable broadcast on the event runtime, n=16 f=5, sender 3 broadcasting 1",
+		Config:      Config{Protocol: BRB, N: 16, F: 5, Sender: 3, SenderInput: types.One, Sched: SchedRandom},
+	})
+	MustRegister(Scenario{
+		Name:        "aba-n16",
+		Description: "common-coin binary agreement on the event runtime, n=16 f=5, mixed inputs, random scheduler",
+		Config:      Config{Protocol: ABA, N: 16, F: 5, Sched: SchedRandom},
+	})
+	MustRegister(Scenario{
+		Name:        "aba-adv-n16",
+		Description: "common-coin binary agreement under the adversarial-delay scheduler, n=16 f=5",
+		Config:      Config{Protocol: ABA, N: 16, F: 5, Sched: SchedAdvDelay},
+	})
+	MustRegister(Scenario{
+		Name:        "acs-n16",
+		Description: "BKR agreement on a common subset, n=16 f=5, random scheduler",
+		Config:      Config{Protocol: ACS, N: 16, F: 5, Sched: SchedRandom},
+	})
+	MustRegister(Scenario{
+		Name:        "acs-crash-n16",
+		Description: "BKR common subset with f crash-faulty nodes under the adversarial-delay scheduler, n=16 f=5",
+		Config:      Config{Protocol: ACS, N: 16, F: 5, Sched: SchedAdvDelay, Crashes: 5},
+	})
 }
